@@ -1,0 +1,29 @@
+//! # pathways-baselines
+//!
+//! The comparator systems of the paper's evaluation (§5.1), rebuilt over
+//! the same simulated hardware substrate as the Pathways runtime so that
+//! Figure 5's comparison isolates *architecture*, exactly as the paper
+//! argues:
+//!
+//! * [`JaxRuntime`] — multi-controller: per-host controllers enqueue
+//!   over PCIe, collectives over ICI, no coordinator (Figure 1a);
+//! * [`Tf1Runtime`] — single controller with DCN control messages, a
+//!   centralized barrier between steps, and results copied back to the
+//!   client (Figure 1b/1c);
+//! * [`RayRuntime`] — driver + Python actors on one-GPU hosts, DCN ring
+//!   collectives, and a DRAM-only object store.
+//!
+//! All three expose the same `spawn_benchmark(mode, workload, n)`
+//! measurement API used by the Figure 5/6/8 experiment binaries.
+
+#![warn(missing_docs)]
+
+mod jax;
+mod ray;
+mod tf1;
+mod workload;
+
+pub use jax::{JaxConfig, JaxRuntime};
+pub use ray::{RayConfig, RayRuntime};
+pub use tf1::{Tf1Config, Tf1Runtime};
+pub use workload::{StepWorkload, SubmissionMode, Throughput};

@@ -1,0 +1,120 @@
+//! The §5.1 micro-benchmark workload and submission modes.
+//!
+//! Every framework in Figure 5 runs the same trivial computation — "a
+//! single scalar AllReduce followed by a scalar addition" — chained so
+//! that each computation consumes the previous one's output. The three
+//! submission modes are:
+//!
+//! * **OpByOp (-O)**: one client call per computation;
+//! * **Chained (-C)**: one client call runs a 128-node chain;
+//! * **Fused (-F)**: one client call runs a single node containing a
+//!   chain of 128 computations compiled together.
+
+use serde::{Deserialize, Serialize};
+
+use pathways_sim::SimDuration;
+
+/// How the client groups computations into calls (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubmissionMode {
+    /// One call per computation.
+    OpByOp,
+    /// One call per chain of [`StepWorkload::chain_len`] nodes.
+    Chained,
+    /// One call per fused kernel of [`StepWorkload::chain_len`]
+    /// computations.
+    Fused,
+}
+
+impl std::fmt::Display for SubmissionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SubmissionMode::OpByOp => "-O",
+            SubmissionMode::Chained => "-C",
+            SubmissionMode::Fused => "-F",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One repeated computation of the micro-benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepWorkload {
+    /// Device time of the computation body (the "scalar addition" plus
+    /// per-op kernel overhead; Figure 6 sweeps this).
+    pub compute: SimDuration,
+    /// Payload of the AllReduce (scalars: 4 bytes).
+    pub allreduce_bytes: u64,
+    /// Nodes per chain for Chained/Fused modes (128 in the paper).
+    pub chain_len: u32,
+}
+
+impl StepWorkload {
+    /// The Figure 5 workload: scalar all-reduce + scalar add with a
+    /// per-op kernel overhead typical of small XLA computations.
+    pub fn trivial() -> Self {
+        StepWorkload {
+            compute: SimDuration::from_micros(30),
+            allreduce_bytes: 4,
+            chain_len: 128,
+        }
+    }
+
+    /// The Figure 6 workload: computation body of `compute`, scalar
+    /// all-reduce.
+    pub fn sized(compute: SimDuration) -> Self {
+        StepWorkload {
+            compute,
+            allreduce_bytes: 4,
+            chain_len: 128,
+        }
+    }
+}
+
+/// A throughput measurement: computations completed per second of
+/// *virtual* time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Total computations executed.
+    pub computations: u64,
+    /// Elapsed virtual time.
+    pub elapsed: SimDuration,
+}
+
+impl Throughput {
+    /// Computations per second.
+    pub fn per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.computations as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl std::fmt::Display for Throughput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}/s", self.per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput {
+            computations: 500,
+            elapsed: SimDuration::from_secs(2),
+        };
+        assert!((t.per_sec() - 250.0).abs() < 1e-9);
+        assert_eq!(t.to_string(), "250.0/s");
+    }
+
+    #[test]
+    fn modes_display_like_the_paper() {
+        assert_eq!(SubmissionMode::OpByOp.to_string(), "-O");
+        assert_eq!(SubmissionMode::Chained.to_string(), "-C");
+        assert_eq!(SubmissionMode::Fused.to_string(), "-F");
+    }
+}

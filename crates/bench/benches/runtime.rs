@@ -1,0 +1,64 @@
+//! Criterion benchmarks of whole-system simulation throughput: how much
+//! wall time it costs to simulate Pathways programs end to end. These
+//! exercise the same code paths as the figure/table binaries at reduced
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pathways_baselines::{StepWorkload, SubmissionMode};
+use pathways_bench::micro::{jax_throughput, pathways_throughput};
+use pathways_bench::pipeline::pipeline_throughput;
+use pathways_core::DispatchMode;
+use pathways_sim::SimDuration;
+
+fn bench_pathways_program(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end-to-end");
+    g.sample_size(10);
+    for hosts in [2u32, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("pw-op-by-op-16-programs", hosts),
+            &hosts,
+            |b, &hosts| {
+                b.iter(|| {
+                    black_box(pathways_throughput(
+                        hosts,
+                        4,
+                        SubmissionMode::OpByOp,
+                        StepWorkload::trivial(),
+                        16,
+                    ))
+                });
+            },
+        );
+    }
+    g.bench_function("jax-fused-128-computations", |b| {
+        b.iter(|| {
+            black_box(jax_throughput(
+                4,
+                4,
+                SubmissionMode::Fused,
+                StepWorkload::trivial(),
+                128,
+            ))
+        });
+    });
+    g.bench_function("pw-pipeline-8-stages", |b| {
+        b.iter(|| {
+            black_box(pipeline_throughput(
+                8,
+                DispatchMode::Parallel,
+                SimDuration::from_micros(10),
+                4,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pathways_program
+}
+criterion_main!(benches);

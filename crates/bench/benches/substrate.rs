@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the substrate hot paths: the
+//! virtual-time executor, channels, topology lookups, collective cost
+//! models and progress tracking. These measure *real* wall time of the
+//! simulator itself (how fast experiments run), not simulated time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pathways_net::collective::torus_allreduce;
+use pathways_net::{Bandwidth, ClusterSpec, DeviceId};
+use pathways_plaque::ProgressTracker;
+use pathways_sim::{channel, Sim, SimDuration};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-executor");
+    for n in [100u64, 1000] {
+        g.bench_with_input(BenchmarkId::new("timer-events", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Sim::new(0);
+                for i in 0..n {
+                    let h = sim.handle();
+                    sim.spawn(format!("t{i}"), async move {
+                        h.sleep(SimDuration::from_nanos(i)).await;
+                    });
+                }
+                black_box(sim.run_to_quiescence())
+            });
+        });
+    }
+    g.bench_function("channel-1k-messages", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            let (tx, mut rx) = channel::channel::<u64>();
+            sim.spawn("producer", async move {
+                for i in 0..1000u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let consumer = sim.spawn("consumer", async move {
+                let mut sum = 0u64;
+                while let Some(v) = rx.recv().await {
+                    sum += v;
+                }
+                sum
+            });
+            sim.run_to_quiescence();
+            black_box(consumer.try_take())
+        });
+    });
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let topo = ClusterSpec::config_a(512).build();
+    let mut g = c.benchmark_group("topology");
+    g.bench_function("host-of-device-2048", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for d in 0..2048u32 {
+                acc ^= topo.host_of_device(DeviceId(d)).0;
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("ici-hops-pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for d in (0..2048u32).step_by(64) {
+                acc += topo.ici_hops(DeviceId(0), DeviceId(d));
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_collective_model(c: &mut Criterion) {
+    let bw = Bandwidth::from_gbps(100.0);
+    let lat = SimDuration::from_micros(1);
+    c.bench_function("torus-allreduce-cost", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for bytes in [4u64, 1 << 20, 1 << 30] {
+                acc ^= torus_allreduce(32, 64, bytes, bw, lat).as_nanos();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_progress(c: &mut Criterion) {
+    c.bench_function("progress-tracker-1k-srcs", |b| {
+        b.iter(|| {
+            let mut t = ProgressTracker::new(1000);
+            for s in 0..1000u32 {
+                t.record_data(s);
+                t.record_done(s, 1);
+            }
+            black_box(t.take_completion())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_executor, bench_topology, bench_collective_model, bench_progress
+}
+criterion_main!(benches);

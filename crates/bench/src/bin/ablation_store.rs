@@ -1,0 +1,88 @@
+//! Ablation: the HBM object store. Pathways returns opaque handles and
+//! leaves data in accelerator memory; TF1 copies results back to the
+//! client and Ray copies GPU→DRAM per computation. This sweep varies
+//! the per-computation result size to show the store's benefit is
+//! architectural, not a constant factor.
+
+use pathways_baselines::{
+    RayConfig, RayRuntime, StepWorkload, SubmissionMode, Tf1Config, Tf1Runtime,
+};
+use pathways_bench::micro::pathways_throughput;
+use pathways_bench::table::Table;
+use pathways_net::{ClusterSpec, NetworkParams};
+use pathways_sim::Sim;
+
+fn tf1_with_result_bytes(hosts: u32, bytes: u64, total: u64) -> f64 {
+    let mut sim = Sim::new(0);
+    let rt = Tf1Runtime::new(
+        &sim,
+        ClusterSpec::single_island(hosts, 4),
+        NetworkParams::tpu_cluster(),
+        Tf1Config {
+            result_bytes: bytes,
+            ..Tf1Config::default()
+        },
+    );
+    let m = rt.spawn_benchmark(
+        &mut sim,
+        SubmissionMode::OpByOp,
+        StepWorkload::trivial(),
+        total,
+    );
+    sim.run_to_quiescence();
+    m.try_take().unwrap().per_sec()
+}
+
+fn ray_with_result_bytes(hosts: u32, bytes: u64, total: u64) -> f64 {
+    let mut sim = Sim::new(0);
+    let rt = RayRuntime::new(
+        &sim,
+        hosts,
+        NetworkParams::tpu_cluster(),
+        RayConfig {
+            result_bytes: bytes,
+            ..RayConfig::default()
+        },
+    );
+    let m = rt.spawn_benchmark(
+        &mut sim,
+        SubmissionMode::OpByOp,
+        StepWorkload::trivial(),
+        total,
+    );
+    sim.run_to_quiescence();
+    m.try_take().unwrap().per_sec()
+}
+
+fn main() {
+    println!("Ablation: device object store — handle return vs data copy-back\n");
+    let hosts = 4;
+    let total = 128;
+    // Pathways returns handles; its throughput is independent of result
+    // size because outputs stay in HBM.
+    let pw = pathways_throughput(
+        hosts,
+        4,
+        SubmissionMode::OpByOp,
+        StepWorkload::trivial(),
+        total,
+    )
+    .per_sec();
+    let mut t = Table::new(&[
+        "result bytes",
+        "PW (handles)",
+        "TF1 (copy to client)",
+        "Ray (GPU->DRAM)",
+    ]);
+    for bytes in [0u64, 4 << 10, 256 << 10, 4 << 20] {
+        t.row(vec![
+            bytes.to_string(),
+            format!("{pw:.0}"),
+            format!("{:.0}", tf1_with_result_bytes(hosts, bytes, total)),
+            format!("{:.0}", ray_with_result_bytes(hosts, bytes, total)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected shape: PW flat; TF1/Ray degrade as results grow (§5.1: 'TensorFlow");
+    println!("and Ray suffer from their lack of a device object store').");
+}

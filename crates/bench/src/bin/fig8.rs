@@ -1,0 +1,69 @@
+//! Figure 8: aggregate throughput of concurrent programs — Pathways
+//! time-multiplexing accelerators between 1..N clients, for several
+//! per-program compute sizes, against the JAX single-program reference.
+
+use pathways_baselines::{StepWorkload, SubmissionMode};
+use pathways_bench::micro::{jax_throughput, pathways_multiclient_throughput};
+use pathways_bench::table::Table;
+use pathways_sim::SimDuration;
+
+fn main() {
+    // Scaled-down configuration B (the full 64-host sweep takes much
+    // longer; pass hosts as argv[1] to override).
+    let hosts: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let dph = 8;
+    println!(
+        "Figure 8: aggregate throughput of concurrent programs ({} hosts x {} TPUs)\n",
+        hosts, dph
+    );
+    let computes = [
+        SimDuration::from_micros(40),
+        SimDuration::from_micros(330),
+        SimDuration::from_micros(1040),
+        SimDuration::from_micros(2400),
+    ];
+    let mut header = vec!["clients".to_string()];
+    for c in &computes {
+        header.push(format!("PW({:.2})", c.as_millis_f64()));
+    }
+    for c in &computes {
+        header.push(format!("JAX({:.2})", c.as_millis_f64()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+    // JAX reference: single-program throughput on the same hardware
+    // (independent of client count — multi-controller JAX is
+    // single-tenant).
+    let jax_ref: Vec<f64> = computes
+        .iter()
+        .map(|c| {
+            jax_throughput(
+                hosts,
+                dph,
+                SubmissionMode::OpByOp,
+                StepWorkload::sized(*c),
+                64,
+            )
+            .per_sec()
+        })
+        .collect();
+    for clients in [1u32, 2, 4, 8, 16, 32, 64] {
+        let mut row = vec![clients.to_string()];
+        for c in &computes {
+            let window = SimDuration::from_millis(60);
+            let agg = pathways_multiclient_throughput(hosts, dph, clients, *c, window, 1);
+            row.push(format!("{agg:.0}"));
+        }
+        for j in &jax_ref {
+            row.push(format!("{j:.0}"));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("expected shape (paper): PW aggregate rises with clients until the TPUs");
+    println!("saturate, reaching at least the JAX reference; larger computations need");
+    println!("fewer clients to saturate.");
+}

@@ -1,0 +1,155 @@
+//! Runs a quick (scaled-down) pass over every experiment, printing a
+//! one-line verdict per paper claim — a smoke test of the whole
+//! reproduction in about a minute.
+
+use pathways_baselines::{StepWorkload, SubmissionMode};
+use pathways_bench::micro::{
+    fig6_point, jax_throughput, pathways_multiclient_throughput, pathways_throughput,
+    ray_throughput, tf1_throughput,
+};
+use pathways_bench::pipeline::pipeline_throughput;
+use pathways_bench::tenancy::tenancy_trace;
+use pathways_bench::training::{
+    pathways_pipeline_tokens_per_sec, pathways_spmd_tokens_per_sec, table1_point, table2_setup,
+    two_island_scaling,
+};
+use pathways_core::DispatchMode;
+use pathways_models::TransformerConfig;
+use pathways_sim::SimDuration;
+
+fn verdict(name: &str, ok: bool, detail: String) {
+    println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+}
+
+fn main() {
+    println!("Quick pass over every reproduced claim (scaled-down sizes)\n");
+    let w = StepWorkload::trivial();
+
+    // Figure 5 relations.
+    let jax_o = jax_throughput(2, 8, SubmissionMode::OpByOp, w, 128).per_sec();
+    let jax_f = jax_throughput(2, 8, SubmissionMode::Fused, w, 256).per_sec();
+    let pw_o = pathways_throughput(2, 8, SubmissionMode::OpByOp, w, 128).per_sec();
+    let pw_c = pathways_throughput(2, 8, SubmissionMode::Chained, w, 256).per_sec();
+    let pw_f = pathways_throughput(2, 8, SubmissionMode::Fused, w, 256).per_sec();
+    let tf_o = tf1_throughput(2, 8, SubmissionMode::OpByOp, w, 128).per_sec();
+    let ray_o = ray_throughput(2, SubmissionMode::OpByOp, w, 64).per_sec();
+    verdict(
+        "fig5 PW-F ~= JAX-F",
+        pw_f / jax_f > 0.85,
+        format!("{pw_f:.0} vs {jax_f:.0} comp/s"),
+    );
+    verdict(
+        "fig5 JAX-O > PW-O",
+        jax_o > pw_o,
+        format!("{jax_o:.0} vs {pw_o:.0}"),
+    );
+    verdict(
+        "fig5 PW-C > JAX-O",
+        pw_c > jax_o,
+        format!("{pw_c:.0} vs {jax_o:.0}"),
+    );
+    verdict(
+        "fig5 PW-O >= TF-O",
+        pw_o >= tf_o,
+        format!("{pw_o:.0} vs {tf_o:.0}"),
+    );
+    verdict(
+        "fig5 Ray ~10x below PW",
+        ray_o * 2.0 < pw_o,
+        format!("{ray_o:.0} vs {pw_o:.0}"),
+    );
+
+    // Figure 6: parity improves with computation size.
+    let (j_s, p_s) = fig6_point(4, 8, SimDuration::from_micros(100), 30);
+    let (j_b, p_b) = fig6_point(4, 8, SimDuration::from_millis(10), 8);
+    verdict(
+        "fig6 parity at large computations",
+        p_s / j_s < 0.95 && p_b / j_b > 0.9,
+        format!("ratio {:.2} -> {:.2}", p_s / j_s, p_b / j_b),
+    );
+
+    // Figure 7.
+    let par = pipeline_throughput(16, DispatchMode::Parallel, SimDuration::from_micros(10), 4);
+    let seq = pipeline_throughput(
+        16,
+        DispatchMode::Sequential,
+        SimDuration::from_micros(10),
+        4,
+    );
+    verdict(
+        "fig7 parallel dispatch wins",
+        par > seq * 1.3,
+        format!("{par:.0} vs {seq:.0} comp/s"),
+    );
+
+    // Figure 8.
+    let one = pathways_multiclient_throughput(
+        2,
+        8,
+        1,
+        SimDuration::from_micros(40),
+        SimDuration::from_millis(40),
+        1,
+    );
+    let eight = pathways_multiclient_throughput(
+        2,
+        8,
+        8,
+        SimDuration::from_micros(40),
+        SimDuration::from_millis(40),
+        1,
+    );
+    verdict(
+        "fig8 multi-tenancy scales",
+        eight > one * 1.3,
+        format!("{one:.0} -> {eight:.0} comp/s"),
+    );
+
+    // Figure 9.
+    let t = tenancy_trace(
+        1,
+        8,
+        &[1, 2, 4, 8],
+        SimDuration::from_micros(330),
+        SimDuration::from_millis(40),
+    );
+    let a = t.busy_by_label["A"].as_secs_f64();
+    let d = t.busy_by_label["D"].as_secs_f64();
+    verdict(
+        "fig9 proportional share",
+        d / a > 3.0 && t.utilization > 0.9,
+        format!("D/A = {:.1}, util {:.0}%", d / a, t.utilization * 100.0),
+    );
+
+    // Table 1.
+    let (jax_t5, pw_t5) = table1_point(TransformerConfig::t5_base(), 32, 0.65, 2);
+    verdict(
+        "table1 JAX == PW on T5",
+        (pw_t5 / jax_t5 - 1.0).abs() < 0.05,
+        format!("{jax_t5:.0} vs {pw_t5:.0} tokens/s"),
+    );
+
+    // Table 2 (reduced).
+    let setup = {
+        let mut s = table2_setup(256);
+        s.calib.mfu = 0.5;
+        s
+    };
+    let spmd = pathways_spmd_tokens_per_sec(32, &setup, 2);
+    let pipe = pathways_pipeline_tokens_per_sec(32, 4, 16, &setup, 2);
+    verdict(
+        "table2 pipeline competitive with SPMD",
+        pipe / spmd > 0.9,
+        format!("{pipe:.0} vs {spmd:.0} tokens/s"),
+    );
+
+    // Figure 12 (reduced).
+    let (two, single) = two_island_scaling(16, &setup, 2);
+    verdict(
+        "fig12 two-island efficiency",
+        two / single > 0.7,
+        format!("{:.1}%", 100.0 * two / single),
+    );
+
+    println!("\nFull-size runs: see the individual fig*/table* binaries.");
+}

@@ -1,0 +1,30 @@
+//! # pathways-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! the paper's evaluation (§5). Each `src/bin/` binary prints one
+//! table/figure's rows; this library holds the shared measurement
+//! functions so the Criterion benches and the binaries use identical
+//! code paths.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig5` | dispatch-overhead throughput vs hosts, all frameworks/modes |
+//! | `fig6` | smallest computation reaching JAX parity (16 vs 512 hosts) |
+//! | `fig7` | parallel vs sequential async dispatch over pipeline depth |
+//! | `fig8` | multi-tenant aggregate throughput vs client count |
+//! | `fig9` | proportional-share gang-scheduling traces (+ Figure 11) |
+//! | `table1` | T5 training throughput, JAX vs Pathways |
+//! | `table2` | 3B decoder LM: SPMD vs pipelining |
+//! | `fig10` | pipeline over 4 DCN-connected islands |
+//! | `fig12` | 64B/136B two-island data-parallel scaling |
+//! | `ablation_sched` | batched vs per-node scheduler messages |
+//! | `ablation_store` | object-store handle return vs client data pull |
+
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod pipeline;
+pub mod stream;
+pub mod table;
+pub mod tenancy;
+pub mod training;

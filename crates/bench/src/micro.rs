@@ -1,0 +1,303 @@
+//! Micro-benchmark harnesses for Figures 5, 6 and 8: the trivial
+//! scalar-AllReduce computation under the OpByOp / Chained / Fused
+//! submission modes, on Pathways and the three baselines.
+
+use pathways_baselines::{
+    JaxConfig, JaxRuntime, RayConfig, RayRuntime, StepWorkload, SubmissionMode, Tf1Config,
+    Tf1Runtime, Throughput,
+};
+use pathways_core::{FnSpec, PathwaysConfig, PathwaysRuntime, SliceRequest};
+use pathways_net::{ClusterSpec, CollectiveKind, HostId, NetworkParams};
+use pathways_sim::{Sim, SimDuration, SimTime};
+
+/// Measures Pathways throughput for the micro-benchmark.
+///
+/// `total` computations are executed; in Chained/Fused modes they are
+/// grouped into programs of `workload.chain_len`.
+pub fn pathways_throughput(
+    hosts: u32,
+    devices_per_host: u32,
+    mode: SubmissionMode,
+    workload: StepWorkload,
+    total: u64,
+) -> Throughput {
+    let mut sim = Sim::new(0);
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::single_island(hosts, devices_per_host),
+        NetworkParams::tpu_cluster(),
+        PathwaysConfig::default(),
+    );
+    // The client process lives on the island's last host (the scheduler
+    // is on the first).
+    let client = rt.client(HostId(hosts - 1));
+    let n_devices = hosts * devices_per_host;
+    let slice = client
+        .virtual_slice(SliceRequest::devices(n_devices))
+        .unwrap();
+    let coll = {
+        let devs = slice.physical_devices();
+        rt.core().fabric.ici_collective_time(
+            CollectiveKind::AllReduce,
+            &devs,
+            workload.allreduce_bytes,
+        )
+    };
+    let chain = workload.chain_len as u64;
+    let (runs, comps_per_run, program) = match mode {
+        SubmissionMode::OpByOp => {
+            let mut b = client.trace("micro-o");
+            b.computation(
+                FnSpec::compute_only("step", workload.compute)
+                    .with_allreduce(workload.allreduce_bytes),
+                &slice,
+            );
+            (total, 1, b.build().unwrap())
+        }
+        SubmissionMode::Chained => {
+            let mut b = client.trace("micro-c");
+            let mut prev = None;
+            for i in 0..workload.chain_len {
+                let c = b.computation(
+                    FnSpec::compute_only(format!("step{i}"), workload.compute)
+                        .with_allreduce(workload.allreduce_bytes),
+                    &slice,
+                );
+                if let Some(p) = prev {
+                    b.edge(p, c, 8);
+                }
+                prev = Some(c);
+            }
+            (total / chain, chain, b.build().unwrap())
+        }
+        SubmissionMode::Fused => {
+            let mut b = client.trace("micro-f");
+            // One XLA kernel executing the whole chain on-device: the
+            // first collective is explicit (gang semantics), the rest
+            // fold into compute time.
+            let fused = (workload.compute + coll) * (chain - 1) + workload.compute;
+            b.computation(
+                FnSpec::compute_only("fused", fused).with_allreduce(workload.allreduce_bytes),
+                &slice,
+            );
+            (total / chain, chain, b.build().unwrap())
+        }
+    };
+    let prepared = client.prepare(&program);
+    let h = sim.handle();
+    let job = sim.spawn("client", async move {
+        let start = h.now();
+        for _ in 0..runs {
+            client.run(&prepared).await;
+        }
+        h.now().duration_since(start)
+    });
+    sim.run_to_quiescence();
+    Throughput {
+        computations: runs * comps_per_run,
+        elapsed: job.try_take().unwrap(),
+    }
+}
+
+/// Measures JAX multi-controller throughput for the micro-benchmark.
+pub fn jax_throughput(
+    hosts: u32,
+    devices_per_host: u32,
+    mode: SubmissionMode,
+    workload: StepWorkload,
+    total: u64,
+) -> Throughput {
+    let mut sim = Sim::new(0);
+    let rt = JaxRuntime::new(
+        &sim,
+        ClusterSpec::single_island(hosts, devices_per_host),
+        NetworkParams::tpu_cluster(),
+        JaxConfig::default(),
+    );
+    let m = rt.spawn_benchmark(&mut sim, mode, workload, total);
+    sim.run_to_quiescence();
+    m.try_take().unwrap()
+}
+
+/// Measures TF1 single-controller throughput for the micro-benchmark.
+pub fn tf1_throughput(
+    hosts: u32,
+    devices_per_host: u32,
+    mode: SubmissionMode,
+    workload: StepWorkload,
+    total: u64,
+) -> Throughput {
+    let mut sim = Sim::new(0);
+    let rt = Tf1Runtime::new(
+        &sim,
+        ClusterSpec::single_island(hosts, devices_per_host),
+        NetworkParams::tpu_cluster(),
+        Tf1Config::default(),
+    );
+    let m = rt.spawn_benchmark(&mut sim, mode, workload, total);
+    sim.run_to_quiescence();
+    m.try_take().unwrap()
+}
+
+/// Measures Ray throughput (one GPU per host) for the micro-benchmark.
+pub fn ray_throughput(
+    hosts: u32,
+    mode: SubmissionMode,
+    workload: StepWorkload,
+    total: u64,
+) -> Throughput {
+    let mut sim = Sim::new(0);
+    let rt = RayRuntime::new(
+        &sim,
+        hosts,
+        NetworkParams::tpu_cluster(),
+        RayConfig::default(),
+    );
+    let m = rt.spawn_benchmark(&mut sim, mode, workload, total);
+    sim.run_to_quiescence();
+    m.try_take().unwrap()
+}
+
+/// One Figure 6 sweep point: JAX and Pathways throughput at a given
+/// per-computation device time.
+pub fn fig6_point(
+    hosts: u32,
+    devices_per_host: u32,
+    compute: SimDuration,
+    programs: u64,
+) -> (f64, f64) {
+    let w = StepWorkload::sized(compute);
+    let jax = jax_throughput(hosts, devices_per_host, SubmissionMode::OpByOp, w, programs);
+    let pw = pathways_throughput(hosts, devices_per_host, SubmissionMode::OpByOp, w, programs);
+    (jax.per_sec(), pw.per_sec())
+}
+
+/// Figure 8 point: aggregate Pathways throughput with `clients`
+/// concurrent clients submitting `compute`-sized single-computation
+/// programs, measured over `window`.
+pub fn pathways_multiclient_throughput(
+    hosts: u32,
+    devices_per_host: u32,
+    clients: u32,
+    compute: SimDuration,
+    window: SimDuration,
+    outstanding: u32,
+) -> f64 {
+    let mut sim = Sim::new(0);
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::single_island(hosts, devices_per_host),
+        NetworkParams::tpu_cluster(),
+        PathwaysConfig::default(),
+    );
+    let n_devices = hosts * devices_per_host;
+    let counter = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    for c in 0..clients {
+        let client = rt.client(HostId(c % hosts));
+        let slice = client
+            .virtual_slice(SliceRequest::devices(n_devices))
+            .unwrap();
+        let mut b = client.trace(format!("t{c}"));
+        b.computation(
+            FnSpec::compute_only("step", compute).with_allreduce(4),
+            &slice,
+        );
+        let program = b.build().unwrap();
+        let prepared = std::rc::Rc::new(client.prepare(&program));
+        crate::stream::spawn_program_stream(
+            &mut sim,
+            client,
+            prepared,
+            outstanding,
+            std::rc::Rc::clone(&counter),
+        );
+    }
+    sim.run_until_time(SimTime::ZERO + window);
+    counter.get() as f64 / window.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pathways_fused_matches_jax_fused_at_small_scale() {
+        // The Figure 5 headline: with enough work per node, the
+        // single-controller overhead is masked.
+        let w = StepWorkload::trivial();
+        let jax = jax_throughput(2, 8, SubmissionMode::Fused, w, 512).per_sec();
+        let pw = pathways_throughput(2, 8, SubmissionMode::Fused, w, 512).per_sec();
+        let ratio = pw / jax;
+        assert!(
+            ratio > 0.85,
+            "PW-F should be within 15% of JAX-F, ratio {ratio:.2} (jax {jax:.0}/s pw {pw:.0}/s)"
+        );
+    }
+
+    #[test]
+    fn jax_wins_op_by_op() {
+        // Multi-controller dispatch over PCIe beats the single
+        // controller for unbatched tiny computations.
+        let w = StepWorkload::trivial();
+        let jax = jax_throughput(2, 8, SubmissionMode::OpByOp, w, 128).per_sec();
+        let pw = pathways_throughput(2, 8, SubmissionMode::OpByOp, w, 128).per_sec();
+        assert!(jax > pw, "jax {jax:.0}/s vs pw {pw:.0}/s");
+    }
+
+    #[test]
+    fn pathways_chained_beats_its_op_by_op() {
+        let w = StepWorkload::trivial();
+        let o = pathways_throughput(2, 8, SubmissionMode::OpByOp, w, 128).per_sec();
+        let c = pathways_throughput(2, 8, SubmissionMode::Chained, w, 256).per_sec();
+        assert!(c > o, "chained {c:.0}/s vs op-by-op {o:.0}/s");
+    }
+
+    #[test]
+    fn fig6_converges_with_larger_computations() {
+        let (jax_small, pw_small) = fig6_point(4, 8, SimDuration::from_micros(100), 40);
+        let (jax_big, pw_big) = fig6_point(4, 8, SimDuration::from_millis(10), 10);
+        assert!(
+            pw_small / jax_small < 0.95,
+            "tiny computations should not reach parity"
+        );
+        assert!(
+            pw_big / jax_big > 0.9,
+            "10ms computations should reach parity"
+        );
+    }
+
+    #[test]
+    fn multiclient_aggregate_grows_until_saturation() {
+        // Tiny computations: a single client's submission thread cannot
+        // saturate the accelerators, more clients can (Figure 8).
+        // outstanding = 1: like the paper's clients, each waits for the
+        // previous program's handles before submitting the next.
+        let one = pathways_multiclient_throughput(
+            2,
+            8,
+            1,
+            SimDuration::from_micros(40),
+            SimDuration::from_millis(50),
+            1,
+        );
+        let eight = pathways_multiclient_throughput(
+            2,
+            8,
+            8,
+            SimDuration::from_micros(40),
+            SimDuration::from_millis(50),
+            1,
+        );
+        assert!(
+            eight > one * 1.3,
+            "8 clients {eight:.0}/s vs 1 client {one:.0}/s"
+        );
+        // Saturation bound: devices can do at most 1/compute programs/s
+        // (plus collective time, so strictly below this).
+        let bound = 1.0 / SimDuration::from_micros(40).as_secs_f64();
+        assert!(
+            eight <= bound,
+            "{eight:.0}/s exceeds device bound {bound:.0}/s"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The Pathways client library (§4.2).
+//!
+//! A client traces programs ([`crate::ProgramBuilder`]), lowers them once
+//! ([`Client::prepare`]) and then runs the lowered form repeatedly —
+//! "it is efficient to repeatedly run the low-level program in the
+//! common case that the virtual device locations do not change".
+//! Each run costs one Submit RPC per involved island plus the plaque
+//! launch; results come back as object-store handles, not data — the
+//! outputs stay in HBM (unlike the TF/Ray baselines that copy results
+//! back, §5.1).
+
+use std::fmt;
+use std::rc::Rc;
+
+use pathways_net::{ClientId, HostId};
+use pathways_plaque::RunId;
+
+use crate::context::CoreCtx;
+use crate::ops::{prepare, PreparedProgram};
+use crate::program::{CompId, Program};
+use crate::resource::{ResourceError, ResourceManager, SliceRequest, VirtualSlice};
+use crate::sched::{ctrl_msg_bytes, CtrlMsg, SubmitMsg};
+use crate::store::ObjectId;
+
+/// Handles to one completed run's outputs. Dropping the result releases
+/// the logical-buffer references (refcounted at object granularity).
+pub struct RunResult {
+    run: RunId,
+    objects: Vec<(CompId, ObjectId)>,
+    store: crate::store::ObjectStore,
+}
+
+impl fmt::Debug for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunResult")
+            .field("run", &self.run)
+            .field("outputs", &self.objects.len())
+            .finish()
+    }
+}
+
+impl RunResult {
+    /// The run id.
+    pub fn run(&self) -> RunId {
+        self.run
+    }
+
+    /// Output handles, one per sink computation, sorted by computation.
+    pub fn objects(&self) -> &[(CompId, ObjectId)] {
+        &self.objects
+    }
+
+    /// The output handle of sink `comp`, if it exists.
+    pub fn object(&self, comp: CompId) -> Option<ObjectId> {
+        self.objects
+            .iter()
+            .find(|(c, _)| *c == comp)
+            .map(|(_, o)| *o)
+    }
+}
+
+impl Drop for RunResult {
+    fn drop(&mut self) {
+        for (_, obj) in &self.objects {
+            self.store.release(*obj);
+        }
+    }
+}
+
+/// A submitted program whose completion has not been awaited yet.
+pub struct PendingRun {
+    run_handle: pathways_plaque::RunHandle,
+    core: Rc<CoreCtx>,
+}
+
+impl fmt::Debug for PendingRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PendingRun")
+            .field("run", &self.run_handle.id())
+            .finish()
+    }
+}
+
+impl PendingRun {
+    /// The run id.
+    pub fn run(&self) -> RunId {
+        self.run_handle.id()
+    }
+
+    /// Waits for the program to complete and collects its results.
+    pub async fn finish(self) -> RunResult {
+        let run = self.run_handle.id();
+        self.run_handle.await_done().await;
+        let mut objects = self
+            .core
+            .results
+            .borrow_mut()
+            .remove(&run)
+            .unwrap_or_default();
+        objects.sort();
+        RunResult {
+            run,
+            objects,
+            store: self.core.store.clone(),
+        }
+    }
+}
+
+/// A Pathways client.
+#[derive(Clone)]
+pub struct Client {
+    id: ClientId,
+    label: String,
+    host: HostId,
+    core: Rc<CoreCtx>,
+    rm: Rc<ResourceManager>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.id)
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
+impl Client {
+    pub(crate) fn new(
+        id: ClientId,
+        label: String,
+        host: HostId,
+        core: Rc<CoreCtx>,
+        rm: Rc<ResourceManager>,
+    ) -> Self {
+        Client {
+            id,
+            label,
+            host,
+            core,
+            rm,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The host the client process runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The label used for this client's programs in device traces.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Requests a virtual slice from the resource manager.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResourceError`].
+    pub fn virtual_slice(&self, request: SliceRequest) -> Result<VirtualSlice, ResourceError> {
+        self.rm.allocate(self.id, request)
+    }
+
+    /// Starts tracing a new program (the §3 program tracer).
+    pub fn trace(&self, name: impl Into<String>) -> crate::program::ProgramBuilder {
+        crate::program::ProgramBuilder::new(name)
+    }
+
+    /// The shared runtime context.
+    pub fn core(&self) -> &Rc<CoreCtx> {
+        &self.core
+    }
+
+    /// The simulation handle (for timing measurements in benchmarks).
+    pub fn handle(&self) -> &pathways_sim::SimHandle {
+        &self.core.handle
+    }
+
+    /// Lowers a traced program against the current virtual→physical
+    /// mapping. Re-prepare after a remap.
+    pub fn prepare(&self, program: &Program) -> PreparedProgram {
+        prepare(&self.core, self.id, self.host, &self.label, program)
+    }
+
+    /// Submits a prepared program: pays the client-side (Python-thread)
+    /// overhead and sends the control messages, returning a handle that
+    /// resolves to the results. Splitting submission from completion
+    /// lets a client pipeline programs the way §5.2's workload does —
+    /// while keeping the client-side work serialized, as a real
+    /// single-threaded client process would.
+    pub async fn submit(&self, prepared: &PreparedProgram) -> PendingRun {
+        // Client-side work: Python call, tracing-cache lookup,
+        // serialization of the submission.
+        let cfg = &self.core.cfg;
+        let n_comps = prepared.info.program.computations().len() as u64;
+        self.core
+            .handle
+            .sleep(cfg.client_overhead + cfg.client_per_comp * n_comps)
+            .await;
+
+        // Install the dataflow without Start fan-out: the scheduler's
+        // grant messages carry the start signal to every participating
+        // host (§4.5's single subgraph message). Only the Result node —
+        // local to this client — is started here.
+        let run_handle = self.core.plaque.launch_unstarted(&prepared.graph);
+        let run = run_handle.id();
+        let result_node =
+            pathways_plaque::NodeId(prepared.info.program.computations().len() as u32);
+        self.core.plaque.start_local(self.host, run, result_node, 0);
+        for (island, comps) in &prepared.submits {
+            let sched_host = self.core.sched_hosts[island];
+            // Occupancy estimate for *this island's* computations only —
+            // other islands' work runs in parallel on their own devices.
+            let island_cost: pathways_sim::SimDuration = comps
+                .iter()
+                .map(|c| {
+                    let coll = c
+                        .collective
+                        .map_or(pathways_sim::SimDuration::ZERO, |(_, _, d)| d);
+                    (c.compute + coll) * c.participants as u64
+                })
+                .sum();
+            let msg = CtrlMsg::Submit(SubmitMsg {
+                client: self.id,
+                label: self.label.clone(),
+                run,
+                est_cost: island_cost,
+                comps: comps.clone(),
+            });
+            let bytes = ctrl_msg_bytes(&msg);
+            self.core
+                .sched_router
+                .send(self.host, sched_host, msg, bytes);
+        }
+
+        PendingRun {
+            run_handle,
+            core: Rc::clone(&self.core),
+        }
+    }
+
+    /// Runs a prepared program to completion, returning output handles.
+    ///
+    /// Must be called from inside a simulation task.
+    pub async fn run(&self, prepared: &PreparedProgram) -> RunResult {
+        self.submit(prepared).await.finish().await
+    }
+
+    /// Runs a prepared program `n` times back to back (each run awaits
+    /// the previous one's results — the OpByOp pattern of §5.1) and
+    /// returns the results of the final run.
+    pub async fn run_op_by_op(&self, prepared: &PreparedProgram, n: u32) -> Option<RunResult> {
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(self.run(prepared).await);
+        }
+        last
+    }
+}

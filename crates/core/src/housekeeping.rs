@@ -1,0 +1,352 @@
+//! Background housekeeping over the coordination substrate.
+//!
+//! §4.3: *"it is also convenient to use an extensible, general-purpose
+//! dataflow engine to handle DCN communication, since this means that
+//! PATHWAYS can also use it for background housekeeping tasks such as
+//! distributing configuration information, monitoring programs, cleaning
+//! them up, delivering errors on failures, and so on."*
+//!
+//! This module implements two of those as PLAQUE programs:
+//!
+//! * [`distribute_config`] — broadcast a key/value configuration update
+//!   to every host; each host's config store is updated and
+//!   acknowledgements gathered back (errors would flow the same way);
+//! * [`collect_health`] — fan-out a probe, gather per-host health
+//!   (device count, kernels executed, HBM usage) at the controller.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use pathways_net::{DeviceId, HostId};
+use pathways_plaque::{EdgeId, GraphBuilder, Operator, ShardCtx, Tuple};
+
+use crate::context::CoreCtx;
+
+/// A per-host key/value configuration store, updated via housekeeping
+/// broadcasts.
+#[derive(Clone, Default)]
+pub struct ConfigStore {
+    inner: Rc<RefCell<HashMap<(HostId, String), String>>>,
+}
+
+impl std::fmt::Debug for ConfigStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConfigStore")
+            .field("entries", &self.inner.borrow().len())
+            .finish()
+    }
+}
+
+impl ConfigStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads `key` as seen by `host`.
+    pub fn get(&self, host: HostId, key: &str) -> Option<String> {
+        self.inner.borrow().get(&(host, key.to_string())).cloned()
+    }
+
+    fn set(&self, host: HostId, key: String, value: String) {
+        self.inner.borrow_mut().insert((host, key), value);
+    }
+}
+
+/// One host's health report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostHealth {
+    /// Reporting host.
+    pub host: HostId,
+    /// Devices attached to the host.
+    pub devices: u32,
+    /// Kernels executed across those devices.
+    pub kernels_executed: u64,
+    /// Bytes of HBM currently in use across those devices.
+    pub hbm_used: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ConfigMsg {
+    key: String,
+    value: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ack;
+
+struct Broadcaster {
+    out: EdgeId,
+    msg: ConfigMsg,
+}
+
+impl Operator for Broadcaster {
+    fn on_all_inputs_complete(&mut self, ctx: &mut ShardCtx<'_>) {
+        ctx.broadcast(self.out, Tuple::new(self.msg.clone(), 64));
+        ctx.halt();
+    }
+}
+
+struct ConfigApplier {
+    store: ConfigStore,
+    ack_edge: EdgeId,
+}
+
+impl Operator for ConfigApplier {
+    fn on_tuple(&mut self, ctx: &mut ShardCtx<'_>, _edge: EdgeId, _src: u32, tuple: Tuple) {
+        let msg = tuple.expect::<ConfigMsg>();
+        self.store
+            .set(ctx.host(), msg.key.clone(), msg.value.clone());
+        ctx.send(self.ack_edge, 0, Tuple::control(Ack));
+    }
+}
+
+struct AckCollector {
+    acks: Rc<RefCell<u32>>,
+}
+
+impl Operator for AckCollector {
+    fn on_tuple(&mut self, _ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, tuple: Tuple) {
+        tuple.expect::<Ack>();
+        *self.acks.borrow_mut() += 1;
+    }
+}
+
+/// Broadcasts `key = value` to every host's [`ConfigStore`] via a
+/// PLAQUE program launched from `controller`; resolves once every host
+/// acknowledged. Returns the number of acknowledgements.
+pub async fn distribute_config(
+    core: &Rc<CoreCtx>,
+    store: &ConfigStore,
+    controller: HostId,
+    key: impl Into<String>,
+    value: impl Into<String>,
+) -> u32 {
+    let hosts: Vec<HostId> = core.fabric.topology().hosts().collect();
+    let acks = Rc::new(RefCell::new(0u32));
+    let msg = ConfigMsg {
+        key: key.into(),
+        value: value.into(),
+    };
+    // Edge ids are assigned in creation order: broadcast = 0, ack = 1.
+    let bcast_edge = EdgeId(0);
+    let ack_edge = EdgeId(1);
+    let mut g = GraphBuilder::new("config-distribution");
+    let src = g.node("broadcast", vec![controller], move |_| {
+        Box::new(Broadcaster {
+            out: bcast_edge,
+            msg: msg.clone(),
+        })
+    });
+    let appliers = {
+        let store = store.clone();
+        g.node("apply", hosts.clone(), move |_| {
+            Box::new(ConfigApplier {
+                store: store.clone(),
+                ack_edge,
+            })
+        })
+    };
+    let collector = {
+        let acks = Rc::clone(&acks);
+        g.node("collect", vec![controller], move |_| {
+            Box::new(AckCollector {
+                acks: Rc::clone(&acks),
+            })
+        })
+    };
+    assert_eq!(g.edge(src, appliers), bcast_edge);
+    assert_eq!(g.edge(appliers, collector), ack_edge);
+    let graph = g.build().expect("housekeeping graph is valid");
+    core.plaque.launch(&graph, controller).await_done().await;
+    let n = *acks.borrow();
+    n
+}
+
+struct HealthProbe {
+    out: EdgeId,
+}
+
+impl Operator for HealthProbe {
+    fn on_all_inputs_complete(&mut self, ctx: &mut ShardCtx<'_>) {
+        ctx.broadcast(self.out, Tuple::control(Ack));
+        ctx.halt();
+    }
+}
+
+struct HealthReporter {
+    core: Rc<CoreCtx>,
+    report_edge: EdgeId,
+}
+
+impl Operator for HealthReporter {
+    fn on_tuple(&mut self, ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, _t: Tuple) {
+        let host = ctx.host();
+        let devices: Vec<DeviceId> = self.core.fabric.topology().devices_of_host(host);
+        let mut kernels = 0u64;
+        let mut hbm_used = 0u64;
+        for d in &devices {
+            let dev = &self.core.devices[d];
+            kernels += dev.stats().kernels;
+            hbm_used += dev.hbm().used();
+        }
+        let report = HostHealth {
+            host,
+            devices: devices.len() as u32,
+            kernels_executed: kernels,
+            hbm_used,
+        };
+        ctx.send(self.report_edge, 0, Tuple::new(report, 48));
+    }
+}
+
+struct HealthCollector {
+    reports: Rc<RefCell<BTreeMap<HostId, HostHealth>>>,
+}
+
+impl Operator for HealthCollector {
+    fn on_tuple(&mut self, _ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, tuple: Tuple) {
+        let h = tuple.expect::<HostHealth>().clone();
+        self.reports.borrow_mut().insert(h.host, h);
+    }
+}
+
+/// Gathers a health report from every host via a PLAQUE program.
+pub async fn collect_health(
+    core: &Rc<CoreCtx>,
+    controller: HostId,
+) -> BTreeMap<HostId, HostHealth> {
+    let hosts: Vec<HostId> = core.fabric.topology().hosts().collect();
+    let reports = Rc::new(RefCell::new(BTreeMap::new()));
+    let probe_edge = EdgeId(0);
+    let report_edge = EdgeId(1);
+    let mut g = GraphBuilder::new("health-monitor");
+    let src = g.node("probe", vec![controller], move |_| {
+        Box::new(HealthProbe { out: probe_edge })
+    });
+    let reporters = {
+        let core = Rc::clone(core);
+        g.node("report", hosts.clone(), move |_| {
+            Box::new(HealthReporter {
+                core: Rc::clone(&core),
+                report_edge,
+            })
+        })
+    };
+    let collector = {
+        let reports = Rc::clone(&reports);
+        g.node("collect", vec![controller], move |_| {
+            Box::new(HealthCollector {
+                reports: Rc::clone(&reports),
+            })
+        })
+    };
+    assert_eq!(g.edge(src, reporters), probe_edge);
+    assert_eq!(g.edge(reporters, collector), report_edge);
+    let graph = g.build().expect("housekeeping graph is valid");
+    core.plaque.launch(&graph, controller).await_done().await;
+    let out = reports.borrow().clone();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnSpec, PathwaysConfig, PathwaysRuntime, SliceRequest};
+    use pathways_net::{ClusterSpec, NetworkParams};
+    use pathways_sim::{Sim, SimDuration};
+
+    fn runtime(sim: &Sim, hosts: u32) -> PathwaysRuntime {
+        PathwaysRuntime::new(
+            sim,
+            ClusterSpec::config_b(hosts),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        )
+    }
+
+    #[test]
+    fn config_reaches_every_host() {
+        let mut sim = Sim::new(0);
+        let rt = runtime(&sim, 4);
+        let store = ConfigStore::new();
+        let core = Rc::clone(rt.core());
+        let store2 = store.clone();
+        let job = sim.spawn("hk", async move {
+            distribute_config(&core, &store2, HostId(0), "sched/policy", "fifo").await
+        });
+        sim.run_to_quiescence();
+        assert_eq!(job.try_take(), Some(4));
+        for h in 0..4 {
+            assert_eq!(
+                store.get(HostId(h), "sched/policy").as_deref(),
+                Some("fifo")
+            );
+        }
+    }
+
+    #[test]
+    fn health_reflects_executed_work() {
+        let mut sim = Sim::new(0);
+        let rt = runtime(&sim, 2);
+        // Run a program so device stats are non-zero.
+        let client = rt.client(HostId(0));
+        let slice = client.virtual_slice(SliceRequest::devices(16)).unwrap();
+        let mut b = client.trace("work");
+        b.computation(
+            FnSpec::compute_only("f", SimDuration::from_micros(10)).with_allreduce(4),
+            &slice,
+        );
+        let program = b.build().unwrap();
+        let prepared = client.prepare(&program);
+        let core = Rc::clone(rt.core());
+        let job = sim.spawn("flow", async move {
+            client.run(&prepared).await;
+            collect_health(&core, HostId(0)).await
+        });
+        sim.run_to_quiescence();
+        let health = job.try_take().unwrap();
+        assert_eq!(health.len(), 2);
+        let total_kernels: u64 = health.values().map(|h| h.kernels_executed).sum();
+        assert_eq!(total_kernels, 16);
+        assert!(health.values().all(|h| h.devices == 8));
+    }
+
+    #[test]
+    fn housekeeping_runs_alongside_training() {
+        // Config distribution and training programs share the substrate
+        // without interfering.
+        let mut sim = Sim::new(0);
+        let rt = runtime(&sim, 2);
+        let client = rt.client(HostId(1));
+        let slice = client.virtual_slice(SliceRequest::devices(8)).unwrap();
+        let mut b = client.trace("train");
+        b.computation(
+            FnSpec::compute_only("f", SimDuration::from_micros(200)).with_allreduce(4),
+            &slice,
+        );
+        let program = b.build().unwrap();
+        let prepared = client.prepare(&program);
+        sim.spawn("train", async move {
+            for _ in 0..10 {
+                client.run(&prepared).await;
+            }
+        });
+        let store = ConfigStore::new();
+        let core = Rc::clone(rt.core());
+        let store2 = store.clone();
+        let h = sim.handle();
+        let hk = sim.spawn("hk", async move {
+            let mut acks = 0;
+            for i in 0..5 {
+                h.sleep(SimDuration::from_micros(150)).await;
+                acks += distribute_config(&core, &store2, HostId(0), "epoch", format!("{i}")).await;
+            }
+            acks
+        });
+        assert!(sim.run().is_quiescent());
+        assert_eq!(hk.try_take(), Some(10));
+        assert_eq!(store.get(HostId(1), "epoch").as_deref(), Some("4"));
+    }
+}

@@ -1,0 +1,628 @@
+//! Lowering a traced program to a PLAQUE dataflow, and the operators
+//! that execute it.
+//!
+//! §4.3: *"The low-level PATHWAYS IR is converted directly to a PLAQUE
+//! program, represented as a dataflow graph."* [`prepare`] is that
+//! conversion: each computation becomes one sharded node (one shard per
+//! device), each IR data edge becomes a *forward* edge (output futures +
+//! data-ready signals) plus a *backward* edge (consumer input-buffer
+//! addresses — the handshake of Figure 4), and every sink computation
+//! gains an edge to a single-shard `Result` node at the client's host
+//! that delivers output handles back to the client.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use pathways_net::{ClientId, DeviceId, HostId, IslandId};
+use pathways_plaque::{EdgeId as PEdge, Emitter, Graph, GraphBuilder, Operator, ShardCtx, Tuple};
+use pathways_sim::sync::Event;
+use pathways_sim::{join_all, SimDuration};
+
+use crate::context::CoreCtx;
+use crate::exec::CompRegistration;
+use crate::program::{CompId, Program, ShardMapping};
+use crate::sched::CompSubmit;
+use crate::store::ObjectId;
+
+/// Control-tuple payloads on forward edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FwdSignal {
+    /// Producer enqueued its kernel; carries the output future.
+    Future,
+    /// The producer's output has been transferred into the consumer's
+    /// input buffer.
+    Data,
+}
+
+/// Payload on backward edges: consumer's input buffer is allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AddrSignal;
+
+/// Payload on sink→Result edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CompletionSignal {
+    pub comp: CompId,
+    pub object: ObjectId,
+}
+
+const SIGNAL_BYTES: u64 = 16;
+
+/// Immutable lowered-program structures shared by all shard operators.
+pub struct ProgInfo {
+    /// The traced program.
+    pub program: Program,
+    /// Owning client.
+    pub client: ClientId,
+    /// Trace label.
+    pub label: String,
+    /// Physical devices per computation (snapshot at lowering time).
+    pub devices: Vec<Vec<DeviceId>>,
+    /// Host of each shard of each computation.
+    pub hosts: Vec<Vec<HostId>>,
+    /// Plaque forward edge per program edge index.
+    pub fwd_edges: Vec<PEdge>,
+    /// Plaque backward edge per program edge index.
+    pub back_edges: Vec<PEdge>,
+    /// Plaque edge from each sink computation to the Result node.
+    pub result_edges: BTreeMap<CompId, PEdge>,
+}
+
+impl std::fmt::Debug for ProgInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgInfo")
+            .field("program", &self.program.name())
+            .field("client", &self.client)
+            .finish()
+    }
+}
+
+impl ProgInfo {
+    /// Producer shards feeding shard `dst_shard` on program edge `e`.
+    pub fn feeders(&self, e: usize, dst_shard: u32) -> Vec<u32> {
+        let edge = &self.program.edges()[e];
+        match edge.mapping {
+            ShardMapping::OneToOne => vec![dst_shard],
+            ShardMapping::AllToAll => (0..self.devices[edge.src.index()].len() as u32).collect(),
+        }
+    }
+
+    /// Consumer shards fed by shard `src_shard` on program edge `e`.
+    pub fn feeds(&self, e: usize, src_shard: u32) -> Vec<u32> {
+        let edge = &self.program.edges()[e];
+        match edge.mapping {
+            ShardMapping::OneToOne => vec![src_shard],
+            ShardMapping::AllToAll => (0..self.devices[edge.dst.index()].len() as u32).collect(),
+        }
+    }
+
+    /// Bytes moved per (src shard, dst shard) pair on program edge `e`.
+    pub fn pair_bytes(&self, e: usize) -> u64 {
+        let edge = &self.program.edges()[e];
+        match edge.mapping {
+            ShardMapping::OneToOne => edge.bytes_per_src_shard,
+            ShardMapping::AllToAll => {
+                let dsts = self.devices[edge.dst.index()].len() as u64;
+                edge.bytes_per_src_shard.div_ceil(dsts)
+            }
+        }
+    }
+}
+
+/// A lowered program, ready to run repeatedly.
+pub struct PreparedProgram {
+    pub(crate) info: Rc<ProgInfo>,
+    pub(crate) graph: Graph,
+    pub(crate) submits: BTreeMap<IslandId, Vec<CompSubmit>>,
+    pub(crate) est_cost: SimDuration,
+}
+
+impl std::fmt::Debug for PreparedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedProgram")
+            .field("name", &self.info.program.name())
+            .field("plaque_nodes", &self.graph.num_nodes())
+            .field("plaque_edges", &self.graph.num_edges())
+            .finish()
+    }
+}
+
+impl PreparedProgram {
+    /// The dataflow graph size — one node per computation plus the
+    /// Result node, independent of shard counts (§4.3).
+    pub fn graph_size(&self) -> (usize, usize) {
+        (self.graph.num_nodes(), self.graph.num_edges())
+    }
+
+    /// The lowered program structures.
+    pub fn info(&self) -> &Rc<ProgInfo> {
+        &self.info
+    }
+
+    /// Whole-program device-time estimate (sum over islands).
+    pub fn estimated_cost(&self) -> SimDuration {
+        self.est_cost
+    }
+}
+
+/// Lowers `program` for `client` into a runnable PLAQUE dataflow.
+///
+/// # Panics
+///
+/// Panics if any computation's slice spans islands (collectives require
+/// one island; the resource manager never produces such slices).
+pub fn prepare(
+    core: &Rc<CoreCtx>,
+    client: ClientId,
+    client_host: HostId,
+    label: &str,
+    program: &Program,
+) -> PreparedProgram {
+    let topo = Rc::clone(core.fabric.topology());
+    let n_comps = program.computations().len();
+
+    let devices: Vec<Vec<DeviceId>> = (0..n_comps)
+        .map(|c| program.physical_devices(CompId(c as u32)))
+        .collect();
+    let hosts: Vec<Vec<HostId>> = devices
+        .iter()
+        .map(|devs| devs.iter().map(|d| topo.host_of_device(*d)).collect())
+        .collect();
+
+    // Edge ids in the plaque graph are assigned in creation order; we
+    // create forward edges, then backward edges, then result edges, so
+    // the ids are predictable and can be recorded in ProgInfo before the
+    // graph itself is assembled.
+    let n_edges = program.edges().len();
+    let sinks = program.sinks();
+    let fwd_edges: Vec<PEdge> = (0..n_edges).map(|i| PEdge(i as u32)).collect();
+    let back_edges: Vec<PEdge> = (0..n_edges).map(|i| PEdge((n_edges + i) as u32)).collect();
+    let result_edges: BTreeMap<CompId, PEdge> = sinks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (*c, PEdge((2 * n_edges + i) as u32)))
+        .collect();
+
+    let info = Rc::new(ProgInfo {
+        program: program.clone(),
+        client,
+        label: label.to_string(),
+        devices,
+        hosts,
+        fwd_edges,
+        back_edges,
+        result_edges,
+    });
+
+    // Assemble the plaque graph: one node per computation + Result.
+    let mut g = GraphBuilder::new(program.name());
+    let mut pnodes = Vec::with_capacity(n_comps);
+    for c in 0..n_comps {
+        let comp = CompId(c as u32);
+        let core = Rc::clone(core);
+        let info_f = Rc::clone(&info);
+        let node = g.node(
+            program.computations()[c].spec.name.clone(),
+            info.hosts[c].clone(),
+            move |shard| {
+                Box::new(CompOperator::new(
+                    Rc::clone(&core),
+                    Rc::clone(&info_f),
+                    comp,
+                    shard,
+                ))
+            },
+        );
+        pnodes.push(node);
+    }
+    let result_node = {
+        let core = Rc::clone(core);
+        let info_f = Rc::clone(&info);
+        g.node("Result", vec![client_host], move |_| {
+            Box::new(ResultOperator {
+                core: Rc::clone(&core),
+                info: Rc::clone(&info_f),
+            })
+        })
+    };
+    // One-to-one IR edges become one-to-one plaque edges so progress
+    // punctuations stay O(1) per shard (the sparse-exchange support of
+    // §4.3); resharding edges stay all-to-all.
+    let pmap = |m: ShardMapping| match m {
+        ShardMapping::OneToOne => pathways_plaque::EdgeMapping::OneToOne,
+        ShardMapping::AllToAll => pathways_plaque::EdgeMapping::AllToAll,
+    };
+    for e in program.edges() {
+        let got = g.edge_with_mapping(
+            pnodes[e.src.index()],
+            pnodes[e.dst.index()],
+            pmap(e.mapping),
+        );
+        debug_assert_eq!(got, info.fwd_edges[got.index()]);
+    }
+    for e in program.edges() {
+        g.edge_with_mapping(
+            pnodes[e.dst.index()],
+            pnodes[e.src.index()],
+            pmap(e.mapping),
+        );
+    }
+    for sink in &sinks {
+        let got = g.edge(pnodes[sink.index()], result_node);
+        debug_assert_eq!(got, info.result_edges[sink]);
+    }
+    let graph = g.build().expect("lowering produced an invalid graph");
+
+    // Per-island submissions, computations in topological order.
+    let mut submits: BTreeMap<IslandId, Vec<CompSubmit>> = BTreeMap::new();
+    for &comp in program.topo_order() {
+        let devs = &info.devices[comp.index()];
+        let island = topo.island_of_device(devs[0]);
+        for d in devs {
+            assert_eq!(
+                topo.island_of_device(*d),
+                island,
+                "computation {comp} spans islands"
+            );
+        }
+        let spec = &program.computations()[comp.index()].spec;
+        let collective = spec.collective.map(|(kind, bytes)| {
+            let duration = spec
+                .collective_time_override
+                .unwrap_or_else(|| core.fabric.ici_collective_time(kind, devs, bytes));
+            (kind, bytes, duration)
+        });
+        let mut by_host: BTreeMap<HostId, Vec<(u32, DeviceId)>> = BTreeMap::new();
+        for (shard, d) in devs.iter().enumerate() {
+            by_host
+                .entry(topo.host_of_device(*d))
+                .or_default()
+                .push((shard as u32, *d));
+        }
+        submits.entry(island).or_default().push(CompSubmit {
+            comp,
+            participants: devs.len() as u32,
+            collective,
+            compute: spec.compute,
+            output_bytes: spec.output_bytes_per_shard,
+            input_bytes: spec.input_bytes_per_shard,
+            by_host: by_host.into_iter().collect(),
+        });
+    }
+
+    // Device-time estimate including collective wire time (available
+    // here because lowering computed the collective durations).
+    let est_cost = submits
+        .values()
+        .flatten()
+        .map(|c| {
+            let coll = c.collective.map_or(SimDuration::ZERO, |(_, _, d)| d);
+            (c.compute + coll) * c.participants as u64
+        })
+        .sum();
+    PreparedProgram {
+        info,
+        graph,
+        submits,
+        est_cost,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Computation shard operator
+// ---------------------------------------------------------------------------
+
+struct OpState {
+    /// plaque forward edge → local in-edge index (edges where this comp
+    /// is the consumer).
+    fwd_in: HashMap<PEdge, usize>,
+    /// plaque backward edge → local out-edge index (edges where this
+    /// comp is the producer, receiving consumer addresses).
+    back_in: HashMap<PEdge, usize>,
+    /// Address events per (local out-edge index, consumer shard).
+    addr_events: HashMap<(usize, u32), Event>,
+    /// Sequential-mode gate.
+    prereq: Event,
+    futures_needed: u64,
+    futures_seen: u64,
+}
+
+pub(crate) struct CompOperator {
+    core: Rc<CoreCtx>,
+    info: Rc<ProgInfo>,
+    comp: CompId,
+    shard: u32,
+    state: Option<OpState>,
+}
+
+impl CompOperator {
+    pub(crate) fn new(core: Rc<CoreCtx>, info: Rc<ProgInfo>, comp: CompId, shard: u32) -> Self {
+        CompOperator {
+            core,
+            info,
+            comp,
+            shard,
+            state: None,
+        }
+    }
+}
+
+impl Operator for CompOperator {
+    fn on_start(&mut self, ctx: &mut ShardCtx<'_>) {
+        let run = ctx.run();
+        let info = &self.info;
+        let in_edges = info.program.in_edges(self.comp);
+        let out_edges = info.program.out_edges(self.comp);
+
+        // Input buffers: one slot per in-edge, delivered directly by
+        // producer transfers (ICI path — no DCN hop before the kernel
+        // can start).
+        let mut input_events = Vec::with_capacity(in_edges.len());
+        let mut fwd_in = HashMap::new();
+        let mut futures_needed = 0u64;
+        for (ii, &e) in in_edges.iter().enumerate() {
+            let feeders = info.feeders(e, self.shard).len() as u64;
+            let slot = crate::context::InputSlot::new(feeders);
+            input_events.push(slot.event().clone());
+            self.core
+                .input_slots
+                .borrow_mut()
+                .insert((run, self.comp, self.shard, ii), slot);
+            futures_needed += feeders;
+            fwd_in.insert(info.fwd_edges[e], ii);
+        }
+        let mut back_in = HashMap::new();
+        let mut addr_events = HashMap::new();
+        for (oi, &e) in out_edges.iter().enumerate() {
+            back_in.insert(info.back_edges[e], oi);
+            for d in info.feeds(e, self.shard) {
+                addr_events.insert((oi, d), Event::new());
+            }
+        }
+        let prereq = Event::new();
+        if futures_needed == 0 {
+            prereq.set();
+        }
+
+        // Hand the executor what it needs to enqueue our kernel.
+        let host = ctx.host();
+        let exec = self
+            .core
+            .executors
+            .get(&host)
+            .unwrap_or_else(|| panic!("no executor on {host}"))
+            .clone();
+        let (enq_tx, enq_rx) = pathways_sim::channel::oneshot();
+        exec.register(
+            (run, self.comp, self.shard),
+            CompRegistration {
+                input_events: input_events.clone(),
+                prereq: Some(prereq.clone()),
+                on_enqueued: enq_tx,
+            },
+        );
+
+        // Spawn the shard driver.
+        let emitter = ctx.emitter();
+        let core = Rc::clone(&self.core);
+        let info = Rc::clone(&self.info);
+        let comp = self.comp;
+        let shard = self.shard;
+        let addr_events_task: Vec<((usize, u32), Event)> = {
+            let mut v: Vec<_> = addr_events.iter().map(|(k, ev)| (*k, ev.clone())).collect();
+            v.sort_by_key(|(k, _)| *k);
+            v
+        };
+        ctx.handle().spawn(
+            format!("driver-{run}-{comp}-{shard}"),
+            drive_shard(
+                core,
+                info,
+                comp,
+                shard,
+                run,
+                emitter,
+                enq_rx,
+                addr_events_task,
+            ),
+        );
+
+        let _ = input_events;
+        self.state = Some(OpState {
+            fwd_in,
+            back_in,
+            addr_events,
+            prereq,
+            futures_needed,
+            futures_seen: 0,
+        });
+    }
+
+    fn on_tuple(
+        &mut self,
+        _ctx: &mut ShardCtx<'_>,
+        edge: pathways_plaque::EdgeId,
+        src_shard: u32,
+        tuple: Tuple,
+    ) {
+        let st = self.state.as_mut().expect("tuple before start");
+        if let Some(&ii) = st.fwd_in.get(&edge) {
+            let _ = ii;
+            match tuple.expect::<FwdSignal>() {
+                FwdSignal::Future => {
+                    st.futures_seen += 1;
+                    if st.futures_seen == st.futures_needed {
+                        st.prereq.set();
+                    }
+                }
+                // Data-readiness is delivered in-band with the transfer
+                // (InputSlot); the tuple only closes the plaque edge for
+                // progress tracking.
+                FwdSignal::Data => {}
+            }
+        } else if let Some(&oi) = st.back_in.get(&edge) {
+            tuple.expect::<AddrSignal>();
+            st.addr_events
+                .get(&(oi, src_shard))
+                .unwrap_or_else(|| panic!("address from unexpected shard {src_shard}"))
+                .set();
+        } else {
+            panic!("tuple on unexpected {edge}");
+        }
+    }
+
+    fn on_all_inputs_complete(&mut self, _ctx: &mut ShardCtx<'_>) {
+        // The driver halts the shard after transfers finish.
+    }
+}
+
+/// The asynchronous life of one computation shard after registration.
+#[allow(clippy::too_many_arguments)]
+async fn drive_shard(
+    core: Rc<CoreCtx>,
+    info: Rc<ProgInfo>,
+    comp: CompId,
+    shard: u32,
+    run: pathways_plaque::RunId,
+    emitter: Emitter,
+    enq_rx: pathways_sim::channel::OneshotReceiver<crate::exec::EnqueueInfo>,
+    addr_events: Vec<((usize, u32), Event)>,
+) {
+    let Ok(enq) = enq_rx.await else {
+        // The executor was torn down before enqueueing (aborted run).
+        emitter.halt();
+        return;
+    };
+    let in_edges = info.program.in_edges(comp);
+    let out_edges = info.program.out_edges(comp);
+
+    // Enqueued: announce output futures downstream (sequential-dispatch
+    // consumers gate on these)...
+    for (_oi, &e) in out_edges.iter().enumerate() {
+        for d in info.feeds(e, shard) {
+            emitter.send(
+                info.fwd_edges[e],
+                d,
+                Tuple::new(FwdSignal::Future, SIGNAL_BYTES),
+            );
+        }
+    }
+    // ...and our input-buffer addresses upstream (the Figure 4
+    // handshake: "Host B allocates B's inputs, transmits the input
+    // buffer addresses to host A").
+    for &e in &in_edges {
+        for s in info.feeders(e, shard) {
+            emitter.send(info.back_edges[e], s, Tuple::new(AddrSignal, SIGNAL_BYTES));
+        }
+    }
+
+    let _completion = enq
+        .completion
+        .await
+        .expect("device dropped kernel completion");
+    drop(enq.input_lease);
+    let object = ObjectId { run, comp };
+    core.store.mark_ready(object, shard);
+
+    // Move outputs to every consumer shard as soon as its buffer address
+    // is known; transfers to different consumers proceed concurrently.
+    let mut transfers = Vec::new();
+    let addr_map: HashMap<(usize, u32), Event> = addr_events.into_iter().collect();
+    for (oi, &e) in out_edges.iter().enumerate() {
+        let bytes = info.pair_bytes(e);
+        let dst_comp = info.program.edges()[e].dst;
+        let dst_in_idx = info
+            .program
+            .in_edges(dst_comp)
+            .iter()
+            .position(|&x| x == e)
+            .expect("edge is an in-edge of its consumer");
+        for d in info.feeds(e, shard) {
+            let addr = addr_map
+                .get(&(oi, d))
+                .expect("address event missing")
+                .clone();
+            let src_dev = info.devices[comp.index()][shard as usize];
+            let dst_dev = info.devices[dst_comp.index()][d as usize];
+            let core = Rc::clone(&core);
+            let info2 = Rc::clone(&info);
+            let emitter = emitter.clone();
+            transfers.push(core.handle.clone().spawn(
+                format!("xfer-{run}-{comp}-{shard}-{d}"),
+                async move {
+                    addr.wait().await;
+                    core.move_bytes(src_dev, dst_dev, bytes).await;
+                    // In-band delivery: the transfer's arrival is the
+                    // consumer kernel's trigger (ICI into its input
+                    // buffer), with no control message in between.
+                    if let Some(slot) = core
+                        .input_slots
+                        .borrow()
+                        .get(&(run, dst_comp, d, dst_in_idx))
+                    {
+                        slot.deliver();
+                    }
+                    // Off the critical path: close the plaque edge.
+                    emitter.send(
+                        info2.fwd_edges[e],
+                        d,
+                        Tuple::new(FwdSignal::Data, SIGNAL_BYTES),
+                    );
+                },
+            ));
+        }
+    }
+    join_all(transfers).await;
+    // Release this shard's input-slot registrations.
+    {
+        let mut slots = core.input_slots.borrow_mut();
+        for ii in 0..in_edges.len() {
+            slots.remove(&(run, comp, shard, ii));
+        }
+    }
+
+    if let Some(&result_edge) = info.result_edges.get(&comp) {
+        // Sink: shard 0 delivers the *logical* output handle to the
+        // Result node — one handle per sharded buffer, not per shard
+        // (the §4.2 amortization). The run still waits for every shard:
+        // completion requires all shards to halt.
+        if shard == 0 {
+            emitter.send(
+                result_edge,
+                0,
+                Tuple::new(CompletionSignal { comp, object }, SIGNAL_BYTES),
+            );
+        }
+    } else {
+        // Intermediate output: consumers have their copies; release ours.
+        core.store.release(object);
+    }
+    emitter.halt();
+}
+
+// ---------------------------------------------------------------------------
+// Result operator
+// ---------------------------------------------------------------------------
+
+pub(crate) struct ResultOperator {
+    pub(crate) core: Rc<CoreCtx>,
+    pub(crate) info: Rc<ProgInfo>,
+}
+
+impl Operator for ResultOperator {
+    fn on_tuple(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        _edge: pathways_plaque::EdgeId,
+        _src: u32,
+        tuple: Tuple,
+    ) {
+        let sig = tuple.expect::<CompletionSignal>();
+        self.core
+            .results
+            .borrow_mut()
+            .entry(ctx.run())
+            .or_default()
+            .push((sig.comp, sig.object));
+        let _ = &self.info;
+    }
+}

@@ -1,0 +1,462 @@
+//! Traced Pathways programs: the device-location-agnostic IR.
+//!
+//! §3: a user wraps a block of code calling many compiled functions with
+//! the program tracer; each compiled function becomes one (sharded)
+//! computation node in a dataflow graph. [`ProgramBuilder`] is that
+//! tracer's output interface: computations reference the virtual devices
+//! of a slice, and [`Program::lower`] resolves them to physical devices
+//! (the paper's "lowering" pass that can be re-run when the resource
+//! manager changes the virtual→physical mapping).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pathways_net::{CollectiveKind, DeviceId};
+use pathways_sim::SimDuration;
+
+use crate::resource::VirtualSlice;
+
+/// Index of a computation within one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CompId(pub u32);
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comp{}", self.0)
+    }
+}
+
+impl CompId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of one compiled function (per shard).
+///
+/// Everything here is known before the function's inputs exist — the
+/// defining property of compiled functions (§3, Appendix B) that makes
+/// parallel asynchronous dispatch possible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FnSpec {
+    /// Function name (used in labels/traces).
+    pub name: String,
+    /// Per-shard compute time.
+    pub compute: SimDuration,
+    /// Optional collective over all shards of the computation, with the
+    /// per-shard payload size.
+    pub collective: Option<(CollectiveKind, u64)>,
+    /// Overrides the cost-model duration of the collective when the
+    /// caller knows it better (e.g. a calibrated per-layer communication
+    /// schedule the analytic torus model cannot see).
+    pub collective_time_override: Option<SimDuration>,
+    /// Bytes each shard's output occupies in HBM.
+    pub output_bytes_per_shard: u64,
+    /// Bytes of transient input staging each shard needs.
+    pub input_bytes_per_shard: u64,
+}
+
+impl FnSpec {
+    /// A pure-compute function with no collective and no output payload.
+    pub fn compute_only(name: impl Into<String>, compute: SimDuration) -> Self {
+        FnSpec {
+            name: name.into(),
+            compute,
+            collective: None,
+            collective_time_override: None,
+            output_bytes_per_shard: 0,
+            input_bytes_per_shard: 0,
+        }
+    }
+
+    /// Fixes the collective's wire time explicitly (builder style).
+    #[must_use]
+    pub fn with_collective_time(mut self, duration: SimDuration) -> Self {
+        self.collective_time_override = Some(duration);
+        self
+    }
+
+    /// Adds an all-reduce over the computation's shards (builder style).
+    #[must_use]
+    pub fn with_allreduce(mut self, bytes: u64) -> Self {
+        self.collective = Some((CollectiveKind::AllReduce, bytes));
+        self
+    }
+
+    /// Sets output bytes per shard (builder style).
+    #[must_use]
+    pub fn with_output_bytes(mut self, bytes: u64) -> Self {
+        self.output_bytes_per_shard = bytes;
+        self
+    }
+
+    /// Sets input staging bytes per shard (builder style).
+    #[must_use]
+    pub fn with_input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes_per_shard = bytes;
+        self
+    }
+}
+
+/// One computation node: a compiled function placed on a virtual slice.
+#[derive(Debug, Clone)]
+pub struct Computation {
+    /// The function.
+    pub spec: FnSpec,
+    /// Virtual devices it runs on (one shard per device).
+    pub slice: VirtualSlice,
+}
+
+/// How the shards of a producer map onto the shards of a consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardMapping {
+    /// Shard `i` feeds shard `i` (requires equal shard counts).
+    OneToOne,
+    /// Every producer shard feeds every consumer shard, splitting the
+    /// payload (scatter/gather resharding).
+    AllToAll,
+}
+
+/// A dataflow edge between two computations.
+#[derive(Debug, Clone, Copy)]
+pub struct DataEdge {
+    /// Producer computation.
+    pub src: CompId,
+    /// Consumer computation.
+    pub dst: CompId,
+    /// Bytes each producer shard sends in total on this edge.
+    pub bytes_per_src_shard: u64,
+    /// Shard mapping.
+    pub mapping: ShardMapping,
+}
+
+/// Errors from program construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An edge referenced a computation that does not exist.
+    UnknownComputation {
+        /// The dangling id.
+        comp: CompId,
+    },
+    /// A one-to-one edge connects computations with different shard
+    /// counts.
+    ShardCountMismatch {
+        /// Producer.
+        src: CompId,
+        /// Producer shards.
+        src_shards: u32,
+        /// Consumer.
+        dst: CompId,
+        /// Consumer shards.
+        dst_shards: u32,
+    },
+    /// The edges form a cycle.
+    Cyclic,
+    /// The program has no computations.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownComputation { comp } => {
+                write!(f, "edge references unknown {comp}")
+            }
+            ProgramError::ShardCountMismatch {
+                src,
+                src_shards,
+                dst,
+                dst_shards,
+            } => write!(
+                f,
+                "one-to-one edge between {src} ({src_shards} shards) and {dst} ({dst_shards} shards)"
+            ),
+            ProgramError::Cyclic => write!(f, "program contains a cycle"),
+            ProgramError::Empty => write!(f, "program has no computations"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Builder for [`Program`] — the interface the program tracer targets.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    comps: Vec<Computation>,
+    edges: Vec<DataEdge>,
+}
+
+impl ProgramBuilder {
+    /// Starts tracing a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            comps: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a computation node running `spec` on `slice`.
+    pub fn computation(&mut self, spec: FnSpec, slice: &VirtualSlice) -> CompId {
+        let id = CompId(self.comps.len() as u32);
+        self.comps.push(Computation {
+            spec,
+            slice: slice.clone(),
+        });
+        id
+    }
+
+    /// Adds a one-to-one dataflow edge carrying `bytes_per_src_shard`.
+    pub fn edge(&mut self, src: CompId, dst: CompId, bytes_per_src_shard: u64) -> &mut Self {
+        self.edges.push(DataEdge {
+            src,
+            dst,
+            bytes_per_src_shard,
+            mapping: ShardMapping::OneToOne,
+        });
+        self
+    }
+
+    /// Adds an all-to-all (resharding) edge.
+    pub fn reshard_edge(
+        &mut self,
+        src: CompId,
+        dst: CompId,
+        bytes_per_src_shard: u64,
+    ) -> &mut Self {
+        self.edges.push(DataEdge {
+            src,
+            dst,
+            bytes_per_src_shard,
+            mapping: ShardMapping::AllToAll,
+        });
+        self
+    }
+
+    /// Validates and finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`].
+    pub fn build(self) -> Result<Program, ProgramError> {
+        if self.comps.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let n = self.comps.len() as u32;
+        for e in &self.edges {
+            for c in [e.src, e.dst] {
+                if c.0 >= n {
+                    return Err(ProgramError::UnknownComputation { comp: c });
+                }
+            }
+            if e.mapping == ShardMapping::OneToOne {
+                let s = self.comps[e.src.index()].slice.len() as u32;
+                let d = self.comps[e.dst.index()].slice.len() as u32;
+                if s != d {
+                    return Err(ProgramError::ShardCountMismatch {
+                        src: e.src,
+                        src_shards: s,
+                        dst: e.dst,
+                        dst_shards: d,
+                    });
+                }
+            }
+        }
+        let order = topological_order(self.comps.len(), &self.edges).ok_or(ProgramError::Cyclic)?;
+        Ok(Program {
+            name: self.name,
+            comps: self.comps,
+            edges: self.edges,
+            topo_order: order,
+        })
+    }
+}
+
+/// A validated, traced Pathways program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    comps: Vec<Computation>,
+    edges: Vec<DataEdge>,
+    topo_order: Vec<CompId>,
+}
+
+impl Program {
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The computations, indexed by [`CompId`].
+    pub fn computations(&self) -> &[Computation] {
+        &self.comps
+    }
+
+    /// The dataflow edges.
+    pub fn edges(&self) -> &[DataEdge] {
+        &self.edges
+    }
+
+    /// Computations in a topological order (producers first).
+    pub fn topo_order(&self) -> &[CompId] {
+        &self.topo_order
+    }
+
+    /// Physical devices of `comp` under the current virtual→physical
+    /// mapping (the lowering step that is re-run if the resource manager
+    /// remaps a slice).
+    pub fn physical_devices(&self, comp: CompId) -> Vec<DeviceId> {
+        self.comps[comp.index()].slice.physical_devices()
+    }
+
+    /// In-edges of `comp` (indices into [`Program::edges`]).
+    pub fn in_edges(&self, comp: CompId) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.dst == comp)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Out-edges of `comp` (indices into [`Program::edges`]).
+    pub fn out_edges(&self, comp: CompId) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.src == comp)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Computations with no out-edges (their completion ends the run).
+    pub fn sinks(&self) -> Vec<CompId> {
+        (0..self.comps.len() as u32)
+            .map(CompId)
+            .filter(|c| self.out_edges(*c).is_empty())
+            .collect()
+    }
+
+    /// Estimated total device time (used by schedulers for
+    /// proportional-share accounting). Collective time is estimated with
+    /// the latency-free bandwidth bound and refined by the executor.
+    pub fn estimated_device_time(&self) -> SimDuration {
+        self.comps
+            .iter()
+            .map(|c| c.spec.compute * c.slice.len() as u64)
+            .sum()
+    }
+}
+
+fn topological_order(n: usize, edges: &[DataEdge]) -> Option<Vec<CompId>> {
+    let mut indegree = vec![0usize; n];
+    for e in edges {
+        indegree[e.dst.index()] += 1;
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|i| indegree[*i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(CompId(i as u32));
+        for e in edges.iter().filter(|e| e.src.index() == i) {
+            indegree[e.dst.index()] -= 1;
+            if indegree[e.dst.index()] == 0 {
+                queue.push_back(e.dst.index());
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::VirtualSlice;
+
+    fn slice(devs: &[u32]) -> VirtualSlice {
+        VirtualSlice::for_tests(devs.iter().map(|d| DeviceId(*d)).collect())
+    }
+
+    fn spec(name: &str) -> FnSpec {
+        FnSpec::compute_only(name, SimDuration::from_micros(10))
+    }
+
+    #[test]
+    fn builder_produces_topo_order() {
+        let mut b = ProgramBuilder::new("p");
+        let s = slice(&[0, 1]);
+        let a = b.computation(spec("a"), &s);
+        let c = b.computation(spec("c"), &s);
+        let bb = b.computation(spec("b"), &s);
+        b.edge(a, bb, 8);
+        b.edge(bb, c, 8);
+        let p = b.build().unwrap();
+        assert_eq!(p.topo_order(), &[a, bb, c]);
+        assert_eq!(p.sinks(), vec![c]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = ProgramBuilder::new("p");
+        let s = slice(&[0]);
+        let a = b.computation(spec("a"), &s);
+        let c = b.computation(spec("b"), &s);
+        b.edge(a, c, 8);
+        b.edge(c, a, 8);
+        assert_eq!(b.build().unwrap_err(), ProgramError::Cyclic);
+    }
+
+    #[test]
+    fn one_to_one_requires_equal_shards() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.computation(spec("a"), &slice(&[0, 1]));
+        let c = b.computation(spec("b"), &slice(&[2]));
+        b.edge(a, c, 8);
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::ShardCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reshard_edge_allows_different_shards() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.computation(spec("a"), &slice(&[0, 1]));
+        let c = b.computation(spec("b"), &slice(&[2]));
+        b.reshard_edge(a, c, 8);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(
+            ProgramBuilder::new("p").build().unwrap_err(),
+            ProgramError::Empty
+        );
+    }
+
+    #[test]
+    fn unknown_computation_is_rejected() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.computation(spec("a"), &slice(&[0]));
+        b.edge(a, CompId(9), 8);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ProgramError::UnknownComputation { comp: CompId(9) }
+        );
+    }
+
+    #[test]
+    fn fn_spec_builders() {
+        let s = FnSpec::compute_only("f", SimDuration::from_millis(1))
+            .with_allreduce(4)
+            .with_output_bytes(128)
+            .with_input_bytes(64);
+        assert_eq!(s.collective, Some((CollectiveKind::AllReduce, 4)));
+        assert_eq!(s.output_bytes_per_shard, 128);
+        assert_eq!(s.input_bytes_per_shard, 64);
+    }
+}

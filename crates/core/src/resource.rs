@@ -1,0 +1,528 @@
+//! The centralized resource manager (§4.1).
+//!
+//! Owns every device across all islands, hands out *virtual slices*
+//! whose virtual devices map 1:1 onto physical devices, and supports
+//! dynamic attach/detach of backend resources. The virtual→physical
+//! layer of indirection is what lets the single controller remap a
+//! client's computation without the client's cooperation: a slice can be
+//! remapped and programs simply re-lower.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use pathways_net::{ClientId, DeviceId, IslandId, Topology};
+
+/// Identifier of an allocated virtual slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SliceId(pub u64);
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice{}", self.0)
+    }
+}
+
+/// Constraints a client may put on a slice request (§4.1: "virtual
+/// slices with specific 2D or 3D mesh shapes ... interconnect topology,
+/// memory capacity, etc.").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceRequest {
+    /// Number of virtual devices.
+    pub devices: u32,
+    /// Require all devices in this island (collectives need one island).
+    pub island: Option<IslandId>,
+    /// Require the devices to be contiguous in torus order (a "mesh
+    /// shaped" slice rather than scattered devices).
+    pub contiguous: bool,
+}
+
+impl SliceRequest {
+    /// A request for `devices` devices anywhere in one island.
+    pub fn devices(devices: u32) -> Self {
+        SliceRequest {
+            devices,
+            island: None,
+            contiguous: false,
+        }
+    }
+
+    /// Pins the request to an island (builder style).
+    #[must_use]
+    pub fn in_island(mut self, island: IslandId) -> Self {
+        self.island = Some(island);
+        self
+    }
+
+    /// Requires torus-contiguous devices (builder style).
+    #[must_use]
+    pub fn contiguous(mut self) -> Self {
+        self.contiguous = true;
+        self
+    }
+}
+
+/// Errors from slice allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceError {
+    /// No island has enough attached devices.
+    InsufficientDevices {
+        /// Devices requested.
+        requested: u32,
+        /// Largest island's attached device count.
+        largest_island: u32,
+    },
+    /// The requested island does not exist or has been detached.
+    UnknownIsland {
+        /// The island asked for.
+        island: IslandId,
+    },
+    /// A zero-device slice was requested.
+    EmptyRequest,
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::InsufficientDevices {
+                requested,
+                largest_island,
+            } => write!(
+                f,
+                "requested {requested} devices but the largest island has {largest_island}"
+            ),
+            ResourceError::UnknownIsland { island } => write!(f, "unknown {island}"),
+            ResourceError::EmptyRequest => write!(f, "slice request for zero devices"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// A slice of virtual devices with their current physical mapping.
+///
+/// Cloneable; all clones observe remappings (the mapping is shared).
+#[derive(Clone)]
+pub struct VirtualSlice {
+    id: SliceId,
+    mapping: Rc<RefCell<Vec<DeviceId>>>,
+}
+
+impl fmt::Debug for VirtualSlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualSlice")
+            .field("id", &self.id)
+            .field("devices", &self.mapping.borrow().len())
+            .finish()
+    }
+}
+
+impl VirtualSlice {
+    /// The slice id.
+    pub fn id(&self) -> SliceId {
+        self.id
+    }
+
+    /// Number of virtual devices.
+    pub fn len(&self) -> usize {
+        self.mapping.borrow().len()
+    }
+
+    /// True if the slice has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current physical device for each virtual device.
+    pub fn physical_devices(&self) -> Vec<DeviceId> {
+        self.mapping.borrow().clone()
+    }
+
+    /// Test-only constructor with a fixed mapping.
+    #[doc(hidden)]
+    pub fn for_tests(devices: Vec<DeviceId>) -> Self {
+        VirtualSlice {
+            id: SliceId(u64::MAX),
+            mapping: Rc::new(RefCell::new(devices)),
+        }
+    }
+}
+
+struct Allocation {
+    owner: ClientId,
+    mapping: Rc<RefCell<Vec<DeviceId>>>,
+}
+
+/// The global resource manager.
+pub struct ResourceManager {
+    topo: Rc<Topology>,
+    /// Attached devices per island, with a use-count for load balancing.
+    attached: RefCell<BTreeMap<IslandId, BTreeMap<DeviceId, u32>>>,
+    slices: RefCell<BTreeMap<SliceId, Allocation>>,
+    next_slice: RefCell<u64>,
+}
+
+impl fmt::Debug for ResourceManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResourceManager")
+            .field("islands", &self.attached.borrow().len())
+            .field("live_slices", &self.slices.borrow().len())
+            .finish()
+    }
+}
+
+impl ResourceManager {
+    /// Creates a manager with every device of `topo` attached.
+    pub fn new(topo: Rc<Topology>) -> Self {
+        let mut attached = BTreeMap::new();
+        for island in topo.islands() {
+            let devs: BTreeMap<DeviceId, u32> = topo
+                .devices_of_island(island)
+                .into_iter()
+                .map(|d| (d, 0))
+                .collect();
+            attached.insert(island, devs);
+        }
+        ResourceManager {
+            topo,
+            attached: RefCell::new(attached),
+            slices: RefCell::new(BTreeMap::new()),
+            next_slice: RefCell::new(0),
+        }
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Rc<Topology> {
+        &self.topo
+    }
+
+    /// Total attached devices.
+    pub fn attached_devices(&self) -> u32 {
+        self.attached
+            .borrow()
+            .values()
+            .map(|m| m.len() as u32)
+            .sum()
+    }
+
+    /// Detaches a device (e.g. maintenance); existing slices keep their
+    /// mapping until explicitly remapped.
+    pub fn detach_device(&self, device: DeviceId) {
+        let island = self.topo.island_of_device(device);
+        self.attached
+            .borrow_mut()
+            .get_mut(&island)
+            .map(|m| m.remove(&device));
+    }
+
+    /// Re-attaches a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is not part of the topology.
+    pub fn attach_device(&self, device: DeviceId) {
+        let island = self.topo.island_of_device(device);
+        self.attached
+            .borrow_mut()
+            .entry(island)
+            .or_default()
+            .entry(device)
+            .or_insert(0);
+    }
+
+    /// Allocates a virtual slice for `client`.
+    ///
+    /// The placement heuristic is the paper's "simple heuristic that
+    /// attempts to statically balance load by spreading computations
+    /// across all available devices": devices with the lowest use-count
+    /// are preferred, and the chosen island is the least-loaded one that
+    /// fits. Virtual devices map 1:1 onto physical devices.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResourceError`].
+    pub fn allocate(
+        &self,
+        client: ClientId,
+        request: SliceRequest,
+    ) -> Result<VirtualSlice, ResourceError> {
+        if request.devices == 0 {
+            return Err(ResourceError::EmptyRequest);
+        }
+        let attached = self.attached.borrow();
+        let candidate_islands: Vec<IslandId> = match request.island {
+            Some(i) => {
+                if !attached.contains_key(&i) {
+                    return Err(ResourceError::UnknownIsland { island: i });
+                }
+                vec![i]
+            }
+            None => attached.keys().copied().collect(),
+        };
+        // Pick the island with enough devices and the lowest total load.
+        let mut best: Option<(u64, IslandId)> = None;
+        for island in candidate_islands {
+            let devs = &attached[&island];
+            if (devs.len() as u32) < request.devices {
+                continue;
+            }
+            let load: u64 = devs.values().map(|c| *c as u64).sum();
+            if best.is_none() || load < best.expect("checked").0 {
+                best = Some((load, island));
+            }
+        }
+        let Some((_, island)) = best else {
+            let largest = attached.values().map(|m| m.len() as u32).max().unwrap_or(0);
+            return Err(ResourceError::InsufficientDevices {
+                requested: request.devices,
+                largest_island: largest,
+            });
+        };
+        drop(attached);
+
+        let chosen: Vec<DeviceId> = {
+            let mut attached = self.attached.borrow_mut();
+            let devs = attached.get_mut(&island).expect("island exists");
+            let chosen: Vec<DeviceId> = if request.contiguous {
+                // Contiguous in device-id (torus) order: pick the window
+                // with the lowest aggregate load.
+                let ids: Vec<DeviceId> = devs.keys().copied().collect();
+                let w = request.devices as usize;
+                let mut best_at = 0usize;
+                let mut best_load = u64::MAX;
+                for start in 0..=(ids.len() - w) {
+                    let load: u64 = ids[start..start + w].iter().map(|d| devs[d] as u64).sum();
+                    if load < best_load {
+                        best_load = load;
+                        best_at = start;
+                    }
+                }
+                ids[best_at..best_at + w].to_vec()
+            } else {
+                // Least-used devices first; ties broken by id for
+                // determinism.
+                let mut ids: Vec<(u32, DeviceId)> = devs.iter().map(|(d, c)| (*c, *d)).collect();
+                ids.sort();
+                ids.into_iter()
+                    .take(request.devices as usize)
+                    .map(|(_, d)| d)
+                    .collect()
+            };
+            for d in &chosen {
+                *devs.get_mut(d).expect("chosen from attached") += 1;
+            }
+            chosen
+        };
+
+        let id = {
+            let mut next = self.next_slice.borrow_mut();
+            let id = SliceId(*next);
+            *next += 1;
+            id
+        };
+        let mapping = Rc::new(RefCell::new(chosen));
+        self.slices.borrow_mut().insert(
+            id,
+            Allocation {
+                owner: client,
+                mapping: Rc::clone(&mapping),
+            },
+        );
+        Ok(VirtualSlice { id, mapping })
+    }
+
+    /// Releases a slice, decrementing device use-counts.
+    pub fn release(&self, slice: &VirtualSlice) {
+        if let Some(alloc) = self.slices.borrow_mut().remove(&slice.id()) {
+            let mut attached = self.attached.borrow_mut();
+            for d in alloc.mapping.borrow().iter() {
+                let island = self.topo.island_of_device(*d);
+                if let Some(devs) = attached.get_mut(&island) {
+                    if let Some(c) = devs.get_mut(d) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases every slice owned by `client` (used when a client fails).
+    pub fn release_client(&self, client: ClientId) {
+        let ids: Vec<SliceId> = self
+            .slices
+            .borrow()
+            .iter()
+            .filter(|(_, a)| a.owner == client)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            let slice = VirtualSlice {
+                id,
+                mapping: Rc::clone(&self.slices.borrow()[&id].mapping),
+            };
+            self.release(&slice);
+        }
+    }
+
+    /// Remaps a slice's virtual devices onto new physical devices (the
+    /// suspend/resume and migration hook enabled by the virtual-device
+    /// indirection). Existing clones of the slice observe the change;
+    /// programs must re-lower before their next run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new mapping's length differs from the slice size.
+    pub fn remap(&self, slice: &VirtualSlice, new_devices: Vec<DeviceId>) {
+        assert_eq!(
+            new_devices.len(),
+            slice.len(),
+            "remap must preserve slice size"
+        );
+        *slice.mapping.borrow_mut() = new_devices;
+    }
+
+    /// Current use-count of a device (how many slices include it).
+    pub fn device_load(&self, device: DeviceId) -> u32 {
+        let island = self.topo.island_of_device(device);
+        self.attached
+            .borrow()
+            .get(&island)
+            .and_then(|m| m.get(&device).copied())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathways_net::ClusterSpec;
+
+    fn rm(spec: ClusterSpec) -> ResourceManager {
+        ResourceManager::new(Rc::new(spec.build()))
+    }
+
+    #[test]
+    fn allocates_least_loaded_devices() {
+        let rm = rm(ClusterSpec::config_b(2)); // 16 devices
+        let c = ClientId(0);
+        let s1 = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        let s2 = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        // The two slices should not overlap: load balancing spreads them.
+        let d1 = s1.physical_devices();
+        let d2 = s2.physical_devices();
+        assert!(d1.iter().all(|d| !d2.contains(d)));
+    }
+
+    #[test]
+    fn oversubscription_shares_devices() {
+        let rm = rm(ClusterSpec::config_b(1)); // 8 devices
+        let c = ClientId(0);
+        let s1 = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        let s2 = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        // Time-multiplexing: both slices cover the same 8 devices.
+        assert_eq!(s1.physical_devices(), s2.physical_devices());
+        assert_eq!(rm.device_load(DeviceId(0)), 2);
+    }
+
+    #[test]
+    fn island_constraint_is_respected() {
+        let rm = rm(ClusterSpec::config_c());
+        let c = ClientId(0);
+        let s = rm
+            .allocate(c, SliceRequest::devices(32).in_island(IslandId(2)))
+            .unwrap();
+        for d in s.physical_devices() {
+            assert_eq!(rm.topology().island_of_device(d), IslandId(2));
+        }
+    }
+
+    #[test]
+    fn slice_never_spans_islands() {
+        let rm = rm(ClusterSpec::config_c()); // 4 islands x 32
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(32)).unwrap();
+        let islands: std::collections::BTreeSet<_> = s
+            .physical_devices()
+            .iter()
+            .map(|d| rm.topology().island_of_device(*d))
+            .collect();
+        assert_eq!(islands.len(), 1);
+        // Bigger than any island: refused.
+        assert!(matches!(
+            rm.allocate(c, SliceRequest::devices(33)),
+            Err(ResourceError::InsufficientDevices { .. })
+        ));
+    }
+
+    #[test]
+    fn contiguous_slices_are_torus_windows() {
+        let rm = rm(ClusterSpec::config_b(4)); // 32 devices
+        let c = ClientId(0);
+        let s = rm
+            .allocate(c, SliceRequest::devices(4).contiguous())
+            .unwrap();
+        let devs = s.physical_devices();
+        for w in devs.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1, "not contiguous: {devs:?}");
+        }
+    }
+
+    #[test]
+    fn release_returns_capacity() {
+        let rm = rm(ClusterSpec::config_b(1));
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        assert_eq!(rm.device_load(DeviceId(0)), 1);
+        rm.release(&s);
+        assert_eq!(rm.device_load(DeviceId(0)), 0);
+    }
+
+    #[test]
+    fn release_client_frees_everything() {
+        let rm = rm(ClusterSpec::config_b(1));
+        let c0 = ClientId(0);
+        let c1 = ClientId(1);
+        let _s0 = rm.allocate(c0, SliceRequest::devices(4)).unwrap();
+        let _s1 = rm.allocate(c0, SliceRequest::devices(4)).unwrap();
+        let _s2 = rm.allocate(c1, SliceRequest::devices(4)).unwrap();
+        rm.release_client(c0);
+        let total_load: u32 = (0..8).map(|d| rm.device_load(DeviceId(d))).sum();
+        assert_eq!(total_load, 4); // only c1's slice remains
+    }
+
+    #[test]
+    fn remap_is_visible_through_clones() {
+        let rm = rm(ClusterSpec::config_b(2));
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(2)).unwrap();
+        let clone = s.clone();
+        let new = vec![DeviceId(14), DeviceId(15)];
+        rm.remap(&s, new.clone());
+        assert_eq!(clone.physical_devices(), new);
+    }
+
+    #[test]
+    fn detach_prevents_new_allocations_on_device() {
+        let rm = rm(ClusterSpec::config_b(1)); // 8 devices
+        for d in 0..4 {
+            rm.detach_device(DeviceId(d));
+        }
+        assert_eq!(rm.attached_devices(), 4);
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(4)).unwrap();
+        assert!(s.physical_devices().iter().all(|d| d.0 >= 4));
+        assert!(rm.allocate(c, SliceRequest::devices(5)).is_err());
+        rm.attach_device(DeviceId(0));
+        assert!(rm.allocate(c, SliceRequest::devices(5)).is_ok());
+    }
+
+    #[test]
+    fn zero_device_request_rejected() {
+        let rm = rm(ClusterSpec::config_b(1));
+        assert!(matches!(
+            rm.allocate(ClientId(0), SliceRequest::devices(0)),
+            Err(ResourceError::EmptyRequest)
+        ));
+    }
+}

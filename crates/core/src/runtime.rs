@@ -1,0 +1,207 @@
+//! Assembly of the full Pathways backend over a simulated cluster.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use pathways_device::{CollectiveRendezvous, DeviceConfig, DeviceHandle};
+use pathways_net::{
+    ClientId, ClusterSpec, DeviceId, Fabric, HostId, NetworkParams, Router, Topology,
+};
+use pathways_plaque::PlaqueRuntime;
+use pathways_sim::Sim;
+
+use crate::client::Client;
+use crate::config::PathwaysConfig;
+use crate::context::CoreCtx;
+use crate::exec::{spawn_executor, ExecutorShared};
+use crate::resource::ResourceManager;
+use crate::sched::{scheduler_hosts, spawn_scheduler, SchedulerHandle};
+use crate::store::ObjectStore;
+
+/// A fully-assembled Pathways backend: devices, executors, schedulers,
+/// object store, coordination substrate and resource manager, all
+/// running as tasks on one simulation.
+pub struct PathwaysRuntime {
+    core: Rc<CoreCtx>,
+    rm: Rc<ResourceManager>,
+    schedulers: HashMap<pathways_net::IslandId, SchedulerHandle>,
+    next_client: RefCell<u32>,
+}
+
+impl fmt::Debug for PathwaysRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PathwaysRuntime")
+            .field("devices", &self.core.devices.len())
+            .field("islands", &self.schedulers.len())
+            .finish()
+    }
+}
+
+impl PathwaysRuntime {
+    /// Builds the backend on `sim` for the given cluster.
+    pub fn new(sim: &Sim, spec: ClusterSpec, net: NetworkParams, cfg: PathwaysConfig) -> Self {
+        let handle = sim.handle();
+        let topo = Rc::new(spec.build());
+        let fabric = Fabric::new(handle.clone(), Rc::clone(&topo), net);
+
+        // Devices, with one collective rendezvous per island.
+        let mut devices: HashMap<DeviceId, DeviceHandle> = HashMap::new();
+        for island in topo.islands() {
+            let rz = CollectiveRendezvous::new(handle.clone());
+            for d in topo.devices_of_island(island) {
+                devices.insert(
+                    d,
+                    DeviceHandle::spawn(
+                        &handle,
+                        d,
+                        rz.clone(),
+                        DeviceConfig {
+                            hbm_capacity: cfg.hbm_per_device,
+                        },
+                    ),
+                );
+            }
+        }
+        let devices = Rc::new(devices);
+
+        let store = ObjectStore::new();
+        let sched_router: Router<crate::sched::CtrlMsg> = Router::new(fabric.clone());
+        let exec_router: Router<crate::sched::CtrlMsg> = Router::new(fabric.clone());
+        let plaque = PlaqueRuntime::new(fabric.clone());
+
+        // Executors: one per host.
+        let mut executors = HashMap::new();
+        for host in topo.hosts() {
+            let shared = ExecutorShared::new();
+            spawn_executor(
+                &handle,
+                host,
+                &exec_router,
+                shared.clone(),
+                fabric.clone(),
+                store.clone(),
+                Rc::clone(&devices),
+                plaque.clone(),
+                cfg.dispatch,
+            );
+            executors.insert(host, shared);
+        }
+
+        // Schedulers: one per island, on the island's first host.
+        // Submissions arrive on the sched router; grants leave on the
+        // exec router (separate namespaces, one shared physical NIC).
+        let sched_hosts = scheduler_hosts(&topo);
+        let mut schedulers = HashMap::new();
+        for island in topo.islands() {
+            let host = sched_hosts[&island];
+            let sh = spawn_scheduler(
+                &handle,
+                sched_router.clone(),
+                exec_router.clone(),
+                island,
+                host,
+                topo.devices_of_island(island).len() as u32,
+                cfg.policy.clone(),
+                cfg.sched_decision,
+                cfg.sched_horizon,
+                cfg.batch_grants,
+            );
+            schedulers.insert(island, sh);
+        }
+        let core = Rc::new(CoreCtx {
+            handle: handle.clone(),
+            fabric,
+            store,
+            plaque,
+            sched_router,
+            exec_router,
+            devices,
+            executors,
+            sched_hosts,
+            results: RefCell::new(HashMap::new()),
+            input_slots: RefCell::new(HashMap::new()),
+            cfg,
+        });
+        let rm = Rc::new(ResourceManager::new(Rc::clone(&topo)));
+        PathwaysRuntime {
+            core,
+            rm,
+            schedulers,
+            next_client: RefCell::new(0),
+        }
+    }
+
+    /// The shared context (for advanced integrations and tests).
+    pub fn core(&self) -> &Rc<CoreCtx> {
+        &self.core
+    }
+
+    /// The resource manager.
+    pub fn resource_manager(&self) -> &Rc<ResourceManager> {
+        &self.rm
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> Rc<Topology> {
+        Rc::clone(self.core.fabric.topology())
+    }
+
+    /// Per-island scheduler handles.
+    pub fn scheduler(&self, island: pathways_net::IslandId) -> &SchedulerHandle {
+        &self.schedulers[&island]
+    }
+
+    /// Creates a client on `host` with an auto-generated label.
+    pub fn client(&self, host: HostId) -> Client {
+        let id = {
+            let mut n = self.next_client.borrow_mut();
+            let id = ClientId(*n);
+            *n += 1;
+            id
+        };
+        let label = label_for(id);
+        Client::new(id, label, host, Rc::clone(&self.core), Rc::clone(&self.rm))
+    }
+
+    /// Creates a client with an explicit trace label (Figure 9 uses
+    /// single letters).
+    pub fn client_labeled(&self, host: HostId, label: impl Into<String>) -> Client {
+        let id = {
+            let mut n = self.next_client.borrow_mut();
+            let id = ClientId(*n);
+            *n += 1;
+            id
+        };
+        Client::new(
+            id,
+            label.into(),
+            host,
+            Rc::clone(&self.core),
+            Rc::clone(&self.rm),
+        )
+    }
+
+    /// Simulates abrupt failure of a client: every object it owns is
+    /// garbage-collected and its slices are released. (The client's
+    /// tasks should separately be aborted by the test harness.)
+    pub fn fail_client(&self, client: ClientId) -> usize {
+        let freed = self.core.store.gc_client(client);
+        self.rm.release_client(client);
+        freed
+    }
+}
+
+fn label_for(id: ClientId) -> String {
+    // A, B, ..., Z, a, b, ... for readable trace renderings.
+    let n = id.0;
+    let ch = if n < 26 {
+        (b'A' + n as u8) as char
+    } else if n < 52 {
+        (b'a' + (n - 26) as u8) as char
+    } else {
+        '#'
+    };
+    format!("{ch}")
+}

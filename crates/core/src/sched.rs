@@ -1,0 +1,542 @@
+//! Centralized per-island gang scheduling (§4.4).
+//!
+//! One scheduler task runs per island, consistently ordering *all*
+//! computations enqueued on the island's devices across every concurrent
+//! client. Because every device executor receives its grants over a FIFO
+//! channel from this single scheduler, kernels — and crucially their gang
+//! collectives — are enqueued in the same relative order on every device,
+//! which is exactly the property that prevents the deadlock demonstrated
+//! in `pathways-device`'s tests.
+//!
+//! Two policies are provided: FIFO (the paper's current implementation:
+//! "our current implementation simply enqueues work in FIFO order") and
+//! stride-based proportional share (the policy behind Figure 9's 1:2:4:8
+//! interleaving).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use pathways_device::GangTag;
+use pathways_net::{ClientId, CollectiveKind, DeviceId, HostId, IslandId, Router};
+use pathways_plaque::RunId;
+use pathways_sim::{IdleToken, SimDuration, SimHandle};
+
+use crate::program::CompId;
+
+/// Scheduling policy of an island scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Grant programs in arrival order.
+    Fifo,
+    /// Stride scheduling: each client receives device time proportional
+    /// to its weight when the island is contended.
+    ProportionalShare(BTreeMap<ClientId, u32>),
+    /// Strict priority (higher number wins; ties in arrival order) —
+    /// one of the §6.2 multi-tenancy policies the centralized scheduler
+    /// makes possible. Low-priority clients can starve under sustained
+    /// high-priority load; that is the policy's contract.
+    Priority(BTreeMap<ClientId, u32>),
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy::Fifo
+    }
+}
+
+/// Per-computation description inside a [`SubmitMsg`].
+#[derive(Debug, Clone)]
+pub struct CompSubmit {
+    /// Which computation.
+    pub comp: CompId,
+    /// Total shards (gang size).
+    pub participants: u32,
+    /// Collective kind, payload and precomputed wire duration.
+    pub collective: Option<(CollectiveKind, u64, SimDuration)>,
+    /// Per-shard compute time.
+    pub compute: SimDuration,
+    /// Per-shard output bytes (HBM reservation).
+    pub output_bytes: u64,
+    /// Per-shard input staging bytes.
+    pub input_bytes: u64,
+    /// Shards grouped by host: `(host, [(shard, device)])`.
+    pub by_host: Vec<(HostId, Vec<(u32, DeviceId)>)>,
+}
+
+/// Program submission: one DCN message from client to scheduler.
+#[derive(Debug, Clone)]
+pub struct SubmitMsg {
+    /// Submitting client.
+    pub client: ClientId,
+    /// Label used in device traces.
+    pub label: String,
+    /// The plaque run executing this program.
+    pub run: RunId,
+    /// Estimated total device time, summed over shards (used both for
+    /// proportional-share accounting and for grant pacing).
+    pub est_cost: SimDuration,
+    /// Computations in topological order.
+    pub comps: Vec<CompSubmit>,
+}
+
+/// One computation grant, delivered to a host executor.
+#[derive(Debug, Clone)]
+pub struct GrantMsg {
+    /// Owning client (for object ownership labels).
+    pub client: ClientId,
+    /// Trace label.
+    pub label: String,
+    /// The plaque run.
+    pub run: RunId,
+    /// Which computation.
+    pub comp: CompId,
+    /// Scheduler-assigned gang tag (island-unique).
+    pub gang_tag: GangTag,
+    /// Gang size.
+    pub participants: u32,
+    /// Collective kind + precomputed duration, if any.
+    pub collective: Option<(CollectiveKind, SimDuration)>,
+    /// Per-shard compute time.
+    pub compute: SimDuration,
+    /// Per-shard output bytes.
+    pub output_bytes: u64,
+    /// Per-shard input staging bytes.
+    pub input_bytes: u64,
+    /// The receiving host's local shards: `(shard, device)`.
+    pub local_shards: Vec<(u32, DeviceId)>,
+}
+
+/// Control-plane messages (client → scheduler → executors).
+#[derive(Debug)]
+pub enum CtrlMsg {
+    /// Program submission (client → scheduler).
+    Submit(SubmitMsg),
+    /// Batched grants for one program on one host (scheduler → executor).
+    /// One message carries every computation of the program that has
+    /// shards on the destination host — the single-message subgraph
+    /// dispatch of §4.5.
+    Grants(Vec<GrantMsg>),
+}
+
+/// Wire-size model for control messages.
+pub fn ctrl_msg_bytes(msg: &CtrlMsg) -> u64 {
+    match msg {
+        CtrlMsg::Submit(s) => 64 + 48 * s.comps.len() as u64,
+        CtrlMsg::Grants(g) => {
+            32 + g
+                .iter()
+                .map(|m| 48 + 12 * m.local_shards.len() as u64)
+                .sum::<u64>()
+        }
+    }
+}
+
+struct ClientQueue {
+    pending: VecDeque<SubmitMsg>,
+    /// Stride-scheduling virtual time.
+    pass: u64,
+}
+
+/// Shared state of one island scheduler (inspectable by tests).
+pub struct SchedulerState {
+    queues: BTreeMap<ClientId, ClientQueue>,
+    next_tag: u64,
+    granted_programs: u64,
+}
+
+impl fmt::Debug for SchedulerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulerState")
+            .field("clients", &self.queues.len())
+            .field("granted_programs", &self.granted_programs)
+            .finish()
+    }
+}
+
+impl SchedulerState {
+    fn new(island: IslandId) -> Self {
+        SchedulerState {
+            queues: BTreeMap::new(),
+            // Tag-space partitioned by island so tags are globally unique
+            // even though rendezvous is per island.
+            next_tag: (island.0 as u64) << 48,
+            granted_programs: 0,
+        }
+    }
+
+    fn push(&mut self, msg: SubmitMsg) {
+        self.queues
+            .entry(msg.client)
+            .or_insert_with(|| ClientQueue {
+                pending: VecDeque::new(),
+                pass: 0,
+            })
+            .pending
+            .push_back(msg);
+    }
+
+    /// Picks the next program according to `policy`.
+    fn pop(&mut self, policy: &SchedPolicy) -> Option<SubmitMsg> {
+        match policy {
+            SchedPolicy::Fifo => {
+                // Arrival order: the earliest submission among all
+                // clients. Each queue is FIFO; choose the queue whose
+                // head arrived first. We approximate arrival order with
+                // run id, which is allocated at submission time.
+                let best = self
+                    .queues
+                    .iter()
+                    .filter(|(_, q)| !q.pending.is_empty())
+                    .min_by_key(|(_, q)| q.pending.front().map(|m| m.run))?
+                    .0;
+                let best = *best;
+                self.queues
+                    .get_mut(&best)
+                    .and_then(|q| q.pending.pop_front())
+            }
+            SchedPolicy::ProportionalShare(weights) => {
+                let best = self
+                    .queues
+                    .iter()
+                    .filter(|(_, q)| !q.pending.is_empty())
+                    .min_by_key(|(c, q)| (q.pass, **c))?
+                    .0;
+                let best = *best;
+                let q = self.queues.get_mut(&best).expect("picked above");
+                let msg = q.pending.pop_front()?;
+                let weight = weights.get(&best).copied().unwrap_or(1).max(1) as u64;
+                // Advance virtual time by cost / weight.
+                let cost = msg.est_cost.as_nanos().max(1);
+                q.pass += cost / weight;
+                Some(msg)
+            }
+            SchedPolicy::Priority(prio) => {
+                let best = self
+                    .queues
+                    .iter()
+                    .filter(|(_, q)| !q.pending.is_empty())
+                    .max_by_key(|(c, q)| {
+                        let p = prio.get(c).copied().unwrap_or(0);
+                        // Higher priority first; within a priority,
+                        // earliest submission (lowest run id) first.
+                        (p, std::cmp::Reverse(q.pending.front().map(|m| m.run)))
+                    })?
+                    .0;
+                let best = *best;
+                self.queues
+                    .get_mut(&best)
+                    .and_then(|q| q.pending.pop_front())
+            }
+        }
+    }
+
+    fn alloc_tag(&mut self) -> GangTag {
+        let t = GangTag(self.next_tag);
+        self.next_tag += 1;
+        t
+    }
+
+    /// Programs granted so far (for tests/metrics).
+    pub fn granted_programs(&self) -> u64 {
+        self.granted_programs
+    }
+}
+
+/// Handle to a spawned island scheduler.
+#[derive(Clone)]
+pub struct SchedulerHandle {
+    /// Host the scheduler runs on.
+    pub host: HostId,
+    state: Rc<RefCell<SchedulerState>>,
+}
+
+impl fmt::Debug for SchedulerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulerHandle")
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
+impl SchedulerHandle {
+    /// Programs granted so far.
+    pub fn granted_programs(&self) -> u64 {
+        self.state.borrow().granted_programs()
+    }
+}
+
+/// Spawns the scheduler task for `island` on `host`.
+///
+/// `decision_cost` models the scheduler's per-program policy work; grants
+/// for a program are emitted as one batched message per participating
+/// host. Submissions arrive on `inbox_router`; grants leave on
+/// `grant_router` (where the executors are registered). Both share the
+/// same physical NIC through the fabric.
+pub fn spawn_scheduler(
+    handle: &SimHandle,
+    inbox_router: Router<CtrlMsg>,
+    grant_router: Router<CtrlMsg>,
+    island: IslandId,
+    host: HostId,
+    island_devices: u32,
+    policy: SchedPolicy,
+    decision_cost: SimDuration,
+    grant_horizon: SimDuration,
+    batch_grants: bool,
+) -> SchedulerHandle {
+    let state = Rc::new(RefCell::new(SchedulerState::new(island)));
+    let state_task = Rc::clone(&state);
+    let mut inbox = inbox_router.register(host);
+    let h = handle.clone();
+    let token = IdleToken::new();
+    let token_task = token.clone();
+    handle.spawn_service(format!("scheduler-{island}"), &token, async move {
+        // Estimated instant until which already-granted work occupies
+        // the island. Grants are paced so at most `grant_horizon` of
+        // estimated work is outstanding; the backlog beyond the horizon
+        // stays queued here, where the policy chooses the order — this
+        // is the "allocating accelerators at a time-scale of
+        // milliseconds" behaviour of §4.4.
+        let mut granted_until = h.now();
+        loop {
+            token_task.set_idle();
+            let Some(env) = inbox.recv().await else { break };
+            token_task.set_busy();
+            match env.msg {
+                CtrlMsg::Submit(submit) => {
+                    state_task.borrow_mut().push(submit);
+                }
+                CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
+            }
+            // Drain everything grantable right now. Messages that arrive
+            // while we sleep for decision_cost queue behind us (FIFO
+            // inbox), preserving determinism.
+            loop {
+                // Pace: wait until estimated outstanding work is inside
+                // the horizon, collecting any submissions that arrive in
+                // the meantime so the policy can reorder them.
+                loop {
+                    let now = h.now();
+                    if granted_until <= now + grant_horizon {
+                        break;
+                    }
+                    h.sleep(
+                        granted_until
+                            .duration_since(now)
+                            .saturating_sub(grant_horizon),
+                    )
+                    .await;
+                    while let Ok(env) = inbox.try_recv() {
+                        match env.msg {
+                            CtrlMsg::Submit(s) => state_task.borrow_mut().push(s),
+                            CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
+                        }
+                    }
+                }
+                let next = state_task.borrow_mut().pop(&policy);
+                let Some(submit) = next else { break };
+                if !decision_cost.is_zero() {
+                    h.sleep(decision_cost).await;
+                }
+                // Also drain any submissions that arrived during the
+                // decision sleep so proportional share sees them.
+                while let Ok(env) = inbox.try_recv() {
+                    match env.msg {
+                        CtrlMsg::Submit(s) => state_task.borrow_mut().push(s),
+                        CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
+                    }
+                }
+                // Island occupancy estimate: device-time divided by the
+                // island's device count.
+                let occupancy = SimDuration::from_nanos(
+                    submit.est_cost.as_nanos() / island_devices.max(1) as u64,
+                );
+                granted_until = granted_until.max(h.now()) + occupancy;
+                // Build one grant batch per participating host, with the
+                // program's computations in topological order.
+                let mut per_host: BTreeMap<HostId, Vec<GrantMsg>> = BTreeMap::new();
+                {
+                    let mut st = state_task.borrow_mut();
+                    st.granted_programs += 1;
+                    for comp in &submit.comps {
+                        let tag = st.alloc_tag();
+                        for (host, shards) in &comp.by_host {
+                            per_host.entry(*host).or_default().push(GrantMsg {
+                                client: submit.client,
+                                label: submit.label.clone(),
+                                run: submit.run,
+                                comp: comp.comp,
+                                gang_tag: tag,
+                                participants: comp.participants,
+                                collective: comp.collective.map(|(k, _, d)| (k, d)),
+                                compute: comp.compute,
+                                output_bytes: comp.output_bytes,
+                                input_bytes: comp.input_bytes,
+                                local_shards: shards.clone(),
+                            });
+                        }
+                    }
+                }
+                for (dst, grants) in per_host {
+                    if batch_grants {
+                        let msg = CtrlMsg::Grants(grants);
+                        let bytes = ctrl_msg_bytes(&msg);
+                        grant_router.send(host, dst, msg, bytes);
+                    } else {
+                        // Ablation: one message per computation.
+                        for g in grants {
+                            let msg = CtrlMsg::Grants(vec![g]);
+                            let bytes = ctrl_msg_bytes(&msg);
+                            grant_router.send(host, dst, msg, bytes);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    SchedulerHandle { host, state }
+}
+
+/// Maps each island to the host its scheduler runs on (the island's
+/// first host).
+pub fn scheduler_hosts(topo: &pathways_net::Topology) -> HashMap<IslandId, HostId> {
+    topo.islands()
+        .map(|i| (i, topo.hosts_of_island(i)[0]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(client: u32, run: u64, cost_us: u64) -> SubmitMsg {
+        SubmitMsg {
+            client: ClientId(client),
+            label: format!("c{client}"),
+            run: RunId(run),
+            est_cost: SimDuration::from_micros(cost_us),
+            comps: vec![],
+        }
+    }
+
+    #[test]
+    fn fifo_pops_in_arrival_order() {
+        let mut st = SchedulerState::new(IslandId(0));
+        st.push(submit(1, 10, 5));
+        st.push(submit(0, 11, 5));
+        st.push(submit(1, 12, 5));
+        let policy = SchedPolicy::Fifo;
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(10));
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(11));
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(12));
+        assert!(st.pop(&policy).is_none());
+    }
+
+    #[test]
+    fn proportional_share_matches_weights() {
+        // Clients 0 and 1 with weights 1 and 3, equal-cost programs:
+        // out of every 4 grants, client 1 should get 3.
+        let weights: BTreeMap<ClientId, u32> =
+            [(ClientId(0), 1), (ClientId(1), 3)].into_iter().collect();
+        let policy = SchedPolicy::ProportionalShare(weights);
+        let mut st = SchedulerState::new(IslandId(0));
+        for i in 0..40 {
+            st.push(submit(0, i, 10));
+            st.push(submit(1, 100 + i, 10));
+        }
+        let mut counts = [0u32; 2];
+        for _ in 0..40 {
+            let m = st.pop(&policy).unwrap();
+            counts[m.client.0 as usize] += 1;
+        }
+        assert_eq!(counts[0] + counts[1], 40);
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.5..=3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn proportional_share_accounts_for_cost() {
+        // Client 0 submits programs 3x as expensive; with equal weights
+        // it should be granted ~1/3 as many programs.
+        let weights: BTreeMap<ClientId, u32> =
+            [(ClientId(0), 1), (ClientId(1), 1)].into_iter().collect();
+        let policy = SchedPolicy::ProportionalShare(weights);
+        let mut st = SchedulerState::new(IslandId(0));
+        for i in 0..60 {
+            st.push(submit(0, i, 30));
+            st.push(submit(1, 100 + i, 10));
+        }
+        let mut counts = [0u32; 2];
+        for _ in 0..60 {
+            let m = st.pop(&policy).unwrap();
+            counts[m.client.0 as usize] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.0..=4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn priority_policy_prefers_high_priority_clients() {
+        let prio: BTreeMap<ClientId, u32> =
+            [(ClientId(0), 0), (ClientId(1), 10)].into_iter().collect();
+        let policy = SchedPolicy::Priority(prio);
+        let mut st = SchedulerState::new(IslandId(0));
+        st.push(submit(0, 1, 10));
+        st.push(submit(0, 2, 10));
+        st.push(submit(1, 3, 10));
+        st.push(submit(1, 4, 10));
+        // All of client 1's work drains before any of client 0's.
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(3));
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(4));
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(1));
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(2));
+    }
+
+    #[test]
+    fn priority_ties_break_by_arrival() {
+        let prio: BTreeMap<ClientId, u32> =
+            [(ClientId(0), 5), (ClientId(1), 5)].into_iter().collect();
+        let policy = SchedPolicy::Priority(prio);
+        let mut st = SchedulerState::new(IslandId(0));
+        st.push(submit(1, 1, 10));
+        st.push(submit(0, 2, 10));
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(1));
+        assert_eq!(st.pop(&policy).unwrap().run, RunId(2));
+    }
+
+    #[test]
+    fn tags_are_unique_and_island_partitioned() {
+        let mut a = SchedulerState::new(IslandId(0));
+        let mut b = SchedulerState::new(IslandId(1));
+        let ta1 = a.alloc_tag();
+        let ta2 = a.alloc_tag();
+        let tb1 = b.alloc_tag();
+        assert_ne!(ta1, ta2);
+        assert_ne!(ta1, tb1);
+        assert_ne!(ta2, tb1);
+    }
+
+    #[test]
+    fn idle_client_does_not_starve_later() {
+        // Stride scheduling: a client that was idle does not get an
+        // unbounded backlog advantage because pass only advances when
+        // granted; but it does get the next grant when it arrives with
+        // the lowest pass.
+        let weights: BTreeMap<ClientId, u32> =
+            [(ClientId(0), 1), (ClientId(1), 1)].into_iter().collect();
+        let policy = SchedPolicy::ProportionalShare(weights);
+        let mut st = SchedulerState::new(IslandId(0));
+        for i in 0..5 {
+            st.push(submit(0, i, 10));
+        }
+        for _ in 0..5 {
+            st.pop(&policy);
+        }
+        st.push(submit(1, 100, 10));
+        st.push(submit(0, 6, 10));
+        // Client 1 has pass 0 < client 0's accumulated pass.
+        assert_eq!(st.pop(&policy).unwrap().client, ClientId(1));
+    }
+}

@@ -1,0 +1,382 @@
+//! The sharded object store (§4.2, §4.6).
+//!
+//! Each host manages buffers held in the HBM of its attached devices
+//! (and transient staging in host DRAM). Client code refers to *logical*
+//! sharded buffers by opaque [`ObjectId`]s; reference counting happens at
+//! logical-buffer granularity — one count per object, not per shard — so
+//! client bookkeeping stays O(objects) at thousands of shards, the
+//! scaling fix §4.2 describes. Objects are tagged with an owner so they
+//! can be garbage-collected if a client or program fails, and HBM
+//! reservations go through [`HbmPool`](pathways_device::HbmPool), whose
+//! back-pressure stalls computations that cannot allocate (§4.6).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use pathways_device::{DeviceHandle, HbmLease};
+use pathways_net::{ClientId, DeviceId};
+use pathways_plaque::RunId;
+use pathways_sim::sync::Event;
+
+use crate::program::CompId;
+
+/// Opaque handle to a logical (sharded) buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId {
+    /// The run that produced the object.
+    pub run: RunId,
+    /// The computation that produced it.
+    pub comp: CompId,
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj({},{})", self.run, self.comp)
+    }
+}
+
+/// One shard of a stored object, pinned in a device's HBM.
+pub struct StoredShard {
+    device: DeviceId,
+    bytes: u64,
+    _lease: HbmLease,
+    ready: Event,
+}
+
+impl fmt::Debug for StoredShard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoredShard")
+            .field("device", &self.device)
+            .field("bytes", &self.bytes)
+            .field("ready", &self.ready.is_set())
+            .finish()
+    }
+}
+
+impl StoredShard {
+    /// Device holding the shard.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Shard size.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Readiness event: set when the producing kernel finished.
+    pub fn ready(&self) -> &Event {
+        &self.ready
+    }
+}
+
+struct ObjectEntry {
+    owner: ClientId,
+    /// Logical-buffer refcount (not per shard).
+    refcount: u32,
+    shards: HashMap<u32, StoredShard>,
+}
+
+/// The cluster-wide sharded object store.
+///
+/// One instance is shared by all host executors in the simulation (each
+/// host only ever touches shards of its local devices; the shared map
+/// models the per-host stores plus the client's logical handle table).
+#[derive(Clone, Default)]
+pub struct ObjectStore {
+    inner: Rc<RefCell<HashMap<ObjectId, ObjectEntry>>>,
+}
+
+impl fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("objects", &self.inner.borrow().len())
+            .finish()
+    }
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an object owned by `owner` with refcount 1. Idempotent
+    /// per object: shards are added with [`ObjectStore::put_shard`].
+    pub fn create(&self, id: ObjectId, owner: ClientId) {
+        self.inner.borrow_mut().entry(id).or_insert(ObjectEntry {
+            owner,
+            refcount: 1,
+            shards: HashMap::new(),
+        });
+    }
+
+    /// Reserves HBM on `device` for shard `shard` of `id` and records it.
+    /// Awaits back-pressure if HBM is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object was not created or the shard already exists.
+    pub async fn put_shard(
+        &self,
+        id: ObjectId,
+        shard: u32,
+        device: &DeviceHandle,
+        bytes: u64,
+    ) -> Event {
+        assert!(
+            self.inner.borrow().contains_key(&id),
+            "put_shard on unknown {id}"
+        );
+        // HBM back-pressure happens outside the store borrow.
+        let lease = device.hbm().allocate(bytes).await;
+        let ready = Event::new();
+        let mut inner = self.inner.borrow_mut();
+        let entry = inner.get_mut(&id).expect("checked above");
+        let prev = entry.shards.insert(
+            shard,
+            StoredShard {
+                device: device.id(),
+                bytes,
+                _lease: lease,
+                ready: ready.clone(),
+            },
+        );
+        assert!(prev.is_none(), "{id} shard {shard} stored twice");
+        ready
+    }
+
+    /// Marks shard `shard` of `id` ready (producing kernel finished).
+    ///
+    /// Late marks on released objects are ignored — the consumer is gone.
+    pub fn mark_ready(&self, id: ObjectId, shard: u32) {
+        if let Some(entry) = self.inner.borrow().get(&id) {
+            if let Some(s) = entry.shards.get(&shard) {
+                s.ready.set();
+            }
+        }
+    }
+
+    /// Readiness event of a shard, if present.
+    pub fn shard_ready(&self, id: ObjectId, shard: u32) -> Option<Event> {
+        self.inner
+            .borrow()
+            .get(&id)
+            .and_then(|e| e.shards.get(&shard).map(|s| s.ready.clone()))
+    }
+
+    /// Increments the logical refcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object does not exist.
+    pub fn retain(&self, id: ObjectId) {
+        let mut inner = self.inner.borrow_mut();
+        inner
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("retain on unknown {id}"))
+            .refcount += 1;
+    }
+
+    /// Decrements the logical refcount, freeing all shards (their HBM
+    /// leases drop) when it reaches zero.
+    pub fn release(&self, id: ObjectId) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(entry) = inner.get_mut(&id) else {
+            return;
+        };
+        entry.refcount -= 1;
+        if entry.refcount == 0 {
+            inner.remove(&id);
+        }
+    }
+
+    /// Frees every object owned by `client`, regardless of refcount —
+    /// the failure-GC path: "objects are tagged with ownership labels so
+    /// that they can be garbage collected if a program or client fails".
+    pub fn gc_client(&self, client: ClientId) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let doomed: Vec<ObjectId> = inner
+            .iter()
+            .filter(|(_, e)| e.owner == client)
+            .map(|(id, _)| *id)
+            .collect();
+        let n = doomed.len();
+        for id in doomed {
+            inner.remove(&id);
+        }
+        n
+    }
+
+    /// Number of live logical objects.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True if the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Total bytes pinned across all shards of `id`.
+    pub fn object_bytes(&self, id: ObjectId) -> u64 {
+        self.inner
+            .borrow()
+            .get(&id)
+            .map(|e| e.shards.values().map(|s| s.bytes).sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathways_device::{CollectiveRendezvous, DeviceConfig};
+    use pathways_sim::Sim;
+
+    fn obj(run: u64, comp: u32) -> ObjectId {
+        ObjectId {
+            run: RunId(run),
+            comp: CompId(comp),
+        }
+    }
+
+    fn device(sim: &Sim, id: u32, hbm: u64) -> DeviceHandle {
+        DeviceHandle::spawn(
+            &sim.handle(),
+            DeviceId(id),
+            CollectiveRendezvous::new(sim.handle()),
+            DeviceConfig { hbm_capacity: hbm },
+        )
+    }
+
+    #[test]
+    fn refcount_is_per_logical_object() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 1_000);
+        let store2 = store.clone();
+        let dev2 = dev.clone();
+        sim.spawn("t", async move {
+            store2.create(obj(0, 0), ClientId(0));
+            for shard in 0..4 {
+                store2.put_shard(obj(0, 0), shard, &dev2, 100).await;
+            }
+            assert_eq!(dev2.hbm().used(), 400);
+            // One retain + one release leaves the object alive: the count
+            // is logical, covering all 4 shards.
+            store2.retain(obj(0, 0));
+            store2.release(obj(0, 0));
+            assert_eq!(store2.len(), 1);
+            store2.release(obj(0, 0));
+            assert_eq!(store2.len(), 0);
+            assert_eq!(dev2.hbm().used(), 0);
+        });
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn gc_client_frees_only_that_owner() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 1_000);
+        let store2 = store.clone();
+        let dev2 = dev.clone();
+        sim.spawn("t", async move {
+            store2.create(obj(0, 0), ClientId(0));
+            store2.put_shard(obj(0, 0), 0, &dev2, 100).await;
+            store2.create(obj(1, 0), ClientId(1));
+            store2.put_shard(obj(1, 0), 0, &dev2, 200).await;
+            // Even with extra refs, failure-GC removes client 0's object.
+            store2.retain(obj(0, 0));
+            assert_eq!(store2.gc_client(ClientId(0)), 1);
+            assert_eq!(store2.len(), 1);
+            assert_eq!(dev2.hbm().used(), 200);
+        });
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn back_pressure_delays_put_shard() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 100);
+        let store2 = store.clone();
+        let dev2 = dev.clone();
+        let h = sim.handle();
+        sim.spawn("first", async move {
+            store2.create(obj(0, 0), ClientId(0));
+            store2.put_shard(obj(0, 0), 0, &dev2, 80).await;
+            h.sleep(pathways_sim::SimDuration::from_micros(50)).await;
+            store2.release(obj(0, 0));
+        });
+        let store3 = store.clone();
+        let dev3 = dev.clone();
+        let h2 = sim.handle();
+        let second = sim.spawn("second", async move {
+            h2.sleep(pathways_sim::SimDuration::from_micros(1)).await;
+            store3.create(obj(1, 0), ClientId(0));
+            store3.put_shard(obj(1, 0), 0, &dev3, 50).await;
+            h2.now().as_nanos()
+        });
+        sim.run_to_quiescence();
+        // Stalled until the first object released at t=50us.
+        assert_eq!(second.try_take().unwrap(), 50_000);
+    }
+
+    #[test]
+    fn readiness_events_fire_consumers() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 1_000);
+        let store2 = store.clone();
+        let dev2 = dev.clone();
+        let h = sim.handle();
+        let consumer = sim.spawn("flow", async move {
+            store2.create(obj(0, 0), ClientId(0));
+            let ready = store2.put_shard(obj(0, 0), 0, &dev2, 10).await;
+            let store3 = store2.clone();
+            let h2 = h.clone();
+            h.spawn("producer", async move {
+                h2.sleep(pathways_sim::SimDuration::from_micros(7)).await;
+                store3.mark_ready(obj(0, 0), 0);
+            });
+            ready.wait().await;
+            h.now().as_nanos()
+        });
+        sim.run_to_quiescence();
+        assert_eq!(consumer.try_take().unwrap(), 7_000);
+    }
+
+    #[test]
+    fn object_bytes_sums_shards() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 1_000);
+        let store2 = store.clone();
+        sim.spawn("t", async move {
+            store2.create(obj(0, 0), ClientId(0));
+            store2.put_shard(obj(0, 0), 0, &dev, 100).await;
+            store2.put_shard(obj(0, 0), 1, &dev, 150).await;
+            assert_eq!(store2.object_bytes(obj(0, 0)), 250);
+            assert_eq!(store2.object_bytes(obj(9, 9)), 0);
+        });
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    #[should_panic(expected = "stored twice")]
+    fn duplicate_shard_panics() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 1_000);
+        sim.spawn("t", async move {
+            store.create(obj(0, 0), ClientId(0));
+            store.put_shard(obj(0, 0), 0, &dev, 10).await;
+            store.put_shard(obj(0, 0), 0, &dev, 10).await;
+        });
+        sim.run_to_quiescence();
+    }
+}

@@ -1,0 +1,173 @@
+//! Failure-injection tests: abrupt client death, resource reclamation,
+//! and dynamic device attach/detach — the cluster-management features
+//! §4.1/§4.6 attribute to the single-controller design.
+
+use std::rc::Rc;
+
+use pathways_core::{FnSpec, PathwaysConfig, PathwaysRuntime, SliceRequest};
+use pathways_net::{ClusterSpec, DeviceId, HostId, NetworkParams};
+use pathways_sim::{Sim, SimDuration, SimTime};
+
+fn rt(sim: &Sim, hosts: u32) -> PathwaysRuntime {
+    PathwaysRuntime::new(
+        sim,
+        ClusterSpec::config_b(hosts),
+        NetworkParams::tpu_cluster(),
+        PathwaysConfig::default(),
+    )
+}
+
+#[test]
+fn killed_client_does_not_wedge_other_tenants() {
+    let mut sim = Sim::new(0);
+    let rt = rt(&sim, 2);
+    // The victim holds results (pinning HBM) and then "dies".
+    let victim = rt.client(HostId(0));
+    let victim_id = victim.id();
+    let slice = victim.virtual_slice(SliceRequest::devices(16)).unwrap();
+    let mut b = victim.trace("victim");
+    b.computation(
+        FnSpec::compute_only("f", SimDuration::from_micros(100))
+            .with_allreduce(4)
+            .with_output_bytes(1 << 20),
+        &slice,
+    );
+    let program = b.build().unwrap();
+    let prepared = victim.prepare(&program);
+    let victim_task = sim.spawn("victim", async move {
+        let r = victim.run(&prepared).await;
+        std::mem::forget(r); // hold the output forever
+        loop {
+            // Keep "running" so abort has something to kill.
+            std::future::pending::<()>().await;
+        }
+    });
+    // A survivor shares the same devices.
+    let survivor = rt.client(HostId(1));
+    let slice2 = survivor.virtual_slice(SliceRequest::devices(16)).unwrap();
+    let mut b2 = survivor.trace("survivor");
+    b2.computation(
+        FnSpec::compute_only("g", SimDuration::from_micros(100)).with_allreduce(4),
+        &slice2,
+    );
+    let program2 = b2.build().unwrap();
+    let prepared2 = survivor.prepare(&program2);
+    let survivor_task = sim.spawn("survivor", async move {
+        for _ in 0..20 {
+            survivor.run(&prepared2).await;
+        }
+        true
+    });
+    // Let both make progress, then kill the victim.
+    sim.run_until_time(SimTime::ZERO + SimDuration::from_millis(1));
+    victim_task.abort();
+    let freed = rt.fail_client(victim_id);
+    assert_eq!(freed, 1, "victim's pinned output must be GCed");
+    // The survivor finishes normally.
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "{outcome:?}");
+    assert_eq!(survivor_task.try_take(), Some(true));
+    assert!(rt.core().store.is_empty());
+}
+
+#[test]
+fn hbm_freed_by_gc_unblocks_backpressured_tenant() {
+    let mut sim = Sim::new(0);
+    let cfg = PathwaysConfig {
+        hbm_per_device: 1 << 20, // 1 MiB/device
+        ..PathwaysConfig::default()
+    };
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::config_b(1),
+        NetworkParams::tpu_cluster(),
+        cfg,
+    );
+    // Hog pins nearly all HBM and dies.
+    let hog = rt.client(HostId(0));
+    let hog_id = hog.id();
+    let slice = hog.virtual_slice(SliceRequest::devices(8)).unwrap();
+    let mut b = hog.trace("hog");
+    b.computation(
+        FnSpec::compute_only("f", SimDuration::from_micros(10)).with_output_bytes(900 << 10),
+        &slice,
+    );
+    let program = b.build().unwrap();
+    let prepared = hog.prepare(&program);
+    sim.spawn("hog", async move {
+        let r = hog.run(&prepared).await;
+        std::mem::forget(r);
+    });
+    sim.run_until_time(SimTime::ZERO + SimDuration::from_millis(1));
+    // Needy cannot fit until the hog's objects are collected.
+    let needy = rt.client(HostId(0));
+    let slice2 = needy.virtual_slice(SliceRequest::devices(8)).unwrap();
+    let mut b2 = needy.trace("needy");
+    b2.computation(
+        FnSpec::compute_only("g", SimDuration::from_micros(10)).with_output_bytes(800 << 10),
+        &slice2,
+    );
+    let program2 = b2.build().unwrap();
+    let prepared2 = needy.prepare(&program2);
+    let needy_task = sim.spawn("needy", async move {
+        drop(needy.run(&prepared2).await);
+        true
+    });
+    // Without GC, the needy client is back-pressured indefinitely.
+    sim.run_until_time(SimTime::ZERO + SimDuration::from_millis(5));
+    assert!(!needy_task.is_finished(), "needy should be stalled on HBM");
+    // Failure GC releases the hog's HBM; the needy client completes.
+    rt.fail_client(hog_id);
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "{outcome:?}");
+    assert_eq!(needy_task.try_take(), Some(true));
+}
+
+#[test]
+fn detached_devices_are_avoided_by_new_slices() {
+    let sim = Sim::new(0);
+    let rt = rt(&sim, 2);
+    let rm = Rc::clone(rt.resource_manager());
+    for d in 0..8 {
+        rm.detach_device(DeviceId(d));
+    }
+    let client = rt.client(HostId(0));
+    let slice = client.virtual_slice(SliceRequest::devices(8)).unwrap();
+    assert!(
+        slice.physical_devices().iter().all(|d| d.0 >= 8),
+        "slice must avoid detached devices: {:?}",
+        slice.physical_devices()
+    );
+    // Re-attach restores capacity.
+    for d in 0..8 {
+        rm.attach_device(DeviceId(d));
+    }
+    assert!(client.virtual_slice(SliceRequest::devices(16)).is_ok());
+}
+
+#[test]
+fn gc_is_idempotent_and_scoped() {
+    let mut sim = Sim::new(0);
+    let rt = rt(&sim, 1);
+    let a = rt.client(HostId(0));
+    let b_client = rt.client(HostId(0));
+    let a_id = a.id();
+    for (who, client) in [("a", a.clone()), ("b", b_client.clone())] {
+        let slice = client.virtual_slice(SliceRequest::devices(4)).unwrap();
+        let mut b = client.trace(who);
+        b.computation(
+            FnSpec::compute_only("f", SimDuration::from_micros(10)).with_output_bytes(1 << 10),
+            &slice,
+        );
+        let program = b.build().unwrap();
+        let prepared = client.prepare(&program);
+        sim.spawn(format!("c-{who}"), async move {
+            std::mem::forget(client.run(&prepared).await);
+        });
+    }
+    sim.run_to_quiescence();
+    assert_eq!(rt.core().store.len(), 2);
+    assert_eq!(rt.fail_client(a_id), 1);
+    assert_eq!(rt.fail_client(a_id), 0, "second GC finds nothing");
+    assert_eq!(rt.core().store.len(), 1, "b's object untouched");
+}

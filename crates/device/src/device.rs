@@ -1,0 +1,401 @@
+//! The simulated accelerator proper.
+//!
+//! A device is a single in-order, non-preemptible kernel queue (Appendix
+//! A.5: TPUs "are restricted to run a single program at a time, with no
+//! local pre-emption"). Work is enqueued asynchronously — the enqueueing
+//! host never blocks — and each kernel:
+//!
+//! 1. waits for its input buffers to be ready (futures, §4.4),
+//! 2. runs its gang collective, blocking the queue until every
+//!    participant reaches the same collective,
+//! 3. computes for its statically-known duration.
+//!
+//! The device records a trace span per kernel and per-program busy time,
+//! which the multi-tenancy experiments (Figures 8, 9, 11) read back.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use pathways_net::DeviceId;
+use pathways_sim::channel::{self, OneshotReceiver, OneshotSender, Sender};
+use pathways_sim::{SimDuration, SimHandle, SimTime};
+
+use crate::gang::CollectiveRendezvous;
+use crate::hbm::HbmPool;
+use crate::kernel::Kernel;
+
+/// Configuration of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// HBM capacity in bytes. The paper's T5 experiments use TPUv3 with
+    /// 16 GiB per core.
+    pub hbm_capacity: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            hbm_capacity: 16 << 30,
+        }
+    }
+}
+
+/// Completion record delivered when a kernel finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCompletion {
+    /// When the kernel reached the head of the queue.
+    pub dequeued: SimTime,
+    /// When the kernel finished.
+    pub finished: SimTime,
+}
+
+/// One enqueued unit of work.
+pub struct EnqueuedKernel {
+    /// The kernel to run.
+    pub kernel: Kernel,
+    /// Owning program label (used for traces and per-program accounting).
+    pub program: String,
+    /// Input-readiness futures; the kernel starts only after all resolve.
+    /// A dropped sender counts as ready (the producer was cleaned up; the
+    /// data was already in HBM).
+    pub inputs_ready: Vec<OneshotReceiver<()>>,
+    /// Completion notification; dropped silently if the receiver is gone.
+    pub done: Option<OneshotSender<KernelCompletion>>,
+}
+
+impl fmt::Debug for EnqueuedKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnqueuedKernel")
+            .field("kernel", &self.kernel.label)
+            .field("program", &self.program)
+            .field("inputs", &self.inputs_ready.len())
+            .finish()
+    }
+}
+
+/// Aggregate statistics of one device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Kernels executed to completion.
+    pub kernels: u64,
+    /// Total busy time (collective wire time + compute), excluding time
+    /// spent waiting for inputs or for gang partners.
+    pub busy: SimDuration,
+    /// Busy time per program label.
+    pub busy_by_program: BTreeMap<String, SimDuration>,
+}
+
+/// Handle for enqueueing work onto a spawned device.
+#[derive(Clone)]
+pub struct DeviceHandle {
+    id: DeviceId,
+    tx: Sender<EnqueuedKernel>,
+    hbm: HbmPool,
+    stats: Rc<RefCell<DeviceStats>>,
+}
+
+impl fmt::Debug for DeviceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceHandle")
+            .field("id", &self.id)
+            .field("hbm_free", &self.hbm.free())
+            .finish()
+    }
+}
+
+impl DeviceHandle {
+    /// Spawns the device task onto the simulation and returns its handle.
+    ///
+    /// `rendezvous` must be shared by all devices that will participate
+    /// in collectives together (one per island).
+    pub fn spawn(
+        sim: &SimHandle,
+        id: DeviceId,
+        rendezvous: CollectiveRendezvous,
+        config: DeviceConfig,
+    ) -> DeviceHandle {
+        let (tx, mut rx) = channel::channel::<EnqueuedKernel>();
+        let hbm = HbmPool::new(config.hbm_capacity);
+        let stats = Rc::new(RefCell::new(DeviceStats::default()));
+        let stats_task = Rc::clone(&stats);
+        let handle = sim.clone();
+        let token = pathways_sim::IdleToken::new();
+        let token_task = token.clone();
+        sim.spawn_service(format!("{id}"), &token, async move {
+            loop {
+                token_task.set_idle();
+                let Some(job) = rx.recv().await else { break };
+                token_task.set_busy();
+                // 1. Wait for inputs (dropped producers count as ready).
+                for input in job.inputs_ready {
+                    let _ = input.await;
+                }
+                let dequeued = handle.now();
+                // 2. Gang collective: blocks the whole queue until every
+                //    participant arrives at the same tag.
+                if let Some(c) = &job.kernel.collective {
+                    rendezvous.arrive(c.tag, c.participants, c.duration).await;
+                }
+                // 3. Statically-known compute time.
+                handle.sleep(job.kernel.compute).await;
+                let finished = handle.now();
+                let busy = job.kernel.min_duration();
+                {
+                    let mut st = stats_task.borrow_mut();
+                    st.kernels += 1;
+                    st.busy += busy;
+                    *st.busy_by_program.entry(job.program.clone()).or_default() += busy;
+                }
+                handle.trace_span(
+                    format!("d{:04}", id.0),
+                    job.program.clone(),
+                    finished - busy,
+                    finished,
+                );
+                if let Some(done) = job.done {
+                    let _ = done.send(KernelCompletion { dequeued, finished });
+                }
+            }
+        });
+        DeviceHandle { id, tx, hbm, stats }
+    }
+
+    /// This device's id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's HBM pool (used by object stores for reservations).
+    pub fn hbm(&self) -> &HbmPool {
+        &self.hbm
+    }
+
+    /// Enqueues a kernel; returns immediately (asynchronous dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device task has exited (all handles dropped).
+    pub fn enqueue(&self, job: EnqueuedKernel) {
+        self.tx
+            .send(job)
+            .unwrap_or_else(|_| panic!("{} has shut down", self.id));
+    }
+
+    /// Convenience: enqueue a kernel with no inputs and return its
+    /// completion future.
+    pub fn enqueue_simple(
+        &self,
+        kernel: Kernel,
+        program: impl Into<String>,
+    ) -> OneshotReceiver<KernelCompletion> {
+        let (tx, rx) = channel::oneshot();
+        self.enqueue(EnqueuedKernel {
+            kernel,
+            program: program.into(),
+            inputs_ready: Vec::new(),
+            done: Some(tx),
+        });
+        rx
+    }
+
+    /// Snapshot of the device's statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{CollectiveOp, GangTag};
+    use pathways_net::CollectiveKind;
+    use pathways_sim::Sim;
+
+    fn spawn_devices(sim: &Sim, n: u32) -> Vec<DeviceHandle> {
+        let rz = CollectiveRendezvous::new(sim.handle());
+        (0..n)
+            .map(|i| {
+                DeviceHandle::spawn(
+                    &sim.handle(),
+                    DeviceId(i),
+                    rz.clone(),
+                    DeviceConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernels_execute_in_enqueue_order() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 1);
+        let d = devs[0].clone();
+        let r1 = d.enqueue_simple(Kernel::compute("k1", SimDuration::from_micros(10)), "p");
+        let r2 = d.enqueue_simple(Kernel::compute("k2", SimDuration::from_micros(5)), "p");
+        let probe = sim.spawn("probe", async move {
+            let c1 = r1.await.unwrap();
+            let c2 = r2.await.unwrap();
+            (c1, c2)
+        });
+        drop(devs);
+        sim.run_to_quiescence();
+        let (c1, c2) = probe.try_take().unwrap();
+        assert_eq!(c1.finished.as_nanos(), 10_000);
+        // k2 runs only after k1 despite being shorter.
+        assert_eq!(c2.finished.as_nanos(), 15_000);
+    }
+
+    #[test]
+    fn kernel_waits_for_inputs() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 1);
+        let d = devs[0].clone();
+        let (in_tx, in_rx) = channel::oneshot();
+        let (done_tx, done_rx) = channel::oneshot();
+        d.enqueue(EnqueuedKernel {
+            kernel: Kernel::compute("k", SimDuration::from_micros(10)),
+            program: "p".into(),
+            inputs_ready: vec![in_rx],
+            done: Some(done_tx),
+        });
+        let h = sim.handle();
+        sim.spawn("producer", async move {
+            h.sleep(SimDuration::from_micros(100)).await;
+            let _ = in_tx.send(());
+        });
+        let probe = sim.spawn("probe", async move { done_rx.await.unwrap() });
+        drop(devs);
+        sim.run_to_quiescence();
+        let c = probe.try_take().unwrap();
+        assert_eq!(c.dequeued.as_nanos(), 100_000);
+        assert_eq!(c.finished.as_nanos(), 110_000);
+    }
+
+    #[test]
+    fn gang_collective_aligns_devices() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 2);
+        let coll = |tag| CollectiveOp {
+            kind: CollectiveKind::AllReduce,
+            tag: GangTag(tag),
+            participants: 2,
+            duration: SimDuration::from_micros(3),
+        };
+        // Device 0 is delayed by a long kernel first.
+        let _ = devs[0].enqueue_simple(Kernel::compute("slow", SimDuration::from_micros(50)), "p");
+        let r0 = devs[0].enqueue_simple(
+            Kernel::compute("c", SimDuration::from_micros(1)).with_collective(coll(1)),
+            "p",
+        );
+        let r1 = devs[1].enqueue_simple(
+            Kernel::compute("c", SimDuration::from_micros(1)).with_collective(coll(1)),
+            "p",
+        );
+        let probe = sim.spawn(
+            "probe",
+            async move { (r0.await.unwrap(), r1.await.unwrap()) },
+        );
+        drop(devs);
+        sim.run_to_quiescence();
+        let (c0, c1) = probe.try_take().unwrap();
+        // Both finish together: 50us wait + 3us collective + 1us compute.
+        assert_eq!(c0.finished.as_nanos(), 54_000);
+        assert_eq!(c1.finished.as_nanos(), 54_000);
+    }
+
+    #[test]
+    fn inconsistent_gang_order_deadlocks_devices() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 2);
+        let coll = |tag| CollectiveOp {
+            kind: CollectiveKind::AllReduce,
+            tag: GangTag(tag),
+            participants: 2,
+            duration: SimDuration::ZERO,
+        };
+        // Opposite enqueue orders on the two devices.
+        devs[0].enqueue(EnqueuedKernel {
+            kernel: Kernel::compute("a", SimDuration::ZERO).with_collective(coll(1)),
+            program: "p1".into(),
+            inputs_ready: vec![],
+            done: None,
+        });
+        devs[0].enqueue(EnqueuedKernel {
+            kernel: Kernel::compute("b", SimDuration::ZERO).with_collective(coll(2)),
+            program: "p2".into(),
+            inputs_ready: vec![],
+            done: None,
+        });
+        devs[1].enqueue(EnqueuedKernel {
+            kernel: Kernel::compute("b", SimDuration::ZERO).with_collective(coll(2)),
+            program: "p2".into(),
+            inputs_ready: vec![],
+            done: None,
+        });
+        devs[1].enqueue(EnqueuedKernel {
+            kernel: Kernel::compute("a", SimDuration::ZERO).with_collective(coll(1)),
+            program: "p1".into(),
+            inputs_ready: vec![],
+            done: None,
+        });
+        drop(devs);
+        let out = sim.run();
+        assert!(out.is_deadlock(), "expected device deadlock, got {out:?}");
+    }
+
+    #[test]
+    fn stats_account_busy_time_per_program() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 1);
+        let d = devs[0].clone();
+        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(10)), "alpha");
+        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(20)), "beta");
+        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(30)), "alpha");
+        drop(devs);
+        sim.run_to_quiescence();
+        let st = d.stats();
+        assert_eq!(st.kernels, 3);
+        assert_eq!(st.busy, SimDuration::from_micros(60));
+        assert_eq!(st.busy_by_program["alpha"], SimDuration::from_micros(40));
+        assert_eq!(st.busy_by_program["beta"], SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn trace_spans_cover_busy_time() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 1);
+        let d = devs[0].clone();
+        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(10)), "A");
+        drop(devs);
+        drop(d);
+        sim.run_to_quiescence();
+        let trace = sim.take_trace();
+        let spans = trace.track("d0000");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration(), SimDuration::from_micros(10));
+        assert_eq!(spans[0].label, "A");
+    }
+
+    #[test]
+    fn dropped_input_sender_counts_as_ready() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 1);
+        let d = devs[0].clone();
+        let (in_tx, in_rx) = channel::oneshot::<()>();
+        drop(in_tx); // producer was garbage-collected
+        let (done_tx, done_rx) = channel::oneshot();
+        d.enqueue(EnqueuedKernel {
+            kernel: Kernel::compute("k", SimDuration::from_micros(1)),
+            program: "p".into(),
+            inputs_ready: vec![in_rx],
+            done: Some(done_tx),
+        });
+        let probe = sim.spawn("probe", async move { done_rx.await.is_ok() });
+        drop(devs);
+        drop(d);
+        sim.run_to_quiescence();
+        assert!(probe.try_take().unwrap());
+    }
+}

@@ -1,0 +1,204 @@
+//! Collective rendezvous — where inconsistent enqueue orders become
+//! deadlocks.
+//!
+//! TPUs "are single-threaded and only run non-preemptible kernels, so the
+//! system will deadlock if communicating computations are not enqueued in
+//! a consistent order" (§2). We reproduce that hazard faithfully: a
+//! collective kernel blocks its device's queue until *every* participant
+//! has reached the same [`GangTag`](crate::GangTag). If two devices
+//! enqueue two collectives in opposite orders, each blocks at the head of
+//! its queue waiting for the other, no timer can fire, and the simulation
+//! reports a deadlock naming the stuck devices — exactly the failure the
+//! centralized gang scheduler (pathways-core) exists to prevent.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use pathways_sim::channel::{self, OneshotSender};
+use pathways_sim::{SimDuration, SimHandle};
+
+use crate::kernel::GangTag;
+
+struct Pending {
+    expected: u32,
+    duration: SimDuration,
+    waiters: Vec<OneshotSender<()>>,
+}
+
+/// Rendezvous point shared by all devices of one island.
+#[derive(Clone)]
+pub struct CollectiveRendezvous {
+    handle: SimHandle,
+    pending: Rc<RefCell<HashMap<GangTag, Pending>>>,
+}
+
+impl fmt::Debug for CollectiveRendezvous {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectiveRendezvous")
+            .field("pending", &self.pending.borrow().len())
+            .finish()
+    }
+}
+
+impl CollectiveRendezvous {
+    /// Creates an empty rendezvous table.
+    pub fn new(handle: SimHandle) -> Self {
+        CollectiveRendezvous {
+            handle,
+            pending: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Number of collectives with at least one arrived participant that
+    /// have not yet released (useful for deadlock diagnosis).
+    pub fn in_flight(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Arrives at collective `tag` expecting `participants` devices in
+    /// total; resolves after all have arrived *and* the collective's wire
+    /// time `duration` has elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if participants disagree on `participants` or `duration`
+    /// for the same tag (a malformed program, not a scheduling hazard).
+    pub async fn arrive(&self, tag: GangTag, participants: u32, duration: SimDuration) {
+        assert!(participants > 0, "collective needs participants");
+        let release = {
+            let mut pending = self.pending.borrow_mut();
+            let entry = pending.entry(tag).or_insert_with(|| Pending {
+                expected: participants,
+                duration,
+                waiters: Vec::new(),
+            });
+            assert_eq!(
+                entry.expected, participants,
+                "{tag}: participants disagree on gang size"
+            );
+            assert_eq!(
+                entry.duration, duration,
+                "{tag}: participants disagree on collective duration"
+            );
+            if entry.waiters.len() as u32 + 1 == participants {
+                // Last to arrive: release everyone.
+                let entry = pending.remove(&tag).expect("entry exists");
+                Some(entry.waiters)
+            } else {
+                let (tx, rx) = channel::oneshot();
+                entry.waiters.push(tx);
+                drop(pending);
+                rx.await.expect("rendezvous dropped mid-collective");
+                None
+            }
+        };
+        if let Some(waiters) = release {
+            for w in waiters {
+                let _ = w.send(());
+            }
+        }
+        // All participants resume here at the same instant, then sleep
+        // the collective's wire time together.
+        self.handle.sleep(duration).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathways_sim::Sim;
+
+    #[test]
+    fn all_participants_finish_together() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        let mut ends = Vec::new();
+        for i in 0..4u64 {
+            let rz = rz.clone();
+            let h = sim.handle();
+            ends.push(sim.spawn(format!("d{i}"), async move {
+                // Stagger arrivals.
+                h.sleep(SimDuration::from_micros(i * 10)).await;
+                rz.arrive(GangTag(1), 4, SimDuration::from_micros(5)).await;
+                h.now().as_nanos()
+            }));
+        }
+        sim.run_to_quiescence();
+        for e in ends {
+            // Last arrival at 30us + 5us collective.
+            assert_eq!(e.try_take().unwrap(), 35_000);
+        }
+        assert_eq!(rz.in_flight(), 0);
+    }
+
+    #[test]
+    fn missing_participant_deadlocks() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        for i in 0..2 {
+            let rz = rz.clone();
+            sim.spawn(format!("d{i}"), async move {
+                rz.arrive(GangTag(9), 3, SimDuration::ZERO).await;
+            });
+        }
+        let out = sim.run();
+        assert!(out.is_deadlock(), "expected deadlock, got {out:?}");
+        assert_eq!(rz.in_flight(), 1);
+    }
+
+    #[test]
+    fn inconsistent_order_across_two_collectives_deadlocks() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        // Device A runs collective 1 then 2; device B runs 2 then 1.
+        // Each blocks at its head-of-queue collective: deadlock.
+        let rz_a = rz.clone();
+        sim.spawn("devA", async move {
+            rz_a.arrive(GangTag(1), 2, SimDuration::ZERO).await;
+            rz_a.arrive(GangTag(2), 2, SimDuration::ZERO).await;
+        });
+        let rz_b = rz.clone();
+        sim.spawn("devB", async move {
+            rz_b.arrive(GangTag(2), 2, SimDuration::ZERO).await;
+            rz_b.arrive(GangTag(1), 2, SimDuration::ZERO).await;
+        });
+        match sim.run() {
+            pathways_sim::RunOutcome::Deadlock { stuck_tasks, .. } => {
+                assert_eq!(stuck_tasks, vec!["devA".to_string(), "devB".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consistent_order_completes() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        for name in ["devA", "devB"] {
+            let rz = rz.clone();
+            sim.spawn(name, async move {
+                rz.arrive(GangTag(1), 2, SimDuration::from_micros(1)).await;
+                rz.arrive(GangTag(2), 2, SimDuration::from_micros(1)).await;
+            });
+        }
+        assert!(sim.run().is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "participants disagree on gang size")]
+    fn gang_size_mismatch_panics() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        let rz_a = rz.clone();
+        sim.spawn("a", async move {
+            rz_a.arrive(GangTag(3), 2, SimDuration::ZERO).await;
+        });
+        let rz_b = rz.clone();
+        sim.spawn("b", async move {
+            rz_b.arrive(GangTag(3), 5, SimDuration::ZERO).await;
+        });
+        sim.run_to_quiescence();
+    }
+}

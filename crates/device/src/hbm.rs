@@ -1,0 +1,166 @@
+//! Per-device HBM capacity accounting with back-pressure.
+//!
+//! §4.6 of the paper: *"We can use simple back-pressure to stall a
+//! computation if it cannot allocate memory because other computations'
+//! buffers are temporarily occupying HBM."* An [`HbmPool`] is a byte
+//! semaphore: allocations wait FIFO-fairly until capacity frees up, and
+//! leases return capacity on drop.
+
+use std::fmt;
+
+use pathways_sim::sync::{Permit, Semaphore};
+
+/// Byte-granular HBM capacity for one device.
+#[derive(Clone)]
+pub struct HbmPool {
+    capacity: u64,
+    sem: Semaphore,
+}
+
+impl fmt::Debug for HbmPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HbmPool")
+            .field("capacity", &self.capacity)
+            .field("free", &self.sem.available())
+            .finish()
+    }
+}
+
+impl HbmPool {
+    /// Creates a pool of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        HbmPool {
+            capacity,
+            sem: Semaphore::new(capacity),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.sem.available()
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.capacity - self.sem.available()
+    }
+
+    /// Number of allocations stalled on back-pressure.
+    pub fn stalled(&self) -> usize {
+        self.sem.waiters()
+    }
+
+    /// Allocates `bytes`, waiting (back-pressure) until capacity frees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the pool capacity — the allocation could
+    /// never succeed, which is a program bug, not back-pressure.
+    pub async fn allocate(&self, bytes: u64) -> HbmLease {
+        assert!(
+            bytes <= self.capacity,
+            "allocation of {bytes} B exceeds HBM capacity {} B",
+            self.capacity
+        );
+        let permit = self.sem.acquire(bytes).await;
+        HbmLease { permit }
+    }
+
+    /// Allocates without waiting, or `None` if it would stall.
+    pub fn try_allocate(&self, bytes: u64) -> Option<HbmLease> {
+        if bytes > self.capacity {
+            return None;
+        }
+        self.sem
+            .try_acquire(bytes)
+            .map(|permit| HbmLease { permit })
+    }
+}
+
+/// RAII lease over HBM bytes; frees on drop.
+#[derive(Debug)]
+pub struct HbmLease {
+    permit: Permit,
+}
+
+impl HbmLease {
+    /// Bytes held.
+    pub fn bytes(&self) -> u64 {
+        self.permit.amount()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathways_sim::{Sim, SimDuration};
+
+    #[test]
+    fn accounting_tracks_allocations() {
+        let mut sim = Sim::new(0);
+        let pool = HbmPool::new(1_000);
+        let p2 = pool.clone();
+        let h = sim.handle();
+        sim.spawn("alloc", async move {
+            let a = p2.allocate(300).await;
+            assert_eq!(p2.used(), 300);
+            let b = p2.allocate(700).await;
+            assert_eq!(p2.free(), 0);
+            drop(a);
+            assert_eq!(p2.free(), 300);
+            h.sleep(SimDuration::from_micros(1)).await;
+            drop(b);
+        });
+        sim.run_to_quiescence();
+        assert_eq!(pool.free(), 1_000);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn back_pressure_stalls_until_release() {
+        let mut sim = Sim::new(0);
+        let pool = HbmPool::new(100);
+        let p1 = pool.clone();
+        let h1 = sim.handle();
+        sim.spawn("first", async move {
+            let lease = p1.allocate(80).await;
+            h1.sleep(SimDuration::from_micros(50)).await;
+            drop(lease);
+        });
+        let p2 = pool.clone();
+        let h2 = sim.handle();
+        let second = sim.spawn("second", async move {
+            h2.sleep(SimDuration::from_micros(1)).await;
+            let _lease = p2.allocate(50).await; // must wait for `first`
+            h2.now().as_nanos()
+        });
+        sim.run_to_quiescence();
+        assert_eq!(second.try_take().unwrap(), 50_000);
+    }
+
+    #[test]
+    fn try_allocate_never_stalls() {
+        let pool = HbmPool::new(10);
+        let lease = pool.try_allocate(10).unwrap();
+        assert!(pool.try_allocate(1).is_none());
+        drop(lease);
+        assert!(pool.try_allocate(1).is_some());
+        assert!(pool.try_allocate(11).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds HBM capacity")]
+    fn oversized_allocation_panics() {
+        let mut sim = Sim::new(0);
+        let pool = HbmPool::new(10);
+        sim.spawn("big", async move {
+            let _ = pool.allocate(11).await;
+        });
+        sim.run_to_quiescence();
+    }
+}

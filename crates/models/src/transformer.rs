@@ -1,0 +1,198 @@
+//! The Transformer configurations evaluated in §5.3.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arch {
+    /// Encoder-decoder (the T5 text-to-text family, Table 1).
+    EncoderDecoder,
+    /// Decoder-only language model (Table 2, Figures 10 and 12).
+    DecoderOnly,
+}
+
+/// One Transformer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Display name.
+    pub name: String,
+    /// Architecture family.
+    pub arch: Arch,
+    /// Total Transformer layers (encoder + decoder for T5).
+    pub layers: u32,
+    /// Model (embedding) dimension.
+    pub d_model: u32,
+    /// Feed-forward hidden dimension.
+    pub d_ff: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Training sequence length.
+    pub seq_len: u32,
+    /// Exact parameter count when known (the paper reports rounded
+    /// ones); otherwise derived from the dimensions.
+    pub params_override: Option<u64>,
+}
+
+impl TransformerConfig {
+    /// Total parameters.
+    pub fn params(&self) -> u64 {
+        if let Some(p) = self.params_override {
+            return p;
+        }
+        // Per layer: attention (4 d^2) + feed-forward (2 d d_ff), plus
+        // embeddings (vocab x d).
+        let d = self.d_model as u64;
+        let ff = self.d_ff as u64;
+        let per_layer = 4 * d * d + 2 * d * ff;
+        per_layer * self.layers as u64 + self.vocab as u64 * d
+    }
+
+    /// Training FLOPs per token (forward + backward), the standard
+    /// `6 x params` estimate.
+    pub fn train_flops_per_token(&self) -> f64 {
+        6.0 * self.params() as f64
+    }
+
+    /// Bytes of one parameter-sized tensor in bf16.
+    pub fn param_bytes_bf16(&self) -> u64 {
+        2 * self.params()
+    }
+
+    /// Activation bytes per token at a layer boundary (bf16).
+    pub fn activation_bytes_per_token(&self) -> u64 {
+        2 * self.d_model as u64
+    }
+
+    // --- Table 1: T5 configurations (Raffel et al., 2019), parameter
+    // counts as the paper reports them. ---
+
+    /// T5-Base (270M as reported in Table 1).
+    pub fn t5_base() -> Self {
+        TransformerConfig {
+            name: "T5-Base".into(),
+            arch: Arch::EncoderDecoder,
+            layers: 24,
+            d_model: 768,
+            d_ff: 3072,
+            vocab: 32128,
+            seq_len: 512,
+            params_override: Some(270_000_000),
+        }
+    }
+
+    /// T5-Large (770M).
+    pub fn t5_large() -> Self {
+        TransformerConfig {
+            name: "T5-Large".into(),
+            arch: Arch::EncoderDecoder,
+            layers: 48,
+            d_model: 1024,
+            d_ff: 4096,
+            vocab: 32128,
+            seq_len: 512,
+            params_override: Some(770_000_000),
+        }
+    }
+
+    /// T5-3B.
+    pub fn t5_3b() -> Self {
+        TransformerConfig {
+            name: "T5-3B".into(),
+            arch: Arch::EncoderDecoder,
+            layers: 48,
+            d_model: 1024,
+            d_ff: 16384,
+            vocab: 32128,
+            seq_len: 512,
+            params_override: Some(3_000_000_000),
+        }
+    }
+
+    /// T5-11B.
+    pub fn t5_11b() -> Self {
+        TransformerConfig {
+            name: "T5-11B".into(),
+            arch: Arch::EncoderDecoder,
+            layers: 48,
+            d_model: 1024,
+            d_ff: 65536,
+            vocab: 32128,
+            seq_len: 512,
+            params_override: Some(11_000_000_000),
+        }
+    }
+
+    // --- §5.3 decoder-only models. ---
+
+    /// The 3B decoder LM of Table 2: "62 Transformer layers with a model
+    /// dimension of 2048 and a hidden dimension of 8192".
+    pub fn decoder_3b() -> Self {
+        TransformerConfig {
+            name: "3B-LM".into(),
+            arch: Arch::DecoderOnly,
+            layers: 62,
+            d_model: 2048,
+            d_ff: 8192,
+            vocab: 32000,
+            seq_len: 1024,
+            params_override: None, // dims give ~3.1B, matching the paper
+        }
+    }
+
+    /// The 64B decoder LM (§5.3 / Figure 12).
+    pub fn decoder_64b() -> Self {
+        TransformerConfig {
+            name: "64B-LM".into(),
+            arch: Arch::DecoderOnly,
+            layers: 64,
+            d_model: 8192,
+            d_ff: 32768,
+            vocab: 32000,
+            seq_len: 1024,
+            params_override: Some(64_000_000_000),
+        }
+    }
+
+    /// The 136B decoder LM (§5.3 / Figure 12).
+    pub fn decoder_136b() -> Self {
+        TransformerConfig {
+            name: "136B-LM".into(),
+            arch: Arch::DecoderOnly,
+            layers: 88,
+            d_model: 10240,
+            d_ff: 40960,
+            vocab: 32000,
+            seq_len: 1024,
+            params_override: Some(136_000_000_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_param_counts() {
+        assert_eq!(TransformerConfig::t5_base().params(), 270_000_000);
+        assert_eq!(TransformerConfig::t5_11b().params(), 11_000_000_000);
+        // The 3B decoder derives its count from its dimensions; the
+        // paper says "3 billion parameters in total".
+        let p = TransformerConfig::decoder_3b().params() as f64;
+        assert!((2.5e9..3.5e9).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn flops_scale_with_params() {
+        let base = TransformerConfig::t5_base();
+        let big = TransformerConfig::t5_11b();
+        let ratio = big.train_flops_per_token() / base.train_flops_per_token();
+        assert!((ratio - 11e9 / 270e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn activation_bytes_follow_d_model() {
+        let m = TransformerConfig::decoder_3b();
+        assert_eq!(m.activation_bytes_per_token(), 4096);
+    }
+}

@@ -1,0 +1,351 @@
+//! Builders that lower training workloads onto Pathways programs.
+//!
+//! Three program shapes cover every §5.3 experiment:
+//!
+//! * [`spmd_program`] — one sharded computation over all devices of a
+//!   slice (Tables 1 and 2's "Model-parallel (SPMD)" rows);
+//! * [`gpipe_program`] — a GPipe schedule with `S` stages and `M`
+//!   micro-batches, stage `s` on its own slice (Table 2's pipelining
+//!   rows, Figures 7 and 10);
+//! * [`two_island_data_parallel_program`] — gradient exchange between
+//!   islands over the DCN (§5.3's 64B/136B runs, Figure 12).
+
+use pathways_core::{Client, CompId, FnSpec, Program, VirtualSlice};
+use pathways_sim::SimDuration;
+
+use crate::calibration::Calibration;
+use crate::transformer::TransformerConfig;
+
+/// A training workload: model + calibration + global batch.
+#[derive(Debug, Clone)]
+pub struct TrainSetup {
+    /// The model.
+    pub model: TransformerConfig,
+    /// Hardware calibration.
+    pub calib: Calibration,
+    /// Tokens per training step (global batch x sequence length).
+    pub global_batch_tokens: u64,
+}
+
+impl TrainSetup {
+    /// Creates a setup with the default calibration.
+    pub fn new(model: TransformerConfig, global_batch_tokens: u64) -> Self {
+        TrainSetup {
+            model,
+            calib: Calibration::default(),
+            global_batch_tokens,
+        }
+    }
+}
+
+/// Builds a single-computation SPMD training-step program on `slice`.
+///
+/// The computation's collective models the intra-step parameter/gradient
+/// exchange; following GShard (§5.3 footnote), its size is proportional
+/// to the per-device parameter shard, not to the batch.
+pub fn spmd_program(client: &Client, slice: &VirtualSlice, setup: &TrainSetup) -> Program {
+    let cores = slice.len() as u32;
+    let compute = setup
+        .calib
+        .step_compute_time(&setup.model, setup.global_batch_tokens, cores);
+    let comm_bytes = setup.model.param_bytes_bf16() / cores as u64;
+    // Non-overlapped SPMD collective time (see Calibration docs).
+    let comm_time = compute.mul_f64(setup.calib.spmd_comm_fraction);
+    let mut b = client.trace(format!("spmd-{}", setup.model.name));
+    b.computation(
+        FnSpec::compute_only(format!("{}-step", setup.model.name), compute)
+            .with_allreduce(comm_bytes)
+            .with_collective_time(comm_time)
+            .with_output_bytes(64),
+        slice,
+    );
+    b.build().expect("single-computation program is valid")
+}
+
+/// Builds a GPipe training-step program: `stages.len()` pipeline stages,
+/// `microbatches` micro-batches, forward then backward per micro-batch,
+/// and one apply-gradients computation per stage.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty or `microbatches` is zero.
+pub fn gpipe_program(
+    client: &Client,
+    stages: &[VirtualSlice],
+    microbatches: u32,
+    setup: &TrainSetup,
+) -> Program {
+    assert!(!stages.is_empty(), "pipeline needs at least one stage");
+    assert!(microbatches > 0, "pipeline needs at least one micro-batch");
+    let s_count = stages.len() as u32;
+    let m_count = microbatches;
+    let ub_tokens = setup.global_batch_tokens / m_count as u64;
+
+    // Forward is 1/3 of training FLOPs, backward 2/3; each stage holds
+    // 1/S of the layers.
+    let step_all = setup
+        .calib
+        .step_compute_time(&setup.model, ub_tokens, stages[0].len() as u32);
+    let stage_total = SimDuration::from_nanos(step_all.as_nanos() / s_count as u64);
+    let fwd_t = SimDuration::from_nanos(stage_total.as_nanos() / 3);
+    let bwd_t = stage_total - fwd_t;
+    // Activations are sharded across the stage's devices: each shard
+    // holds and forwards its slice of the micro-batch boundary tensor.
+    let act_bytes = ub_tokens * setup.model.activation_bytes_per_token() / stages[0].len() as u64;
+
+    let mut b = client.trace(format!(
+        "gpipe-{}-S{}-M{}",
+        setup.model.name, s_count, m_count
+    ));
+    let mut fwd = vec![Vec::with_capacity(m_count as usize); s_count as usize];
+    let mut bwd = vec![Vec::with_capacity(m_count as usize); s_count as usize];
+    for s in 0..s_count as usize {
+        for m in 0..m_count {
+            fwd[s].push(b.computation(
+                FnSpec::compute_only(format!("fwd{s}m{m}"), fwd_t).with_output_bytes(act_bytes),
+                &stages[s],
+            ));
+        }
+    }
+    for s in (0..s_count as usize).rev() {
+        for m in 0..m_count {
+            bwd[s].push(b.computation(
+                FnSpec::compute_only(format!("bwd{s}m{m}"), bwd_t).with_output_bytes(act_bytes),
+                &stages[s],
+            ));
+        }
+    }
+    // Dataflow: activations forward, gradients backward.
+    for s in 0..s_count as usize {
+        for m in 0..m_count as usize {
+            if s + 1 < s_count as usize {
+                b.reshard_edge(fwd[s][m], fwd[s + 1][m], act_bytes);
+            } else {
+                b.reshard_edge(fwd[s][m], bwd[s][m], act_bytes);
+            }
+            if s > 0 {
+                b.reshard_edge(bwd[s][m], bwd[s - 1][m], act_bytes);
+            }
+        }
+    }
+    // Apply-gradients per stage once all its micro-batches are done.
+    let apply_t = SimDuration::from_nanos(stage_total.as_nanos() / 20);
+    for s in 0..s_count as usize {
+        let apply = b.computation(
+            FnSpec::compute_only(format!("apply{s}"), apply_t).with_output_bytes(64),
+            &stages[s],
+        );
+        for m in 0..m_count as usize {
+            b.edge(bwd[s][m], apply, 64);
+        }
+    }
+    b.build().expect("gpipe program is a DAG")
+}
+
+/// Builds a two-island data-parallel step (§5.3): each island computes
+/// gradients over half the batch, exchanges them over the DCN, and
+/// applies.
+pub fn two_island_data_parallel_program(
+    client: &Client,
+    islands: &[VirtualSlice; 2],
+    setup: &TrainSetup,
+) -> Program {
+    let cores = islands[0].len() as u32;
+    assert_eq!(
+        islands[0].len(),
+        islands[1].len(),
+        "islands must be symmetric"
+    );
+    // Each island processes half the global batch.
+    let half_tokens = setup.global_batch_tokens / 2;
+    let compute = setup
+        .calib
+        .step_compute_time(&setup.model, half_tokens, cores);
+    let comm_time = compute.mul_f64(setup.calib.spmd_comm_fraction);
+    let intra_bytes = setup.model.param_bytes_bf16() / cores as u64;
+    // Cross-island exchange: the fast ICI within-island reduction
+    // happened in the grad computation; each island then ships its
+    // reduced gradients to the other over DCN.
+    let exchange_total = setup.calib.grad_exchange_bytes(&setup.model);
+    let exchange_per_shard = exchange_total / islands[0].len() as u64;
+
+    let mut b = client.trace(format!("2island-{}", setup.model.name));
+    let mut grads = Vec::new();
+    let mut applies = Vec::new();
+    for island in islands {
+        grads.push(
+            b.computation(
+                FnSpec::compute_only(format!("{}-grad", setup.model.name), compute)
+                    .with_allreduce(intra_bytes)
+                    .with_collective_time(comm_time)
+                    .with_output_bytes(exchange_per_shard),
+                island,
+            ),
+        );
+    }
+    let apply_t = SimDuration::from_nanos(compute.as_nanos() / 20);
+    for island in islands {
+        applies.push(b.computation(
+            FnSpec::compute_only("apply", apply_t).with_output_bytes(64),
+            island,
+        ));
+    }
+    // Each apply waits for the local gradients (free) and the remote
+    // island's gradients (DCN transfer).
+    b.edge(grads[0], applies[0], 0);
+    b.edge(grads[1], applies[1], 0);
+    b.edge(grads[0], applies[1], exchange_per_shard);
+    b.edge(grads[1], applies[0], exchange_per_shard);
+    b.build().expect("data-parallel program is a DAG")
+}
+
+/// Sink computation ids of a program (convenience for result checks).
+pub fn sink_ids(program: &Program) -> Vec<CompId> {
+    program.sinks()
+}
+
+/// Runs `steps` training steps (plus one warm-up) of a prepared program
+/// and returns tokens/second of steady-state virtual time.
+pub async fn measure_tokens_per_sec(
+    client: &Client,
+    prepared: &pathways_core::PreparedProgram,
+    tokens_per_step: u64,
+    steps: u32,
+) -> f64 {
+    // Warm-up step (compilation, buffer pools).
+    client.run(prepared).await;
+    let handle = client.handle().clone();
+    let start = handle.now();
+    for _ in 0..steps {
+        client.run(prepared).await;
+    }
+    let elapsed = handle.now().duration_since(start);
+    (tokens_per_step * steps as u64) as f64 / elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathways_core::{PathwaysConfig, PathwaysRuntime, SliceRequest};
+    use pathways_net::{ClusterSpec, HostId, IslandId, NetworkParams};
+    use pathways_sim::Sim;
+
+    fn small_setup() -> TrainSetup {
+        let mut s = TrainSetup::new(TransformerConfig::decoder_3b(), 64 * 1024);
+        // Keep simulated steps short for tests.
+        s.calib.mfu = 0.5;
+        s
+    }
+
+    #[test]
+    fn spmd_program_has_one_computation() {
+        let mut sim = Sim::new(0);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(2),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let client = rt.client(HostId(0));
+        let slice = client.virtual_slice(SliceRequest::devices(16)).unwrap();
+        let p = spmd_program(&client, &slice, &small_setup());
+        assert_eq!(p.computations().len(), 1);
+        let prepared = client.prepare(&p);
+        let job = sim.spawn(
+            "c",
+            async move { client.run(&prepared).await.objects().len() },
+        );
+        sim.run_to_quiescence();
+        assert_eq!(job.try_take().unwrap(), 1);
+    }
+
+    #[test]
+    fn gpipe_program_shape() {
+        let mut sim = Sim::new(0);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(4),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let client = rt.client(HostId(0));
+        let stages: Vec<_> = (0..4)
+            .map(|_| client.virtual_slice(SliceRequest::devices(8)).unwrap())
+            .collect();
+        let p = gpipe_program(&client, &stages, 4, &small_setup());
+        // 4 stages x 4 ubatches x (fwd + bwd) + 4 applies.
+        assert_eq!(p.computations().len(), 4 * 4 * 2 + 4);
+        // It is a DAG with a valid topological order.
+        assert_eq!(p.topo_order().len(), p.computations().len());
+        let prepared = client.prepare(&p);
+        let job = sim.spawn(
+            "c",
+            async move { client.run(&prepared).await.objects().len() },
+        );
+        let out = sim.run();
+        assert!(out.is_quiescent(), "{out:?}");
+        // Sinks are the 4 apply computations.
+        assert_eq!(job.try_take().unwrap(), 4);
+    }
+
+    #[test]
+    fn gpipe_throughput_improves_with_more_microbatches() {
+        // More micro-batches shrink the pipeline bubble (S+M-1)/M.
+        let measure = |m: u32| {
+            let mut sim = Sim::new(0);
+            let rt = PathwaysRuntime::new(
+                &sim,
+                ClusterSpec::config_b(4),
+                NetworkParams::tpu_cluster(),
+                PathwaysConfig::default(),
+            );
+            let client = rt.client(HostId(0));
+            let stages: Vec<_> = (0..4)
+                .map(|_| client.virtual_slice(SliceRequest::devices(8)).unwrap())
+                .collect();
+            let setup = small_setup();
+            let p = gpipe_program(&client, &stages, m, &setup);
+            let prepared = client.prepare(&p);
+            let tokens = setup.global_batch_tokens;
+            let job = sim.spawn("c", async move {
+                measure_tokens_per_sec(&client, &prepared, tokens, 2).await
+            });
+            sim.run_to_quiescence();
+            job.try_take().unwrap()
+        };
+        let m2 = measure(2);
+        let m8 = measure(8);
+        assert!(m8 > m2, "M=8 ({m8} tok/s) should beat M=2 ({m2} tok/s)");
+    }
+
+    #[test]
+    fn two_island_program_runs_over_dcn() {
+        let mut sim = Sim::new(0);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::islands_of(2, 4, 8),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let client = rt.client(HostId(0));
+        let s0 = client
+            .virtual_slice(SliceRequest::devices(32).in_island(IslandId(0)))
+            .unwrap();
+        let s1 = client
+            .virtual_slice(SliceRequest::devices(32).in_island(IslandId(1)))
+            .unwrap();
+        let mut setup = small_setup();
+        // Keep the exchange small enough for a quick test.
+        setup.calib.grad_bytes_per_param = 0.01;
+        let p = two_island_data_parallel_program(&client, &[s0, s1], &setup);
+        assert_eq!(p.computations().len(), 4);
+        let prepared = client.prepare(&p);
+        let job = sim.spawn(
+            "c",
+            async move { client.run(&prepared).await.objects().len() },
+        );
+        let out = sim.run();
+        assert!(out.is_quiescent(), "{out:?}");
+        assert_eq!(job.try_take().unwrap(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Identifiers for cluster entities.
+//!
+//! All ids are newtypes over dense indices ([C-NEWTYPE]): an `IslandId`
+//! can never be confused with a `HostId` at a call site, and each id
+//! indexes directly into the vectors held by
+//! [`Topology`](crate::Topology).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Dense index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// One island: a set of hosts whose devices share a private
+    /// high-bandwidth interconnect (a TPU pod or pod slice).
+    IslandId,
+    "island"
+);
+define_id!(
+    /// One host machine (CPU, DRAM, NIC) with locally attached devices.
+    HostId,
+    "host"
+);
+define_id!(
+    /// One accelerator device (a simulated TPU core), globally numbered.
+    DeviceId,
+    "dev"
+);
+define_id!(
+    /// One Pathways client process.
+    ClientId,
+    "client"
+);
+
+/// Position of a device in its island's 2-D ICI torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TorusCoord {
+    /// Row within the island mesh.
+    pub row: u32,
+    /// Column within the island mesh.
+    pub col: u32,
+}
+
+impl fmt::Display for TorusCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+impl TorusCoord {
+    /// Wrap-around (torus) hop distance to `other` in a mesh of
+    /// `rows x cols`.
+    pub fn torus_distance(self, other: TorusCoord, rows: u32, cols: u32) -> u32 {
+        let dr = self.row.abs_diff(other.row);
+        let dc = self.col.abs_diff(other.col);
+        dr.min(rows - dr) + dc.min(cols - dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(IslandId(2).to_string(), "island2");
+        assert_eq!(HostId(11).to_string(), "host11");
+        assert_eq!(DeviceId(7).to_string(), "dev7");
+        assert_eq!(ClientId(0).to_string(), "client0");
+    }
+
+    #[test]
+    fn torus_distance_wraps() {
+        let a = TorusCoord { row: 0, col: 0 };
+        let b = TorusCoord { row: 3, col: 3 };
+        // In a 4x4 torus, (0,0)->(3,3) is 1 hop down + 1 hop left.
+        assert_eq!(a.torus_distance(b, 4, 4), 2);
+        // In an 8x8 torus it is 3+3.
+        assert_eq!(a.torus_distance(b, 8, 8), 6);
+        // Distance is symmetric.
+        assert_eq!(b.torus_distance(a, 8, 8), 6);
+    }
+
+    #[test]
+    fn ids_index_densely() {
+        assert_eq!(DeviceId(5).index(), 5);
+        assert_eq!(HostId::from(3u32), HostId(3));
+    }
+}

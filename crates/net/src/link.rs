@@ -1,0 +1,135 @@
+//! A FIFO store-and-forward link model.
+//!
+//! Transfers occupy the link exclusively for their serialization time
+//! (`bytes / bandwidth` plus a fixed per-message occupancy), then incur a
+//! propagation latency *after* releasing the link, so back-to-back
+//! messages pipeline: the wire can carry message `k+1` while message `k`
+//! is still in flight. This is the standard LogP-style model and is what
+//! makes high-fanout sends from one NIC serialize — the effect behind the
+//! paper's single-controller dispatch overheads (Figures 5 and 6).
+
+use std::fmt;
+
+use pathways_sim::sync::Semaphore;
+use pathways_sim::{SimDuration, SimHandle};
+
+use crate::params::Bandwidth;
+
+/// An exclusive FIFO link with bandwidth, per-message occupancy and
+/// propagation latency.
+#[derive(Clone)]
+pub struct FifoLink {
+    gate: Semaphore,
+    latency: SimDuration,
+    bandwidth: Bandwidth,
+    per_message: SimDuration,
+}
+
+impl fmt::Debug for FifoLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FifoLink")
+            .field("latency", &self.latency)
+            .field("bandwidth_Bps", &self.bandwidth.bytes_per_sec())
+            .field("per_message", &self.per_message)
+            .finish()
+    }
+}
+
+impl FifoLink {
+    /// Creates a link.
+    pub fn new(latency: SimDuration, bandwidth: Bandwidth, per_message: SimDuration) -> Self {
+        FifoLink {
+            gate: Semaphore::new(1),
+            latency,
+            bandwidth,
+            per_message,
+        }
+    }
+
+    /// Propagation latency of the link.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Time the link is occupied by a message of `bytes`.
+    pub fn occupancy(&self, bytes: u64) -> SimDuration {
+        self.per_message + self.bandwidth.transfer_time(bytes)
+    }
+
+    /// Transmits `bytes`; resolves when the last byte arrives at the far
+    /// end. FIFO-fair under contention.
+    pub async fn transmit(&self, handle: &SimHandle, bytes: u64) {
+        {
+            let _permit = self.gate.acquire(1).await;
+            handle.sleep(self.occupancy(bytes)).await;
+        }
+        handle.sleep(self.latency).await;
+    }
+
+    /// Occupies the link without the trailing propagation delay; used
+    /// when the caller only needs to model sender-side cost (e.g. a CPU
+    /// enqueueing work over PCIe and immediately continuing).
+    pub async fn occupy(&self, handle: &SimHandle, bytes: u64) {
+        let _permit = self.gate.acquire(1).await;
+        handle.sleep(self.occupancy(bytes)).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Bandwidth;
+    use pathways_sim::Sim;
+
+    fn test_link() -> FifoLink {
+        // 1 GB/s, 10us latency, 1us per message.
+        FifoLink::new(
+            SimDuration::from_micros(10),
+            Bandwidth::from_gbps(1.0),
+            SimDuration::from_micros(1),
+        )
+    }
+
+    #[test]
+    fn single_transfer_time_is_occupancy_plus_latency() {
+        let mut sim = Sim::new(0);
+        let link = test_link();
+        let h = sim.handle();
+        sim.spawn("t", async move {
+            // 1000 bytes at 1 GB/s = 1us serialization.
+            link.transmit(&h, 1_000).await;
+        });
+        // 1us per-message + 1us serialize + 10us latency.
+        assert_eq!(sim.run_to_quiescence().as_nanos(), 12_000);
+    }
+
+    #[test]
+    fn concurrent_transfers_serialize_but_pipeline_latency() {
+        let mut sim = Sim::new(0);
+        let link = test_link();
+        let mut ends = Vec::new();
+        for i in 0..3 {
+            let link = link.clone();
+            let h = sim.handle();
+            ends.push(sim.spawn(format!("t{i}"), async move {
+                link.transmit(&h, 1_000).await;
+                h.now().as_nanos()
+            }));
+        }
+        sim.run_to_quiescence();
+        let ends: Vec<u64> = ends.iter().map(|e| e.try_take().unwrap()).collect();
+        // Message k occupies [2k, 2k+2)us then lands at 2k+12us.
+        assert_eq!(ends, vec![12_000, 14_000, 16_000]);
+    }
+
+    #[test]
+    fn occupy_skips_propagation() {
+        let mut sim = Sim::new(0);
+        let link = test_link();
+        let h = sim.handle();
+        sim.spawn("t", async move {
+            link.occupy(&h, 1_000).await;
+        });
+        assert_eq!(sim.run_to_quiescence().as_nanos(), 2_000);
+    }
+}

@@ -1,0 +1,124 @@
+//! Calibrated latency/bandwidth constants for the simulated cluster.
+//!
+//! Absolute numbers are order-of-magnitude calibrations against public
+//! TPUv3 figures and the relationships the paper relies on (§2, Appendix
+//! A): PCIe dispatch is fast (a few microseconds), DCN messages are
+//! roughly an order of magnitude slower, and ICI is a dedicated
+//! high-bandwidth mesh that does not involve the host.
+
+use serde::{Deserialize, Serialize};
+
+use pathways_sim::SimDuration;
+
+/// Bytes-per-second bandwidth newtype.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not finite and positive.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be finite and positive, got {bytes_per_sec}"
+        );
+        Bandwidth(bytes_per_sec)
+    }
+
+    /// Creates a bandwidth from gigabytes per second.
+    pub fn from_gbps(gb_per_sec: f64) -> Self {
+        Self::from_bytes_per_sec(gb_per_sec * 1e9)
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time to push `bytes` through this link (serialization delay only).
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.0)
+    }
+}
+
+/// All tunable constants of the simulated interconnects.
+///
+/// The defaults reproduce the relative magnitudes the paper depends on;
+/// experiments override individual fields where a sweep requires it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// One-way PCIe enqueue latency (multi-controller dispatch path).
+    pub pcie_latency: SimDuration,
+    /// PCIe bandwidth between host DRAM and device HBM.
+    pub pcie_bandwidth: Bandwidth,
+    /// Per-hop latency on the intra-island ICI mesh.
+    pub ici_hop_latency: SimDuration,
+    /// Per-link ICI bandwidth.
+    pub ici_bandwidth: Bandwidth,
+    /// One-way latency of a DCN message between any two hosts.
+    pub dcn_latency: SimDuration,
+    /// Per-host DCN NIC bandwidth.
+    pub dcn_bandwidth: Bandwidth,
+    /// Fixed per-message CPU/NIC overhead for DCN sends; the sender's
+    /// NIC is occupied for this long per message, so high-fanout sends
+    /// serialize. This constant dominates single-controller dispatch
+    /// overhead at scale (Figures 5 and 6).
+    pub dcn_send_overhead: SimDuration,
+    /// Host-side cost to enqueue one accelerator computation over PCIe
+    /// (driver + runtime bookkeeping).
+    pub enqueue_cpu_overhead: SimDuration,
+}
+
+impl NetworkParams {
+    /// Calibration used by all experiments unless overridden.
+    pub fn tpu_cluster() -> Self {
+        NetworkParams {
+            pcie_latency: SimDuration::from_micros(3),
+            pcie_bandwidth: Bandwidth::from_gbps(16.0),
+            ici_hop_latency: SimDuration::from_micros(1),
+            ici_bandwidth: Bandwidth::from_gbps(100.0),
+            dcn_latency: SimDuration::from_micros(30),
+            dcn_bandwidth: Bandwidth::from_gbps(12.5),
+            dcn_send_overhead: SimDuration::from_micros(4),
+            enqueue_cpu_overhead: SimDuration::from_micros(5),
+        }
+    }
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        Self::tpu_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = Bandwidth::from_gbps(1.0);
+        assert_eq!(bw.transfer_time(1_000_000_000).as_millis(), 1_000);
+        assert_eq!(bw.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn defaults_preserve_paper_magnitudes() {
+        let p = NetworkParams::default();
+        // DCN dispatch is roughly an order of magnitude slower than PCIe
+        // (§2: "typically an order of magnitude slower than PCIe").
+        assert!(p.dcn_latency.as_nanos() >= 10 * p.pcie_latency.as_nanos() / 2);
+        // ICI is the fastest interconnect.
+        assert!(p.ici_bandwidth.bytes_per_sec() > p.dcn_bandwidth.bytes_per_sec());
+        assert!(p.ici_hop_latency < p.dcn_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be finite and positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::from_bytes_per_sec(0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for topology and collective cost models.
+
+use proptest::prelude::*;
+
+use pathways_net::collective::{ring_allreduce, torus_allreduce};
+use pathways_net::{Bandwidth, ClusterSpec, DeviceId};
+use pathways_sim::SimDuration;
+
+proptest! {
+    /// Every device maps to exactly one host, and that host's device list
+    /// contains it; islands partition both hosts and devices.
+    #[test]
+    fn topology_mappings_are_a_partition(
+        islands in 1u32..5,
+        hosts in 1u32..9,
+        dph in 1u32..9,
+    ) {
+        let topo = ClusterSpec::islands_of(islands, hosts, dph).build();
+        prop_assert_eq!(topo.num_devices(), islands * hosts * dph);
+        let mut seen = vec![false; topo.num_devices() as usize];
+        for h in topo.hosts() {
+            for d in topo.devices_of_host(h) {
+                prop_assert!(!seen[d.index()], "device listed twice");
+                seen[d.index()] = true;
+                prop_assert_eq!(topo.host_of_device(d), h);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+        // Island device lists partition the devices too.
+        let total: usize = topo
+            .islands()
+            .map(|i| topo.devices_of_island(i).len())
+            .sum();
+        prop_assert_eq!(total, topo.num_devices() as usize);
+    }
+
+    /// ICI hop distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn ici_hops_is_a_metric(
+        hosts in 1u32..17,
+        picks in proptest::collection::vec(0usize..1000, 3),
+    ) {
+        let topo = ClusterSpec::config_b(hosts).build();
+        let n = topo.num_devices() as usize;
+        let d = |i: usize| DeviceId((picks[i] % n) as u32);
+        let (a, b, c) = (d(0), d(1), d(2));
+        prop_assert_eq!(topo.ici_hops(a, b), topo.ici_hops(b, a));
+        prop_assert_eq!(topo.ici_hops(a, a), 0);
+        if a != b {
+            prop_assert!(topo.ici_hops(a, b) > 0);
+        }
+        prop_assert!(
+            topo.ici_hops(a, c) <= topo.ici_hops(a, b) + topo.ici_hops(b, c)
+        );
+    }
+
+    /// Collective cost models are monotone in payload size and never
+    /// cheaper for more participants at fixed payload.
+    #[test]
+    fn collective_costs_are_monotone(
+        rows in 1u32..16,
+        cols in 1u32..16,
+        bytes_a in 0u64..1_000_000,
+        bytes_b in 0u64..1_000_000,
+    ) {
+        let bw = Bandwidth::from_gbps(100.0);
+        let lat = SimDuration::from_micros(1);
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(
+            torus_allreduce(rows, cols, lo, bw, lat) <= torus_allreduce(rows, cols, hi, bw, lat)
+        );
+        prop_assert!(
+            torus_allreduce(rows, cols, lo, bw, lat)
+                <= torus_allreduce(rows + 1, cols, lo, bw, lat)
+        );
+        prop_assert!(
+            ring_allreduce(rows * cols, lo, bw, lat)
+                <= ring_allreduce(rows * cols + 1, lo, bw, lat)
+        );
+    }
+
+    /// The torus algorithm never loses to the ring for the same device
+    /// count when the mesh is at least 2-D (latency-bound regime).
+    #[test]
+    fn torus_beats_ring_at_scale(rows in 2u32..32, cols in 2u32..32) {
+        let bw = Bandwidth::from_gbps(100.0);
+        let lat = SimDuration::from_micros(1);
+        let torus = torus_allreduce(rows, cols, 4, bw, lat);
+        let ring = ring_allreduce(rows * cols, 4, bw, lat);
+        prop_assert!(torus <= ring, "torus {torus} vs ring {ring}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Progress tracking for sparse sharded exchanges.
+//!
+//! §4.3: the substrate must support *"sparse data exchanges along sharded
+//! edges, in which messages can be sent between a dynamically chosen
+//! subset of shards, using standard progress tracking mechanisms to
+//! detect when all messages for a shard have been received."*
+//!
+//! We use the counted-punctuation scheme of MillWheel/Naiad: when a
+//! source shard finishes emitting on an edge it sends every destination
+//! shard a `Done(sent_count)` punctuation carrying how many data tuples
+//! it addressed to that destination. A destination's view of the edge is
+//! complete when it has a punctuation from **all** source shards and has
+//! received exactly the promised number of tuples — so a destination that
+//! was sent nothing still learns, cheaply, that the edge is closed.
+
+use std::fmt;
+
+/// Per-(destination shard, in-edge) completion tracker.
+#[derive(Clone)]
+pub struct ProgressTracker {
+    expected_srcs: u32,
+    dones: std::collections::HashSet<u32>,
+    expected: u64,
+    received: u64,
+    fired: bool,
+}
+
+impl fmt::Debug for ProgressTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgressTracker")
+            .field("srcs_done", &self.dones.len())
+            .field("expected_srcs", &self.expected_srcs)
+            .field("received", &self.received)
+            .field("expected", &self.expected)
+            .finish()
+    }
+}
+
+impl ProgressTracker {
+    /// Creates a tracker for a destination expecting punctuations from
+    /// `expected_srcs` distinct source shards (all shards of the source
+    /// node for an all-to-all edge; just one for a one-to-one edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_srcs` is zero.
+    pub fn new(expected_srcs: u32) -> Self {
+        assert!(
+            expected_srcs > 0,
+            "edge must have at least one source shard"
+        );
+        ProgressTracker {
+            expected_srcs,
+            dones: std::collections::HashSet::new(),
+            expected: 0,
+            received: 0,
+            fired: false,
+        }
+    }
+
+    /// Records a data tuple arrival from `src_shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source already declared done with fewer tuples than
+    /// have now arrived (a protocol violation).
+    pub fn record_data(&mut self, src_shard: u32) {
+        let _ = src_shard;
+        self.received += 1;
+        if self.all_done() {
+            assert!(
+                self.received <= self.expected,
+                "received more tuples than punctuations promised"
+            );
+        }
+    }
+
+    /// Records a punctuation: `src_shard` sent `sent` tuples to this
+    /// destination and will send no more.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate punctuation from the same source shard.
+    pub fn record_done(&mut self, src_shard: u32, sent: u64) {
+        assert!(
+            self.dones.insert(src_shard),
+            "duplicate punctuation from source shard {src_shard}"
+        );
+        self.expected += sent;
+    }
+
+    fn all_done(&self) -> bool {
+        self.dones.len() as u32 == self.expected_srcs
+    }
+
+    /// True when all producers punctuated and all promised tuples
+    /// arrived.
+    pub fn is_complete(&self) -> bool {
+        self.all_done() && self.received == self.expected
+    }
+
+    /// Returns true exactly once, the first time completion is observed.
+    pub fn take_completion(&mut self) -> bool {
+        if !self.fired && self.is_complete() {
+            self.fired = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tuples received so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_when_counts_match() {
+        let mut t = ProgressTracker::new(2);
+        t.record_data(0);
+        t.record_done(0, 2);
+        assert!(!t.is_complete());
+        t.record_data(0);
+        assert!(!t.is_complete()); // src 1 not done
+        t.record_done(1, 0);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn sparse_exchange_with_no_tuples_completes() {
+        // A destination that receives nothing still closes once all
+        // sources punctuate zero.
+        let mut t = ProgressTracker::new(3);
+        for s in 0..3 {
+            assert!(!t.is_complete());
+            t.record_done(s, 0);
+        }
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn punctuation_before_data_is_fine() {
+        // Reordering across source shards: done from src0 arrives before
+        // src1's data.
+        let mut t = ProgressTracker::new(2);
+        t.record_done(0, 0);
+        t.record_done(1, 1);
+        assert!(!t.is_complete());
+        t.record_data(1);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn take_completion_fires_once() {
+        let mut t = ProgressTracker::new(1);
+        t.record_done(0, 0);
+        assert!(t.take_completion());
+        assert!(!t.take_completion());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate punctuation")]
+    fn duplicate_done_panics() {
+        let mut t = ProgressTracker::new(1);
+        t.record_done(0, 0);
+        t.record_done(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more tuples than punctuations promised")]
+    fn over_delivery_panics() {
+        let mut t = ProgressTracker::new(1);
+        t.record_done(0, 1);
+        t.record_data(0);
+        t.record_data(0);
+    }
+}

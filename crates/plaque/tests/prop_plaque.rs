@@ -1,0 +1,170 @@
+//! Property-based tests of the sharded dataflow runtime: arbitrary
+//! fan-out patterns complete, tuples are conserved, and sparse
+//! destinations terminate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use pathways_net::{ClusterSpec, Fabric, HostId, NetworkParams};
+use pathways_plaque::{
+    EdgeId, GraphBuilder, NullOperator, Operator, PlaqueRuntime, ShardCtx, Tuple,
+};
+use pathways_sim::Sim;
+
+struct PatternSource {
+    out: EdgeId,
+    // (dst shard, how many tuples)
+    plan: Vec<(u32, u8)>,
+}
+
+impl Operator for PatternSource {
+    fn on_all_inputs_complete(&mut self, ctx: &mut ShardCtx<'_>) {
+        for (dst, n) in &self.plan {
+            for _ in 0..*n {
+                ctx.send(self.out, *dst, Tuple::new(1u64, 8));
+            }
+        }
+        ctx.halt();
+    }
+}
+
+struct CountingSink {
+    got: Rc<RefCell<u64>>,
+}
+
+impl Operator for CountingSink {
+    fn on_tuple(&mut self, _c: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, t: Tuple) {
+        *self.got.borrow_mut() += t.expect::<u64>();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any sparse send plan from any number of source shards to any
+    /// number of destination shards, the program terminates and every
+    /// tuple is delivered exactly once.
+    #[test]
+    fn sparse_plans_conserve_tuples(
+        src_shards in 1u32..6,
+        dst_shards in 1u32..12,
+        plan in proptest::collection::vec(
+            proptest::collection::vec((0u32..12, 0u8..5), 0..6),
+            1..6,
+        ),
+        hosts in 1u32..5,
+    ) {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Rc::new(ClusterSpec::config_b(hosts).build()),
+            NetworkParams::tpu_cluster(),
+        );
+        let rt = PlaqueRuntime::new(fabric);
+        let got = Rc::new(RefCell::new(0u64));
+        // Normalize: one plan entry per source shard, dsts in range.
+        let plans: Vec<Vec<(u32, u8)>> = (0..src_shards)
+            .map(|s| {
+                plan.get(s as usize % plan.len())
+                    .cloned()
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|(d, n)| (d % dst_shards, n))
+                    .collect()
+            })
+            .collect();
+        let expected: u64 = plans
+            .iter()
+            .flat_map(|p| p.iter().map(|(_, n)| *n as u64))
+            .sum();
+
+        let src_place: Vec<HostId> = (0..src_shards).map(|s| HostId(s % hosts)).collect();
+        let dst_place: Vec<HostId> = (0..dst_shards).map(|s| HostId((s + 1) % hosts)).collect();
+        let out = EdgeId(0);
+        let mut g = GraphBuilder::new("prop");
+        let plans2 = plans.clone();
+        let src = g.node("src", src_place, move |shard| {
+            Box::new(PatternSource {
+                out,
+                plan: plans2[shard as usize].clone(),
+            })
+        });
+        let dst = {
+            let got = Rc::clone(&got);
+            g.node("dst", dst_place, move |_| {
+                Box::new(CountingSink {
+                    got: Rc::clone(&got),
+                })
+            })
+        };
+        prop_assert_eq!(g.edge(src, dst), out);
+        let graph = g.build().unwrap();
+        let run = rt.launch(&graph, HostId(0));
+        let client = sim.spawn("client", async move { run.await_done().await });
+        let outcome = sim.run();
+        prop_assert!(outcome.is_quiescent(), "stuck: {:?}", outcome);
+        prop_assert!(client.is_finished());
+        prop_assert_eq!(*got.borrow(), expected);
+    }
+
+    /// Graph size is O(nodes + edges) regardless of shard counts.
+    #[test]
+    fn representation_stays_compact(shards in 1u32..512) {
+        let mut g = GraphBuilder::new("compact");
+        let place: Vec<HostId> = (0..shards).map(|_| HostId(0)).collect();
+        let a = g.node("a", place.clone(), |_| Box::new(NullOperator));
+        let b = g.node("b", place, |_| Box::new(NullOperator));
+        g.one_to_one_edge(a, b);
+        let graph = g.build().unwrap();
+        prop_assert_eq!(graph.num_nodes(), 2);
+        prop_assert_eq!(graph.num_edges(), 1);
+    }
+
+    /// Concurrent runs of differently-sharded graphs never interfere:
+    /// each run's sink receives exactly its own tuple count.
+    #[test]
+    fn concurrent_runs_are_isolated(
+        counts in proptest::collection::vec(1u8..6, 2..5),
+        hosts in 1u32..4,
+    ) {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Rc::new(ClusterSpec::config_b(hosts).build()),
+            NetworkParams::tpu_cluster(),
+        );
+        let rt = PlaqueRuntime::new(fabric);
+        let mut sums = Vec::new();
+        for (i, n) in counts.iter().enumerate() {
+            let got = Rc::new(RefCell::new(0u64));
+            sums.push((Rc::clone(&got), *n as u64));
+            let out = EdgeId(0);
+            let n = *n;
+            let mut g = GraphBuilder::new(format!("g{i}"));
+            let src = g.node("src", vec![HostId(i as u32 % hosts)], move |_| {
+                Box::new(PatternSource {
+                    out,
+                    plan: vec![(0, n)],
+                })
+            });
+            let dst = {
+                let got = Rc::clone(&got);
+                g.node("dst", vec![HostId((i as u32 + 1) % hosts)], move |_| {
+                    Box::new(CountingSink {
+                        got: Rc::clone(&got),
+                    })
+                })
+            };
+            prop_assert_eq!(g.edge(src, dst), out);
+            let graph = g.build().unwrap();
+            let run = rt.launch(&graph, HostId(0));
+            sim.spawn(format!("c{i}"), async move { run.await_done().await });
+        }
+        prop_assert!(sim.run().is_quiescent());
+        for (got, want) in sums {
+            prop_assert_eq!(*got.borrow(), want);
+        }
+    }
+}

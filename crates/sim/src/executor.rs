@@ -1,0 +1,854 @@
+//! The deterministic virtual-time executor.
+//!
+//! A [`Sim`] owns a set of single-threaded tasks and a virtual clock.
+//! Tasks are ordinary Rust futures (not `Send`; the whole simulation is
+//! one thread) that sleep on virtual timers via [`SimHandle::sleep`] and
+//! communicate through the channels in [`crate::channel`] and the
+//! primitives in [`crate::sync`].
+//!
+//! Execution is deterministic: the ready queue is FIFO, timers fire in
+//! `(deadline, registration order)`, and the only randomness available to
+//! tasks is the seeded RNG in [`SimHandle::rng_u64`]. Running the same
+//! program twice produces identical traces, which is what makes the
+//! paper's trace figures (Figure 9/10/12) exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use pathways_sim::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new(42);
+//! let h = sim.handle();
+//! let task = sim.spawn("worker", async move {
+//!     h.sleep(SimDuration::from_micros(10)).await;
+//!     h.now()
+//! });
+//! let outcome = sim.run();
+//! assert!(outcome.is_quiescent());
+//! assert_eq!(task.try_take().unwrap().as_nanos(), 10_000);
+//! ```
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+
+/// Identifier of a spawned task within one [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// Queue of task ids woken and awaiting a poll.
+///
+/// Shared with wakers through an `Arc` so the waker type satisfies the
+/// `Send + Sync` contract of [`std::task::Waker`] even though the
+/// simulation itself is single-threaded.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct TaskEntry {
+    name: String,
+    future: Pin<Box<dyn Future<Output = ()>>>,
+    idle: Option<IdleToken>,
+}
+
+/// Marker a long-running service task uses to tell the executor it is
+/// parked waiting for work (as opposed to stuck mid-operation).
+///
+/// Quiescence detection treats a pending task whose token reads *idle* as
+/// finished: an accelerator waiting for its next kernel is not a
+/// deadlock, but an accelerator blocked inside a gang collective is.
+#[derive(Debug, Clone, Default)]
+pub struct IdleToken {
+    idle: Rc<std::cell::Cell<bool>>,
+}
+
+impl IdleToken {
+    /// Creates a token in the *busy* state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the owning task idle (parked awaiting work).
+    pub fn set_idle(&self) {
+        self.idle.set(true);
+    }
+
+    /// Marks the owning task busy (processing an operation).
+    pub fn set_busy(&self) {
+        self.idle.set(false);
+    }
+
+    /// Reads the current state.
+    pub fn is_idle(&self) -> bool {
+        self.idle.get()
+    }
+}
+
+struct Inner {
+    now: SimTime,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    tasks: HashMap<TaskId, TaskEntry>,
+    next_task: u64,
+    next_seq: u64,
+    rng: StdRng,
+    trace: TraceLog,
+    /// Total number of task polls performed (for introspection/benches).
+    polls: u64,
+}
+
+impl Inner {
+    fn register_timer(&mut self, deadline: SimTime, waker: Waker) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.timers.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+    }
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every spawned task ran to completion.
+    Quiescent {
+        /// Virtual time when the last event fired.
+        time: SimTime,
+    },
+    /// Some tasks are still pending but no timer can wake them: the
+    /// simulated system is deadlocked (or waiting on an external stimulus
+    /// that will never arrive). The names of the stuck tasks are reported
+    /// for diagnosis.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        time: SimTime,
+        /// Names of tasks that can never be woken again.
+        stuck_tasks: Vec<String>,
+    },
+}
+
+impl RunOutcome {
+    /// Returns true if the run ended with all tasks completed.
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self, RunOutcome::Quiescent { .. })
+    }
+
+    /// Returns true if the run ended in a deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RunOutcome::Deadlock { .. })
+    }
+
+    /// Virtual time at which the run stopped.
+    pub fn time(&self) -> SimTime {
+        match self {
+            RunOutcome::Quiescent { time } | RunOutcome::Deadlock { time, .. } => *time,
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// See the crate-level documentation for an overview and example.
+pub struct Sim {
+    inner: Rc<RefCell<Inner>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Sim")
+            .field("now", &inner.now)
+            .field("live_tasks", &inner.tasks.len())
+            .field("pending_timers", &inner.timers.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(RefCell::new(Inner {
+                now: SimTime::ZERO,
+                timers: BinaryHeap::new(),
+                tasks: HashMap::new(),
+                next_task: 0,
+                next_seq: 0,
+                rng: StdRng::seed_from_u64(seed),
+                trace: TraceLog::new(),
+                polls: 0,
+            })),
+            ready: Arc::new(ReadyQueue::default()),
+        }
+    }
+
+    /// Returns a cloneable handle for use inside tasks.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            inner: Rc::downgrade(&self.inner),
+            ready: Arc::clone(&self.ready),
+        }
+    }
+
+    /// Spawns a task and returns a handle to its eventual output.
+    ///
+    /// The `name` is used in deadlock reports and traces.
+    pub fn spawn<T: 'static>(
+        &mut self,
+        name: impl Into<String>,
+        future: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.handle().spawn(name, future)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Number of task polls performed so far.
+    pub fn poll_count(&self) -> u64 {
+        self.inner.borrow().polls
+    }
+
+    /// Takes the accumulated trace events, leaving the log empty.
+    pub fn take_trace(&self) -> TraceLog {
+        std::mem::take(&mut self.inner.borrow_mut().trace)
+    }
+
+    /// Runs until every task completes or no further progress is possible.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until_time(SimTime::MAX)
+    }
+
+    /// Runs until quiescence, deadlock, or the clock reaching `limit`
+    /// (whichever comes first). Timers beyond `limit` are left pending.
+    pub fn run_until_time(&mut self, limit: SimTime) -> RunOutcome {
+        loop {
+            // Drain the ready queue in FIFO order.
+            while let Some(id) = self.ready.pop() {
+                self.poll_task(id);
+            }
+            // Advance virtual time to the next timer.
+            let fired = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.timers.peek() {
+                    Some(Reverse(entry)) if entry.deadline <= limit => {
+                        let Reverse(entry) = inner.timers.pop().expect("peeked timer vanished");
+                        debug_assert!(entry.deadline >= inner.now, "timer in the past");
+                        inner.now = entry.deadline.max(inner.now);
+                        Some(entry.waker)
+                    }
+                    _ => None,
+                }
+            };
+            match fired {
+                Some(waker) => waker.wake(),
+                None => break,
+            }
+        }
+        let inner = self.inner.borrow();
+        if inner.tasks.is_empty() || !inner.timers.is_empty() {
+            // All done, or stopped by the time limit with timers pending.
+            RunOutcome::Quiescent { time: inner.now }
+        } else {
+            let mut stuck: Vec<String> = inner
+                .tasks
+                .values()
+                .filter(|t| !t.idle.as_ref().is_some_and(IdleToken::is_idle))
+                .map(|t| t.name.clone())
+                .collect();
+            stuck.sort();
+            if stuck.is_empty() {
+                // Only parked service tasks remain: quiescent.
+                RunOutcome::Quiescent { time: inner.now }
+            } else {
+                RunOutcome::Deadlock {
+                    time: inner.now,
+                    stuck_tasks: stuck,
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation and panics with the stuck-task list if it
+    /// deadlocks. Convenient in tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks.
+    pub fn run_to_quiescence(&mut self) -> SimTime {
+        match self.run() {
+            RunOutcome::Quiescent { time } => time,
+            RunOutcome::Deadlock { time, stuck_tasks } => {
+                panic!("simulation deadlocked at {time} with stuck tasks: {stuck_tasks:?}")
+            }
+        }
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        // Remove the task so the RefCell borrow is released while polling;
+        // the polled future may spawn tasks or register timers.
+        let entry = self.inner.borrow_mut().tasks.remove(&id);
+        let Some(mut entry) = entry else {
+            return; // already completed; stale wake
+        };
+        self.inner.borrow_mut().polls += 1;
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match entry.future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.inner.borrow_mut().tasks.insert(id, entry);
+            }
+        }
+    }
+}
+
+/// Cloneable handle to a [`Sim`], usable from inside tasks.
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Weak<RefCell<Inner>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimHandle")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl SimHandle {
+    fn upgrade(&self) -> Rc<RefCell<Inner>> {
+        self.inner
+            .upgrade()
+            .expect("SimHandle used after its Sim was dropped")
+    }
+
+    /// Current virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning [`Sim`] has been dropped.
+    pub fn now(&self) -> SimTime {
+        self.upgrade().borrow().now
+    }
+
+    /// Returns a future that resolves after `duration` of virtual time.
+    pub fn sleep(&self, duration: SimDuration) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline: None,
+            duration,
+        }
+    }
+
+    /// Returns a future that resolves at the given instant (immediately if
+    /// `deadline` is in the past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline: Some(deadline),
+            duration: SimDuration::ZERO,
+        }
+    }
+
+    /// Yields to other ready tasks once.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Spawns a task onto the simulation.
+    pub fn spawn<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        future: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.spawn_inner(name, None, future)
+    }
+
+    /// Spawns a long-running service task carrying an [`IdleToken`].
+    ///
+    /// Clone the token into the future and call
+    /// [`IdleToken::set_idle`]/[`IdleToken::set_busy`] around its
+    /// wait-for-work point; an idle service task does not count as a
+    /// deadlock when the rest of the simulation drains.
+    pub fn spawn_service<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        token: &IdleToken,
+        future: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.spawn_inner(name, Some(token.clone()), future)
+    }
+
+    fn spawn_inner<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        idle: Option<IdleToken>,
+        future: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+            finished: false,
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = future.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            st.finished = true;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        };
+        let inner_rc = self.upgrade();
+        let id = {
+            let mut inner = inner_rc.borrow_mut();
+            let id = TaskId(inner.next_task);
+            inner.next_task += 1;
+            inner.tasks.insert(
+                id,
+                TaskEntry {
+                    name: name.into(),
+                    future: Box::pin(wrapped),
+                    idle,
+                },
+            );
+            id
+        };
+        self.ready.push(id);
+        JoinHandle {
+            state,
+            id,
+            sim: Rc::downgrade(&inner_rc),
+        }
+    }
+
+    /// Draws a uniformly random `u64` from the simulation's seeded RNG.
+    pub fn rng_u64(&self) -> u64 {
+        self.upgrade().borrow_mut().rng.random()
+    }
+
+    /// Draws a uniformly random value in `[0, bound)` from the seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn rng_range(&self, bound: u64) -> u64 {
+        assert!(bound > 0, "rng_range bound must be positive");
+        self.upgrade().borrow_mut().rng.random_range(0..bound)
+    }
+
+    /// Records a span on the shared trace log.
+    pub fn trace_span(
+        &self,
+        track: impl Into<String>,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.upgrade()
+            .borrow_mut()
+            .trace
+            .record(track, label, start, end);
+    }
+
+    /// Runs `f` with mutable access to the trace log.
+    pub fn with_trace<R>(&self, f: impl FnOnce(&mut TraceLog) -> R) -> R {
+        f(&mut self.upgrade().borrow_mut().trace)
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`].
+#[derive(Debug)]
+pub struct Sleep {
+    handle: SimHandle,
+    deadline: Option<SimTime>,
+    duration: SimDuration,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let inner_rc = self.handle.upgrade();
+        let mut inner = inner_rc.borrow_mut();
+        match self.deadline {
+            None => {
+                // First poll: register the timer.
+                let deadline = inner.now + self.duration;
+                self.deadline = Some(deadline);
+                if deadline <= inner.now {
+                    return Poll::Ready(());
+                }
+                inner.register_timer(deadline, cx.waker().clone());
+                Poll::Pending
+            }
+            Some(deadline) => {
+                if inner.now >= deadline {
+                    Poll::Ready(())
+                } else {
+                    inner.register_timer(deadline, cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Handle to the output of a spawned task.
+///
+/// Awaiting the handle yields the task's output. Dropping it detaches the
+/// task (the task keeps running).
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+    id: TaskId,
+    sim: Weak<RefCell<Inner>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("task", &self.id)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns true if the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+
+    /// Takes the output if the task has completed and the output has not
+    /// been taken yet.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// Forcibly removes the task from the executor.
+    ///
+    /// Used to model abrupt client/program failure: the task simply never
+    /// runs again, exactly like a process that was killed. Safe to call on
+    /// completed tasks (it is then a no-op).
+    pub fn abort(&self) {
+        if let Some(sim) = self.sim.upgrade() {
+            sim.borrow_mut().tasks.remove(&self.id);
+        }
+    }
+
+    /// The id of the underlying task.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            Poll::Ready(v)
+        } else if st.finished {
+            panic!("JoinHandle polled after output was taken");
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Awaits every handle in `handles`, returning outputs in order.
+///
+/// Concurrency comes from the tasks themselves (they were already
+/// spawned); this helper merely collects their results.
+pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_is_quiescent_at_zero() {
+        let mut sim = Sim::new(0);
+        let outcome = sim.run();
+        assert_eq!(
+            outcome,
+            RunOutcome::Quiescent {
+                time: SimTime::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn("sleeper", async move {
+            h.sleep(SimDuration::from_millis(5)).await;
+        });
+        let t = sim.run_to_quiescence();
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn sleeps_compose_sequentially() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let jh = sim.spawn("seq", async move {
+            h.sleep(SimDuration::from_micros(3)).await;
+            let mid = h.now();
+            h.sleep(SimDuration::from_micros(4)).await;
+            (mid, h.now())
+        });
+        sim.run_to_quiescence();
+        let (mid, end) = jh.try_take().unwrap();
+        assert_eq!(mid.as_nanos(), 3_000);
+        assert_eq!(end.as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn concurrent_tasks_interleave_by_deadline() {
+        let mut sim = Sim::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let h = sim.handle();
+            let order = Rc::clone(&order);
+            sim.spawn(name, async move {
+                h.sleep(SimDuration::from_micros(delay)).await;
+                order.borrow_mut().push(name);
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn join_handle_returns_output() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let inner = sim.spawn("inner", async move {
+            h.sleep(SimDuration::from_micros(1)).await;
+            41
+        });
+        let outer = sim.spawn("outer", async move { inner.await + 1 });
+        sim.run_to_quiescence();
+        assert_eq!(outer.try_take(), Some(42));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reports_task_names() {
+        let mut sim = Sim::new(0);
+        let (_tx, mut rx) = crate::channel::channel::<u32>();
+        sim.spawn("waiter", async move {
+            // _tx is never used to send and never dropped before run, so
+            // this blocks forever.
+            let _ = rx.recv().await;
+        });
+        match sim.run() {
+            RunOutcome::Deadlock { stuck_tasks, .. } => {
+                assert_eq!(stuck_tasks, vec!["waiter".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_removes_task() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let flag = Rc::new(RefCell::new(false));
+        let flag2 = Rc::clone(&flag);
+        let jh = sim.spawn("doomed", async move {
+            h.sleep(SimDuration::from_secs(1)).await;
+            *flag2.borrow_mut() = true;
+        });
+        jh.abort();
+        let outcome = sim.run();
+        assert!(outcome.is_quiescent());
+        assert!(!*flag.borrow());
+        assert!(!jh.is_finished());
+    }
+
+    #[test]
+    fn run_until_time_stops_early() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn("late", async move {
+            h.sleep(SimDuration::from_secs(10)).await;
+        });
+        let out = sim.run_until_time(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(out.is_quiescent());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        // Resuming without a limit finishes the task.
+        assert!(sim.run().is_quiescent());
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn yield_now_round_robins_ready_tasks() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["x", "y"] {
+            let h = sim.handle();
+            let log = Rc::clone(&log);
+            sim.spawn(name, async move {
+                for i in 0..2 {
+                    log.borrow_mut().push(format!("{name}{i}"));
+                    h.yield_now().await;
+                }
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*log.borrow(), vec!["x0", "y0", "x1", "y1"]);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let draw = |seed| {
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            (h.rng_u64(), h.rng_range(100))
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7).0, draw(8).0);
+    }
+
+    #[test]
+    fn join_all_collects_in_order() {
+        let mut sim = Sim::new(0);
+        let mut handles = Vec::new();
+        for i in 0..5u64 {
+            let h = sim.handle();
+            handles.push(sim.spawn(format!("t{i}"), async move {
+                // Later tasks finish earlier; join_all must preserve order.
+                h.sleep(SimDuration::from_micros(10 - i)).await;
+                i
+            }));
+        }
+        let joined = sim.spawn("join", async move { join_all(handles).await });
+        sim.run_to_quiescence();
+        assert_eq!(joined.try_take().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_duration_sleep_completes_without_time_advance() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn("zero", async move {
+            h.sleep(SimDuration::ZERO).await;
+        });
+        assert_eq!(sim.run_to_quiescence(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the virtual-time executor.
+
+use proptest::prelude::*;
+
+use pathways_sim::{join_all, sync::Semaphore, Sim, SimDuration, SimTime};
+
+proptest! {
+    /// The simulation clock stops at exactly the maximum task deadline,
+    /// regardless of spawn order.
+    #[test]
+    fn clock_ends_at_max_deadline(delays in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let mut sim = Sim::new(0);
+        for (i, d) in delays.iter().copied().enumerate() {
+            let h = sim.handle();
+            sim.spawn(format!("t{i}"), async move {
+                h.sleep(SimDuration::from_nanos(d)).await;
+            });
+        }
+        let end = sim.run_to_quiescence();
+        let max = delays.iter().copied().max().unwrap();
+        prop_assert_eq!(end, SimTime::from_nanos(max));
+    }
+
+    /// Identical seeds and workloads give identical event interleavings.
+    #[test]
+    fn executor_is_deterministic(
+        seed in any::<u64>(),
+        delays in proptest::collection::vec(0u64..1_000, 1..20),
+    ) {
+        let run = |seed: u64, delays: &[u64]| {
+            let mut sim = Sim::new(seed);
+            let mut handles = Vec::new();
+            for (i, d) in delays.iter().copied().enumerate() {
+                let h = sim.handle();
+                handles.push(sim.spawn(format!("t{i}"), async move {
+                    // Mix deterministic rng into the sleep to exercise it.
+                    let jitter = h.rng_range(16);
+                    h.sleep(SimDuration::from_nanos(d + jitter)).await;
+                    h.now().as_nanos()
+                }));
+            }
+            let joined = sim.spawn("join", async move { join_all(handles).await });
+            sim.run_to_quiescence();
+            joined.try_take().unwrap()
+        };
+        prop_assert_eq!(run(seed, &delays), run(seed, &delays));
+    }
+
+    /// A semaphore of capacity `c` with `n` holders of `per`-length
+    /// critical sections finishes in ceil(n/c) * per time (all sections
+    /// equal length, all tasks start at t=0).
+    #[test]
+    fn semaphore_throughput_is_exact(
+        cap in 1u64..8,
+        n in 1usize..32,
+        per_us in 1u64..100,
+    ) {
+        let mut sim = Sim::new(0);
+        let sem = Semaphore::new(cap);
+        for i in 0..n {
+            let sem = sem.clone();
+            let h = sim.handle();
+            sim.spawn(format!("t{i}"), async move {
+                let _p = sem.acquire(1).await;
+                h.sleep(SimDuration::from_micros(per_us)).await;
+            });
+        }
+        let end = sim.run_to_quiescence();
+        let rounds = (n as u64).div_ceil(cap);
+        prop_assert_eq!(end.as_nanos(), rounds * per_us * 1_000);
+    }
+
+    /// Permits never leak: after any interleaving of acquire/release the
+    /// semaphore ends with its initial permit count.
+    #[test]
+    fn semaphore_permits_conserved(
+        cap in 1u64..6,
+        ops in proptest::collection::vec((1u64..4, 0u64..50), 1..30),
+    ) {
+        let mut sim = Sim::new(0);
+        let sem = Semaphore::new(cap);
+        for (i, (want, hold)) in ops.iter().copied().enumerate() {
+            let want = want.min(cap);
+            let sem = sem.clone();
+            let h = sim.handle();
+            sim.spawn(format!("t{i}"), async move {
+                let p = sem.acquire(want).await;
+                h.sleep(SimDuration::from_nanos(hold)).await;
+                drop(p);
+            });
+        }
+        sim.run_to_quiescence();
+        prop_assert_eq!(sem.available(), cap);
+        prop_assert_eq!(sem.waiters(), 0);
+    }
+}
