@@ -192,7 +192,7 @@ impl JaxRuntime {
         }
 
         let handle2 = self.handle.clone();
-        let executed = calls * kernels_per_call * 1;
+        let executed = calls * kernels_per_call;
         sim.spawn("jax-measure", async move {
             let start = handle2.now();
             join_all(controllers).await;

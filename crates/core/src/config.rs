@@ -24,7 +24,11 @@ pub enum DispatchMode {
 pub struct PathwaysConfig {
     /// Host-side dispatch strategy.
     pub dispatch: DispatchMode,
-    /// Island-scheduler policy.
+    /// Island-scheduler policy. A constructor facade: each island
+    /// scheduler builds its own policy-engine instance from this value
+    /// (see [`crate::sched::policy`]), so accounting state is never
+    /// shared across islands. Use [`SchedPolicy::custom`] to plug in an
+    /// out-of-tree policy.
     pub policy: SchedPolicy,
     /// Client-side cost per program submission (Python call, tracing
     /// cache lookup, serialization).

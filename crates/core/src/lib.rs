@@ -8,8 +8,9 @@
 //! * a **client library** that traces programs into a compact sharded IR
 //!   and lowers it to a PLAQUE dataflow (§3, §4.2, §4.3),
 //! * per-island **centralized gang schedulers** that consistently order
-//!   all computations sharing an island (FIFO and proportional-share
-//!   policies, §4.4),
+//!   all computations sharing an island (§4.4), with a pluggable policy
+//!   engine ([`sched::policy`]) shipping FIFO, stride proportional
+//!   share, strict priority, and gang-aware weighted-fair queueing,
 //! * per-host **executors** implementing parallel asynchronous dispatch
 //!   with a sequential fallback (§4.5),
 //! * a **sharded object store** with logical-buffer refcounting,
@@ -70,5 +71,8 @@ pub use program::{
 };
 pub use resource::{ResourceError, ResourceManager, SliceId, SliceRequest, VirtualSlice};
 pub use runtime::PathwaysRuntime;
+pub use sched::policy::{
+    FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy,
+};
 pub use sched::{SchedPolicy, SchedulerHandle};
 pub use store::{ObjectId, ObjectStore, StoredShard};

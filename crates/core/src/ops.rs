@@ -497,7 +497,7 @@ async fn drive_shard(
 
     // Enqueued: announce output futures downstream (sequential-dispatch
     // consumers gate on these)...
-    for (_oi, &e) in out_edges.iter().enumerate() {
+    for &e in out_edges.iter() {
         for d in info.feeds(e, shard) {
             emitter.send(
                 info.fwd_edges[e],

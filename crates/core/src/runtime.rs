@@ -103,7 +103,7 @@ impl PathwaysRuntime {
                 island,
                 host,
                 topo.devices_of_island(island).len() as u32,
-                cfg.policy.clone(),
+                &cfg.policy,
                 cfg.sched_decision,
                 cfg.sched_horizon,
                 cfg.batch_grants,

@@ -8,10 +8,16 @@
 //! which is exactly the property that prevents the deadlock demonstrated
 //! in `pathways-device`'s tests.
 //!
-//! Two policies are provided: FIFO (the paper's current implementation:
-//! "our current implementation simply enqueues work in FIFO order") and
-//! stride-based proportional share (the policy behind Figure 9's 1:2:4:8
-//! interleaving).
+//! The *decision* of which client's program to grant next is delegated
+//! to a pluggable [`SchedPolicyImpl`](policy::SchedPolicyImpl) (see
+//! [`policy`]): FIFO (the paper's current implementation: "our current
+//! implementation simply enqueues work in FIFO order"), stride-based
+//! proportional share (the policy behind Figure 9's 1:2:4:8
+//! interleaving), strict priority, and gang-aware weighted-fair
+//! queueing. The [`SchedPolicy`] enum is a thin constructor facade kept
+//! for configuration ergonomics and backward compatibility.
+
+pub mod policy;
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -24,27 +30,138 @@ use pathways_plaque::RunId;
 use pathways_sim::{IdleToken, SimDuration, SimHandle};
 
 use crate::program::CompId;
+use policy::{FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy};
 
-/// Scheduling policy of an island scheduler.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Scheduling policy of an island scheduler: a constructor facade over
+/// the [`policy::SchedPolicyImpl`] engine.
+///
+/// Each island scheduler builds its *own* policy instance via
+/// [`SchedPolicy::build`], so per-island accounting state (stride
+/// passes, deficit counters) is never shared across islands.
+#[derive(Clone, Default)]
 pub enum SchedPolicy {
-    /// Grant programs in arrival order.
+    /// Grant programs in arrival order ([`policy::FifoPolicy`]).
+    #[default]
     Fifo,
     /// Stride scheduling: each client receives device time proportional
-    /// to its weight when the island is contended.
+    /// to its weight when the island is contended
+    /// ([`policy::StridePolicy`]).
     ProportionalShare(BTreeMap<ClientId, u32>),
     /// Strict priority (higher number wins; ties in arrival order) —
     /// one of the §6.2 multi-tenancy policies the centralized scheduler
     /// makes possible. Low-priority clients can starve under sustained
-    /// high-priority load; that is the policy's contract.
+    /// high-priority load; that is the policy's contract
+    /// ([`policy::PriorityPolicy`]).
     Priority(BTreeMap<ClientId, u32>),
+    /// Gang-aware weighted-fair queueing with per-client deficit
+    /// counters ([`policy::WfqPolicy`]): fairness in device-seconds
+    /// even when tenants submit gangs of very different sizes.
+    WeightedFair {
+        /// Per-client weights (absent clients default to 1).
+        weights: BTreeMap<ClientId, u32>,
+        /// Deficit credited per round-robin turn per unit weight.
+        quantum: SimDuration,
+    },
+    /// An out-of-tree policy: `factory` is invoked once per island.
+    /// This is the drop-in extension point — a new policy needs no
+    /// change to this enum or the scheduler loop.
+    Custom {
+        /// Name shown in `Debug`/comparison (two customs with the same
+        /// name compare equal).
+        name: &'static str,
+        /// Builds a fresh policy instance for one island scheduler.
+        factory: Rc<dyn Fn() -> Box<dyn SchedPolicyImpl>>,
+    },
 }
 
-impl Default for SchedPolicy {
-    fn default() -> Self {
-        SchedPolicy::Fifo
+impl SchedPolicy {
+    /// Weighted-fair queueing with the default quantum
+    /// ([`policy::WfqPolicy::DEFAULT_QUANTUM`]).
+    pub fn weighted_fair(weights: BTreeMap<ClientId, u32>) -> Self {
+        SchedPolicy::WeightedFair {
+            weights,
+            quantum: WfqPolicy::DEFAULT_QUANTUM,
+        }
+    }
+
+    /// Wraps an out-of-tree policy constructor.
+    pub fn custom(
+        name: &'static str,
+        factory: impl Fn() -> Box<dyn SchedPolicyImpl> + 'static,
+    ) -> Self {
+        SchedPolicy::Custom {
+            name,
+            factory: Rc::new(factory),
+        }
+    }
+
+    /// Instantiates the policy engine for one island scheduler.
+    pub fn build(&self) -> Box<dyn SchedPolicyImpl> {
+        match self {
+            SchedPolicy::Fifo => Box::new(FifoPolicy),
+            SchedPolicy::ProportionalShare(w) => Box::new(StridePolicy::new(w.clone())),
+            SchedPolicy::Priority(p) => Box::new(PriorityPolicy::new(p.clone())),
+            SchedPolicy::WeightedFair { weights, quantum } => {
+                Box::new(WfqPolicy::new(weights.clone(), *quantum))
+            }
+            SchedPolicy::Custom { factory, .. } => factory(),
+        }
+    }
+
+    /// The name of the policy this facade builds.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::ProportionalShare(_) => "stride",
+            SchedPolicy::Priority(_) => "priority",
+            SchedPolicy::WeightedFair { .. } => "wfq",
+            SchedPolicy::Custom { name, .. } => name,
+        }
     }
 }
+
+impl fmt::Debug for SchedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedPolicy::Fifo => f.write_str("Fifo"),
+            SchedPolicy::ProportionalShare(w) => {
+                f.debug_tuple("ProportionalShare").field(w).finish()
+            }
+            SchedPolicy::Priority(p) => f.debug_tuple("Priority").field(p).finish(),
+            SchedPolicy::WeightedFair { weights, quantum } => f
+                .debug_struct("WeightedFair")
+                .field("weights", weights)
+                .field("quantum", quantum)
+                .finish(),
+            SchedPolicy::Custom { name, .. } => f.debug_tuple("Custom").field(name).finish(),
+        }
+    }
+}
+
+impl PartialEq for SchedPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SchedPolicy::Fifo, SchedPolicy::Fifo) => true,
+            (SchedPolicy::ProportionalShare(a), SchedPolicy::ProportionalShare(b)) => a == b,
+            (SchedPolicy::Priority(a), SchedPolicy::Priority(b)) => a == b,
+            (
+                SchedPolicy::WeightedFair {
+                    weights: wa,
+                    quantum: qa,
+                },
+                SchedPolicy::WeightedFair {
+                    weights: wb,
+                    quantum: qb,
+                },
+            ) => wa == wb && qa == qb,
+            // Custom policies are opaque; equality is by declared name.
+            (SchedPolicy::Custom { name: a, .. }, SchedPolicy::Custom { name: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SchedPolicy {}
 
 /// Per-computation description inside a [`SubmitMsg`].
 #[derive(Debug, Clone)]
@@ -133,15 +250,14 @@ pub fn ctrl_msg_bytes(msg: &CtrlMsg) -> u64 {
     }
 }
 
-struct ClientQueue {
-    pending: VecDeque<SubmitMsg>,
-    /// Stride-scheduling virtual time.
-    pass: u64,
-}
-
 /// Shared state of one island scheduler (inspectable by tests).
+///
+/// Owns one FIFO backlog per client — per-client program order is
+/// *never* reordered, only the interleaving across clients is policy
+/// territory — plus the policy engine instance making that choice.
 pub struct SchedulerState {
-    queues: BTreeMap<ClientId, ClientQueue>,
+    queues: BTreeMap<ClientId, VecDeque<SubmitMsg>>,
+    policy: Box<dyn SchedPolicyImpl>,
     next_tag: u64,
     granted_programs: u64,
 }
@@ -149,6 +265,7 @@ pub struct SchedulerState {
 impl fmt::Debug for SchedulerState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SchedulerState")
+            .field("policy", &self.policy.name())
             .field("clients", &self.queues.len())
             .field("granted_programs", &self.granted_programs)
             .finish()
@@ -156,9 +273,10 @@ impl fmt::Debug for SchedulerState {
 }
 
 impl SchedulerState {
-    fn new(island: IslandId) -> Self {
+    fn new(island: IslandId, policy: Box<dyn SchedPolicyImpl>) -> Self {
         SchedulerState {
             queues: BTreeMap::new(),
+            policy,
             // Tag-space partitioned by island so tags are globally unique
             // even though rendezvous is per island.
             next_tag: (island.0 as u64) << 48,
@@ -167,69 +285,49 @@ impl SchedulerState {
     }
 
     fn push(&mut self, msg: SubmitMsg) {
-        self.queues
-            .entry(msg.client)
-            .or_insert_with(|| ClientQueue {
-                pending: VecDeque::new(),
-                pass: 0,
-            })
-            .pending
-            .push_back(msg);
+        self.policy.on_arrival(&msg);
+        self.queues.entry(msg.client).or_default().push_back(msg);
     }
 
-    /// Picks the next program according to `policy`.
-    fn pop(&mut self, policy: &SchedPolicy) -> Option<SubmitMsg> {
-        match policy {
-            SchedPolicy::Fifo => {
-                // Arrival order: the earliest submission among all
-                // clients. Each queue is FIFO; choose the queue whose
-                // head arrived first. We approximate arrival order with
-                // run id, which is allocated at submission time.
-                let best = self
-                    .queues
-                    .iter()
-                    .filter(|(_, q)| !q.pending.is_empty())
-                    .min_by_key(|(_, q)| q.pending.front().map(|m| m.run))?
-                    .0;
-                let best = *best;
-                self.queues
-                    .get_mut(&best)
-                    .and_then(|q| q.pending.pop_front())
-            }
-            SchedPolicy::ProportionalShare(weights) => {
-                let best = self
-                    .queues
-                    .iter()
-                    .filter(|(_, q)| !q.pending.is_empty())
-                    .min_by_key(|(c, q)| (q.pass, **c))?
-                    .0;
-                let best = *best;
-                let q = self.queues.get_mut(&best).expect("picked above");
-                let msg = q.pending.pop_front()?;
-                let weight = weights.get(&best).copied().unwrap_or(1).max(1) as u64;
-                // Advance virtual time by cost / weight.
-                let cost = msg.est_cost.as_nanos().max(1);
-                q.pass += cost / weight;
-                Some(msg)
-            }
-            SchedPolicy::Priority(prio) => {
-                let best = self
-                    .queues
-                    .iter()
-                    .filter(|(_, q)| !q.pending.is_empty())
-                    .max_by_key(|(c, q)| {
-                        let p = prio.get(c).copied().unwrap_or(0);
-                        // Higher priority first; within a priority,
-                        // earliest submission (lowest run id) first.
-                        (p, std::cmp::Reverse(q.pending.front().map(|m| m.run)))
-                    })?
-                    .0;
-                let best = *best;
-                self.queues
-                    .get_mut(&best)
-                    .and_then(|q| q.pending.pop_front())
-            }
+    /// Grants the next program: asks the policy to choose among the
+    /// backlogged clients' queue heads, then pops that client's head.
+    fn pop(&mut self) -> Option<SubmitMsg> {
+        let heads: Vec<QueuedProgram<'_>> = self
+            .queues
+            .iter()
+            .filter_map(|(client, q)| {
+                q.front().map(|head| QueuedProgram {
+                    client: *client,
+                    head,
+                    backlog: q.len(),
+                })
+            })
+            .collect();
+        if heads.is_empty() {
+            return None;
         }
+        let picked = self.policy.pick_next(&heads)?;
+        let q = self
+            .queues
+            .get_mut(&picked)
+            .unwrap_or_else(|| panic!("policy picked unknown client {picked:?}"));
+        let msg = q
+            .pop_front()
+            .unwrap_or_else(|| panic!("policy picked client {picked:?} with empty queue"));
+        let now_empty = q.is_empty();
+        if now_empty {
+            // Empty queues are dropped so the policy only ever sees
+            // backlogged clients; per-client policy state (passes,
+            // deficits) lives in the policy itself.
+            self.queues.remove(&picked);
+        }
+        self.policy.on_grant(&msg, now_empty);
+        Some(msg)
+    }
+
+    /// The active policy's name (for tests and debug output).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     fn alloc_tag(&mut self) -> GangTag {
@@ -265,15 +363,22 @@ impl SchedulerHandle {
     pub fn granted_programs(&self) -> u64 {
         self.state.borrow().granted_programs()
     }
+
+    /// Name of the policy engine driving this island.
+    pub fn policy_name(&self) -> &'static str {
+        self.state.borrow().policy_name()
+    }
 }
 
 /// Spawns the scheduler task for `island` on `host`.
 ///
-/// `decision_cost` models the scheduler's per-program policy work; grants
-/// for a program are emitted as one batched message per participating
-/// host. Submissions arrive on `inbox_router`; grants leave on
-/// `grant_router` (where the executors are registered). Both share the
-/// same physical NIC through the fabric.
+/// `policy` is instantiated via [`SchedPolicy::build`], so every island
+/// gets private policy state. `decision_cost` models the scheduler's
+/// per-program policy work; grants for a program are emitted as one
+/// batched message per participating host. Submissions arrive on
+/// `inbox_router`; grants leave on `grant_router` (where the executors
+/// are registered). Both share the same physical NIC through the fabric.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_scheduler(
     handle: &SimHandle,
     inbox_router: Router<CtrlMsg>,
@@ -281,12 +386,12 @@ pub fn spawn_scheduler(
     island: IslandId,
     host: HostId,
     island_devices: u32,
-    policy: SchedPolicy,
+    policy: &SchedPolicy,
     decision_cost: SimDuration,
     grant_horizon: SimDuration,
     batch_grants: bool,
 ) -> SchedulerHandle {
-    let state = Rc::new(RefCell::new(SchedulerState::new(island)));
+    let state = Rc::new(RefCell::new(SchedulerState::new(island, policy.build())));
     let state_task = Rc::clone(&state);
     let mut inbox = inbox_router.register(host);
     let h = handle.clone();
@@ -335,7 +440,7 @@ pub fn spawn_scheduler(
                         }
                     }
                 }
-                let next = state_task.borrow_mut().pop(&policy);
+                let next = state_task.borrow_mut().pop();
                 let Some(submit) = next else { break };
                 if !decision_cost.is_zero() {
                     h.sleep(decision_cost).await;
@@ -421,17 +526,20 @@ mod tests {
         }
     }
 
+    fn state_with(policy: &SchedPolicy) -> SchedulerState {
+        SchedulerState::new(IslandId(0), policy.build())
+    }
+
     #[test]
     fn fifo_pops_in_arrival_order() {
-        let mut st = SchedulerState::new(IslandId(0));
+        let mut st = state_with(&SchedPolicy::Fifo);
         st.push(submit(1, 10, 5));
         st.push(submit(0, 11, 5));
         st.push(submit(1, 12, 5));
-        let policy = SchedPolicy::Fifo;
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(10));
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(11));
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(12));
-        assert!(st.pop(&policy).is_none());
+        assert_eq!(st.pop().unwrap().run, RunId(10));
+        assert_eq!(st.pop().unwrap().run, RunId(11));
+        assert_eq!(st.pop().unwrap().run, RunId(12));
+        assert!(st.pop().is_none());
     }
 
     #[test]
@@ -440,15 +548,14 @@ mod tests {
         // out of every 4 grants, client 1 should get 3.
         let weights: BTreeMap<ClientId, u32> =
             [(ClientId(0), 1), (ClientId(1), 3)].into_iter().collect();
-        let policy = SchedPolicy::ProportionalShare(weights);
-        let mut st = SchedulerState::new(IslandId(0));
+        let mut st = state_with(&SchedPolicy::ProportionalShare(weights));
         for i in 0..40 {
             st.push(submit(0, i, 10));
             st.push(submit(1, 100 + i, 10));
         }
         let mut counts = [0u32; 2];
         for _ in 0..40 {
-            let m = st.pop(&policy).unwrap();
+            let m = st.pop().unwrap();
             counts[m.client.0 as usize] += 1;
         }
         assert_eq!(counts[0] + counts[1], 40);
@@ -462,15 +569,14 @@ mod tests {
         // it should be granted ~1/3 as many programs.
         let weights: BTreeMap<ClientId, u32> =
             [(ClientId(0), 1), (ClientId(1), 1)].into_iter().collect();
-        let policy = SchedPolicy::ProportionalShare(weights);
-        let mut st = SchedulerState::new(IslandId(0));
+        let mut st = state_with(&SchedPolicy::ProportionalShare(weights));
         for i in 0..60 {
             st.push(submit(0, i, 30));
             st.push(submit(1, 100 + i, 10));
         }
         let mut counts = [0u32; 2];
         for _ in 0..60 {
-            let m = st.pop(&policy).unwrap();
+            let m = st.pop().unwrap();
             counts[m.client.0 as usize] += 1;
         }
         let ratio = counts[1] as f64 / counts[0] as f64;
@@ -481,35 +587,78 @@ mod tests {
     fn priority_policy_prefers_high_priority_clients() {
         let prio: BTreeMap<ClientId, u32> =
             [(ClientId(0), 0), (ClientId(1), 10)].into_iter().collect();
-        let policy = SchedPolicy::Priority(prio);
-        let mut st = SchedulerState::new(IslandId(0));
+        let mut st = state_with(&SchedPolicy::Priority(prio));
         st.push(submit(0, 1, 10));
         st.push(submit(0, 2, 10));
         st.push(submit(1, 3, 10));
         st.push(submit(1, 4, 10));
         // All of client 1's work drains before any of client 0's.
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(3));
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(4));
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(1));
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(2));
+        assert_eq!(st.pop().unwrap().run, RunId(3));
+        assert_eq!(st.pop().unwrap().run, RunId(4));
+        assert_eq!(st.pop().unwrap().run, RunId(1));
+        assert_eq!(st.pop().unwrap().run, RunId(2));
     }
 
     #[test]
     fn priority_ties_break_by_arrival() {
         let prio: BTreeMap<ClientId, u32> =
             [(ClientId(0), 5), (ClientId(1), 5)].into_iter().collect();
-        let policy = SchedPolicy::Priority(prio);
-        let mut st = SchedulerState::new(IslandId(0));
+        let mut st = state_with(&SchedPolicy::Priority(prio));
         st.push(submit(1, 1, 10));
         st.push(submit(0, 2, 10));
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(1));
-        assert_eq!(st.pop(&policy).unwrap().run, RunId(2));
+        assert_eq!(st.pop().unwrap().run, RunId(1));
+        assert_eq!(st.pop().unwrap().run, RunId(2));
+    }
+
+    #[test]
+    fn weighted_fair_shares_grants_by_weight() {
+        let weights: BTreeMap<ClientId, u32> =
+            [(ClientId(0), 1), (ClientId(1), 3)].into_iter().collect();
+        let mut st = state_with(&SchedPolicy::WeightedFair {
+            weights,
+            quantum: SimDuration::from_micros(10),
+        });
+        for i in 0..80 {
+            st.push(submit(0, i, 10));
+            st.push(submit(1, 1000 + i, 10));
+        }
+        let mut counts = [0u32; 2];
+        for _ in 0..80 {
+            let m = st.pop().unwrap();
+            counts[m.client.0 as usize] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.5..=3.5).contains(&ratio), "ratio {ratio} ({counts:?})");
+    }
+
+    #[test]
+    fn custom_policy_plugs_into_the_scheduler_state() {
+        // A last-client-first policy defined entirely out of tree: the
+        // drop-in extension path the engine exists for.
+        struct LastClientFirst;
+        impl SchedPolicyImpl for LastClientFirst {
+            fn name(&self) -> &'static str {
+                "last-client-first"
+            }
+            fn pick_next(&mut self, queues: &[QueuedProgram<'_>]) -> Option<ClientId> {
+                queues.last().map(|q| q.client)
+            }
+        }
+        let policy = SchedPolicy::custom("last-client-first", || Box::new(LastClientFirst));
+        let mut st = state_with(&policy);
+        assert_eq!(st.policy_name(), "last-client-first");
+        st.push(submit(0, 1, 10));
+        st.push(submit(2, 2, 10));
+        st.push(submit(1, 3, 10));
+        assert_eq!(st.pop().unwrap().client, ClientId(2));
+        assert_eq!(st.pop().unwrap().client, ClientId(1));
+        assert_eq!(st.pop().unwrap().client, ClientId(0));
     }
 
     #[test]
     fn tags_are_unique_and_island_partitioned() {
-        let mut a = SchedulerState::new(IslandId(0));
-        let mut b = SchedulerState::new(IslandId(1));
+        let mut a = SchedulerState::new(IslandId(0), SchedPolicy::Fifo.build());
+        let mut b = SchedulerState::new(IslandId(1), SchedPolicy::Fifo.build());
         let ta1 = a.alloc_tag();
         let ta2 = a.alloc_tag();
         let tb1 = b.alloc_tag();
@@ -526,17 +675,16 @@ mod tests {
         // the lowest pass.
         let weights: BTreeMap<ClientId, u32> =
             [(ClientId(0), 1), (ClientId(1), 1)].into_iter().collect();
-        let policy = SchedPolicy::ProportionalShare(weights);
-        let mut st = SchedulerState::new(IslandId(0));
+        let mut st = state_with(&SchedPolicy::ProportionalShare(weights));
         for i in 0..5 {
             st.push(submit(0, i, 10));
         }
         for _ in 0..5 {
-            st.pop(&policy);
+            st.pop();
         }
         st.push(submit(1, 100, 10));
         st.push(submit(0, 6, 10));
         // Client 1 has pass 0 < client 0's accumulated pass.
-        assert_eq!(st.pop(&policy).unwrap().client, ClientId(1));
+        assert_eq!(st.pop().unwrap().client, ClientId(1));
     }
 }

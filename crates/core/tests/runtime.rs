@@ -221,6 +221,74 @@ fn proportional_share_divides_device_time() {
 }
 
 #[test]
+fn weighted_fair_divides_device_time() {
+    // The same contended 1:2:4:8 scenario as the stride test, driven by
+    // the new gang-aware WFQ engine end to end through the runtime.
+    let mut sim = Sim::new(0);
+    let weights: BTreeMap<ClientId, u32> = [
+        (ClientId(0), 1),
+        (ClientId(1), 2),
+        (ClientId(2), 4),
+        (ClientId(3), 8),
+    ]
+    .into_iter()
+    .collect();
+    let cfg = PathwaysConfig {
+        policy: SchedPolicy::WeightedFair {
+            weights,
+            quantum: SimDuration::from_micros(500),
+        },
+        sched_horizon: SimDuration::from_micros(500),
+        ..PathwaysConfig::default()
+    };
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::config_b(1),
+        NetworkParams::tpu_cluster(),
+        cfg,
+    );
+    assert_eq!(rt.scheduler(IslandId(0)).policy_name(), "wfq");
+    let device0 = {
+        let core = rt.core();
+        core.devices[&pathways_net::DeviceId(0)].clone()
+    };
+    for c in 0..4u32 {
+        let client = rt.client_labeled(HostId(0), ["A", "B", "C", "D"][c as usize]);
+        let slice = client.virtual_slice(SliceRequest::devices(8)).unwrap();
+        let mut b = client.trace(format!("p{c}"));
+        b.computation(
+            FnSpec::compute_only("step", SimDuration::from_micros(330)).with_allreduce(4),
+            &slice,
+        );
+        let program = b.build().unwrap();
+        let prepared = std::rc::Rc::new(client.prepare(&program));
+        // Keep 12 submissions genuinely concurrent (submit, then finish
+        // in a spawned task): WFQ shares device time among *backlogged*
+        // clients, so the scheduler must actually see a backlog.
+        let window = pathways_sim::sync::Semaphore::new(12);
+        let h = sim.handle();
+        sim.spawn(format!("client{c}"), async move {
+            loop {
+                let permit = window.acquire(1).await;
+                let pending = client.submit(&prepared).await;
+                h.spawn("run", async move {
+                    let _p = permit;
+                    pending.finish().await;
+                });
+            }
+        });
+    }
+    sim.run_until_time(pathways_sim::SimTime::ZERO + SimDuration::from_millis(50));
+    let stats = device0.stats();
+    let a = stats.busy_by_program["A"].as_nanos() as f64;
+    let d = stats.busy_by_program["D"].as_nanos() as f64;
+    assert!(
+        d / a > 3.0,
+        "expected weighted-fair shares, got A={a}ns D={d}ns"
+    );
+}
+
+#[test]
 fn cross_island_program_transfers_over_dcn() {
     let mut sim = Sim::new(0);
     let rt = default_rt(&sim, ClusterSpec::config_c());

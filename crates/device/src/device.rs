@@ -284,7 +284,7 @@ mod tests {
             duration: SimDuration::from_micros(3),
         };
         // Device 0 is delayed by a long kernel first.
-        let _ = devs[0].enqueue_simple(Kernel::compute("slow", SimDuration::from_micros(50)), "p");
+        drop(devs[0].enqueue_simple(Kernel::compute("slow", SimDuration::from_micros(50)), "p"));
         let r0 = devs[0].enqueue_simple(
             Kernel::compute("c", SimDuration::from_micros(1)).with_collective(coll(1)),
             "p",
@@ -350,9 +350,9 @@ mod tests {
         let mut sim = Sim::new(0);
         let devs = spawn_devices(&sim, 1);
         let d = devs[0].clone();
-        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(10)), "alpha");
-        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(20)), "beta");
-        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(30)), "alpha");
+        drop(d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(10)), "alpha"));
+        drop(d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(20)), "beta"));
+        drop(d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(30)), "alpha"));
         drop(devs);
         sim.run_to_quiescence();
         let st = d.stats();
@@ -367,7 +367,7 @@ mod tests {
         let mut sim = Sim::new(0);
         let devs = spawn_devices(&sim, 1);
         let d = devs[0].clone();
-        let _ = d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(10)), "A");
+        drop(d.enqueue_simple(Kernel::compute("k", SimDuration::from_micros(10)), "A"));
         drop(devs);
         drop(d);
         sim.run_to_quiescence();

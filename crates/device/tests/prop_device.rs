@@ -22,10 +22,10 @@ proptest! {
         let rz = CollectiveRendezvous::new(sim.handle());
         let dev = DeviceHandle::spawn(&sim.handle(), DeviceId(0), rz, DeviceConfig::default());
         for (i, us) in durations.iter().enumerate() {
-            let _ = dev.enqueue_simple(
+            drop(dev.enqueue_simple(
                 Kernel::compute(format!("k{i}"), SimDuration::from_micros(*us)),
                 "p",
-            );
+            ));
         }
         let stats_handle = dev.clone();
         drop(dev);
@@ -62,7 +62,7 @@ proptest! {
                         duration: SimDuration::from_micros(3),
                     });
                 }
-                let _ = dev.enqueue_simple(k, "p");
+                drop(dev.enqueue_simple(k, "p"));
             }
         }
         drop(devs);
@@ -88,10 +88,10 @@ proptest! {
                 DeviceConfig::default(),
             );
             // Stagger with a leading pure-compute kernel.
-            let _ = dev.enqueue_simple(
+            drop(dev.enqueue_simple(
                 Kernel::compute("warmup", SimDuration::from_micros(*d)),
                 "p",
-            );
+            ));
             ends.push(dev.enqueue_simple(
                 Kernel::compute("c", SimDuration::ZERO).with_collective(CollectiveOp {
                     kind: CollectiveKind::AllReduce,

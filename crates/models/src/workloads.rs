@@ -135,8 +135,8 @@ pub fn gpipe_program(
             FnSpec::compute_only(format!("apply{s}"), apply_t).with_output_bytes(64),
             &stages[s],
         );
-        for m in 0..m_count as usize {
-            b.edge(bwd[s][m], apply, 64);
+        for &bwd_sm in bwd[s].iter().take(m_count as usize) {
+            b.edge(bwd_sm, apply, 64);
         }
     }
     b.build().expect("gpipe program is a DAG")

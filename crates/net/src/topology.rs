@@ -304,7 +304,7 @@ fn squarest_factors(n: u32) -> (u32, u32) {
     let mut best = (1, n);
     let mut r = 1;
     while r * r <= n {
-        if n % r == 0 {
+        if n.is_multiple_of(r) {
             best = (r, n / r);
         }
         r += 1;

@@ -93,6 +93,10 @@ struct RunEntry {
     done_tx: Option<channel::OneshotSender<()>>,
 }
 
+/// Pending `(destination, message, bytes)` triples coalescing into one
+/// NIC message per destination at the end of the current micro-step.
+type EgressBuffer = Vec<(HostId, PlaqueMsg, u64)>;
+
 /// Cloneable shared state used by contexts and emitters.
 #[derive(Clone)]
 pub struct RuntimeShared {
@@ -110,7 +114,7 @@ pub struct RuntimeShared {
     /// latency (the flush runs after one executor micro-step) and is
     /// what keeps punctuation storms from O(M x N) sharded edges off
     /// the NICs — §4.3's batching requirement.
-    async_egress: Rc<RefCell<HashMap<HostId, Vec<(HostId, PlaqueMsg, u64)>>>>,
+    async_egress: Rc<RefCell<HashMap<HostId, EgressBuffer>>>,
 }
 
 impl fmt::Debug for RuntimeShared {

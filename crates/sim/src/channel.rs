@@ -425,7 +425,7 @@ mod tests {
             h.sleep(SimDuration::from_micros(1)).await;
             tx.send("hi").unwrap();
         });
-        let r = sim.spawn("r", async move { rx.await });
+        let r = sim.spawn("r", rx);
         sim.run_to_quiescence();
         assert_eq!(r.try_take().unwrap(), Ok("hi"));
     }
@@ -437,7 +437,7 @@ mod tests {
         sim.spawn("s", async move {
             drop(tx);
         });
-        let r = sim.spawn("r", async move { rx.await });
+        let r = sim.spawn("r", rx);
         sim.run_to_quiescence();
         assert_eq!(r.try_take().unwrap(), Err(RecvError));
     }

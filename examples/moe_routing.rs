@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use pathways::net::{ClusterSpec, Fabric, HostId, NetworkParams};
 use pathways::plaque::{EdgeId, GraphBuilder, Operator, PlaqueRuntime, ShardCtx, Tuple};
-use pathways::sim::{Sim, SimDuration};
+use pathways::sim::Sim;
 
 const EXPERTS: u32 = 8;
 const TOKENS: u32 = 64;
@@ -29,6 +29,7 @@ struct TokenGroup {
 }
 
 #[derive(Debug, Clone, Copy)]
+#[allow(dead_code)] // `expert`/`value` document the payload; only the count is asserted
 struct ExpertOutput {
     token_id: u32,
     expert: u32,

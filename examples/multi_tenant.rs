@@ -1,6 +1,8 @@
 //! Multi-tenancy: four clients time-share one island of TPUs under
-//! proportional-share gang scheduling (the Figure 9 scenario), with the
-//! interleaving rendered as an ASCII trace.
+//! weighted gang scheduling (the Figure 9 scenario), with the
+//! interleaving rendered as an ASCII trace — once under stride
+//! proportional share and once under the gang-aware weighted-fair
+//! queueing engine, to show the pluggable policy layer.
 //!
 //! Run with: `cargo run --release --example multi_tenant`
 
@@ -12,22 +14,25 @@ use pathways::net::{ClientId, ClusterSpec, HostId, NetworkParams};
 use pathways::sim::sync::Semaphore;
 use pathways::sim::{Sim, SimDuration, SimTime};
 
-fn main() {
-    let mut sim = Sim::new(7);
-    let weights: std::collections::BTreeMap<ClientId, u32> = [
+fn weights_1248() -> std::collections::BTreeMap<ClientId, u32> {
+    [
         (ClientId(0), 1),
         (ClientId(1), 2),
         (ClientId(2), 4),
         (ClientId(3), 8),
     ]
     .into_iter()
-    .collect();
+    .collect()
+}
+
+fn run_policy(title: &str, policy: SchedPolicy) {
+    let mut sim = Sim::new(7);
     let rt = PathwaysRuntime::new(
         &sim,
         ClusterSpec::config_b(1),
         NetworkParams::tpu_cluster(),
         PathwaysConfig {
-            policy: SchedPolicy::ProportionalShare(weights),
+            policy,
             sched_horizon: SimDuration::from_micros(600),
             ..PathwaysConfig::default()
         },
@@ -65,7 +70,7 @@ fn main() {
     sim.run_until_time(SimTime::ZERO + window);
     let trace = sim.take_trace();
 
-    println!("weights 1:2:4:8 — device 0 timeline (one letter per client):");
+    println!("{title}: weights 1:2:4:8 — device 0 timeline (one letter per client):");
     let start = SimTime::ZERO + SimDuration::from_millis(10);
     println!("{}", trace.render_ascii(start, SimTime::ZERO + window, 100));
     let util = trace.utilization("d0000", start, SimTime::ZERO + window);
@@ -74,4 +79,19 @@ fn main() {
     for (i, label) in ["A", "B", "C", "D"].iter().enumerate() {
         println!("  {label} (weight {}): {}", 1 << i, completed[i].get());
     }
+    println!();
+}
+
+fn main() {
+    run_policy(
+        "stride proportional share",
+        SchedPolicy::ProportionalShare(weights_1248()),
+    );
+    run_policy(
+        "gang-aware weighted-fair queueing",
+        SchedPolicy::WeightedFair {
+            weights: weights_1248(),
+            quantum: SimDuration::from_micros(500),
+        },
+    );
 }

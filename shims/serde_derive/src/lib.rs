@@ -1,0 +1,88 @@
+//! Offline shim of `serde_derive`. The workspace derives
+//! `Serialize`/`Deserialize` purely as a forward-compatibility marker —
+//! nothing serializes yet — so the derives expand to marker trait impls
+//! and intentionally reject `#[serde(...)]` attributes (none are used).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword and any
+/// generic parameter names, skipping attributes and visibility.
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let mut generics = Vec::new();
+                    // A following `<` introduces generic params; collect
+                    // the parameter idents (lifetimes are skipped).
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        tokens.next();
+                        let mut depth = 1usize;
+                        let mut at_param_start = true;
+                        while let Some(tt) = tokens.next() {
+                            match tt {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                    at_param_start = true;
+                                }
+                                TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                                    let s = id.to_string();
+                                    if s != "const" {
+                                        generics.push(s);
+                                        at_param_start = false;
+                                    }
+                                }
+                                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                                    // Lifetime: swallow the ident after it.
+                                    tokens.next();
+                                    at_param_start = false;
+                                }
+                                _ => at_param_start = false,
+                            }
+                        }
+                    }
+                    return Some((name.to_string(), generics));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let impl_block = if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        let bounds = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("impl<{params}> ::serde::{trait_name} for {name}<{params}> where {bounds} {{}}")
+    };
+    impl_block.parse().unwrap_or_default()
+}
+
+/// Marker derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Marker derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}

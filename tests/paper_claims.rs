@@ -34,10 +34,10 @@ fn gang_scheduling_prevents_the_deadlock_it_claims_to() {
         duration: SimDuration::ZERO,
     };
     let k = |tag| Kernel::compute("c", SimDuration::ZERO).with_collective(coll(tag));
-    let _ = d0.enqueue_simple(k(1), "p1");
-    let _ = d0.enqueue_simple(k(2), "p2");
-    let _ = d1.enqueue_simple(k(2), "p2");
-    let _ = d1.enqueue_simple(k(1), "p1");
+    drop(d0.enqueue_simple(k(1), "p1"));
+    drop(d0.enqueue_simple(k(2), "p2"));
+    drop(d1.enqueue_simple(k(2), "p2"));
+    drop(d1.enqueue_simple(k(1), "p1"));
     drop((d0, d1));
     assert!(sim.run().is_deadlock(), "inconsistent order must deadlock");
 

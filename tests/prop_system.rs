@@ -2,10 +2,12 @@
 //! on arbitrary small clusters complete, conserve memory, and stay
 //! deterministic.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 
-use pathways::core::{FnSpec, PathwaysConfig, PathwaysRuntime, SliceRequest};
-use pathways::net::{ClusterSpec, HostId, NetworkParams};
+use pathways::core::{FnSpec, PathwaysConfig, PathwaysRuntime, SchedPolicy, SliceRequest};
+use pathways::net::{ClientId, ClusterSpec, HostId, NetworkParams};
 use pathways::sim::{Sim, SimDuration};
 
 /// Generates a random layered DAG description: per layer, a shard count
@@ -72,6 +74,100 @@ proptest! {
         prop_assert_eq!(job.try_take(), Some(1));
         // All HBM returned once results dropped.
         prop_assert!(core.store.is_empty(), "store leaked {} objects", core.store.len());
+    }
+
+    /// The paper's deadlock-freedom invariant (§4.4): because every
+    /// device executor receives its grants from the single island
+    /// scheduler, gang collectives are enqueued in the same relative
+    /// order on *every* device of the island — regardless of which
+    /// policy engine chose that order. Violating this is exactly the
+    /// inconsistent-enqueue deadlock of §2.
+    #[test]
+    fn gang_grant_order_identical_across_island_devices(
+        policy_sel in 0u8..4,
+        n_clients in 2u32..5,
+        cost_us in 50u64..500,
+        seed in any::<u64>(),
+    ) {
+        let weights: BTreeMap<ClientId, u32> = (0..n_clients)
+            .map(|c| (ClientId(c), 1 << c.min(3)))
+            .collect();
+        let policy = match policy_sel {
+            0 => SchedPolicy::Fifo,
+            1 => SchedPolicy::ProportionalShare(weights),
+            2 => SchedPolicy::Priority(weights),
+            _ => SchedPolicy::WeightedFair {
+                weights,
+                quantum: SimDuration::from_micros(500),
+            },
+        };
+        let mut sim = Sim::new(seed);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::single_island(1, 8),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig {
+                policy,
+                sched_horizon: SimDuration::from_micros(600),
+                ..PathwaysConfig::default()
+            },
+        );
+        let labels = ["A", "B", "C", "D"];
+        for c in 0..n_clients {
+            let client = rt.client_labeled(HostId(0), labels[c as usize]);
+            // Every program gangs all 8 devices of the island.
+            let slice = client.virtual_slice(SliceRequest::devices(8)).unwrap();
+            let mut b = client.trace(format!("p{c}"));
+            b.computation(
+                FnSpec::compute_only("step", SimDuration::from_micros(cost_us))
+                    .with_allreduce(4),
+                &slice,
+            );
+            let program = b.build().unwrap();
+            let prepared = client.prepare(&program);
+            sim.spawn(format!("client{c}"), async move {
+                // A few outstanding at once so the scheduler is
+                // contended and the policy actually reorders.
+                let mut outstanding = Vec::new();
+                for _ in 0..3 {
+                    outstanding.push(Box::pin(client.run(&prepared)));
+                }
+                for _ in 0..6 {
+                    let done = outstanding.remove(0);
+                    done.await;
+                    outstanding.push(Box::pin(client.run(&prepared)));
+                }
+                for f in outstanding {
+                    f.await;
+                }
+            });
+        }
+        let outcome = sim.run();
+        prop_assert!(outcome.is_quiescent(), "deadlock: {:?}", outcome);
+        let trace = sim.take_trace();
+        // Per-device sequence of client labels must be identical on all
+        // devices of the island.
+        let order_of = |d: u32| -> Vec<String> {
+            trace
+                .track(&format!("d{d:04}"))
+                .iter()
+                .map(|s| s.label.clone())
+                .collect()
+        };
+        let reference = order_of(0);
+        prop_assert!(
+            reference.len() >= (n_clients * 9) as usize,
+            "device 0 saw only {} kernels",
+            reference.len()
+        );
+        for d in 1..8 {
+            prop_assert_eq!(
+                &reference,
+                &order_of(d),
+                "device {} disagrees with device 0 on gang order",
+                d
+            );
+        }
     }
 
     /// Throughput of a single-computation program is monotonically
