@@ -3,6 +3,7 @@
 //! reproduction in about a minute.
 
 use pathways_baselines::{StepWorkload, SubmissionMode};
+use pathways_bench::chain::{chained_throughput, ChainDispatch};
 use pathways_bench::micro::{
     fig6_point, jax_throughput, pathways_multiclient_throughput, pathways_throughput,
     ray_throughput, tf1_throughput,
@@ -149,6 +150,29 @@ fn main() {
         "fig12 two-island efficiency",
         two / single > 0.7,
         format!("{:.1}%", 100.0 * two / single),
+    );
+
+    // Figure 14 (reduced): chained programs through ObjectRef futures.
+    let chain_seq = chained_throughput(
+        2,
+        8,
+        SimDuration::from_micros(50),
+        1 << 14,
+        ChainDispatch::Sequential,
+        4,
+    );
+    let chain_par = chained_throughput(
+        2,
+        8,
+        SimDuration::from_micros(50),
+        1 << 14,
+        ChainDispatch::Parallel,
+        4,
+    );
+    verdict(
+        "fig14 chained ObjectRef dispatch wins",
+        chain_par > chain_seq * 1.2,
+        format!("{chain_par:.0} vs {chain_seq:.0} prog/s"),
     );
 
     println!("\nFull-size runs: see the individual fig*/table* binaries.");

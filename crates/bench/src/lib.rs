@@ -17,11 +17,13 @@
 //! | `table2` | 3B decoder LM: SPMD vs pipelining |
 //! | `fig10` | pipeline over 4 DCN-connected islands |
 //! | `fig12` | 64B/136B two-island data-parallel scaling |
+//! | `fig14` | chained-program ObjectRef dispatch, sequential vs parallel |
 //! | `ablation_sched` | batched vs per-node scheduler messages |
 //! | `ablation_store` | object-store handle return vs client data pull |
 
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod micro;
 pub mod pipeline;
 pub mod stream;

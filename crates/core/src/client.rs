@@ -8,6 +8,15 @@
 //! launch; results come back as object-store handles, not data — the
 //! outputs stay in HBM (unlike the TF/Ray baselines that copy results
 //! back, §5.1).
+//!
+//! [`Client::submit`] is **non-blocking**: it returns a [`Run`] whose
+//! per-sink [`ObjectRef`]s exist immediately, before any kernel has been
+//! scheduled. Feeding those refs into another program's external inputs
+//! via [`Client::submit_with`] chains programs without ever awaiting an
+//! intermediate run — the coordinator dispatches the whole chain while
+//! the first program is still executing (parallel asynchronous dispatch
+//! across programs), and only the consuming kernels gate on the
+//! producers' per-shard readiness events.
 
 use std::fmt;
 use std::rc::Rc;
@@ -16,18 +25,88 @@ use pathways_net::{ClientId, HostId};
 use pathways_plaque::RunId;
 
 use crate::context::CoreCtx;
+use crate::objref::{InputBinding, ObjectRef};
 use crate::ops::{prepare, PreparedProgram};
 use crate::program::{CompId, Program};
 use crate::resource::{ResourceError, ResourceManager, SliceRequest, VirtualSlice};
 use crate::sched::{ctrl_msg_bytes, CtrlMsg, SubmitMsg};
 use crate::store::ObjectId;
 
-/// Handles to one completed run's outputs. Dropping the result releases
-/// the logical-buffer references (refcounted at object granularity).
+/// Errors from submitting a prepared program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A binding referenced a computation id the program does not have
+    /// (typically a `CompId` from a *different* program's builder).
+    UnknownComputation {
+        /// The out-of-range id.
+        comp: CompId,
+    },
+    /// The program declares an external input that was not bound.
+    UnboundInput {
+        /// The unbound input node.
+        comp: CompId,
+    },
+    /// A binding targeted a computation that is not an external input.
+    NotAnInput {
+        /// The offending computation.
+        comp: CompId,
+    },
+    /// The same input was bound twice.
+    DuplicateBinding {
+        /// The doubly-bound input.
+        comp: CompId,
+    },
+    /// A bound `ObjectRef`'s sharding does not match the input's
+    /// declared shard count.
+    ShardMismatch {
+        /// The input node.
+        comp: CompId,
+        /// Shards the program declared.
+        expected: u32,
+        /// Shards the bound object has.
+        got: u32,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownComputation { comp } => {
+                write!(
+                    f,
+                    "binding references {comp}, which this program does not have"
+                )
+            }
+            SubmitError::UnboundInput { comp } => {
+                write!(f, "external input {comp} has no ObjectRef bound")
+            }
+            SubmitError::NotAnInput { comp } => {
+                write!(f, "{comp} is not an external input")
+            }
+            SubmitError::DuplicateBinding { comp } => {
+                write!(f, "external input {comp} bound twice")
+            }
+            SubmitError::ShardMismatch {
+                comp,
+                expected,
+                got,
+            } => write!(
+                f,
+                "input {comp} expects {expected} shards, bound object has {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Handles to one completed run's outputs. Each handle is an
+/// [`ObjectRef`] owning one logical-buffer reference; dropping the
+/// result (or individual clones) releases them.
 pub struct RunResult {
     run: RunId,
     objects: Vec<(CompId, ObjectId)>,
-    store: crate::store::ObjectStore,
+    refs: Vec<(CompId, ObjectRef)>,
 }
 
 impl fmt::Debug for RunResult {
@@ -57,54 +136,80 @@ impl RunResult {
             .find(|(c, _)| *c == comp)
             .map(|(_, o)| *o)
     }
-}
 
-impl Drop for RunResult {
-    fn drop(&mut self) {
-        for (_, obj) in &self.objects {
-            self.store.release(*obj);
-        }
+    /// A clone of the output [`ObjectRef`] of sink `comp` (retains the
+    /// object), usable as a later program's input.
+    pub fn object_ref(&self, comp: CompId) -> Option<ObjectRef> {
+        self.refs
+            .iter()
+            .find(|(c, _)| *c == comp)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// All output refs, one per sink computation.
+    pub fn refs(&self) -> &[(CompId, ObjectRef)] {
+        &self.refs
     }
 }
 
-/// A submitted program whose completion has not been awaited yet.
-pub struct PendingRun {
+/// A submitted program. Returned by the non-blocking
+/// [`Client::submit`]/[`Client::submit_with`]: the output [`ObjectRef`]s
+/// are available immediately and can be fed into further submissions
+/// without awaiting this run.
+pub struct Run {
     run_handle: pathways_plaque::RunHandle,
-    core: Rc<CoreCtx>,
+    refs: Vec<(CompId, ObjectRef)>,
 }
 
-impl fmt::Debug for PendingRun {
+impl fmt::Debug for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PendingRun")
+        f.debug_struct("Run")
             .field("run", &self.run_handle.id())
+            .field("outputs", &self.refs.len())
             .finish()
     }
 }
 
-impl PendingRun {
+impl Run {
     /// The run id.
     pub fn run(&self) -> RunId {
         self.run_handle.id()
+    }
+
+    /// A clone of the output future of sink `comp` — valid before the
+    /// run (or even its producerless scheduling) has made any progress.
+    pub fn object_ref(&self, comp: CompId) -> Option<ObjectRef> {
+        self.refs
+            .iter()
+            .find(|(c, _)| *c == comp)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// All output futures, one per sink computation, sorted by
+    /// computation.
+    pub fn refs(&self) -> &[(CompId, ObjectRef)] {
+        &self.refs
     }
 
     /// Waits for the program to complete and collects its results.
     pub async fn finish(self) -> RunResult {
         let run = self.run_handle.id();
         self.run_handle.await_done().await;
-        let mut objects = self
-            .core
-            .results
-            .borrow_mut()
-            .remove(&run)
-            .unwrap_or_default();
-        objects.sort();
+        let objects = self.refs.iter().map(|(c, r)| (*c, r.id())).collect();
         RunResult {
             run,
             objects,
-            store: self.core.store.clone(),
+            refs: self.refs,
         }
     }
 }
+
+/// The pre-`ObjectRef` name of [`Run`], kept so existing code compiles.
+#[deprecated(
+    note = "use `Run`: submit() now returns output ObjectRefs immediately, \
+            so chaining no longer requires finish()"
+)]
+pub type PendingRun = Run;
 
 /// A Pathways client.
 #[derive(Clone)]
@@ -187,17 +292,72 @@ impl Client {
         prepare(&self.core, self.id, self.host, &self.label, program)
     }
 
-    /// Submits a prepared program: pays the client-side (Python-thread)
-    /// overhead and sends the control messages, returning a handle that
-    /// resolves to the results. Splitting submission from completion
-    /// lets a client pipeline programs the way §5.2's workload does —
-    /// while keeping the client-side work serialized, as a real
-    /// single-threaded client process would.
-    pub async fn submit(&self, prepared: &PreparedProgram) -> PendingRun {
+    /// Submits a prepared program with no external inputs: pays the
+    /// client-side (Python-thread) overhead and sends the control
+    /// messages, returning a [`Run`] whose output [`ObjectRef`]s are
+    /// valid immediately. Nothing about the run is awaited — chain
+    /// further submissions or call [`Run::finish`] when the results are
+    /// actually needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program declares external inputs (bind them with
+    /// [`Client::submit_with`]).
+    pub async fn submit(&self, prepared: &PreparedProgram) -> Run {
+        self.submit_with(prepared, &[])
+            .await
+            .unwrap_or_else(|e| panic!("submit: {e}; use submit_with to bind inputs"))
+    }
+
+    /// Submits a prepared program, binding each external input to an
+    /// [`ObjectRef`] — typically another run's output future. The bound
+    /// objects are retained for the duration of the run.
+    ///
+    /// Control messages, island scheduling, buffer allocation and
+    /// transfer setup for this program all proceed immediately; only the
+    /// kernels consuming a bound input gate (per shard) on the
+    /// producer's readiness events.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub async fn submit_with(
+        &self,
+        prepared: &PreparedProgram,
+        bindings: &[(CompId, ObjectRef)],
+    ) -> Result<Run, SubmitError> {
+        let info = &prepared.info;
+        let comps = info.program.computations();
+        // Validate the binding set against the program's declared inputs.
+        for (i, (comp, objref)) in bindings.iter().enumerate() {
+            let node = comps
+                .get(comp.index())
+                .ok_or(SubmitError::UnknownComputation { comp: *comp })?;
+            if !node.is_input() {
+                return Err(SubmitError::NotAnInput { comp: *comp });
+            }
+            if bindings[..i].iter().any(|(c, _)| c == comp) {
+                return Err(SubmitError::DuplicateBinding { comp: *comp });
+            }
+            let expected = node.shards();
+            if objref.shards() != expected {
+                return Err(SubmitError::ShardMismatch {
+                    comp: *comp,
+                    expected,
+                    got: objref.shards(),
+                });
+            }
+        }
+        for comp in info.program.inputs() {
+            if !bindings.iter().any(|(c, _)| *c == comp) {
+                return Err(SubmitError::UnboundInput { comp });
+            }
+        }
+
         // Client-side work: Python call, tracing-cache lookup,
         // serialization of the submission.
         let cfg = &self.core.cfg;
-        let n_comps = prepared.info.program.computations().len() as u64;
+        let n_comps = comps.len() as u64;
         self.core
             .handle
             .sleep(cfg.client_overhead + cfg.client_per_comp * n_comps)
@@ -205,13 +365,58 @@ impl Client {
 
         // Install the dataflow without Start fan-out: the scheduler's
         // grant messages carry the start signal to every participating
-        // host (§4.5's single subgraph message). Only the Result node —
-        // local to this client — is started here.
+        // host (§4.5's single subgraph message). Input placeholders and
+        // the Result node — all local to this client — are started here.
         let run_handle = self.core.plaque.launch_unstarted(&prepared.graph);
         let run = run_handle.id();
-        let result_node =
-            pathways_plaque::NodeId(prepared.info.program.computations().len() as u32);
+
+        // Mint the output futures: declare each sink's object (with its
+        // per-shard readiness events) before anything executes.
+        let refs: Vec<(CompId, ObjectRef)> = info
+            .program
+            .sinks()
+            .into_iter()
+            .map(|comp| {
+                let object = ObjectId { run, comp };
+                let shards = info.shards[comp.index()];
+                let events = self.core.store.declare(object, self.id, shards);
+                let bytes = info.program.computations()[comp.index()]
+                    .fn_spec()
+                    .expect("sinks are kernels")
+                    .output_bytes_per_shard;
+                let objref = ObjectRef::new(
+                    object,
+                    bytes,
+                    info.devices[comp.index()].clone(),
+                    events,
+                    self.core.store.clone(),
+                );
+                (comp, objref)
+            })
+            .collect();
+
+        // Bind the inputs, then start their shards (and the Result node)
+        // locally.
+        for (comp, objref) in bindings {
+            let shards = info.shards[comp.index()];
+            self.core.bindings.borrow_mut().insert(
+                (run, *comp),
+                Rc::new(InputBinding::new(objref.clone(), shards)),
+            );
+        }
+        let result_node = pathways_plaque::NodeId(comps.len() as u32);
         self.core.plaque.start_local(self.host, run, result_node, 0);
+        for comp in info.program.inputs() {
+            for shard in 0..info.shards[comp.index()] {
+                self.core.plaque.start_local(
+                    self.host,
+                    run,
+                    pathways_plaque::NodeId(comp.0),
+                    shard,
+                );
+            }
+        }
+
         for (island, comps) in &prepared.submits {
             let sched_host = self.core.sched_hosts[island];
             // Occupancy estimate for *this island's* computations only —
@@ -238,10 +443,7 @@ impl Client {
                 .send(self.host, sched_host, msg, bytes);
         }
 
-        PendingRun {
-            run_handle,
-            core: Rc::clone(&self.core),
-        }
+        Ok(Run { run_handle, refs })
     }
 
     /// Runs a prepared program to completion, returning output handles.

@@ -14,9 +14,10 @@ use pathways_sim::sync::Event;
 
 use crate::config::PathwaysConfig;
 use crate::exec::ExecutorShared;
+use crate::objref::InputBinding;
 use crate::program::CompId;
 use crate::sched::CtrlMsg;
-use crate::store::{ObjectId, ObjectStore};
+use crate::store::ObjectStore;
 
 /// Key of one consumer input: `(run, consumer comp, consumer shard,
 /// local in-edge index)`.
@@ -89,8 +90,10 @@ pub struct CoreCtx {
     pub executors: HashMap<HostId, ExecutorShared>,
     /// Island → scheduler host.
     pub sched_hosts: HashMap<IslandId, HostId>,
-    /// Completed-run result mailboxes.
-    pub results: RefCell<HashMap<RunId, Vec<(CompId, ObjectId)>>>,
+    /// Bound external inputs, keyed by `(run, input comp)`. Installed by
+    /// `Client::submit_with` before the run launches; removed by the
+    /// last input shard once its transfers are driven.
+    pub(crate) bindings: RefCell<HashMap<(RunId, CompId), Rc<InputBinding>>>,
     /// Live consumer input buffers (see [`InputSlot`]).
     pub input_slots: RefCell<HashMap<InputKey, InputSlot>>,
     /// Runtime configuration.

@@ -141,7 +141,14 @@ pub fn spawn_executor(
                     run: grant.run,
                     comp: grant.comp,
                 };
-                store.create(object, grant.client);
+                // Intermediate outputs are runtime-owned (released by the
+                // producer once consumers have their copies). Sink outputs
+                // were declared by the client at submit time; re-creating
+                // one here would resurrect an output whose ObjectRef the
+                // client already dropped.
+                if !grant.sink {
+                    store.create(object, grant.client);
+                }
                 // The grant message carries the subgraph-start
                 // information (§4.5's single message): trigger the local
                 // dataflow shards in place, no extra fan-out.

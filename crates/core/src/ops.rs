@@ -9,6 +9,18 @@
 //! addresses — the handshake of Figure 4), and every sink computation
 //! gains an edge to a single-shard `Result` node at the client's host
 //! that delivers output handles back to the client.
+//!
+//! External-input placeholders ([`crate::ProgramBuilder::input`])
+//! lower to [`InputOperator`] nodes on
+//! the *client's* host: virtual producers that replay another program's
+//! output (an [`ObjectRef`](crate::ObjectRef) bound at submit time)
+//! into the consumer's input buffers. Everything control-plane — the
+//! address handshake, scheduling, buffer allocation, PCIe enqueue —
+//! proceeds eagerly; only the data movement (and hence the consuming
+//! *kernel*, which gates on its input futures inside the device queue)
+//! waits for the producer's per-shard readiness events in the object
+//! store. That is the paper's parallel asynchronous dispatch, extended
+//! across program boundaries.
 
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
@@ -20,6 +32,7 @@ use pathways_sim::{join_all, SimDuration};
 
 use crate::context::CoreCtx;
 use crate::exec::CompRegistration;
+use crate::objref::InputBinding;
 use crate::program::{CompId, Program, ShardMapping};
 use crate::sched::CompSubmit;
 use crate::store::ObjectId;
@@ -27,7 +40,9 @@ use crate::store::ObjectId;
 /// Control-tuple payloads on forward edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum FwdSignal {
-    /// Producer enqueued its kernel; carries the output future.
+    /// Producer enqueued its kernel (or, for an external input, the
+    /// bound `ObjectRef` already is the future); carries the output
+    /// future.
     Future,
     /// The producer's output has been transferred into the consumer's
     /// input buffer.
@@ -55,9 +70,13 @@ pub struct ProgInfo {
     pub client: ClientId,
     /// Trace label.
     pub label: String,
+    /// Shard count per computation (inputs included).
+    pub shards: Vec<u32>,
     /// Physical devices per computation (snapshot at lowering time).
+    /// Empty for external inputs — their devices come from the bound
+    /// `ObjectRef` at run time.
     pub devices: Vec<Vec<DeviceId>>,
-    /// Host of each shard of each computation.
+    /// Host of each shard of each computation (inputs: the client host).
     pub hosts: Vec<Vec<HostId>>,
     /// Plaque forward edge per program edge index.
     pub fwd_edges: Vec<PEdge>,
@@ -82,7 +101,7 @@ impl ProgInfo {
         let edge = &self.program.edges()[e];
         match edge.mapping {
             ShardMapping::OneToOne => vec![dst_shard],
-            ShardMapping::AllToAll => (0..self.devices[edge.src.index()].len() as u32).collect(),
+            ShardMapping::AllToAll => (0..self.shards[edge.src.index()]).collect(),
         }
     }
 
@@ -91,7 +110,7 @@ impl ProgInfo {
         let edge = &self.program.edges()[e];
         match edge.mapping {
             ShardMapping::OneToOne => vec![src_shard],
-            ShardMapping::AllToAll => (0..self.devices[edge.dst.index()].len() as u32).collect(),
+            ShardMapping::AllToAll => (0..self.shards[edge.dst.index()]).collect(),
         }
     }
 
@@ -101,7 +120,7 @@ impl ProgInfo {
         match edge.mapping {
             ShardMapping::OneToOne => edge.bytes_per_src_shard,
             ShardMapping::AllToAll => {
-                let dsts = self.devices[edge.dst.index()].len() as u64;
+                let dsts = self.shards[edge.dst.index()] as u64;
                 edge.bytes_per_src_shard.div_ceil(dsts)
             }
         }
@@ -160,12 +179,20 @@ pub fn prepare(
     let topo = Rc::clone(core.fabric.topology());
     let n_comps = program.computations().len();
 
+    let shards: Vec<u32> = program.computations().iter().map(|c| c.shards()).collect();
     let devices: Vec<Vec<DeviceId>> = (0..n_comps)
         .map(|c| program.physical_devices(CompId(c as u32)))
         .collect();
-    let hosts: Vec<Vec<HostId>> = devices
-        .iter()
-        .map(|devs| devs.iter().map(|d| topo.host_of_device(*d)).collect())
+    // Kernel shards live with their device's host; input shards live on
+    // the client host, where the coordinator drives the replay.
+    let hosts: Vec<Vec<HostId>> = (0..n_comps)
+        .map(|c| {
+            if program.computations()[c].is_input() {
+                vec![client_host; shards[c] as usize]
+            } else {
+                devices[c].iter().map(|d| topo.host_of_device(*d)).collect()
+            }
+        })
         .collect();
 
     // Edge ids in the plaque graph are assigned in creation order; we
@@ -186,6 +213,7 @@ pub fn prepare(
         program: program.clone(),
         client,
         label: label.to_string(),
+        shards,
         devices,
         hosts,
         fwd_edges,
@@ -200,30 +228,33 @@ pub fn prepare(
         let comp = CompId(c as u32);
         let core = Rc::clone(core);
         let info_f = Rc::clone(&info);
+        let is_input = program.computations()[c].is_input();
         let node = g.node(
-            program.computations()[c].spec.name.clone(),
+            program.computations()[c].name().to_string(),
             info.hosts[c].clone(),
-            move |shard| {
-                Box::new(CompOperator::new(
-                    Rc::clone(&core),
-                    Rc::clone(&info_f),
-                    comp,
-                    shard,
-                ))
+            move |shard| -> Box<dyn Operator> {
+                if is_input {
+                    Box::new(InputOperator::new(
+                        Rc::clone(&core),
+                        Rc::clone(&info_f),
+                        comp,
+                        shard,
+                    ))
+                } else {
+                    Box::new(CompOperator::new(
+                        Rc::clone(&core),
+                        Rc::clone(&info_f),
+                        comp,
+                        shard,
+                    ))
+                }
             },
         );
         pnodes.push(node);
     }
-    let result_node = {
-        let core = Rc::clone(core);
-        let info_f = Rc::clone(&info);
-        g.node("Result", vec![client_host], move |_| {
-            Box::new(ResultOperator {
-                core: Rc::clone(&core),
-                info: Rc::clone(&info_f),
-            })
-        })
-    };
+    let result_node = g.node("Result", vec![client_host], move |_| {
+        Box::new(ResultOperator)
+    });
     // One-to-one IR edges become one-to-one plaque edges so progress
     // punctuations stay O(1) per shard (the sparse-exchange support of
     // §4.3); resharding edges stay all-to-all.
@@ -252,9 +283,14 @@ pub fn prepare(
     }
     let graph = g.build().expect("lowering produced an invalid graph");
 
-    // Per-island submissions, computations in topological order.
+    // Per-island submissions, kernel computations in topological order.
+    // External inputs are not submitted: they occupy no devices and the
+    // scheduler never sees them.
     let mut submits: BTreeMap<IslandId, Vec<CompSubmit>> = BTreeMap::new();
     for &comp in program.topo_order() {
+        let Some(spec) = program.computations()[comp.index()].fn_spec() else {
+            continue;
+        };
         let devs = &info.devices[comp.index()];
         let island = topo.island_of_device(devs[0]);
         for d in devs {
@@ -264,7 +300,6 @@ pub fn prepare(
                 "computation {comp} spans islands"
             );
         }
-        let spec = &program.computations()[comp.index()].spec;
         let collective = spec.collective.map(|(kind, bytes)| {
             let duration = spec
                 .collective_time_override
@@ -280,6 +315,7 @@ pub fn prepare(
         }
         submits.entry(island).or_default().push(CompSubmit {
             comp,
+            sink: info.result_edges.contains_key(&comp),
             participants: devs.len() as u32,
             collective,
             compute: spec.compute,
@@ -355,7 +391,9 @@ impl Operator for CompOperator {
 
         // Input buffers: one slot per in-edge, delivered directly by
         // producer transfers (ICI path — no DCN hop before the kernel
-        // can start).
+        // can start). Edges from external inputs deliver the same way,
+        // driven by the client-side InputOperator replaying the bound
+        // ObjectRef.
         let mut input_events = Vec::with_capacity(in_edges.len());
         let mut fwd_in = HashMap::new();
         let mut futures_needed = 0u64;
@@ -525,52 +563,12 @@ async fn drive_shard(
 
     // Move outputs to every consumer shard as soon as its buffer address
     // is known; transfers to different consumers proceed concurrently.
-    let mut transfers = Vec::new();
+    // No readiness gate: this shard's kernel just completed.
     let addr_map: HashMap<(usize, u32), Event> = addr_events.into_iter().collect();
-    for (oi, &e) in out_edges.iter().enumerate() {
-        let bytes = info.pair_bytes(e);
-        let dst_comp = info.program.edges()[e].dst;
-        let dst_in_idx = info
-            .program
-            .in_edges(dst_comp)
-            .iter()
-            .position(|&x| x == e)
-            .expect("edge is an in-edge of its consumer");
-        for d in info.feeds(e, shard) {
-            let addr = addr_map
-                .get(&(oi, d))
-                .expect("address event missing")
-                .clone();
-            let src_dev = info.devices[comp.index()][shard as usize];
-            let dst_dev = info.devices[dst_comp.index()][d as usize];
-            let core = Rc::clone(&core);
-            let info2 = Rc::clone(&info);
-            let emitter = emitter.clone();
-            transfers.push(core.handle.clone().spawn(
-                format!("xfer-{run}-{comp}-{shard}-{d}"),
-                async move {
-                    addr.wait().await;
-                    core.move_bytes(src_dev, dst_dev, bytes).await;
-                    // In-band delivery: the transfer's arrival is the
-                    // consumer kernel's trigger (ICI into its input
-                    // buffer), with no control message in between.
-                    if let Some(slot) = core
-                        .input_slots
-                        .borrow()
-                        .get(&(run, dst_comp, d, dst_in_idx))
-                    {
-                        slot.deliver();
-                    }
-                    // Off the critical path: close the plaque edge.
-                    emitter.send(
-                        info2.fwd_edges[e],
-                        d,
-                        Tuple::new(FwdSignal::Data, SIGNAL_BYTES),
-                    );
-                },
-            ));
-        }
-    }
+    let src_dev = info.devices[comp.index()][shard as usize];
+    let transfers = spawn_output_transfers(
+        &core, &info, comp, shard, run, &emitter, &addr_map, src_dev, None,
+    );
     join_all(transfers).await;
     // Release this shard's input-slot registrations.
     {
@@ -584,7 +582,9 @@ async fn drive_shard(
         // Sink: shard 0 delivers the *logical* output handle to the
         // Result node — one handle per sharded buffer, not per shard
         // (the §4.2 amortization). The run still waits for every shard:
-        // completion requires all shards to halt.
+        // completion requires all shards to halt. The client's ObjectRef
+        // (minted at submit time) owns the object's refcount; nothing is
+        // released here.
         if shard == 0 {
             emitter.send(
                 result_edge,
@@ -599,30 +599,249 @@ async fn drive_shard(
     emitter.halt();
 }
 
+/// Spawns one transfer task per (out-edge, consumer shard) of `comp`
+/// shard `shard` — the producer half of the Figure 4 handshake, shared
+/// by kernel shards and external-input replays. Each task waits for the
+/// consumer's buffer address (eager: allocated during grant processing),
+/// then the optional readiness `gate` (external inputs gate on the
+/// producer's per-shard event; kernel shards pass `None` because their
+/// kernel already completed), moves the bytes from `src_dev`, delivers
+/// the consumer's input slot in-band (the transfer's arrival is the
+/// consumer kernel's trigger — no control message in between), and
+/// closes the plaque edge off the critical path.
+#[allow(clippy::too_many_arguments)]
+fn spawn_output_transfers(
+    core: &Rc<CoreCtx>,
+    info: &Rc<ProgInfo>,
+    comp: CompId,
+    shard: u32,
+    run: pathways_plaque::RunId,
+    emitter: &Emitter,
+    addr_map: &HashMap<(usize, u32), Event>,
+    src_dev: DeviceId,
+    gate: Option<Event>,
+) -> Vec<pathways_sim::JoinHandle<()>> {
+    let mut transfers = Vec::new();
+    for (oi, &e) in info.program.out_edges(comp).iter().enumerate() {
+        let bytes = info.pair_bytes(e);
+        let dst_comp = info.program.edges()[e].dst;
+        let dst_in_idx = info
+            .program
+            .in_edges(dst_comp)
+            .iter()
+            .position(|&x| x == e)
+            .expect("edge is an in-edge of its consumer");
+        for d in info.feeds(e, shard) {
+            let addr = addr_map
+                .get(&(oi, d))
+                .expect("address event missing")
+                .clone();
+            let gate = gate.clone();
+            let dst_dev = info.devices[dst_comp.index()][d as usize];
+            let core = Rc::clone(core);
+            let info2 = Rc::clone(info);
+            let emitter = emitter.clone();
+            transfers.push(core.handle.clone().spawn(
+                format!("xfer-{run}-{comp}-{shard}-{d}"),
+                async move {
+                    addr.wait().await;
+                    if let Some(ready) = &gate {
+                        ready.wait().await;
+                    }
+                    core.move_bytes(src_dev, dst_dev, bytes).await;
+                    if let Some(slot) = core
+                        .input_slots
+                        .borrow()
+                        .get(&(run, dst_comp, d, dst_in_idx))
+                    {
+                        slot.deliver();
+                    }
+                    emitter.send(
+                        info2.fwd_edges[e],
+                        d,
+                        Tuple::new(FwdSignal::Data, SIGNAL_BYTES),
+                    );
+                },
+            ));
+        }
+    }
+    transfers
+}
+
+// ---------------------------------------------------------------------------
+// External-input operator
+// ---------------------------------------------------------------------------
+
+/// One shard of an external-input placeholder, running on the client
+/// host. A virtual producer: it speaks the producer half of the Figure 4
+/// handshake for a buffer that another program is (or will be) writing.
+pub(crate) struct InputOperator {
+    core: Rc<CoreCtx>,
+    info: Rc<ProgInfo>,
+    comp: CompId,
+    shard: u32,
+    /// plaque backward edge → local out-edge index.
+    back_in: HashMap<PEdge, usize>,
+    /// Address events per (local out-edge index, consumer shard).
+    addr_events: HashMap<(usize, u32), Event>,
+}
+
+impl InputOperator {
+    pub(crate) fn new(core: Rc<CoreCtx>, info: Rc<ProgInfo>, comp: CompId, shard: u32) -> Self {
+        InputOperator {
+            core,
+            info,
+            comp,
+            shard,
+            back_in: HashMap::new(),
+            addr_events: HashMap::new(),
+        }
+    }
+}
+
+impl Operator for InputOperator {
+    fn on_start(&mut self, ctx: &mut ShardCtx<'_>) {
+        let run = ctx.run();
+        let info = Rc::clone(&self.info);
+        let out_edges = info.program.out_edges(self.comp);
+        for (oi, &e) in out_edges.iter().enumerate() {
+            self.back_in.insert(info.back_edges[e], oi);
+            for d in info.feeds(e, self.shard) {
+                self.addr_events.insert((oi, d), Event::new());
+            }
+        }
+
+        // The bound ObjectRef *is* the output future — announce it
+        // downstream immediately, before any data exists. Sequential
+        // dispatch within the consuming program therefore never
+        // serializes on a cross-program edge.
+        for &e in &out_edges {
+            for d in info.feeds(e, self.shard) {
+                ctx.send(
+                    info.fwd_edges[e],
+                    d,
+                    Tuple::new(FwdSignal::Future, SIGNAL_BYTES),
+                );
+            }
+        }
+
+        let binding = self
+            .core
+            .bindings
+            .borrow()
+            .get(&(run, self.comp))
+            .cloned()
+            .unwrap_or_else(|| panic!("no ObjectRef bound for {run} input {}", self.comp));
+        let addr_events_task: Vec<((usize, u32), Event)> = {
+            let mut v: Vec<_> = self
+                .addr_events
+                .iter()
+                .map(|(k, ev)| (*k, ev.clone()))
+                .collect();
+            v.sort_by_key(|(k, _)| *k);
+            v
+        };
+        let comp = self.comp;
+        let shard = self.shard;
+        ctx.handle().spawn(
+            format!("input-{run}-{comp}-{shard}"),
+            drive_input_shard(
+                Rc::clone(&self.core),
+                info,
+                comp,
+                shard,
+                run,
+                ctx.emitter(),
+                binding,
+                addr_events_task,
+            ),
+        );
+    }
+
+    fn on_tuple(
+        &mut self,
+        _ctx: &mut ShardCtx<'_>,
+        edge: pathways_plaque::EdgeId,
+        src_shard: u32,
+        tuple: Tuple,
+    ) {
+        let Some(&oi) = self.back_in.get(&edge) else {
+            panic!("tuple on unexpected {edge}");
+        };
+        tuple.expect::<AddrSignal>();
+        self.addr_events
+            .get(&(oi, src_shard))
+            .unwrap_or_else(|| panic!("address from unexpected shard {src_shard}"))
+            .set();
+    }
+
+    fn on_all_inputs_complete(&mut self, _ctx: &mut ShardCtx<'_>) {
+        // The driver halts the shard after its transfers finish.
+    }
+}
+
+/// Replays shard `shard` of a bound object into every consumer buffer.
+///
+/// The address handshake and the transfer *setup* happen eagerly; the
+/// bytes move only once the producer's kernel has marked the shard ready
+/// in the object store — the single gate the consuming kernel inherits
+/// through its input future.
+#[allow(clippy::too_many_arguments)]
+async fn drive_input_shard(
+    core: Rc<CoreCtx>,
+    info: Rc<ProgInfo>,
+    comp: CompId,
+    shard: u32,
+    run: pathways_plaque::RunId,
+    emitter: Emitter,
+    binding: Rc<InputBinding>,
+    addr_events: Vec<((usize, u32), Event)>,
+) {
+    // Gate every transfer on the producer's per-shard readiness event —
+    // the single thing the consuming kernel ends up waiting for.
+    let src_dev = binding.objref.devices()[shard as usize];
+    let ready = binding.objref.shard_ready(shard).clone();
+    let addr_map: HashMap<(usize, u32), Event> = addr_events.into_iter().collect();
+    let transfers = spawn_output_transfers(
+        &core,
+        &info,
+        comp,
+        shard,
+        run,
+        &emitter,
+        &addr_map,
+        src_dev,
+        Some(ready),
+    );
+    join_all(transfers).await;
+    // Last shard of this input drops the binding, releasing its
+    // ObjectRef clone (and with it, possibly, the object).
+    let left = binding.remaining.get() - 1;
+    binding.remaining.set(left);
+    if left == 0 {
+        core.bindings.borrow_mut().remove(&(run, comp));
+    }
+    emitter.halt();
+}
+
 // ---------------------------------------------------------------------------
 // Result operator
 // ---------------------------------------------------------------------------
 
-pub(crate) struct ResultOperator {
-    pub(crate) core: Rc<CoreCtx>,
-    pub(crate) info: Rc<ProgInfo>,
-}
+/// Terminal single-shard node on the client host. Output handles are
+/// minted at submit time as `ObjectRef`s, so the completion tuples are
+/// purely structural: they close the sink→Result plaque edges, and the
+/// node's halt marks the run complete.
+pub(crate) struct ResultOperator;
 
 impl Operator for ResultOperator {
     fn on_tuple(
         &mut self,
-        ctx: &mut ShardCtx<'_>,
+        _ctx: &mut ShardCtx<'_>,
         _edge: pathways_plaque::EdgeId,
         _src: u32,
         tuple: Tuple,
     ) {
-        let sig = tuple.expect::<CompletionSignal>();
-        self.core
-            .results
-            .borrow_mut()
-            .entry(ctx.run())
-            .or_default()
-            .push((sig.comp, sig.object));
-        let _ = &self.info;
+        let _ = tuple.expect::<CompletionSignal>();
     }
 }

@@ -7,6 +7,13 @@
 //! of a slice, and [`Program::lower`] resolves them to physical devices
 //! (the paper's "lowering" pass that can be re-run when the resource
 //! manager changes the virtual→physical mapping).
+//!
+//! Programs can also declare **external inputs**
+//! ([`ProgramBuilder::input`]): placeholder nodes that are bound to an
+//! [`ObjectRef`](crate::ObjectRef) — the output future of another
+//! program — at submission time. This is what makes cross-program
+//! chaining first-class: a consumer program can be traced, lowered and
+//! dispatched before its producer has run.
 
 use std::fmt;
 
@@ -100,13 +107,85 @@ impl FnSpec {
     }
 }
 
-/// One computation node: a compiled function placed on a virtual slice.
+/// Static description of an external input: a placeholder that is bound
+/// to another program's output ([`ObjectRef`](crate::ObjectRef)) when
+/// the program is submitted with
+/// [`Client::submit_with`](crate::Client::submit_with).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// Name (used in labels/traces).
+    pub name: String,
+    /// Number of shards of the bound object. Must match the bound
+    /// `ObjectRef`'s sharding; one-to-one edges out of the input require
+    /// the consumer to have the same shard count.
+    pub shards: u32,
+}
+
+impl InputSpec {
+    /// An input expecting an object sharded `shards` ways.
+    pub fn new(name: impl Into<String>, shards: u32) -> Self {
+        InputSpec {
+            name: name.into(),
+            shards,
+        }
+    }
+}
+
+/// One program node: either a compiled function placed on a virtual
+/// slice, or an external-input placeholder bound at submission time.
 #[derive(Debug, Clone)]
-pub struct Computation {
-    /// The function.
-    pub spec: FnSpec,
-    /// Virtual devices it runs on (one shard per device).
-    pub slice: VirtualSlice,
+pub enum Computation {
+    /// A compiled function running one shard per device of `slice`.
+    Kernel {
+        /// The function.
+        spec: FnSpec,
+        /// Virtual devices it runs on (one shard per device).
+        slice: VirtualSlice,
+    },
+    /// An external input, fed by an `ObjectRef` bound at submit time.
+    Input {
+        /// The input's static description.
+        spec: InputSpec,
+    },
+}
+
+impl Computation {
+    /// Node name (function or input name).
+    pub fn name(&self) -> &str {
+        match self {
+            Computation::Kernel { spec, .. } => &spec.name,
+            Computation::Input { spec } => &spec.name,
+        }
+    }
+
+    /// Number of shards of this node.
+    pub fn shards(&self) -> u32 {
+        match self {
+            Computation::Kernel { slice, .. } => slice.len() as u32,
+            Computation::Input { spec } => spec.shards,
+        }
+    }
+
+    /// The kernel spec, if this is a kernel node.
+    pub fn fn_spec(&self) -> Option<&FnSpec> {
+        match self {
+            Computation::Kernel { spec, .. } => Some(spec),
+            Computation::Input { .. } => None,
+        }
+    }
+
+    /// The virtual slice, if this is a kernel node.
+    pub fn slice(&self) -> Option<&VirtualSlice> {
+        match self {
+            Computation::Kernel { slice, .. } => Some(slice),
+            Computation::Input { .. } => None,
+        }
+    }
+
+    /// True for external-input placeholder nodes.
+    pub fn is_input(&self) -> bool {
+        matches!(self, Computation::Input { .. })
+    }
 }
 
 /// How the shards of a producer map onto the shards of a consumer.
@@ -156,6 +235,19 @@ pub enum ProgramError {
     Cyclic,
     /// The program has no computations.
     Empty,
+    /// The program has no kernel computations (inputs only).
+    NoKernels,
+    /// An external input is the destination of a dataflow edge; inputs
+    /// are sources by definition.
+    InputHasInEdge {
+        /// The offending input node.
+        comp: CompId,
+    },
+    /// An external input has no consumers.
+    UnusedInput {
+        /// The unused input node.
+        comp: CompId,
+    },
 }
 
 impl fmt::Display for ProgramError {
@@ -175,6 +267,13 @@ impl fmt::Display for ProgramError {
             ),
             ProgramError::Cyclic => write!(f, "program contains a cycle"),
             ProgramError::Empty => write!(f, "program has no computations"),
+            ProgramError::NoKernels => write!(f, "program has only input placeholders"),
+            ProgramError::InputHasInEdge { comp } => {
+                write!(f, "external input {comp} has an incoming edge")
+            }
+            ProgramError::UnusedInput { comp } => {
+                write!(f, "external input {comp} has no consumers")
+            }
         }
     }
 }
@@ -202,10 +301,19 @@ impl ProgramBuilder {
     /// Adds a computation node running `spec` on `slice`.
     pub fn computation(&mut self, spec: FnSpec, slice: &VirtualSlice) -> CompId {
         let id = CompId(self.comps.len() as u32);
-        self.comps.push(Computation {
+        self.comps.push(Computation::Kernel {
             spec,
             slice: slice.clone(),
         });
+        id
+    }
+
+    /// Adds an external-input placeholder. The returned id is used both
+    /// for dataflow edges out of the input and as the binding key of
+    /// [`Client::submit_with`](crate::Client::submit_with).
+    pub fn input(&mut self, spec: InputSpec) -> CompId {
+        let id = CompId(self.comps.len() as u32);
+        self.comps.push(Computation::Input { spec });
         id
     }
 
@@ -245,6 +353,9 @@ impl ProgramBuilder {
         if self.comps.is_empty() {
             return Err(ProgramError::Empty);
         }
+        if self.comps.iter().all(Computation::is_input) {
+            return Err(ProgramError::NoKernels);
+        }
         let n = self.comps.len() as u32;
         for e in &self.edges {
             for c in [e.src, e.dst] {
@@ -252,9 +363,12 @@ impl ProgramBuilder {
                     return Err(ProgramError::UnknownComputation { comp: c });
                 }
             }
+            if self.comps[e.dst.index()].is_input() {
+                return Err(ProgramError::InputHasInEdge { comp: e.dst });
+            }
             if e.mapping == ShardMapping::OneToOne {
-                let s = self.comps[e.src.index()].slice.len() as u32;
-                let d = self.comps[e.dst.index()].slice.len() as u32;
+                let s = self.comps[e.src.index()].shards();
+                let d = self.comps[e.dst.index()].shards();
                 if s != d {
                     return Err(ProgramError::ShardCountMismatch {
                         src: e.src,
@@ -263,6 +377,12 @@ impl ProgramBuilder {
                         dst_shards: d,
                     });
                 }
+            }
+        }
+        for (i, c) in self.comps.iter().enumerate() {
+            let id = CompId(i as u32);
+            if c.is_input() && !self.edges.iter().any(|e| e.src == id) {
+                return Err(ProgramError::UnusedInput { comp: id });
             }
         }
         let order = topological_order(self.comps.len(), &self.edges).ok_or(ProgramError::Cyclic)?;
@@ -307,9 +427,12 @@ impl Program {
 
     /// Physical devices of `comp` under the current virtual→physical
     /// mapping (the lowering step that is re-run if the resource manager
-    /// remaps a slice).
+    /// remaps a slice). External inputs have no devices until bound.
     pub fn physical_devices(&self, comp: CompId) -> Vec<DeviceId> {
-        self.comps[comp.index()].slice.physical_devices()
+        self.comps[comp.index()]
+            .slice()
+            .map(VirtualSlice::physical_devices)
+            .unwrap_or_default()
     }
 
     /// In-edges of `comp` (indices into [`Program::edges`]).
@@ -332,11 +455,21 @@ impl Program {
             .collect()
     }
 
-    /// Computations with no out-edges (their completion ends the run).
+    /// Kernel computations with no out-edges (their completion ends the
+    /// run; each produces one logical output object). External inputs
+    /// are never sinks: validation requires them to have consumers.
     pub fn sinks(&self) -> Vec<CompId> {
         (0..self.comps.len() as u32)
             .map(CompId)
-            .filter(|c| self.out_edges(*c).is_empty())
+            .filter(|c| !self.comps[c.index()].is_input() && self.out_edges(*c).is_empty())
+            .collect()
+    }
+
+    /// External-input placeholder nodes, in id order.
+    pub fn inputs(&self) -> Vec<CompId> {
+        (0..self.comps.len() as u32)
+            .map(CompId)
+            .filter(|c| self.comps[c.index()].is_input())
             .collect()
     }
 
@@ -346,7 +479,7 @@ impl Program {
     pub fn estimated_device_time(&self) -> SimDuration {
         self.comps
             .iter()
-            .map(|c| c.spec.compute * c.slice.len() as u64)
+            .filter_map(|c| c.fn_spec().map(|spec| spec.compute * c.shards() as u64))
             .sum()
     }
 }
@@ -447,6 +580,68 @@ mod tests {
             b.build().unwrap_err(),
             ProgramError::UnknownComputation { comp: CompId(9) }
         );
+    }
+
+    #[test]
+    fn input_node_feeds_kernels_and_is_not_a_sink() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.input(InputSpec::new("x", 2));
+        let k = b.computation(spec("k"), &slice(&[0, 1]));
+        b.edge(x, k, 64);
+        let p = b.build().unwrap();
+        assert!(p.computations()[x.index()].is_input());
+        assert_eq!(p.computations()[x.index()].shards(), 2);
+        assert_eq!(p.inputs(), vec![x]);
+        assert_eq!(p.sinks(), vec![k]);
+        assert!(p.physical_devices(x).is_empty());
+        // Inputs contribute no device time.
+        assert_eq!(
+            p.estimated_device_time(),
+            SimDuration::from_micros(10) * 2u64
+        );
+    }
+
+    #[test]
+    fn input_with_in_edge_is_rejected() {
+        let mut b = ProgramBuilder::new("p");
+        let k = b.computation(spec("k"), &slice(&[0]));
+        let x = b.input(InputSpec::new("x", 1));
+        b.edge(x, k, 8);
+        b.edge(k, x, 8);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ProgramError::InputHasInEdge { comp: x }
+        );
+    }
+
+    #[test]
+    fn unused_input_is_rejected() {
+        let mut b = ProgramBuilder::new("p");
+        b.computation(spec("k"), &slice(&[0]));
+        let x = b.input(InputSpec::new("x", 1));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ProgramError::UnusedInput { comp: x }
+        );
+    }
+
+    #[test]
+    fn inputs_only_program_is_rejected() {
+        let mut b = ProgramBuilder::new("p");
+        b.input(InputSpec::new("x", 1));
+        assert_eq!(b.build().unwrap_err(), ProgramError::NoKernels);
+    }
+
+    #[test]
+    fn one_to_one_from_input_checks_shard_counts() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.input(InputSpec::new("x", 4));
+        let k = b.computation(spec("k"), &slice(&[0]));
+        b.edge(x, k, 8);
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::ShardCountMismatch { .. })
+        ));
     }
 
     #[test]

@@ -120,7 +120,7 @@ impl PathwaysRuntime {
             devices,
             executors,
             sched_hosts,
-            results: RefCell::new(HashMap::new()),
+            bindings: RefCell::new(HashMap::new()),
             input_slots: RefCell::new(HashMap::new()),
             cfg,
         });

@@ -9,7 +9,7 @@
 //! in `pathways-device`'s tests.
 //!
 //! The *decision* of which client's program to grant next is delegated
-//! to a pluggable [`SchedPolicyImpl`](policy::SchedPolicyImpl) (see
+//! to a pluggable [`SchedPolicyImpl`] (see
 //! [`policy`]): FIFO (the paper's current implementation: "our current
 //! implementation simply enqueues work in FIFO order"), stride-based
 //! proportional share (the policy behind Figure 9's 1:2:4:8
@@ -27,7 +27,7 @@ use std::rc::Rc;
 use pathways_device::GangTag;
 use pathways_net::{ClientId, CollectiveKind, DeviceId, HostId, IslandId, Router};
 use pathways_plaque::RunId;
-use pathways_sim::{IdleToken, SimDuration, SimHandle};
+use pathways_sim::{IdleToken, SimDuration, SimHandle, SimTime};
 
 use crate::program::CompId;
 use policy::{FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy};
@@ -168,6 +168,11 @@ impl Eq for SchedPolicy {}
 pub struct CompSubmit {
     /// Which computation.
     pub comp: CompId,
+    /// True for sink computations: their output object is declared (and
+    /// refcounted) by the client at submit time, so executors must not
+    /// re-create it — if the client already dropped its `ObjectRef`, the
+    /// output is discarded.
+    pub sink: bool,
     /// Total shards (gang size).
     pub participants: u32,
     /// Collective kind, payload and precomputed wire duration.
@@ -209,6 +214,8 @@ pub struct GrantMsg {
     pub run: RunId,
     /// Which computation.
     pub comp: CompId,
+    /// Sink flag (see [`CompSubmit::sink`]).
+    pub sink: bool,
     /// Scheduler-assigned gang tag (island-unique).
     pub gang_tag: GangTag,
     /// Gang size.
@@ -260,7 +267,19 @@ pub struct SchedulerState {
     policy: Box<dyn SchedPolicyImpl>,
     next_tag: u64,
     granted_programs: u64,
+    /// When each run's submission reached this scheduler (virtual time).
+    /// Lets tests and benches observe parallel asynchronous dispatch:
+    /// with chained submissions, run N+1 arrives here while run N's
+    /// kernels are still executing. Bounded to the most recent
+    /// [`ARRIVAL_HISTORY`] runs so long-lived schedulers don't grow
+    /// without bound.
+    arrivals: HashMap<RunId, SimTime>,
+    /// Insertion order of `arrivals`, for eviction.
+    arrival_order: VecDeque<RunId>,
 }
+
+/// How many recent run arrivals each scheduler remembers.
+pub const ARRIVAL_HISTORY: usize = 1024;
 
 impl fmt::Debug for SchedulerState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -281,10 +300,21 @@ impl SchedulerState {
             // even though rendezvous is per island.
             next_tag: (island.0 as u64) << 48,
             granted_programs: 0,
+            arrivals: HashMap::new(),
+            arrival_order: VecDeque::new(),
         }
     }
 
-    fn push(&mut self, msg: SubmitMsg) {
+    fn push(&mut self, msg: SubmitMsg, now: SimTime) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.arrivals.entry(msg.run) {
+            e.insert(now);
+            self.arrival_order.push_back(msg.run);
+            if self.arrival_order.len() > ARRIVAL_HISTORY {
+                if let Some(old) = self.arrival_order.pop_front() {
+                    self.arrivals.remove(&old);
+                }
+            }
+        }
         self.policy.on_arrival(&msg);
         self.queues.entry(msg.client).or_default().push_back(msg);
     }
@@ -340,6 +370,11 @@ impl SchedulerState {
     pub fn granted_programs(&self) -> u64 {
         self.granted_programs
     }
+
+    /// When `run`'s submission arrived at this scheduler, if it has.
+    pub fn arrival_time(&self, run: RunId) -> Option<SimTime> {
+        self.arrivals.get(&run).copied()
+    }
 }
 
 /// Handle to a spawned island scheduler.
@@ -362,6 +397,11 @@ impl SchedulerHandle {
     /// Programs granted so far.
     pub fn granted_programs(&self) -> u64 {
         self.state.borrow().granted_programs()
+    }
+
+    /// When `run`'s submission arrived at this island's scheduler.
+    pub fn arrival_time(&self, run: RunId) -> Option<SimTime> {
+        self.state.borrow().arrival_time(run)
     }
 
     /// Name of the policy engine driving this island.
@@ -411,7 +451,7 @@ pub fn spawn_scheduler(
             token_task.set_busy();
             match env.msg {
                 CtrlMsg::Submit(submit) => {
-                    state_task.borrow_mut().push(submit);
+                    state_task.borrow_mut().push(submit, h.now());
                 }
                 CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
             }
@@ -435,7 +475,7 @@ pub fn spawn_scheduler(
                     .await;
                     while let Ok(env) = inbox.try_recv() {
                         match env.msg {
-                            CtrlMsg::Submit(s) => state_task.borrow_mut().push(s),
+                            CtrlMsg::Submit(s) => state_task.borrow_mut().push(s, h.now()),
                             CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
                         }
                     }
@@ -449,7 +489,7 @@ pub fn spawn_scheduler(
                 // decision sleep so proportional share sees them.
                 while let Ok(env) = inbox.try_recv() {
                     match env.msg {
-                        CtrlMsg::Submit(s) => state_task.borrow_mut().push(s),
+                        CtrlMsg::Submit(s) => state_task.borrow_mut().push(s, h.now()),
                         CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
                     }
                 }
@@ -473,6 +513,7 @@ pub fn spawn_scheduler(
                                 label: submit.label.clone(),
                                 run: submit.run,
                                 comp: comp.comp,
+                                sink: comp.sink,
                                 gang_tag: tag,
                                 participants: comp.participants,
                                 collective: comp.collective.map(|(k, _, d)| (k, d)),
@@ -533,9 +574,9 @@ mod tests {
     #[test]
     fn fifo_pops_in_arrival_order() {
         let mut st = state_with(&SchedPolicy::Fifo);
-        st.push(submit(1, 10, 5));
-        st.push(submit(0, 11, 5));
-        st.push(submit(1, 12, 5));
+        st.push(submit(1, 10, 5), SimTime::ZERO);
+        st.push(submit(0, 11, 5), SimTime::ZERO);
+        st.push(submit(1, 12, 5), SimTime::ZERO);
         assert_eq!(st.pop().unwrap().run, RunId(10));
         assert_eq!(st.pop().unwrap().run, RunId(11));
         assert_eq!(st.pop().unwrap().run, RunId(12));
@@ -550,8 +591,8 @@ mod tests {
             [(ClientId(0), 1), (ClientId(1), 3)].into_iter().collect();
         let mut st = state_with(&SchedPolicy::ProportionalShare(weights));
         for i in 0..40 {
-            st.push(submit(0, i, 10));
-            st.push(submit(1, 100 + i, 10));
+            st.push(submit(0, i, 10), SimTime::ZERO);
+            st.push(submit(1, 100 + i, 10), SimTime::ZERO);
         }
         let mut counts = [0u32; 2];
         for _ in 0..40 {
@@ -571,8 +612,8 @@ mod tests {
             [(ClientId(0), 1), (ClientId(1), 1)].into_iter().collect();
         let mut st = state_with(&SchedPolicy::ProportionalShare(weights));
         for i in 0..60 {
-            st.push(submit(0, i, 30));
-            st.push(submit(1, 100 + i, 10));
+            st.push(submit(0, i, 30), SimTime::ZERO);
+            st.push(submit(1, 100 + i, 10), SimTime::ZERO);
         }
         let mut counts = [0u32; 2];
         for _ in 0..60 {
@@ -588,10 +629,10 @@ mod tests {
         let prio: BTreeMap<ClientId, u32> =
             [(ClientId(0), 0), (ClientId(1), 10)].into_iter().collect();
         let mut st = state_with(&SchedPolicy::Priority(prio));
-        st.push(submit(0, 1, 10));
-        st.push(submit(0, 2, 10));
-        st.push(submit(1, 3, 10));
-        st.push(submit(1, 4, 10));
+        st.push(submit(0, 1, 10), SimTime::ZERO);
+        st.push(submit(0, 2, 10), SimTime::ZERO);
+        st.push(submit(1, 3, 10), SimTime::ZERO);
+        st.push(submit(1, 4, 10), SimTime::ZERO);
         // All of client 1's work drains before any of client 0's.
         assert_eq!(st.pop().unwrap().run, RunId(3));
         assert_eq!(st.pop().unwrap().run, RunId(4));
@@ -604,8 +645,8 @@ mod tests {
         let prio: BTreeMap<ClientId, u32> =
             [(ClientId(0), 5), (ClientId(1), 5)].into_iter().collect();
         let mut st = state_with(&SchedPolicy::Priority(prio));
-        st.push(submit(1, 1, 10));
-        st.push(submit(0, 2, 10));
+        st.push(submit(1, 1, 10), SimTime::ZERO);
+        st.push(submit(0, 2, 10), SimTime::ZERO);
         assert_eq!(st.pop().unwrap().run, RunId(1));
         assert_eq!(st.pop().unwrap().run, RunId(2));
     }
@@ -619,8 +660,8 @@ mod tests {
             quantum: SimDuration::from_micros(10),
         });
         for i in 0..80 {
-            st.push(submit(0, i, 10));
-            st.push(submit(1, 1000 + i, 10));
+            st.push(submit(0, i, 10), SimTime::ZERO);
+            st.push(submit(1, 1000 + i, 10), SimTime::ZERO);
         }
         let mut counts = [0u32; 2];
         for _ in 0..80 {
@@ -647,9 +688,9 @@ mod tests {
         let policy = SchedPolicy::custom("last-client-first", || Box::new(LastClientFirst));
         let mut st = state_with(&policy);
         assert_eq!(st.policy_name(), "last-client-first");
-        st.push(submit(0, 1, 10));
-        st.push(submit(2, 2, 10));
-        st.push(submit(1, 3, 10));
+        st.push(submit(0, 1, 10), SimTime::ZERO);
+        st.push(submit(2, 2, 10), SimTime::ZERO);
+        st.push(submit(1, 3, 10), SimTime::ZERO);
         assert_eq!(st.pop().unwrap().client, ClientId(2));
         assert_eq!(st.pop().unwrap().client, ClientId(1));
         assert_eq!(st.pop().unwrap().client, ClientId(0));
@@ -677,13 +718,13 @@ mod tests {
             [(ClientId(0), 1), (ClientId(1), 1)].into_iter().collect();
         let mut st = state_with(&SchedPolicy::ProportionalShare(weights));
         for i in 0..5 {
-            st.push(submit(0, i, 10));
+            st.push(submit(0, i, 10), SimTime::ZERO);
         }
         for _ in 0..5 {
             st.pop();
         }
-        st.push(submit(1, 100, 10));
-        st.push(submit(0, 6, 10));
+        st.push(submit(1, 100, 10), SimTime::ZERO);
+        st.push(submit(0, 6, 10), SimTime::ZERO);
         // Client 1 has pass 0 < client 0's accumulated pass.
         assert_eq!(st.pop().unwrap().client, ClientId(1));
     }

@@ -9,6 +9,14 @@
 //! can be garbage-collected if a client or program fails, and HBM
 //! reservations go through [`HbmPool`](pathways_device::HbmPool), whose
 //! back-pressure stalls computations that cannot allocate (§4.6).
+//!
+//! Per-shard *readiness events* exist from the moment an object is
+//! [`declared`](ObjectStore::declare) — before any kernel has been
+//! granted, let alone produced data. This is what lets a dependent
+//! program be dispatched while its inputs are still futures: everything
+//! control-plane proceeds eagerly, and only the consuming kernel gates
+//! on the producer's per-shard events (§4.5's parallel asynchronous
+//! dispatch, extended across programs).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -36,6 +44,27 @@ impl fmt::Display for ObjectId {
         write!(f, "obj({},{})", self.run, self.comp)
     }
 }
+
+/// Typed store errors. Racing failure-GC means a client can hold a
+/// handle to an object the store has already reclaimed; those paths
+/// return errors instead of aborting the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The object is not (or no longer) in the store — typically it was
+    /// garbage-collected after its owner failed, or its refcount already
+    /// reached zero.
+    UnknownObject(ObjectId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownObject(id) => write!(f, "unknown object {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// One shard of a stored object, pinned in a device's HBM.
 pub struct StoredShard {
@@ -76,6 +105,10 @@ struct ObjectEntry {
     owner: ClientId,
     /// Logical-buffer refcount (not per shard).
     refcount: u32,
+    /// Per-shard readiness events. Populated eagerly by
+    /// [`ObjectStore::declare`] (so consumers can gate on shards that do
+    /// not exist yet) or lazily by [`ObjectStore::put_shard`].
+    ready: HashMap<u32, Event>,
     shards: HashMap<u32, StoredShard>,
 }
 
@@ -109,16 +142,45 @@ impl ObjectStore {
         self.inner.borrow_mut().entry(id).or_insert(ObjectEntry {
             owner,
             refcount: 1,
+            ready: HashMap::new(),
             shards: HashMap::new(),
         });
+    }
+
+    /// Declares an object with `shards` shards *before it is produced*,
+    /// eagerly creating one readiness event per shard, and returns those
+    /// events in shard order.
+    ///
+    /// Idempotent like [`ObjectStore::create`]: only the *first* call
+    /// for an id installs the entry, and its initial refcount of 1
+    /// belongs to that caller (the client's `ObjectRef`). A repeat call
+    /// takes **no** additional reference — it merely fills in and
+    /// returns the shard events — so a second independent handle must
+    /// [`retain`](ObjectStore::retain) explicitly.
+    pub fn declare(&self, id: ObjectId, owner: ClientId, shards: u32) -> Vec<Event> {
+        let mut inner = self.inner.borrow_mut();
+        let entry = inner.entry(id).or_insert(ObjectEntry {
+            owner,
+            refcount: 1,
+            ready: HashMap::new(),
+            shards: HashMap::new(),
+        });
+        (0..shards)
+            .map(|s| entry.ready.entry(s).or_default().clone())
+            .collect()
     }
 
     /// Reserves HBM on `device` for shard `shard` of `id` and records it.
     /// Awaits back-pressure if HBM is full.
     ///
+    /// If the object is unknown — its last reference was dropped or its
+    /// owner was garbage-collected while the producing run was still in
+    /// flight — the output is discarded: nothing is pinned and a fresh,
+    /// never-set event is returned.
+    ///
     /// # Panics
     ///
-    /// Panics if the object was not created or the shard already exists.
+    /// Panics if the shard already exists.
     pub async fn put_shard(
         &self,
         id: ObjectId,
@@ -126,15 +188,17 @@ impl ObjectStore {
         device: &DeviceHandle,
         bytes: u64,
     ) -> Event {
-        assert!(
-            self.inner.borrow().contains_key(&id),
-            "put_shard on unknown {id}"
-        );
+        if !self.inner.borrow().contains_key(&id) {
+            return Event::new();
+        }
         // HBM back-pressure happens outside the store borrow.
         let lease = device.hbm().allocate(bytes).await;
-        let ready = Event::new();
         let mut inner = self.inner.borrow_mut();
-        let entry = inner.get_mut(&id).expect("checked above");
+        let Some(entry) = inner.get_mut(&id) else {
+            // Released while we waited on back-pressure: discard.
+            return Event::new();
+        };
+        let ready = entry.ready.entry(shard).or_insert_with(Event::new).clone();
         let prev = entry.shards.insert(
             shard,
             StoredShard {
@@ -153,35 +217,42 @@ impl ObjectStore {
     /// Late marks on released objects are ignored — the consumer is gone.
     pub fn mark_ready(&self, id: ObjectId, shard: u32) {
         if let Some(entry) = self.inner.borrow().get(&id) {
-            if let Some(s) = entry.shards.get(&shard) {
-                s.ready.set();
+            if let Some(ev) = entry.ready.get(&shard) {
+                ev.set();
             }
         }
     }
 
-    /// Readiness event of a shard, if present.
+    /// Readiness event of a shard, if the object (and its declared or
+    /// stored shard) is present.
     pub fn shard_ready(&self, id: ObjectId, shard: u32) -> Option<Event> {
         self.inner
             .borrow()
             .get(&id)
-            .and_then(|e| e.shards.get(&shard).map(|s| s.ready.clone()))
+            .and_then(|e| e.ready.get(&shard).cloned())
     }
 
     /// Increments the logical refcount.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the object does not exist.
-    pub fn retain(&self, id: ObjectId) {
+    /// Returns [`StoreError::UnknownObject`] if the object is gone — e.g.
+    /// an `ObjectRef` clone racing a client-failure GC. Callers that can
+    /// tolerate the race (handle duplication) treat this as a no-op.
+    pub fn retain(&self, id: ObjectId) -> Result<(), StoreError> {
         let mut inner = self.inner.borrow_mut();
-        inner
-            .get_mut(&id)
-            .unwrap_or_else(|| panic!("retain on unknown {id}"))
-            .refcount += 1;
+        match inner.get_mut(&id) {
+            Some(entry) => {
+                entry.refcount += 1;
+                Ok(())
+            }
+            None => Err(StoreError::UnknownObject(id)),
+        }
     }
 
     /// Decrements the logical refcount, freeing all shards (their HBM
-    /// leases drop) when it reaches zero.
+    /// leases drop) when it reaches zero. A release of an unknown object
+    /// is a no-op (the GC got there first).
     pub fn release(&self, id: ObjectId) {
         let mut inner = self.inner.borrow_mut();
         let Some(entry) = inner.get_mut(&id) else {
@@ -196,6 +267,11 @@ impl ObjectStore {
     /// Frees every object owned by `client`, regardless of refcount —
     /// the failure-GC path: "objects are tagged with ownership labels so
     /// that they can be garbage collected if a program or client fails".
+    ///
+    /// Readiness events of reclaimed objects are fired so that consumers
+    /// already gated on them unblock (they observe the producer as done;
+    /// cross-client failure containment is the consumer's problem) and
+    /// the simulation stays quiescent-able.
     pub fn gc_client(&self, client: ClientId) -> usize {
         let mut inner = self.inner.borrow_mut();
         let doomed: Vec<ObjectId> = inner
@@ -205,7 +281,11 @@ impl ObjectStore {
             .collect();
         let n = doomed.len();
         for id in doomed {
-            inner.remove(&id);
+            if let Some(entry) = inner.remove(&id) {
+                for ev in entry.ready.values() {
+                    ev.set();
+                }
+            }
         }
         n
     }
@@ -267,7 +347,7 @@ mod tests {
             assert_eq!(dev2.hbm().used(), 400);
             // One retain + one release leaves the object alive: the count
             // is logical, covering all 4 shards.
-            store2.retain(obj(0, 0));
+            store2.retain(obj(0, 0)).unwrap();
             store2.release(obj(0, 0));
             assert_eq!(store2.len(), 1);
             store2.release(obj(0, 0));
@@ -275,6 +355,72 @@ mod tests {
             assert_eq!(dev2.hbm().used(), 0);
         });
         sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn retain_on_unknown_object_is_a_typed_error() {
+        // Regression: a racing client-failure GC must not abort the
+        // simulation when a stale handle is duplicated.
+        let store = ObjectStore::new();
+        assert_eq!(
+            store.retain(obj(7, 7)),
+            Err(StoreError::UnknownObject(obj(7, 7)))
+        );
+        // And after a GC reclaimed the object mid-flight:
+        store.create(obj(1, 0), ClientId(3));
+        store.retain(obj(1, 0)).unwrap();
+        assert_eq!(store.gc_client(ClientId(3)), 1);
+        assert_eq!(
+            store.retain(obj(1, 0)),
+            Err(StoreError::UnknownObject(obj(1, 0)))
+        );
+        // release mirrors this as a documented no-op.
+        store.release(obj(1, 0));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn declare_creates_ready_events_before_production() {
+        let store = ObjectStore::new();
+        let events = store.declare(obj(0, 1), ClientId(0), 3);
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| !e.is_set()));
+        // The declared events are the ones mark_ready fires.
+        store.mark_ready(obj(0, 1), 2);
+        assert!(events[2].is_set());
+        assert!(!events[0].is_set());
+        assert_eq!(
+            store.shard_ready(obj(0, 1), 0).unwrap().is_set(),
+            events[0].is_set()
+        );
+    }
+
+    #[test]
+    fn put_shard_on_released_object_discards_output() {
+        // A sink whose ObjectRef was dropped (or GC'd) before the kernel
+        // produced data: the late put pins nothing and panics nowhere.
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 1_000);
+        let store2 = store.clone();
+        sim.spawn("t", async move {
+            store2.declare(obj(0, 0), ClientId(0), 1);
+            store2.release(obj(0, 0)); // refcount 1 -> 0, entry gone
+            let ev = store2.put_shard(obj(0, 0), 0, &dev, 100).await;
+            assert!(!ev.is_set());
+            assert_eq!(dev.hbm().used(), 0);
+            store2.mark_ready(obj(0, 0), 0); // no-op, no panic
+            assert!(store2.is_empty());
+        });
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn gc_fires_ready_events_of_reclaimed_objects() {
+        let store = ObjectStore::new();
+        let events = store.declare(obj(0, 0), ClientId(0), 2);
+        assert_eq!(store.gc_client(ClientId(0)), 1);
+        assert!(events.iter().all(|e| e.is_set()), "consumers must unblock");
     }
 
     #[test]
@@ -290,7 +436,7 @@ mod tests {
             store2.create(obj(1, 0), ClientId(1));
             store2.put_shard(obj(1, 0), 0, &dev2, 200).await;
             // Even with extra refs, failure-GC removes client 0's object.
-            store2.retain(obj(0, 0));
+            store2.retain(obj(0, 0)).unwrap();
             assert_eq!(store2.gc_client(ClientId(0)), 1);
             assert_eq!(store2.len(), 1);
             assert_eq!(dev2.hbm().used(), 200);

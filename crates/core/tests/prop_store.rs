@@ -1,0 +1,105 @@
+//! Refcount-balance property test (ObjectRef era): across random
+//! schedules of plain, chained and abandoned runs, once every
+//! `ObjectRef` and `RunResult` has been dropped the object store is
+//! empty and every HBM lease has been returned.
+
+use proptest::prelude::*;
+
+use pathways_core::{
+    FnSpec, InputSpec, ObjectRef, PathwaysConfig, PathwaysRuntime, Run, SliceRequest,
+};
+use pathways_net::{ClusterSpec, HostId, NetworkParams};
+use pathways_sim::{Sim, SimDuration};
+
+/// Per-program action in the random schedule.
+///
+/// `mode % 3`: 0 = submit and keep the run, 1 = chain on the previous
+/// kept output (if any) through an external input, 2 = submit and
+/// abandon the run immediately (outputs discarded mid-flight).
+fn schedule() -> impl Strategy<Value = Vec<(u8, u16, u8)>> {
+    // (slice divisor selector, compute us, mode)
+    proptest::collection::vec((1u8..3, 10u16..300, 0u8..3), 1..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn refcounts_balance_across_random_chained_schedules(
+        hosts in 1u32..3,
+        progs in schedule(),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(hosts),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let client = rt.client(HostId(0));
+        let n_devices = hosts * 8;
+        let core = std::rc::Rc::clone(rt.core());
+        let progs2 = progs.clone();
+        let job = sim.spawn("client", async move {
+            let mut kept: Vec<Run> = Vec::new();
+            // The most recent kept output, usable as a chain source even
+            // if its producing Run was dropped.
+            let mut last: Option<ObjectRef> = None;
+            for (i, (sel, us, mode)) in progs2.iter().enumerate() {
+                let devs = (n_devices / *sel as u32).max(1);
+                let slice = client.virtual_slice(SliceRequest::devices(devs)).unwrap();
+                let mut b = client.trace(format!("p{i}"));
+                let chain_src = if *mode == 1 { last.clone() } else { None };
+                let input = chain_src.as_ref().map(|src| {
+                    b.input(InputSpec::new("x", src.shards()))
+                });
+                let k = b.computation(
+                    FnSpec::compute_only("k", SimDuration::from_micros(*us as u64))
+                        .with_output_bytes(1 << 12),
+                    &slice,
+                );
+                if let Some(x) = input {
+                    b.reshard_edge(x, k, 1 << 12);
+                }
+                let prepared = client.prepare(&b.build().unwrap());
+                let run = match (input, chain_src) {
+                    (Some(x), Some(src)) => client
+                        .submit_with(&prepared, &[(x, src)])
+                        .await
+                        .unwrap(),
+                    _ => client.submit(&prepared).await,
+                };
+                last = run.object_ref(k);
+                if *mode == 2 {
+                    drop(run); // abandon: outputs are discarded
+                } else {
+                    kept.push(run);
+                }
+            }
+            drop(last);
+            // Await every kept run; results (and their ObjectRefs) drop
+            // immediately.
+            for run in kept {
+                run.finish().await;
+            }
+            true
+        });
+        let outcome = sim.run();
+        prop_assert!(outcome.is_quiescent(), "deadlock: {:?}", outcome);
+        prop_assert_eq!(job.try_take(), Some(true));
+        prop_assert!(
+            core.store.is_empty(),
+            "store leaked {} objects",
+            core.store.len()
+        );
+        for dev in core.devices.values() {
+            prop_assert_eq!(
+                dev.hbm().used(),
+                0,
+                "HBM lease leaked on {:?}",
+                dev.id()
+            );
+        }
+    }
+}

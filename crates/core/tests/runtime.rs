@@ -4,7 +4,8 @@
 use std::collections::BTreeMap;
 
 use pathways_core::{
-    DispatchMode, FnSpec, PathwaysConfig, PathwaysRuntime, SchedPolicy, SliceRequest,
+    DispatchMode, FnSpec, InputSpec, PathwaysConfig, PathwaysRuntime, SchedPolicy, SliceRequest,
+    SubmitError,
 };
 use pathways_net::{ClientId, ClusterSpec, HostId, IslandId, NetworkParams};
 use pathways_sim::{Sim, SimDuration};
@@ -152,6 +153,191 @@ fn parallel_dispatch_beats_sequential_on_pipelines() {
         par < seq,
         "parallel ({par} ns) should beat sequential ({seq} ns)"
     );
+}
+
+#[test]
+fn chained_submissions_dispatch_before_producers_finish() {
+    // The tentpole acceptance test: three programs chained through
+    // ObjectRef external inputs, submitted back to back without awaiting
+    // any intermediate run. Dispatch of the whole chain (client submits,
+    // scheduler arrivals, grants) overlaps the first program's device
+    // execution, while each consuming kernel still waits for its
+    // producer's per-shard readiness events.
+    let mut sim = Sim::new(0);
+    let rt = default_rt(&sim, ClusterSpec::config_b(2));
+    let client = rt.client(HostId(0));
+    let slice = client.virtual_slice(SliceRequest::devices(8)).unwrap();
+
+    let producer_us = 500;
+    let consumer_us = 300;
+    let mut b1 = client.trace("p1");
+    let k1 = b1.computation(
+        FnSpec::compute_only("k1", SimDuration::from_micros(producer_us))
+            .with_output_bytes(1 << 16),
+        &slice,
+    );
+    let p1 = client.prepare(&b1.build().unwrap());
+
+    let chained = |name: &str| {
+        let mut b = client.trace(name);
+        let x = b.input(InputSpec::new("x", 8));
+        let k = b.computation(
+            FnSpec::compute_only("k", SimDuration::from_micros(consumer_us))
+                .with_output_bytes(1 << 16),
+            &slice,
+        );
+        b.edge(x, k, 1 << 16);
+        (client.prepare(&b.build().unwrap()), x, k)
+    };
+    let (p2, x2, k2) = chained("p2");
+    let (p3, x3, k3) = chained("p3");
+
+    let h = sim.handle();
+    let job = sim.spawn("client", async move {
+        let r1 = client.submit(&p1).await;
+        let o1 = r1.object_ref(k1).unwrap();
+        assert!(!o1.is_ready(), "output future exists before any kernel");
+        let r2 = client.submit_with(&p2, &[(x2, o1.clone())]).await.unwrap();
+        let o2 = r2.object_ref(k2).unwrap();
+        let r3 = client.submit_with(&p3, &[(x3, o2.clone())]).await.unwrap();
+        let o3 = r3.object_ref(k3).unwrap();
+        let runs = (r1.run(), r2.run(), r3.run());
+        let t_submitted = h.now();
+        // Only now await anything: record each program's completion time
+        // via its output future (readiness is set at kernel completion).
+        o1.ready().await;
+        let t1 = h.now();
+        o2.ready().await;
+        let t2 = h.now();
+        o3.ready().await;
+        let t3 = h.now();
+        // Drain the runs so the store empties once refs drop.
+        r1.finish().await;
+        r2.finish().await;
+        r3.finish().await;
+        (runs, t_submitted, t1, t2, t3)
+    });
+    sim.run_to_quiescence();
+    let ((run1, run2, run3), t_submitted, t1, t2, t3) = job.try_take().unwrap();
+
+    // The entire chain was dispatched from the client before program 1's
+    // kernels finished.
+    assert!(
+        t_submitted < t1,
+        "chain submitted at {t_submitted}, first program finished at {t1}"
+    );
+    // Programs 2 and 3 reached the island scheduler before program 1's
+    // kernels finished — the paper's sequential-vs-parallel dispatch gap.
+    let sched = rt.scheduler(IslandId(0));
+    let a1 = sched.arrival_time(run1).expect("run1 scheduled");
+    let a2 = sched.arrival_time(run2).expect("run2 scheduled");
+    let a3 = sched.arrival_time(run3).expect("run3 scheduled");
+    assert!(
+        a1 < t1 && a2 < t1 && a3 < t1,
+        "arrivals {a1},{a2},{a3} vs kernel finish {t1}"
+    );
+    // ...but kernel starts still respect producer readiness: each stage
+    // can only finish a full consumer-compute after its producer.
+    assert!(
+        t2 >= t1 + SimDuration::from_micros(consumer_us),
+        "p2 finished at {t2}, p1 at {t1}: consumer ran before its input"
+    );
+    assert!(
+        t3 >= t2 + SimDuration::from_micros(consumer_us),
+        "p3 finished at {t3}, p2 at {t2}: consumer ran before its input"
+    );
+    // Everything dropped: no leaked objects.
+    assert!(rt.core().store.is_empty());
+}
+
+#[test]
+fn submit_with_validates_bindings() {
+    let mut sim = Sim::new(0);
+    let rt = default_rt(&sim, ClusterSpec::config_b(1));
+    let client = rt.client(HostId(0));
+    let slice = client.virtual_slice(SliceRequest::devices(4)).unwrap();
+
+    let mut b = client.trace("producer");
+    let k = b.computation(
+        FnSpec::compute_only("k", SimDuration::from_micros(10)).with_output_bytes(64),
+        &slice,
+    );
+    let producer = client.prepare(&b.build().unwrap());
+
+    let mut b = client.trace("consumer");
+    let x = b.input(InputSpec::new("x", 4));
+    let c = b.computation(
+        FnSpec::compute_only("c", SimDuration::from_micros(10)),
+        &slice,
+    );
+    b.edge(x, c, 64);
+    let consumer = client.prepare(&b.build().unwrap());
+
+    let job = sim.spawn("client", async move {
+        let run = client.submit(&producer).await;
+        let oref = run.object_ref(k).unwrap();
+        // Unbound input.
+        let e1 = client.submit_with(&consumer, &[]).await.err().unwrap();
+        assert_eq!(e1, SubmitError::UnboundInput { comp: x });
+        // Binding a non-input computation.
+        let e2 = client
+            .submit_with(&consumer, &[(c, oref.clone())])
+            .await
+            .err()
+            .unwrap();
+        assert_eq!(e2, SubmitError::NotAnInput { comp: c });
+        // Binding an id from some other program entirely.
+        let stray = pathways_core::CompId(99);
+        let e2b = client
+            .submit_with(&consumer, &[(stray, oref.clone())])
+            .await
+            .err()
+            .unwrap();
+        assert_eq!(e2b, SubmitError::UnknownComputation { comp: stray });
+        // Duplicate binding.
+        let e3 = client
+            .submit_with(&consumer, &[(x, oref.clone()), (x, oref.clone())])
+            .await
+            .err()
+            .unwrap();
+        assert_eq!(e3, SubmitError::DuplicateBinding { comp: x });
+        // A correct binding works; drain everything.
+        let ok = client.submit_with(&consumer, &[(x, oref)]).await.unwrap();
+        ok.finish().await;
+        run.finish().await;
+        true
+    });
+    sim.run_to_quiescence();
+    assert_eq!(job.try_take(), Some(true));
+    assert!(rt.core().store.is_empty());
+}
+
+#[test]
+fn abandoned_run_discards_outputs_without_leaks() {
+    // Submit-and-forget: dropping the Run (and its ObjectRefs) before
+    // the kernels execute discards the outputs — the late put_shard is
+    // a no-op, nothing pins HBM, nothing panics.
+    let mut sim = Sim::new(0);
+    let rt = default_rt(&sim, ClusterSpec::config_b(1));
+    let client = rt.client(HostId(0));
+    let slice = client.virtual_slice(SliceRequest::devices(8)).unwrap();
+    let mut b = client.trace("fire-and-forget");
+    b.computation(
+        FnSpec::compute_only("k", SimDuration::from_micros(100)).with_output_bytes(1 << 20),
+        &slice,
+    );
+    let prepared = client.prepare(&b.build().unwrap());
+    let core = std::rc::Rc::clone(rt.core());
+    sim.spawn("client", async move {
+        let run = client.submit(&prepared).await;
+        drop(run);
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    assert!(core.store.is_empty(), "discarded output leaked");
+    for dev in core.devices.values() {
+        assert_eq!(dev.hbm().used(), 0, "HBM lease leaked on {:?}", dev.id());
+    }
 }
 
 #[test]

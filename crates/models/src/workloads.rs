@@ -10,7 +10,9 @@
 //! * [`two_island_data_parallel_program`] — gradient exchange between
 //!   islands over the DCN (§5.3's 64B/136B runs, Figure 12).
 
-use pathways_core::{Client, CompId, FnSpec, Program, VirtualSlice};
+use pathways_core::{
+    Client, CompId, FnSpec, InputSpec, ObjectRef, PreparedProgram, Program, Run, VirtualSlice,
+};
 use pathways_sim::SimDuration;
 
 use crate::calibration::Calibration;
@@ -204,6 +206,145 @@ pub fn sink_ids(program: &Program) -> Vec<CompId> {
     program.sinks()
 }
 
+/// A training loop expressed as chained programs: an `init` program
+/// mints the weight objects once, then every `step` consumes the
+/// previous step's weights through external inputs and produces the
+/// next — the whole loop is dispatched through `ObjectRef` futures
+/// without awaiting intermediate steps.
+#[derive(Debug, Clone)]
+pub struct StepChain {
+    /// Produces the initial weight object(s).
+    pub init: Program,
+    /// Sinks of `init`, aligned with `step_inputs`.
+    pub init_outputs: Vec<CompId>,
+    /// The repeated training step.
+    pub step: Program,
+    /// External inputs of `step`, bound to the previous outputs.
+    pub step_inputs: Vec<CompId>,
+    /// Sinks of `step`, aligned with `step_inputs`.
+    pub step_outputs: Vec<CompId>,
+}
+
+/// Builds the chained-futures form of [`spmd_program`]: the step takes
+/// the previous step's weights as an external input and emits the
+/// updated weights as its output object, so successive steps chain
+/// through the object store instead of through the client.
+pub fn spmd_chained(client: &Client, slice: &VirtualSlice, setup: &TrainSetup) -> StepChain {
+    let cores = slice.len() as u32;
+    let compute = setup
+        .calib
+        .step_compute_time(&setup.model, setup.global_batch_tokens, cores);
+    let comm_bytes = setup.model.param_bytes_bf16() / cores as u64;
+    let comm_time = compute.mul_f64(setup.calib.spmd_comm_fraction);
+    let weight_shard = setup.model.param_bytes_bf16() / cores as u64;
+
+    let mut b = client.trace(format!("spmd-init-{}", setup.model.name));
+    let w0 = b.computation(
+        FnSpec::compute_only("init-weights", SimDuration::from_micros(1))
+            .with_output_bytes(weight_shard),
+        slice,
+    );
+    let init = b.build().expect("init program is valid");
+
+    let mut b = client.trace(format!("spmd-chained-{}", setup.model.name));
+    let w_in = b.input(InputSpec::new("weights", cores));
+    let step_k = b.computation(
+        FnSpec::compute_only(format!("{}-step", setup.model.name), compute)
+            .with_allreduce(comm_bytes)
+            .with_collective_time(comm_time)
+            .with_output_bytes(weight_shard),
+        slice,
+    );
+    // Weights stay device-resident: the handoff is shard-local.
+    b.edge(w_in, step_k, 0);
+    let step = b.build().expect("chained step is valid");
+    StepChain {
+        init,
+        init_outputs: vec![w0],
+        step,
+        step_inputs: vec![w_in],
+        step_outputs: vec![step_k],
+    }
+}
+
+/// Builds the chained-futures form of
+/// [`two_island_data_parallel_program`]: each island's grad computation
+/// consumes that island's previous weights (external input), gradients
+/// cross the DCN, and the two applies emit the next weights.
+pub fn two_island_chained(
+    client: &Client,
+    islands: &[VirtualSlice; 2],
+    setup: &TrainSetup,
+) -> StepChain {
+    let cores = islands[0].len() as u32;
+    assert_eq!(
+        islands[0].len(),
+        islands[1].len(),
+        "islands must be symmetric"
+    );
+    let half_tokens = setup.global_batch_tokens / 2;
+    let compute = setup
+        .calib
+        .step_compute_time(&setup.model, half_tokens, cores);
+    let comm_time = compute.mul_f64(setup.calib.spmd_comm_fraction);
+    let intra_bytes = setup.model.param_bytes_bf16() / cores as u64;
+    let exchange_total = setup.calib.grad_exchange_bytes(&setup.model);
+    let exchange_per_shard = exchange_total / islands[0].len() as u64;
+    let weight_shard = setup.model.param_bytes_bf16() / (2 * cores as u64);
+
+    let mut b = client.trace(format!("2island-init-{}", setup.model.name));
+    let init_outputs: Vec<CompId> = islands
+        .iter()
+        .map(|island| {
+            b.computation(
+                FnSpec::compute_only("init-weights", SimDuration::from_micros(1))
+                    .with_output_bytes(weight_shard),
+                island,
+            )
+        })
+        .collect();
+    let init = b.build().expect("init program is valid");
+
+    let mut b = client.trace(format!("2island-chained-{}", setup.model.name));
+    let step_inputs: Vec<CompId> = (0..2)
+        .map(|i| b.input(InputSpec::new(format!("weights{i}"), cores)))
+        .collect();
+    let mut grads = Vec::new();
+    for (i, island) in islands.iter().enumerate() {
+        let grad = b.computation(
+            FnSpec::compute_only(format!("{}-grad", setup.model.name), compute)
+                .with_allreduce(intra_bytes)
+                .with_collective_time(comm_time)
+                .with_output_bytes(exchange_per_shard),
+            island,
+        );
+        b.edge(step_inputs[i], grad, 0);
+        grads.push(grad);
+    }
+    let apply_t = SimDuration::from_nanos(compute.as_nanos() / 20);
+    let step_outputs: Vec<CompId> = islands
+        .iter()
+        .map(|island| {
+            b.computation(
+                FnSpec::compute_only("apply", apply_t).with_output_bytes(weight_shard),
+                island,
+            )
+        })
+        .collect();
+    b.edge(grads[0], step_outputs[0], 0);
+    b.edge(grads[1], step_outputs[1], 0);
+    b.edge(grads[0], step_outputs[1], exchange_per_shard);
+    b.edge(grads[1], step_outputs[0], exchange_per_shard);
+    let step = b.build().expect("chained data-parallel step is a DAG");
+    StepChain {
+        init,
+        init_outputs,
+        step,
+        step_inputs,
+        step_outputs,
+    }
+}
+
 /// Runs `steps` training steps (plus one warm-up) of a prepared program
 /// and returns tokens/second of steady-state virtual time.
 pub async fn measure_tokens_per_sec(
@@ -218,6 +359,59 @@ pub async fn measure_tokens_per_sec(
     let start = handle.now();
     for _ in 0..steps {
         client.run(prepared).await;
+    }
+    let elapsed = handle.now().duration_since(start);
+    (tokens_per_step * steps as u64) as f64 / elapsed.as_secs_f64()
+}
+
+/// Runs `steps` chained training steps (after an awaited init/warm-up)
+/// with **no intermediate awaits**: every step is submitted with the
+/// previous step's output futures bound to its inputs, so the
+/// coordinator dispatches the whole loop while early steps are still on
+/// the devices. Returns tokens/second of virtual time.
+///
+/// `init` and `step` must be preparations of [`StepChain::init`] and
+/// [`StepChain::step`].
+pub async fn measure_tokens_per_sec_chained(
+    client: &Client,
+    init: &PreparedProgram,
+    step: &PreparedProgram,
+    chain: &StepChain,
+    tokens_per_step: u64,
+    steps: u32,
+) -> f64 {
+    // Init doubles as the warm-up barrier.
+    let init_result = client.run(init).await;
+    let mut prev: Vec<ObjectRef> = chain
+        .init_outputs
+        .iter()
+        .map(|c| init_result.object_ref(*c).expect("init sink"))
+        .collect();
+    let handle = client.handle().clone();
+    let start = handle.now();
+    let mut runs: Vec<Run> = Vec::with_capacity(steps as usize);
+    for _ in 0..steps {
+        let bindings: Vec<(CompId, ObjectRef)> = chain
+            .step_inputs
+            .iter()
+            .copied()
+            .zip(prev.drain(..))
+            .collect();
+        let run = client
+            .submit_with(step, &bindings)
+            .await
+            .expect("chain bindings match the step's inputs");
+        prev = chain
+            .step_outputs
+            .iter()
+            .map(|c| run.object_ref(*c).expect("step sink"))
+            .collect();
+        runs.push(run);
+    }
+    drop(prev);
+    drop(init_result);
+    for run in runs {
+        run.finish().await;
     }
     let elapsed = handle.now().duration_since(start);
     (tokens_per_step * steps as u64) as f64 / elapsed.as_secs_f64()
@@ -316,6 +510,66 @@ mod tests {
         let m2 = measure(2);
         let m8 = measure(8);
         assert!(m8 > m2, "M=8 ({m8} tok/s) should beat M=2 ({m2} tok/s)");
+    }
+
+    #[test]
+    fn chained_spmd_steps_pipeline_without_intermediate_awaits() {
+        let mut sim = Sim::new(0);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(2),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let client = rt.client(HostId(0));
+        let slice = client.virtual_slice(SliceRequest::devices(16)).unwrap();
+        let setup = small_setup();
+        let chain = spmd_chained(&client, &slice, &setup);
+        let init = client.prepare(&chain.init);
+        let step = client.prepare(&chain.step);
+        let tokens = setup.global_batch_tokens;
+        let core = std::rc::Rc::clone(rt.core());
+        let job = sim.spawn("c", async move {
+            measure_tokens_per_sec_chained(&client, &init, &step, &chain, tokens, 3).await
+        });
+        let out = sim.run();
+        assert!(out.is_quiescent(), "{out:?}");
+        assert!(job.try_take().unwrap() > 0.0);
+        assert!(core.store.is_empty(), "weights chain leaked objects");
+    }
+
+    #[test]
+    fn chained_two_island_steps_run_over_dcn() {
+        let mut sim = Sim::new(0);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::islands_of(2, 4, 8),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let client = rt.client(HostId(0));
+        let s0 = client
+            .virtual_slice(SliceRequest::devices(32).in_island(IslandId(0)))
+            .unwrap();
+        let s1 = client
+            .virtual_slice(SliceRequest::devices(32).in_island(IslandId(1)))
+            .unwrap();
+        let mut setup = small_setup();
+        setup.calib.grad_bytes_per_param = 0.01;
+        let chain = two_island_chained(&client, &[s0, s1], &setup);
+        assert_eq!(chain.step_inputs.len(), 2);
+        assert_eq!(chain.step_outputs.len(), 2);
+        let init = client.prepare(&chain.init);
+        let step = client.prepare(&chain.step);
+        let tokens = setup.global_batch_tokens;
+        let core = std::rc::Rc::clone(rt.core());
+        let job = sim.spawn("c", async move {
+            measure_tokens_per_sec_chained(&client, &init, &step, &chain, tokens, 2).await
+        });
+        let out = sim.run();
+        assert!(out.is_quiescent(), "{out:?}");
+        assert!(job.try_take().unwrap() > 0.0);
+        assert!(core.store.is_empty());
     }
 
     #[test]

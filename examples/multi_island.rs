@@ -8,7 +8,7 @@
 
 use pathways::core::{PathwaysConfig, PathwaysRuntime, SliceRequest};
 use pathways::models::{
-    measure_tokens_per_sec, two_island_data_parallel_program, TrainSetup, TransformerConfig,
+    measure_tokens_per_sec_chained, two_island_chained, TrainSetup, TransformerConfig,
 };
 use pathways::net::{ClusterSpec, HostId, IslandId, NetworkParams};
 use pathways::sim::Sim;
@@ -40,13 +40,18 @@ fn main() {
         setup.model.name
     );
 
-    let program = two_island_data_parallel_program(&client, &[s0, s1], &setup);
-    let prepared = client.prepare(&program);
+    // Chained-futures style: each step's grad computations consume the
+    // previous step's weight objects (one per island) through external
+    // inputs, so every step of the loop is submitted before the first
+    // one finishes — dispatch never serializes on the DCN exchange.
+    let chain = two_island_chained(&client, &[s0, s1], &setup);
+    let init = client.prepare(&chain.init);
+    let step = client.prepare(&chain.step);
     let tokens = setup.global_batch_tokens;
     let cid = client.id();
     let client2 = client.clone();
     let job = sim.spawn("train", async move {
-        measure_tokens_per_sec(&client2, &prepared, tokens, 3).await
+        measure_tokens_per_sec_chained(&client2, &init, &step, &chain, tokens, 3).await
     });
     sim.run_to_quiescence();
     println!("throughput: {:.0} tokens/s", job.try_take().unwrap());

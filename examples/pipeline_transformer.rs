@@ -6,7 +6,8 @@
 
 use pathways::core::{PathwaysConfig, PathwaysRuntime, SliceRequest};
 use pathways::models::{
-    gpipe_program, measure_tokens_per_sec, spmd_program, TrainSetup, TransformerConfig,
+    gpipe_program, measure_tokens_per_sec, measure_tokens_per_sec_chained, spmd_chained,
+    spmd_program, TrainSetup, TransformerConfig,
 };
 use pathways::net::{ClusterSpec, HostId, NetworkParams};
 use pathways::sim::Sim;
@@ -43,6 +44,32 @@ fn main() {
         job.try_take().unwrap()
     };
     println!("SPMD, 32 cores:            {spmd_tps:>10.0} tokens/s");
+
+    // --- The same SPMD steps chained through ObjectRef futures: every
+    // step consumes the previous step's weights object as an external
+    // input, so the whole loop is dispatched without awaiting any
+    // intermediate run (parallel asynchronous dispatch across programs).
+    let chained_tps = {
+        let mut sim = Sim::new(0);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(4),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let client = rt.client(HostId(0));
+        let slice = client.virtual_slice(SliceRequest::devices(32)).unwrap();
+        let chain = spmd_chained(&client, &slice, &setup);
+        let init = client.prepare(&chain.init);
+        let step = client.prepare(&chain.step);
+        let tokens = setup.global_batch_tokens;
+        let job = sim.spawn("train", async move {
+            measure_tokens_per_sec_chained(&client, &init, &step, &chain, tokens, 3).await
+        });
+        sim.run_to_quiescence();
+        job.try_take().unwrap()
+    };
+    println!("SPMD chained (ObjectRefs): {chained_tps:>10.0} tokens/s");
 
     // --- GPipe: 4 stages x 8 cores, 16 micro-batches ---
     let pipe_tps = {

@@ -1,10 +1,11 @@
 //! Quickstart: bring up a simulated TPU cluster, allocate a virtual
-//! slice, trace a two-computation program (the Figure 2 shape), run it,
-//! and inspect the results.
+//! slice, trace a two-computation program (the Figure 2 shape), then
+//! chain a *second* program onto its output through an `ObjectRef`
+//! future — submitting both before the first kernel has run.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use pathways::core::{FnSpec, PathwaysConfig, PathwaysRuntime, SliceRequest};
+use pathways::core::{FnSpec, InputSpec, PathwaysConfig, PathwaysRuntime, SliceRequest};
 use pathways::net::{ClusterSpec, HostId, NetworkParams};
 use pathways::sim::{Sim, SimDuration};
 
@@ -48,22 +49,50 @@ fn main() {
     b.edge(f, g, 1 << 20);
     let program = b.build().expect("valid DAG");
 
+    // A second program consuming the first one's output: `h(b)`. The
+    // `input` node is a placeholder bound to an ObjectRef at submit time.
+    let mut b2 = client.trace("consumer");
+    let x = b2.input(InputSpec::new("b", 16));
+    let h = b2.computation(
+        FnSpec::compute_only("h", SimDuration::from_micros(200)).with_output_bytes(1 << 10),
+        &slice,
+    );
+    b2.edge(x, h, 1 << 10);
+    let consumer = b2.build().expect("valid DAG");
+
     // Lowering: virtual devices -> physical devices -> PLAQUE dataflow.
     let prepared = client.prepare(&program);
+    let prepared_consumer = client.prepare(&consumer);
     let (nodes, edges) = prepared.graph_size();
     println!("lowered dataflow: {nodes} nodes, {edges} edges (16-way sharded)");
 
-    // Run it. The client task submits, the island scheduler
-    // gang-schedules, per-host executors dispatch in parallel, devices
-    // execute, and output handles come back.
+    // Run the chain. submit() is non-blocking: the output ObjectRefs
+    // exist immediately, so the consumer is dispatched while the first
+    // program is still executing; only h's kernels wait (per shard) for
+    // g's readiness events.
     let job = sim.spawn("client", async move {
-        let result = client.run(&prepared).await;
+        let run1 = client.submit(&prepared).await;
+        let b_ref = run1.object_ref(g).expect("g is a sink");
+        println!(
+            "submitted {}; output future {:?} (ready: {})",
+            run1.run(),
+            b_ref.id(),
+            b_ref.is_ready()
+        );
+        let run2 = client
+            .submit_with(&prepared_consumer, &[(x, b_ref)])
+            .await
+            .expect("binding matches the input");
+        println!("chained {} before {} finished", run2.run(), run1.run());
+        let r1 = run1.finish().await;
+        let r2 = run2.finish().await;
         println!(
             "run {} finished with {} output object(s): {:?}",
-            result.run(),
-            result.objects().len(),
-            result.object(g)
+            r1.run(),
+            r1.objects().len(),
+            r1.object(g)
         );
+        println!("run {} finished with output {:?}", r2.run(), r2.object(h));
     });
     let end = sim.run_to_quiescence();
     assert!(job.is_finished());
