@@ -174,6 +174,7 @@ impl JaxRuntime {
                             tag: GangTag(call),
                             participants,
                             duration: coll,
+                            devices: vec![],
                         });
                         last.clear();
                         for dev in &local {

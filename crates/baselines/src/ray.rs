@@ -191,6 +191,7 @@ impl RayRuntime {
                                         tag: GangTag(base_tag + s),
                                         participants,
                                         duration: coll,
+                                        devices: vec![],
                                     });
                                 let done = gpu.enqueue_simple(k, "ray");
                                 let _ = done.await;

@@ -199,6 +199,7 @@ impl Tf1Runtime {
                                     tag: GangTag(tag),
                                     participants,
                                     duration: coll,
+                                    devices: vec![],
                                 });
                                 let mut dones = Vec::new();
                                 for dev in &local {

@@ -12,11 +12,12 @@
 //! the object store order the kernels.
 
 use pathways_core::{
-    Client, CompId, FnSpec, InputSpec, ObjectRef, PathwaysConfig, PathwaysRuntime, PreparedProgram,
-    Run, SliceRequest,
+    Client, CompId, FaultSpec, FnSpec, InputSpec, ObjectRef, PathwaysConfig, PathwaysRuntime,
+    PreparedProgram, Run, SliceRequest,
 };
 use pathways_net::{ClusterSpec, HostId, IslandId, NetworkParams};
-use pathways_sim::{Sim, SimDuration};
+use pathways_sim::trace::TraceLog;
+use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
 
 /// How the client drives a chain of dependent programs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +76,61 @@ pub fn chained_throughput(
     dispatch: ChainDispatch,
     chains: u64,
 ) -> f64 {
+    let (elapsed, _trace) = run_chain(
+        0,
+        islands,
+        chain_len,
+        stage_compute,
+        payload,
+        dispatch,
+        chains,
+        &[],
+    );
+    (chain_len as u64 * chains) as f64 / elapsed.as_secs_f64()
+}
+
+/// Runs the fig14 chained workload under `seed` and an optional fault
+/// plan, returning the full event trace. Two calls with equal arguments
+/// produce bit-identical traces — the determinism-regression surface
+/// for the fault-injection subsystem (faulted runs resolve through
+/// typed errors instead of wedging, and the wind-down is replayable).
+#[allow(clippy::too_many_arguments)]
+pub fn chained_trace(
+    seed: u64,
+    islands: u32,
+    chain_len: u32,
+    stage_compute: SimDuration,
+    payload: u64,
+    dispatch: ChainDispatch,
+    chains: u64,
+    faults: &[(SimTime, FaultSpec)],
+) -> TraceLog {
+    run_chain(
+        seed,
+        islands,
+        chain_len,
+        stage_compute,
+        payload,
+        dispatch,
+        chains,
+        faults,
+    )
+    .1
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chain(
+    seed: u64,
+    islands: u32,
+    chain_len: u32,
+    stage_compute: SimDuration,
+    payload: u64,
+    dispatch: ChainDispatch,
+    chains: u64,
+    faults: &[(SimTime, FaultSpec)],
+) -> (SimDuration, TraceLog) {
     assert!(islands >= 1 && chain_len >= 1);
-    let mut sim = Sim::new(0);
+    let mut sim = Sim::new(seed);
     // 2 hosts x 4 TPUs per island; each stage gangs 4 devices.
     let rt = PathwaysRuntime::new(
         &sim,
@@ -84,6 +138,11 @@ pub fn chained_throughput(
         NetworkParams::tpu_cluster(),
         PathwaysConfig::default(),
     );
+    let mut plan: FaultPlan<FaultSpec> = FaultPlan::new();
+    for (at, spec) in faults {
+        plan.push(*at, *spec);
+    }
+    rt.install_fault_plan(plan);
     let client = rt.client(HostId(0));
     // One head program (island 0) plus one body program per island;
     // stage k of every chain reuses the body prepared for island
@@ -182,7 +241,7 @@ pub fn chained_throughput(
     });
     sim.run_to_quiescence();
     let elapsed = job.try_take().unwrap();
-    (chain_len as u64 * chains) as f64 / elapsed.as_secs_f64()
+    (elapsed, sim.take_trace())
 }
 
 #[cfg(test)]

@@ -25,12 +25,13 @@ use pathways_net::{ClientId, HostId};
 use pathways_plaque::RunId;
 
 use crate::context::CoreCtx;
+use crate::fault::RunFootprint;
 use crate::objref::{InputBinding, ObjectRef};
 use crate::ops::{prepare, PreparedProgram};
 use crate::program::{CompId, Program};
 use crate::resource::{ResourceError, ResourceManager, SliceRequest, VirtualSlice};
 use crate::sched::{ctrl_msg_bytes, CtrlMsg, SubmitMsg};
-use crate::store::ObjectId;
+use crate::store::{FailureReason, ObjectId};
 
 /// Errors from submitting a prepared program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,15 +158,24 @@ impl RunResult {
 /// are available immediately and can be fed into further submissions
 /// without awaiting this run.
 pub struct Run {
-    run_handle: pathways_plaque::RunHandle,
+    run: RunId,
+    /// `None` when the run failed fast at submission (dead island, dead
+    /// devices, failed upstream input): nothing was launched, and the
+    /// output refs already carry their errors.
+    run_handle: Option<pathways_plaque::RunHandle>,
+    /// Set by the fault injector when the run fails; [`Run::finish`]
+    /// races completion against it so a run partitioned away from its
+    /// own wind-down messages is abandoned, not awaited forever.
+    failed: pathways_sim::sync::Event,
     refs: Vec<(CompId, ObjectRef)>,
 }
 
 impl fmt::Debug for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Run")
-            .field("run", &self.run_handle.id())
+            .field("run", &self.run)
             .field("outputs", &self.refs.len())
+            .field("failed_fast", &self.run_handle.is_none())
             .finish()
     }
 }
@@ -173,7 +183,7 @@ impl fmt::Debug for Run {
 impl Run {
     /// The run id.
     pub fn run(&self) -> RunId {
-        self.run_handle.id()
+        self.run
     }
 
     /// A clone of the output future of sink `comp` — valid before the
@@ -192,15 +202,50 @@ impl Run {
     }
 
     /// Waits for the program to complete and collects its results.
+    ///
+    /// Failure-aware: resolves when the run completes *or* when the
+    /// fault injector fails it, whichever comes first. Most failed runs
+    /// still wind down to completion (failure propagation force-drains
+    /// them), but a run partitioned by a severed link or dead host can
+    /// lose the very messages its completion tracking needs — the
+    /// client abandons it on the failure notification instead of
+    /// blocking forever. The refs then resolve to errors, not data.
     pub async fn finish(self) -> RunResult {
-        let run = self.run_handle.id();
-        self.run_handle.await_done().await;
+        let run = self.run;
+        if let Some(handle) = self.run_handle {
+            DoneOrFailed {
+                done: handle.into_done_receiver(),
+                failed: self.failed.wait(),
+            }
+            .await;
+        }
         let objects = self.refs.iter().map(|(c, r)| (*c, r.id())).collect();
         RunResult {
             run,
             objects,
             refs: self.refs,
         }
+    }
+}
+
+/// Races run completion against the run's failure notification.
+struct DoneOrFailed {
+    done: pathways_sim::channel::OneshotReceiver<()>,
+    failed: pathways_sim::sync::EventWait,
+}
+
+impl std::future::Future for DoneOrFailed {
+    type Output = ();
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        let this = self.get_mut();
+        if std::pin::Pin::new(&mut this.done).poll(cx).is_ready() {
+            return std::task::Poll::Ready(());
+        }
+        std::pin::Pin::new(&mut this.failed).poll(cx)
     }
 }
 
@@ -363,37 +408,41 @@ impl Client {
             .sleep(cfg.client_overhead + cfg.client_per_comp * n_comps)
             .await;
 
+        // Fail fast if the run cannot execute: a bound input whose
+        // producer already failed, or dead hardware anywhere in the
+        // run's footprint. The run is never launched; its output refs
+        // are minted already carrying the error, so consumers observe
+        // `Err(ObjectError::ProducerFailed)` instead of a hang.
+        if let Some(reason) = self.submission_blocked(prepared, bindings) {
+            let run = self.core.plaque.reserve_run_id();
+            let refs = self.mint_output_refs(prepared, run);
+            for (_, r) in &refs {
+                self.core.store.fail_object(r.id(), reason);
+            }
+            let failed = pathways_sim::sync::Event::new();
+            failed.set();
+            return Ok(Run {
+                run,
+                run_handle: None,
+                failed,
+                refs,
+            });
+        }
+
         // Install the dataflow without Start fan-out: the scheduler's
         // grant messages carry the start signal to every participating
         // host (§4.5's single subgraph message). Input placeholders and
         // the Result node — all local to this client — are started here.
         let run_handle = self.core.plaque.launch_unstarted(&prepared.graph);
         let run = run_handle.id();
+        let failed = pathways_sim::sync::Event::new();
+        self.core
+            .failures
+            .register_run(run, self.footprint(prepared, run, failed.clone()));
 
         // Mint the output futures: declare each sink's object (with its
         // per-shard readiness events) before anything executes.
-        let refs: Vec<(CompId, ObjectRef)> = info
-            .program
-            .sinks()
-            .into_iter()
-            .map(|comp| {
-                let object = ObjectId { run, comp };
-                let shards = info.shards[comp.index()];
-                let events = self.core.store.declare(object, self.id, shards);
-                let bytes = info.program.computations()[comp.index()]
-                    .fn_spec()
-                    .expect("sinks are kernels")
-                    .output_bytes_per_shard;
-                let objref = ObjectRef::new(
-                    object,
-                    bytes,
-                    info.devices[comp.index()].clone(),
-                    events,
-                    self.core.store.clone(),
-                );
-                (comp, objref)
-            })
-            .collect();
+        let refs = self.mint_output_refs(prepared, run);
 
         // Bind the inputs, then start their shards (and the Result node)
         // locally.
@@ -443,7 +492,132 @@ impl Client {
                 .send(self.host, sched_host, msg, bytes);
         }
 
-        Ok(Run { run_handle, refs })
+        Ok(Run {
+            run,
+            run_handle: Some(run_handle),
+            failed,
+            refs,
+        })
+    }
+
+    /// Declares each sink's object in the store and mints its
+    /// [`ObjectRef`] (shared by the normal and fail-fast paths).
+    fn mint_output_refs(&self, prepared: &PreparedProgram, run: RunId) -> Vec<(CompId, ObjectRef)> {
+        let info = &prepared.info;
+        info.program
+            .sinks()
+            .into_iter()
+            .map(|comp| {
+                let object = ObjectId { run, comp };
+                let shards = info.shards[comp.index()];
+                let events = self.core.store.declare(object, self.id, shards);
+                let bytes = info.program.computations()[comp.index()]
+                    .fn_spec()
+                    .expect("sinks are kernels")
+                    .output_bytes_per_shard;
+                let objref = ObjectRef::new(
+                    object,
+                    bytes,
+                    info.devices[comp.index()].clone(),
+                    events,
+                    self.core.store.clone(),
+                );
+                (comp, objref)
+            })
+            .collect()
+    }
+
+    /// Every host a run of `prepared` involves — shard hosts, this
+    /// client's host, and the scheduler hosts of the submitted islands —
+    /// sorted and deduped. One definition shared by the fail-fast check
+    /// and the fault injector's blast-radius footprint so the two can
+    /// never disagree.
+    fn involved_hosts(&self, prepared: &PreparedProgram) -> Vec<HostId> {
+        let mut hosts: Vec<HostId> = prepared.info.hosts.iter().flatten().copied().collect();
+        hosts.push(self.host);
+        for island in prepared.submits.keys() {
+            hosts.push(self.core.sched_hosts[island]);
+        }
+        hosts.sort();
+        hosts.dedup();
+        hosts
+    }
+
+    /// The run's failure footprint: everything the fault injector needs
+    /// to decide whether a later fault dooms this run.
+    fn footprint(
+        &self,
+        prepared: &PreparedProgram,
+        run: RunId,
+        failed: pathways_sim::sync::Event,
+    ) -> RunFootprint {
+        let info = &prepared.info;
+        let mut devices: Vec<pathways_net::DeviceId> =
+            info.devices.iter().flatten().copied().collect();
+        devices.sort();
+        devices.dedup();
+        let islands: Vec<pathways_net::IslandId> = prepared.submits.keys().copied().collect();
+        let sinks: Vec<ObjectId> = info
+            .program
+            .sinks()
+            .into_iter()
+            .map(|comp| ObjectId { run, comp })
+            .collect();
+        RunFootprint {
+            client: self.id,
+            client_host: self.host,
+            devices,
+            hosts: self.involved_hosts(prepared),
+            islands,
+            sinks,
+            failed,
+        }
+    }
+
+    /// Checks a submission against the failure registry; `Some(reason)`
+    /// if it cannot execute. Checked *before* launch so doomed runs
+    /// fail fast with a typed error instead of hanging on control
+    /// messages that would be dropped by dead NICs.
+    fn submission_blocked(
+        &self,
+        prepared: &PreparedProgram,
+        bindings: &[(CompId, ObjectRef)],
+    ) -> Option<FailureReason> {
+        let failures = &self.core.failures;
+        // A bound input whose producer already failed poisons this run.
+        for (_, objref) in bindings {
+            if objref.error().is_some() {
+                return Some(FailureReason::Upstream(objref.id()));
+            }
+        }
+        let info = &prepared.info;
+        if let Some(d) = info
+            .devices
+            .iter()
+            .flatten()
+            .find(|d| failures.device_dead(**d))
+        {
+            return Some(FailureReason::Device(*d));
+        }
+        for island in prepared.submits.keys() {
+            if failures.island_dead(*island) {
+                return Some(FailureReason::Island(*island));
+            }
+        }
+        let hosts = self.involved_hosts(prepared);
+        if let Some(h) = hosts.iter().find(|h| failures.host_dead(**h)) {
+            return Some(FailureReason::Host(*h));
+        }
+        // Any severed link between two involved hosts partitions the
+        // run's control or data plane (grants, plaque signal tuples).
+        for (i, a) in hosts.iter().enumerate() {
+            for b in &hosts[i + 1..] {
+                if failures.link_down(*a, *b) {
+                    return Some(FailureReason::Link(*a, *b));
+                }
+            }
+        }
+        None
     }
 
     /// Runs a prepared program to completion, returning output handles.

@@ -14,6 +14,7 @@ use pathways_sim::sync::Event;
 
 use crate::config::PathwaysConfig;
 use crate::exec::ExecutorShared;
+use crate::fault::FailureState;
 use crate::objref::InputBinding;
 use crate::program::CompId;
 use crate::sched::CtrlMsg;
@@ -96,6 +97,10 @@ pub struct CoreCtx {
     pub(crate) bindings: RefCell<HashMap<(RunId, CompId), Rc<InputBinding>>>,
     /// Live consumer input buffers (see [`InputSlot`]).
     pub input_slots: RefCell<HashMap<InputKey, InputSlot>>,
+    /// Shared failure registry: dead hardware and failed runs, consulted
+    /// by clients (fail-fast submission), schedulers (eviction) and
+    /// executors (grant skipping).
+    pub failures: FailureState,
     /// Runtime configuration.
     pub cfg: PathwaysConfig,
 }

@@ -24,6 +24,7 @@ use pathways_sim::sync::{Event, Notify};
 use pathways_sim::{IdleToken, SimHandle};
 
 use crate::config::DispatchMode;
+use crate::fault::FailureState;
 use crate::program::CompId;
 use crate::sched::CtrlMsg;
 use crate::store::{ObjectId, ObjectStore};
@@ -99,10 +100,24 @@ impl ExecutorShared {
         self.arrival.notify_waiters();
     }
 
-    async fn wait_for(&self, key: ShardKey) -> CompRegistration {
+    /// Drops every pending registration of `run` (failure sweep): the
+    /// dropped `on_enqueued` senders make the shard drivers observe the
+    /// abort, and any executor parked in `wait_for` on
+    /// one of the run's shards is woken to notice the failure.
+    pub fn fail_run(&self, run: RunId) {
+        self.regs.borrow_mut().retain(|(r, _, _), _| *r != run);
+        self.arrival.notify_waiters();
+    }
+
+    /// Waits for the shard's registration; `None` if the run is failed
+    /// (the registration was, or will be, swept by the fault injector).
+    async fn wait_for(&self, key: ShardKey, failures: &FailureState) -> Option<CompRegistration> {
         loop {
             if let Some(reg) = self.regs.borrow_mut().remove(&key) {
-                return reg;
+                return Some(reg);
+            }
+            if failures.run_failed(key.0) {
+                return None;
             }
             self.arrival.notified().await;
         }
@@ -120,6 +135,7 @@ pub fn spawn_executor(
     store: ObjectStore,
     devices: Rc<HashMap<DeviceId, DeviceHandle>>,
     plaque: pathways_plaque::PlaqueRuntime,
+    failures: FailureState,
     mode: DispatchMode,
 ) {
     let mut inbox = router.register(host);
@@ -137,6 +153,14 @@ pub fn spawn_executor(
             // Strict FIFO processing preserves the scheduler's global
             // order on every local device queue.
             for grant in grants {
+                // Grants of a failed run are skipped wholesale: the
+                // fault injector already force-started the run's shards
+                // and swept their registrations, so touching them here
+                // would double-start (and waiting for their
+                // registrations would wedge this executor).
+                if failures.run_failed(grant.run) {
+                    continue;
+                }
                 let object = ObjectId {
                     run: grant.run,
                     comp: grant.comp,
@@ -170,7 +194,13 @@ pub fn spawn_executor(
                         host,
                         "grant routed to wrong host"
                     );
-                    let reg = shared.wait_for((grant.run, grant.comp, *shard)).await;
+                    let Some(reg) = shared
+                        .wait_for((grant.run, grant.comp, *shard), &failures)
+                        .await
+                    else {
+                        // The run failed while this grant was in flight.
+                        continue;
+                    };
                     if mode == DispatchMode::Sequential {
                         if let Some(prereq) = &reg.prereq {
                             prereq.wait().await;
@@ -206,17 +236,25 @@ pub fn spawn_executor(
                             tag: grant.gang_tag,
                             participants: grant.participants,
                             duration,
+                            devices: grant.gang_devices.clone(),
                         }),
                         output_bytes: grant.output_bytes,
                     };
                     // The asynchronous PCIe enqueue (host CPU + driver).
                     fabric.pcie_enqueue(host).await;
                     let (done_tx, done_rx) = channel::oneshot();
-                    device.enqueue(EnqueuedKernel {
+                    // Enqueueing to a dead device drops the job (and its
+                    // completion sender), which the shard driver observes
+                    // as a kernel abort — same path as a death with the
+                    // kernel already queued.
+                    let _ = device.enqueue(EnqueuedKernel {
                         kernel,
                         program: grant.label.clone(),
                         inputs_ready,
                         done: Some(done_tx),
+                        // Gang owner: run id + 1 (0 is the rendezvous's
+                        // "unknown owner" sentinel; RunId(0) is real).
+                        owner: grant.run.0 + 1,
                     });
                     let _ = reg.on_enqueued.send(EnqueueInfo {
                         completion: done_rx,
@@ -240,7 +278,9 @@ mod tests {
         let key: ShardKey = (RunId(1), CompId(0), 0);
         // Waiter first, registration later.
         let s2 = shared.clone();
-        let waiter = sim.spawn("waiter", async move { s2.wait_for(key).await });
+        let failures = FailureState::new();
+        let f2 = failures.clone();
+        let waiter = sim.spawn("waiter", async move { s2.wait_for(key, &f2).await });
         let s3 = shared.clone();
         let h = sim.handle();
         sim.spawn("registrar", async move {
@@ -270,7 +310,8 @@ mod tests {
             },
         );
         let s2 = shared.clone();
-        let waiter = sim.spawn("waiter", async move { s2.wait_for(key).await });
+        let f3 = failures.clone();
+        let waiter = sim.spawn("waiter", async move { s2.wait_for(key, &f3).await });
         sim.run_to_quiescence();
         assert!(waiter.is_finished());
     }

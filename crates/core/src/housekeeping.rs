@@ -6,22 +6,28 @@
 //! distributing configuration information, monitoring programs, cleaning
 //! them up, delivering errors on failures, and so on."*
 //!
-//! This module implements two of those as PLAQUE programs:
+//! This module implements three of those as PLAQUE programs:
 //!
 //! * [`distribute_config`] — broadcast a key/value configuration update
 //!   to every host; each host's config store is updated and
-//!   acknowledgements gathered back (errors would flow the same way);
+//!   acknowledgements gathered back;
 //! * [`collect_health`] — fan-out a probe, gather per-host health
-//!   (device count, kernels executed, HBM usage) at the controller.
+//!   (device count, kernels executed, HBM usage) at the controller;
+//! * [`deliver_errors`] — fan a failure notification out to every
+//!   *live* host so its client agents learn which runs died and why
+//!   (the "delivering errors on failures" clause). The
+//!   [`FaultInjector`](crate::FaultInjector) launches this
+//!   automatically after each injected fault.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use pathways_net::{DeviceId, HostId};
-use pathways_plaque::{EdgeId, GraphBuilder, Operator, ShardCtx, Tuple};
+use pathways_plaque::{EdgeId, GraphBuilder, Operator, RunId, ShardCtx, Tuple};
 
 use crate::context::CoreCtx;
+use crate::fault::FailureState;
 
 /// A per-host key/value configuration store, updated via housekeeping
 /// broadcasts.
@@ -250,6 +256,199 @@ pub async fn collect_health(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Error delivery (failures → owning hosts)
+// ---------------------------------------------------------------------------
+
+/// One host's delivered failure notices: `(failed run, reason)`.
+pub type HostNotices = Vec<(RunId, String)>;
+
+/// Per-host record of failures delivered by housekeeping: which runs
+/// died and why, as seen by each host's client agent.
+#[derive(Clone, Default)]
+pub struct ErrorLog {
+    inner: Rc<RefCell<BTreeMap<HostId, HostNotices>>>,
+}
+
+impl std::fmt::Debug for ErrorLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErrorLog")
+            .field("hosts", &self.inner.borrow().len())
+            .finish()
+    }
+}
+
+impl ErrorLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Failure notices delivered to `host`, in delivery order.
+    pub fn notices(&self, host: HostId) -> HostNotices {
+        self.inner.borrow().get(&host).cloned().unwrap_or_default()
+    }
+
+    /// True if `host` has been told that `run` failed.
+    pub fn knows_about(&self, host: HostId, run: RunId) -> bool {
+        self.inner
+            .borrow()
+            .get(&host)
+            .is_some_and(|v| v.iter().any(|(r, _)| *r == run))
+    }
+
+    fn record(&self, host: HostId, run: RunId, reason: String) {
+        self.inner
+            .borrow_mut()
+            .entry(host)
+            .or_default()
+            .push((run, reason));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ErrorMsg {
+    failures: Vec<(RunId, String)>,
+}
+
+struct ErrorBroadcaster {
+    out: EdgeId,
+    msg: ErrorMsg,
+}
+
+impl Operator for ErrorBroadcaster {
+    fn on_all_inputs_complete(&mut self, ctx: &mut ShardCtx<'_>) {
+        let bytes = 32 + 24 * self.msg.failures.len() as u64;
+        ctx.broadcast(self.out, Tuple::new(self.msg.clone(), bytes));
+        ctx.halt();
+    }
+}
+
+struct ErrorApplier {
+    log: ErrorLog,
+    ack_edge: EdgeId,
+}
+
+impl Operator for ErrorApplier {
+    fn on_tuple(&mut self, ctx: &mut ShardCtx<'_>, _edge: EdgeId, _src: u32, tuple: Tuple) {
+        let msg = tuple.expect::<ErrorMsg>();
+        for (run, reason) in &msg.failures {
+            self.log.record(ctx.host(), *run, reason.clone());
+        }
+        ctx.send(self.ack_edge, 0, Tuple::control(Ack));
+    }
+}
+
+fn error_delivery_graph(
+    controller: HostId,
+    hosts: Vec<HostId>,
+    log: &ErrorLog,
+    failures: Vec<(RunId, String)>,
+    acks: &Rc<RefCell<u32>>,
+) -> pathways_plaque::Graph {
+    let bcast_edge = EdgeId(0);
+    let ack_edge = EdgeId(1);
+    let mut g = GraphBuilder::new("error-delivery");
+    let msg = ErrorMsg { failures };
+    let src = g.node("broadcast", vec![controller], move |_| {
+        Box::new(ErrorBroadcaster {
+            out: bcast_edge,
+            msg: msg.clone(),
+        })
+    });
+    let appliers = {
+        let log = log.clone();
+        g.node("apply", hosts, move |_| {
+            Box::new(ErrorApplier {
+                log: log.clone(),
+                ack_edge,
+            })
+        })
+    };
+    let collector = {
+        let acks = Rc::clone(acks);
+        g.node("collect", vec![controller], move |_| {
+            Box::new(AckCollector {
+                acks: Rc::clone(&acks),
+            })
+        })
+    };
+    assert_eq!(g.edge(src, appliers), bcast_edge);
+    assert_eq!(g.edge(appliers, collector), ack_edge);
+    g.build().expect("housekeeping graph is valid")
+}
+
+/// Hosts that can still participate in housekeeping from `controller`'s
+/// point of view: alive, and with an unsevered link to the controller.
+fn reachable_hosts(core: &Rc<CoreCtx>, failures: &FailureState, controller: HostId) -> Vec<HostId> {
+    core.fabric
+        .topology()
+        .hosts()
+        .filter(|h| !failures.host_dead(*h) && !failures.link_down(controller, *h))
+        .collect()
+}
+
+/// Builds the delivery program against the hosts currently reachable
+/// from the lowest live host; `None` if no host is left alive.
+fn prepare_error_delivery(
+    core: &Rc<CoreCtx>,
+    failures: &FailureState,
+    log: &ErrorLog,
+    notices: &[(RunId, String)],
+) -> Option<(pathways_plaque::Graph, HostId, Rc<RefCell<u32>>)> {
+    let controller = core
+        .fabric
+        .topology()
+        .hosts()
+        .find(|h| !failures.host_dead(*h))?;
+    let hosts = reachable_hosts(core, failures, controller);
+    let acks = Rc::new(RefCell::new(0u32));
+    let graph = error_delivery_graph(controller, hosts, log, notices.to_vec(), &acks);
+    Some((graph, controller, acks))
+}
+
+/// Delivers failure notices to every live, reachable host via a PLAQUE
+/// program launched from the lowest live host; resolves once every such
+/// host acknowledged. Returns the number of acknowledgements (0 if no
+/// host is left alive).
+///
+/// The reachable-host set is snapshotted at launch: if one of those
+/// hosts dies *while the program is in flight*, its applier shard never
+/// halts and this future never resolves. Callers that may race further
+/// faults must not await delivery — the fault injector uses the
+/// fire-and-forget `spawn_error_delivery` internally for exactly that
+/// reason. Reserve this awaited form for quiescent-fault settings
+/// (tests, post-mortem reporting).
+pub async fn deliver_errors(
+    core: &Rc<CoreCtx>,
+    failures: &FailureState,
+    log: &ErrorLog,
+    notices: &[(RunId, String)],
+) -> u32 {
+    let Some((graph, controller, acks)) = prepare_error_delivery(core, failures, log, notices)
+    else {
+        return 0;
+    };
+    core.plaque.launch(&graph, controller).await_done().await;
+    let n = *acks.borrow();
+    n
+}
+
+/// Fire-and-forget form of [`deliver_errors`], used by the fault
+/// injector: the delivery program runs in the background and is *not*
+/// awaited, so a second fault landing mid-delivery cannot wedge the
+/// injector (shards lost to the newer fault simply never ack).
+pub(crate) fn spawn_error_delivery(
+    core: &Rc<CoreCtx>,
+    failures: &FailureState,
+    log: &ErrorLog,
+    notices: &[(RunId, String)],
+) {
+    if let Some((graph, controller, _acks)) = prepare_error_delivery(core, failures, log, notices) {
+        drop(core.plaque.launch(&graph, controller));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +510,39 @@ mod tests {
         let total_kernels: u64 = health.values().map(|h| h.kernels_executed).sum();
         assert_eq!(total_kernels, 16);
         assert!(health.values().all(|h| h.devices == 8));
+    }
+
+    #[test]
+    fn error_delivery_skips_dead_hosts_and_reaches_the_rest() {
+        use crate::fault::FaultSpec;
+        use pathways_plaque::RunId;
+
+        let mut sim = Sim::new(0);
+        let rt = runtime(&sim, 4);
+        // Kill host 3 through the injector so both the fabric and the
+        // failure registry know about it.
+        rt.faults().inject(&FaultSpec::Host(HostId(3)));
+        let core = Rc::clone(rt.core());
+        let failures = rt.faults().state().clone();
+        let log = ErrorLog::new();
+        let notices = vec![(RunId(9), "dev3 failed".to_string())];
+        let log2 = log.clone();
+        let job = sim.spawn("deliver", async move {
+            deliver_errors(&core, &failures, &log2, &notices).await
+        });
+        sim.run_to_quiescence();
+        assert_eq!(job.try_take(), Some(3), "three live hosts acknowledge");
+        for h in 0..3 {
+            assert!(
+                log.knows_about(HostId(h), RunId(9)),
+                "host {h} missed the notice"
+            );
+            assert_eq!(log.notices(HostId(h))[0].1, "dev3 failed");
+        }
+        assert!(
+            log.notices(HostId(3)).is_empty(),
+            "dead host learns nothing"
+        );
     }
 
     #[test]

@@ -97,10 +97,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
 mod config;
 mod context;
 mod exec;
+mod fault;
 pub mod housekeeping;
 mod objref;
 mod ops;
@@ -116,6 +118,7 @@ pub use client::{Client, Run, RunResult, SubmitError};
 pub use config::{DispatchMode, PathwaysConfig};
 pub use context::{CoreCtx, InputKey, InputSlot};
 pub use exec::{CompRegistration, EnqueueInfo, ExecutorShared};
+pub use fault::{FailureState, FaultInjector, FaultSpec, RunFootprint};
 pub use objref::ObjectRef;
 pub use ops::{PreparedProgram, ProgInfo};
 pub use program::{
@@ -128,4 +131,4 @@ pub use sched::policy::{
     FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy,
 };
 pub use sched::{SchedPolicy, SchedulerHandle};
-pub use store::{ObjectId, ObjectStore, StoreError, StoredShard};
+pub use store::{FailureReason, ObjectError, ObjectId, ObjectStore, StoreError, StoredShard};

@@ -23,7 +23,7 @@ use pathways_net::DeviceId;
 use pathways_sim::sync::Event;
 
 use crate::program::CompId;
-use crate::store::{ObjectId, ObjectStore};
+use crate::store::{ObjectError, ObjectId, ObjectStore};
 
 /// A future on a (sharded) object in the object store.
 ///
@@ -109,14 +109,48 @@ impl ObjectRef {
         &self.ready[shard as usize]
     }
 
-    /// Resolves when every shard of the object has been produced.
-    pub async fn ready(&self) {
+    /// Resolves when every shard of the object has been produced — or,
+    /// if the producer failed (device/host/client death, partition),
+    /// with the typed error instead of blocking forever (§4.3's
+    /// "delivering errors on failures"). Failure propagation fires the
+    /// readiness events of doomed objects, so this never hangs on a
+    /// fault.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectError::ProducerFailed`] if the producing run failed or
+    /// the data was lost with the hardware holding it.
+    pub async fn ready(&self) -> Result<(), ObjectError> {
         for ev in self.ready.iter() {
             ev.wait().await;
         }
+        match self.error() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
 
-    /// True if every shard has been produced.
+    /// Awaits readiness and resolves to the object's id — the "get" of
+    /// the paper's client API, minus the bytes (results stay in HBM; the
+    /// handle is the value).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ObjectRef::ready`].
+    pub async fn get(&self) -> Result<ObjectId, ObjectError> {
+        self.ready().await?;
+        Ok(self.id)
+    }
+
+    /// The recorded failure of this object, if its producer failed. A
+    /// handle whose store entry disappeared (failure-GC of the owner)
+    /// reports [`FailureReason::OwnerGone`](crate::FailureReason).
+    pub fn error(&self) -> Option<ObjectError> {
+        self.store.object_error(self.id)
+    }
+
+    /// True if every shard has been produced (or the object failed —
+    /// failure fires the events; check [`ObjectRef::error`]).
     pub fn is_ready(&self) -> bool {
         self.ready.iter().all(Event::is_set)
     }

@@ -514,6 +514,14 @@ impl Operator for CompOperator {
 }
 
 /// The asynchronous life of one computation shard after registration.
+///
+/// Failure-aware from end to end: an abort before the enqueue (the
+/// fault injector swept our registration), a dropped completion (our
+/// device died with the kernel queued) and a gang abort (a partner
+/// device died) all land in the same wind-down — announce the signals
+/// the rest of the dataflow gates on, *poison-deliver* the consumer
+/// input buffers instead of moving data, and halt, so the run drains to
+/// a clean completion instead of wedging.
 #[allow(clippy::too_many_arguments)]
 async fn drive_shard(
     core: Rc<CoreCtx>,
@@ -525,16 +533,12 @@ async fn drive_shard(
     enq_rx: pathways_sim::channel::OneshotReceiver<crate::exec::EnqueueInfo>,
     addr_events: Vec<((usize, u32), Event)>,
 ) {
-    let Ok(enq) = enq_rx.await else {
-        // The executor was torn down before enqueueing (aborted run).
-        emitter.halt();
-        return;
-    };
+    let enq = enq_rx.await.ok();
     let in_edges = info.program.in_edges(comp);
     let out_edges = info.program.out_edges(comp);
 
-    // Enqueued: announce output futures downstream (sequential-dispatch
-    // consumers gate on these)...
+    // Announce output futures downstream (sequential-dispatch consumers
+    // gate on these)...
     for &e in out_edges.iter() {
         for d in info.feeds(e, shard) {
             emitter.send(
@@ -546,28 +550,45 @@ async fn drive_shard(
     }
     // ...and our input-buffer addresses upstream (the Figure 4
     // handshake: "Host B allocates B's inputs, transmits the input
-    // buffer addresses to host A").
+    // buffer addresses to host A"). Sent on the abort path too: an
+    // upstream producer mid-transfer must not wait forever for the
+    // address of a consumer that will never enqueue.
     for &e in &in_edges {
         for s in info.feeders(e, shard) {
             emitter.send(info.back_edges[e], s, Tuple::new(AddrSignal, SIGNAL_BYTES));
         }
     }
 
-    let _completion = enq
-        .completion
-        .await
-        .expect("device dropped kernel completion");
-    drop(enq.input_lease);
+    let completed = match enq {
+        Some(enq) => {
+            // A dropped completion sender is the device's abort signal
+            // (it died with this kernel queued, or its gang aborted).
+            let done = enq.completion.await.is_ok();
+            drop(enq.input_lease);
+            done
+        }
+        None => false,
+    };
     let object = ObjectId { run, comp };
-    core.store.mark_ready(object, shard);
+    if completed {
+        core.store.mark_ready(object, shard);
+    }
 
     // Move outputs to every consumer shard as soon as its buffer address
     // is known; transfers to different consumers proceed concurrently.
-    // No readiness gate: this shard's kernel just completed.
+    // No readiness gate: this shard's kernel just completed (or aborted,
+    // in which case consumers get a zero-byte poison delivery — their
+    // runs were failed by the injector, so the error, not the data, is
+    // what they observe).
     let addr_map: HashMap<(usize, u32), Event> = addr_events.into_iter().collect();
     let src_dev = info.devices[comp.index()][shard as usize];
+    let mode = if completed {
+        TransferMode::Data
+    } else {
+        TransferMode::Poison
+    };
     let transfers = spawn_output_transfers(
-        &core, &info, comp, shard, run, &emitter, &addr_map, src_dev, None,
+        &core, &info, comp, shard, run, &emitter, &addr_map, src_dev, None, mode,
     );
     join_all(transfers).await;
     // Release this shard's input-slot registrations.
@@ -584,8 +605,9 @@ async fn drive_shard(
         // (the §4.2 amortization). The run still waits for every shard:
         // completion requires all shards to halt. The client's ObjectRef
         // (minted at submit time) owns the object's refcount; nothing is
-        // released here.
-        if shard == 0 {
+        // released here. Aborted shards skip the tuple — the plaque edge
+        // closes through halt's punctuation.
+        if completed && shard == 0 {
             emitter.send(
                 result_edge,
                 0,
@@ -593,10 +615,29 @@ async fn drive_shard(
             );
         }
     } else {
-        // Intermediate output: consumers have their copies; release ours.
+        // Intermediate output: consumers have their copies (or their
+        // poison); release ours. A release of an object the grant never
+        // created is a no-op.
         core.store.release(object);
     }
     emitter.halt();
+}
+
+/// How a producer shard's output reaches (or fails to reach) each
+/// consumer input buffer.
+#[derive(Debug, Clone)]
+enum TransferMode {
+    /// Move the real bytes over the interconnect.
+    Data,
+    /// The producer aborted: deliver the consumer's input slot without
+    /// moving anything, so its kernel unblocks. The consumer's run
+    /// carries the typed error; the poison is just the unwedging.
+    Poison,
+    /// External-input replay: decide per transfer *after* the readiness
+    /// gate fires — a producer that failed (events fired by the failure
+    /// path, error recorded in the store) poisons instead of replaying
+    /// stale or never-written data.
+    CheckObject(ObjectId),
 }
 
 /// Spawns one transfer task per (out-edge, consumer shard) of `comp`
@@ -605,10 +646,11 @@ async fn drive_shard(
 /// consumer's buffer address (eager: allocated during grant processing),
 /// then the optional readiness `gate` (external inputs gate on the
 /// producer's per-shard event; kernel shards pass `None` because their
-/// kernel already completed), moves the bytes from `src_dev`, delivers
-/// the consumer's input slot in-band (the transfer's arrival is the
-/// consumer kernel's trigger — no control message in between), and
-/// closes the plaque edge off the critical path.
+/// kernel already completed), moves the bytes from `src_dev` (unless
+/// the `mode` poisons the delivery), delivers the consumer's input slot
+/// in-band (the transfer's arrival is the consumer kernel's trigger —
+/// no control message in between), and closes the plaque edge off the
+/// critical path.
 #[allow(clippy::too_many_arguments)]
 fn spawn_output_transfers(
     core: &Rc<CoreCtx>,
@@ -620,6 +662,7 @@ fn spawn_output_transfers(
     addr_map: &HashMap<(usize, u32), Event>,
     src_dev: DeviceId,
     gate: Option<Event>,
+    mode: TransferMode,
 ) -> Vec<pathways_sim::JoinHandle<()>> {
     let mut transfers = Vec::new();
     for (oi, &e) in info.program.out_edges(comp).iter().enumerate() {
@@ -637,18 +680,36 @@ fn spawn_output_transfers(
                 .expect("address event missing")
                 .clone();
             let gate = gate.clone();
+            let mode = mode.clone();
             let dst_dev = info.devices[dst_comp.index()][d as usize];
             let core = Rc::clone(core);
             let info2 = Rc::clone(info);
             let emitter = emitter.clone();
+            // The address arrives as a dataflow tuple from the consumer
+            // host — which a fault may have silenced (dead NIC, severed
+            // link). Racing the wait against the run's failure event
+            // keeps the transfer from wedging; the consumer's input slot
+            // is still delivered (shared-memory simulation state), so a
+            // consumer kernel already sitting on a live device unblocks.
+            let cancel = core.failures.failed_event(run);
             transfers.push(core.handle.clone().spawn(
                 format!("xfer-{run}-{comp}-{shard}-{d}"),
                 async move {
-                    addr.wait().await;
+                    event_or_cancel(&addr, cancel.as_ref()).await;
                     if let Some(ready) = &gate {
                         ready.wait().await;
                     }
-                    core.move_bytes(src_dev, dst_dev, bytes).await;
+                    let move_data = addr.is_set()
+                        && match mode {
+                            TransferMode::Data => true,
+                            TransferMode::Poison => false,
+                            TransferMode::CheckObject(src) => {
+                                core.store.object_error(src).is_none()
+                            }
+                        };
+                    if move_data {
+                        core.move_bytes(src_dev, dst_dev, bytes).await;
+                    }
                     if let Some(slot) = core
                         .input_slots
                         .borrow()
@@ -666,6 +727,36 @@ fn spawn_output_transfers(
         }
     }
     transfers
+}
+
+/// Resolves when `event` fires — or, if `cancel` is provided, when the
+/// cancel event fires first.
+async fn event_or_cancel(event: &Event, cancel: Option<&Event>) {
+    struct Either {
+        a: pathways_sim::sync::EventWait,
+        b: Option<pathways_sim::sync::EventWait>,
+    }
+    impl std::future::Future for Either {
+        type Output = ();
+        fn poll(
+            self: std::pin::Pin<&mut Self>,
+            cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<()> {
+            let this = self.get_mut();
+            if std::pin::Pin::new(&mut this.a).poll(cx).is_ready() {
+                return std::task::Poll::Ready(());
+            }
+            match &mut this.b {
+                Some(b) => std::pin::Pin::new(b).poll(cx),
+                None => std::task::Poll::Pending,
+            }
+        }
+    }
+    Either {
+        a: event.wait(),
+        b: cancel.map(Event::wait),
+    }
+    .await
 }
 
 // ---------------------------------------------------------------------------
@@ -798,7 +889,10 @@ async fn drive_input_shard(
     addr_events: Vec<((usize, u32), Event)>,
 ) {
     // Gate every transfer on the producer's per-shard readiness event —
-    // the single thing the consuming kernel ends up waiting for.
+    // the single thing the consuming kernel ends up waiting for. If the
+    // producer failed, the failure path fires those events and records
+    // the error; the replay then poisons (delivers without data) rather
+    // than replaying stale bytes.
     let src_dev = binding.objref.devices()[shard as usize];
     let ready = binding.objref.shard_ready(shard).clone();
     let addr_map: HashMap<(usize, u32), Event> = addr_events.into_iter().collect();
@@ -812,6 +906,7 @@ async fn drive_input_shard(
         &addr_map,
         src_dev,
         Some(ready),
+        TransferMode::CheckObject(binding.objref.id()),
     );
     join_all(transfers).await;
     // Last shard of this input drops the binding, releasing its

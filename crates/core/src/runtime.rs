@@ -10,12 +10,13 @@ use pathways_net::{
     ClientId, ClusterSpec, DeviceId, Fabric, HostId, NetworkParams, Router, Topology,
 };
 use pathways_plaque::PlaqueRuntime;
-use pathways_sim::Sim;
+use pathways_sim::{FaultPlan, Sim};
 
 use crate::client::Client;
 use crate::config::PathwaysConfig;
 use crate::context::CoreCtx;
 use crate::exec::{spawn_executor, ExecutorShared};
+use crate::fault::{FailureState, FaultInjector, FaultSpec};
 use crate::resource::ResourceManager;
 use crate::sched::{scheduler_hosts, spawn_scheduler, SchedulerHandle};
 use crate::store::ObjectStore;
@@ -27,6 +28,7 @@ pub struct PathwaysRuntime {
     core: Rc<CoreCtx>,
     rm: Rc<ResourceManager>,
     schedulers: HashMap<pathways_net::IslandId, SchedulerHandle>,
+    injector: Rc<FaultInjector>,
     next_client: RefCell<u32>,
 }
 
@@ -70,6 +72,7 @@ impl PathwaysRuntime {
         let sched_router: Router<crate::sched::CtrlMsg> = Router::new(fabric.clone());
         let exec_router: Router<crate::sched::CtrlMsg> = Router::new(fabric.clone());
         let plaque = PlaqueRuntime::new(fabric.clone());
+        let failures = FailureState::new();
 
         // Executors: one per host.
         let mut executors = HashMap::new();
@@ -84,6 +87,7 @@ impl PathwaysRuntime {
                 store.clone(),
                 Rc::clone(&devices),
                 plaque.clone(),
+                failures.clone(),
                 cfg.dispatch,
             );
             executors.insert(host, shared);
@@ -107,6 +111,7 @@ impl PathwaysRuntime {
                 cfg.sched_decision,
                 cfg.sched_horizon,
                 cfg.batch_grants,
+                failures.clone(),
             );
             schedulers.insert(island, sh);
         }
@@ -122,13 +127,20 @@ impl PathwaysRuntime {
             sched_hosts,
             bindings: RefCell::new(HashMap::new()),
             input_slots: RefCell::new(HashMap::new()),
+            failures,
             cfg,
         });
         let rm = Rc::new(ResourceManager::new(Rc::clone(&topo)));
+        let injector = Rc::new(FaultInjector::new(
+            Rc::clone(&core),
+            Rc::clone(&rm),
+            core.failures.clone(),
+        ));
         PathwaysRuntime {
             core,
             rm,
             schedulers,
+            injector,
             next_client: RefCell::new(0),
         }
     }
@@ -183,13 +195,28 @@ impl PathwaysRuntime {
         )
     }
 
-    /// Simulates abrupt failure of a client: every object it owns is
-    /// garbage-collected and its slices are released. (The client's
-    /// tasks should separately be aborted by the test harness.)
+    /// The fault injector: apply [`FaultSpec`]s immediately or inspect
+    /// the failure registry and housekeeping error log.
+    pub fn faults(&self) -> &Rc<FaultInjector> {
+        &self.injector
+    }
+
+    /// Registers a scripted [`FaultPlan`] on the simulation: each fault
+    /// is injected at its exact virtual time (and stamped onto the
+    /// trace's `faults` track, so fault schedules are part of the
+    /// replayable event trace).
+    pub fn install_fault_plan(&self, plan: FaultPlan<FaultSpec>) {
+        self.injector.install_plan(&self.core.handle, plan);
+    }
+
+    /// Simulates abrupt failure of a client: its in-flight runs fail
+    /// (downstream consumers observe `Err(ObjectError::ProducerFailed)`
+    /// rather than stale data), every object it owns is
+    /// garbage-collected, and its slices are released. (The client's
+    /// tasks should separately be aborted by the test harness.) Returns
+    /// the number of objects freed.
     pub fn fail_client(&self, client: ClientId) -> usize {
-        let freed = self.core.store.gc_client(client);
-        self.rm.release_client(client);
-        freed
+        self.injector.fail_client(client)
     }
 }
 

@@ -29,6 +29,7 @@ use pathways_net::{ClientId, CollectiveKind, DeviceId, HostId, IslandId, Router}
 use pathways_plaque::RunId;
 use pathways_sim::{IdleToken, SimDuration, SimHandle, SimTime};
 
+use crate::fault::FailureState;
 use crate::program::CompId;
 use policy::{FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy};
 
@@ -222,6 +223,11 @@ pub struct GrantMsg {
     pub participants: u32,
     /// Collective kind + precomputed duration, if any.
     pub collective: Option<(CollectiveKind, SimDuration)>,
+    /// Full device membership of the gang, in shard order. Carried so
+    /// the collective rendezvous can abort gangs that include a dead
+    /// device instead of blocking forever (empty for collective-free
+    /// computations).
+    pub gang_devices: Vec<DeviceId>,
     /// Per-shard compute time.
     pub compute: SimDuration,
     /// Per-shard output bytes.
@@ -430,6 +436,7 @@ pub fn spawn_scheduler(
     decision_cost: SimDuration,
     grant_horizon: SimDuration,
     batch_grants: bool,
+    failures: FailureState,
 ) -> SchedulerHandle {
     let state = Rc::new(RefCell::new(SchedulerState::new(island, policy.build())));
     let state_task = Rc::clone(&state);
@@ -482,6 +489,13 @@ pub fn spawn_scheduler(
                 }
                 let next = state_task.borrow_mut().pop();
                 let Some(submit) = next else { break };
+                // Eviction: a run failed by the fault injector (its
+                // devices died, its client died, its island partitioned)
+                // is dropped here rather than granted — its shards were
+                // already wound down by the failure propagation.
+                if failures.run_failed(submit.run) {
+                    continue;
+                }
                 if !decision_cost.is_zero() {
                     h.sleep(decision_cost).await;
                 }
@@ -507,6 +521,20 @@ pub fn spawn_scheduler(
                     st.granted_programs += 1;
                     for comp in &submit.comps {
                         let tag = st.alloc_tag();
+                        // Gang membership in shard order; carried with
+                        // collective grants so the rendezvous can abort
+                        // gangs containing a dead device.
+                        let gang_devices: Vec<DeviceId> = if comp.collective.is_some() {
+                            let mut by_shard: Vec<(u32, DeviceId)> = comp
+                                .by_host
+                                .iter()
+                                .flat_map(|(_, shards)| shards.iter().copied())
+                                .collect();
+                            by_shard.sort_by_key(|(s, _)| *s);
+                            by_shard.into_iter().map(|(_, d)| d).collect()
+                        } else {
+                            Vec::new()
+                        };
                         for (host, shards) in &comp.by_host {
                             per_host.entry(*host).or_default().push(GrantMsg {
                                 client: submit.client,
@@ -517,6 +545,7 @@ pub fn spawn_scheduler(
                                 gang_tag: tag,
                                 participants: comp.participants,
                                 collective: comp.collective.map(|(k, _, d)| (k, d)),
+                                gang_devices: gang_devices.clone(),
                                 compute: comp.compute,
                                 output_bytes: comp.output_bytes,
                                 input_bytes: comp.input_bytes,

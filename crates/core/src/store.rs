@@ -24,7 +24,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use pathways_device::{DeviceHandle, HbmLease};
-use pathways_net::{ClientId, DeviceId};
+use pathways_net::{ClientId, DeviceId, HostId, IslandId};
 use pathways_plaque::RunId;
 use pathways_sim::sync::Event;
 
@@ -65,6 +65,86 @@ impl fmt::Display for StoreError {
 }
 
 impl std::error::Error for StoreError {}
+
+/// Why a producer failed (the failure-propagation vocabulary shared by
+/// the store, the fault injector and client-visible [`ObjectError`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The device holding (or assigned to produce) a shard died.
+    Device(DeviceId),
+    /// A host died — its devices, executor and any scheduler on it are
+    /// gone.
+    Host(HostId),
+    /// The island's scheduler host died; nothing on the island can be
+    /// granted anymore.
+    Island(IslandId),
+    /// A severed DCN link partitioned the run's control plane.
+    Link(HostId, HostId),
+    /// The owning client failed; its objects were garbage-collected.
+    Client(ClientId),
+    /// An upstream object this run consumed had itself failed.
+    Upstream(ObjectId),
+    /// The object was reclaimed (failure-GC) before the cause could be
+    /// recorded — observed through a stale handle.
+    OwnerGone,
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::Device(d) => write!(f, "{d} failed"),
+            FailureReason::Host(h) => write!(f, "{h} failed"),
+            FailureReason::Island(i) => write!(f, "{i} lost its scheduler"),
+            FailureReason::Link(a, b) => write!(f, "link {a}<->{b} severed"),
+            FailureReason::Client(c) => write!(f, "{c} failed"),
+            FailureReason::Upstream(o) => write!(f, "upstream {o} failed"),
+            FailureReason::OwnerGone => write!(f, "owner was garbage-collected"),
+        }
+    }
+}
+
+/// Error delivered through an [`ObjectRef`](crate::ObjectRef) whose
+/// producer can no longer supply the data: instead of blocking forever,
+/// `ready`/`get` resolve to this (§4.3's "delivering errors on
+/// failures").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectError {
+    /// The producing run (or the hardware its data lived on) failed.
+    ProducerFailed {
+        /// The object that will never (fully) materialize.
+        object: ObjectId,
+        /// What went wrong.
+        reason: FailureReason,
+    },
+}
+
+impl ObjectError {
+    /// The object the error is about.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            ObjectError::ProducerFailed { object, .. } => *object,
+        }
+    }
+
+    /// The underlying failure reason.
+    pub fn reason(&self) -> FailureReason {
+        match self {
+            ObjectError::ProducerFailed { reason, .. } => *reason,
+        }
+    }
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::ProducerFailed { object, reason } => {
+                write!(f, "producer of {object} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
 
 /// One shard of a stored object, pinned in a device's HBM.
 pub struct StoredShard {
@@ -110,6 +190,10 @@ struct ObjectEntry {
     /// not exist yet) or lazily by [`ObjectStore::put_shard`].
     ready: HashMap<u32, Event>,
     shards: HashMap<u32, StoredShard>,
+    /// Set when the producer failed: shards are dropped (HBM freed),
+    /// readiness events fire, and consumers observe the error instead of
+    /// stale data. The entry itself lives until its refcount drains.
+    error: Option<ObjectError>,
 }
 
 /// The cluster-wide sharded object store.
@@ -144,6 +228,7 @@ impl ObjectStore {
             refcount: 1,
             ready: HashMap::new(),
             shards: HashMap::new(),
+            error: None,
         });
     }
 
@@ -164,6 +249,7 @@ impl ObjectStore {
             refcount: 1,
             ready: HashMap::new(),
             shards: HashMap::new(),
+            error: None,
         });
         (0..shards)
             .map(|s| entry.ready.entry(s).or_default().clone())
@@ -188,8 +274,19 @@ impl ObjectStore {
         device: &DeviceHandle,
         bytes: u64,
     ) -> Event {
-        if !self.inner.borrow().contains_key(&id) {
-            return Event::new();
+        {
+            let inner = self.inner.borrow();
+            match inner.get(&id) {
+                None => return Event::new(),
+                // A failed object's output is discarded: its events are
+                // already set, nothing gets pinned.
+                Some(e) if e.error.is_some() => {
+                    let ev = Event::new();
+                    ev.set();
+                    return ev;
+                }
+                Some(_) => {}
+            }
         }
         // HBM back-pressure happens outside the store borrow.
         let lease = device.hbm().allocate(bytes).await;
@@ -198,6 +295,12 @@ impl ObjectStore {
             // Released while we waited on back-pressure: discard.
             return Event::new();
         };
+        if entry.error.is_some() {
+            // Failed while we waited on back-pressure: discard.
+            let ev = Event::new();
+            ev.set();
+            return ev;
+        }
         let ready = entry.ready.entry(shard).or_insert_with(Event::new).clone();
         let prev = entry.shards.insert(
             shard,
@@ -288,6 +391,82 @@ impl ObjectStore {
             }
         }
         n
+    }
+
+    /// Marks `id` failed with `reason`: its shards are dropped (HBM
+    /// leases return), its readiness events fire so gated consumers
+    /// unblock, and [`ObjectStore::object_error`] reports the error from
+    /// now on. The entry itself survives until its refcount drains, so
+    /// live `ObjectRef`s resolve to the typed error rather than stale
+    /// data. The first failure reason wins. Returns false for unknown
+    /// objects.
+    pub fn fail_object(&self, id: ObjectId, reason: FailureReason) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let Some(entry) = inner.get_mut(&id) else {
+            return false;
+        };
+        if entry.error.is_none() {
+            entry.error = Some(ObjectError::ProducerFailed { object: id, reason });
+        }
+        entry.shards.clear();
+        for ev in entry.ready.values() {
+            ev.set();
+        }
+        true
+    }
+
+    /// The recorded failure of `id`, if any. An object missing from the
+    /// store while someone still holds a handle to it was reclaimed by a
+    /// failure-GC; that is reported as [`FailureReason::OwnerGone`].
+    pub fn object_error(&self, id: ObjectId) -> Option<ObjectError> {
+        match self.inner.borrow().get(&id) {
+            Some(entry) => entry.error,
+            None => Some(ObjectError::ProducerFailed {
+                object: id,
+                reason: FailureReason::OwnerGone,
+            }),
+        }
+    }
+
+    /// True if the store still holds an entry for `id`.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.inner.borrow().contains_key(&id)
+    }
+
+    /// The owner of `id`, if it is still in the store.
+    pub fn owner_of(&self, id: ObjectId) -> Option<ClientId> {
+        self.inner.borrow().get(&id).map(|e| e.owner)
+    }
+
+    /// Fails every object with a shard pinned on `device` (the data is
+    /// gone with the hardware). Returns the failed ids in ascending
+    /// order — deterministic, so fault injection replays identically.
+    pub fn fail_objects_on_device(&self, device: DeviceId, reason: FailureReason) -> Vec<ObjectId> {
+        let mut doomed: Vec<ObjectId> = self
+            .inner
+            .borrow()
+            .iter()
+            .filter(|(_, e)| e.error.is_none() && e.shards.values().any(|s| s.device == device))
+            .map(|(id, _)| *id)
+            .collect();
+        doomed.sort();
+        for id in &doomed {
+            self.fail_object(*id, reason);
+        }
+        doomed
+    }
+
+    /// Ids of all live objects owned by `client`, in ascending order.
+    pub fn objects_owned_by(&self, client: ClientId) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self
+            .inner
+            .borrow()
+            .iter()
+            .filter(|(_, e)| e.owner == client)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
     }
 
     /// Number of live logical objects.
@@ -510,6 +689,80 @@ mod tests {
             assert_eq!(store2.object_bytes(obj(9, 9)), 0);
         });
         sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn fail_object_frees_hbm_fires_events_and_records_error() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let dev = device(&sim, 0, 1_000);
+        let store2 = store.clone();
+        let dev2 = dev.clone();
+        sim.spawn("t", async move {
+            let events = store2.declare(obj(0, 0), ClientId(0), 2);
+            store2.put_shard(obj(0, 0), 0, &dev2, 100).await;
+            assert_eq!(dev2.hbm().used(), 100);
+            assert!(store2.fail_object(obj(0, 0), FailureReason::Device(DeviceId(0))));
+            assert_eq!(dev2.hbm().used(), 0, "failed shards release HBM");
+            assert!(events.iter().all(Event::is_set), "consumers unblock");
+            let err = store2.object_error(obj(0, 0)).unwrap();
+            assert_eq!(err.reason(), FailureReason::Device(DeviceId(0)));
+            // A second failure does not overwrite the first reason.
+            store2.fail_object(obj(0, 0), FailureReason::OwnerGone);
+            assert_eq!(
+                store2.object_error(obj(0, 0)).unwrap().reason(),
+                FailureReason::Device(DeviceId(0))
+            );
+            // Late puts to a failed object are discarded but report ready.
+            let ev = store2.put_shard(obj(0, 0), 1, &dev2, 100).await;
+            assert!(ev.is_set());
+            assert_eq!(dev2.hbm().used(), 0);
+            // The entry drains through the normal refcount path.
+            assert_eq!(store2.len(), 1);
+            store2.release(obj(0, 0));
+            assert!(store2.is_empty());
+        });
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn fail_objects_on_device_is_scoped_and_sorted() {
+        let mut sim = Sim::new(0);
+        let store = ObjectStore::new();
+        let d0 = device(&sim, 0, 1_000);
+        let d1 = device(&sim, 1, 1_000);
+        let store2 = store.clone();
+        sim.spawn("t", async move {
+            store2.create(obj(2, 0), ClientId(0));
+            store2.put_shard(obj(2, 0), 0, &d0, 10).await;
+            store2.create(obj(1, 0), ClientId(0));
+            store2.put_shard(obj(1, 0), 0, &d0, 10).await;
+            store2.create(obj(3, 0), ClientId(0));
+            store2.put_shard(obj(3, 0), 0, &d1, 10).await;
+            let doomed =
+                store2.fail_objects_on_device(DeviceId(0), FailureReason::Device(DeviceId(0)));
+            assert_eq!(doomed, vec![obj(1, 0), obj(2, 0)]);
+            assert!(
+                store2.object_error(obj(3, 0)).is_none(),
+                "other device intact"
+            );
+            assert_eq!(d1.hbm().used(), 10);
+        });
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn missing_object_reports_owner_gone() {
+        let store = ObjectStore::new();
+        store.declare(obj(0, 0), ClientId(5), 1);
+        assert!(store.object_error(obj(0, 0)).is_none());
+        assert_eq!(store.owner_of(obj(0, 0)), Some(ClientId(5)));
+        store.gc_client(ClientId(5));
+        assert_eq!(
+            store.object_error(obj(0, 0)).map(|e| e.reason()),
+            Some(FailureReason::OwnerGone)
+        );
+        assert!(!store.fail_object(obj(0, 0), FailureReason::OwnerGone));
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Chaos suite: deterministic fault injection against chained-ObjectRef
+//! workloads.
+//!
+//! Three invariants, checked across scripted scenarios and a seeded
+//! random matrix:
+//!
+//! 1. no wedged future — every `ObjectRef` and `Run` resolves (to data
+//!    or to `ObjectError::ProducerFailed`) in bounded *virtual* time;
+//!    no test relies on timeouts;
+//! 2. refcounts drain — once the client drops its handles the object
+//!    store is empty and every HBM lease is returned;
+//! 3. surviving islands keep making progress.
+//!
+//! Plus the determinism guarantee: the same seed and fault schedule
+//! reproduce a bit-identical event trace.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pathways_core::chaos::{run_chaos, ChaosSpec};
+use pathways_core::{
+    FailureReason, FaultSpec, FnSpec, InputSpec, ObjectError, ObjectRef, PathwaysConfig,
+    PathwaysRuntime, SliceRequest,
+};
+use pathways_net::{ClusterSpec, DeviceId, HostId, IslandId, NetworkParams};
+use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
+
+fn two_island_rt(sim: &Sim) -> PathwaysRuntime {
+    PathwaysRuntime::new(
+        sim,
+        ClusterSpec::islands_of(2, 2, 4),
+        NetworkParams::tpu_cluster(),
+        PathwaysConfig::default(),
+    )
+}
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+/// Acceptance scenario: a scripted device failure during a 3-program
+/// chained run resolves every downstream `ObjectRef` to
+/// `Err(ObjectError::ProducerFailed)`, while a control program on the
+/// untouched island completes with data.
+#[test]
+fn scripted_device_failure_fails_three_program_chain() {
+    let mut sim = Sim::new(7);
+    let rt = two_island_rt(&sim);
+    rt.install_fault_plan(FaultPlan::new().at(t(300), FaultSpec::Device(DeviceId(3))));
+    // Client on the surviving island's host so its agent outlives the
+    // fault.
+    let client = rt.client(HostId(2));
+    let core = Rc::clone(rt.core());
+
+    let job = sim.spawn("client", async move {
+        let slice0 = client
+            .virtual_slice(SliceRequest::devices(8).in_island(IslandId(0)))
+            .unwrap();
+        // Three chained programs, all gang-scheduled on island 0 (which
+        // contains the doomed device 3).
+        let mut chain = Vec::new();
+        let mut prev: Option<ObjectRef> = None;
+        let mut runs = Vec::new();
+        for i in 0..3 {
+            let mut b = client.trace(format!("c{i}"));
+            let x = prev
+                .as_ref()
+                .map(|p| b.input(InputSpec::new("x", p.shards())));
+            let k = b.computation(
+                FnSpec::compute_only("k", SimDuration::from_micros(500))
+                    .with_allreduce(4)
+                    .with_output_bytes(1 << 12),
+                &slice0,
+            );
+            if let Some(x) = x {
+                b.reshard_edge(x, k, 1 << 12);
+            }
+            let prepared = client.prepare(&b.build().unwrap());
+            let run = match (x, prev.take()) {
+                (Some(x), Some(p)) => client.submit_with(&prepared, &[(x, p)]).await.unwrap(),
+                _ => client.submit(&prepared).await,
+            };
+            let out = run.object_ref(k).unwrap();
+            prev = Some(out.clone());
+            chain.push(out);
+            runs.push(run);
+        }
+        drop(prev);
+        // Control program on island 1: must finish with data.
+        let slice1 = client
+            .virtual_slice(SliceRequest::devices(8).in_island(IslandId(1)))
+            .unwrap();
+        let mut b = client.trace("survivor");
+        let k = b.computation(
+            FnSpec::compute_only("s", SimDuration::from_micros(500)).with_allreduce(4),
+            &slice1,
+        );
+        let survivor = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let survivor_out = survivor.object_ref(k).unwrap();
+
+        // Every run completes (wound down by failure propagation) and
+        // every future resolves — no timeouts anywhere.
+        for run in runs {
+            run.finish().await;
+        }
+        survivor.finish().await;
+        let chain_results: Vec<Result<(), ObjectError>> = {
+            let mut v = Vec::new();
+            for out in &chain {
+                v.push(out.ready().await);
+            }
+            v
+        };
+        let survivor_result = survivor_out.ready().await;
+        (chain_results, survivor_result)
+    });
+
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    let (chain_results, survivor_result) = job.try_take().unwrap();
+    for (i, r) in chain_results.iter().enumerate() {
+        match r {
+            Err(ObjectError::ProducerFailed { .. }) => {}
+            other => panic!("chain program {i} resolved to {other:?}, want ProducerFailed"),
+        }
+    }
+    assert_eq!(survivor_result, Ok(()), "surviving island must progress");
+    // Refcounts drained: the client task dropped every handle.
+    assert!(core.store.is_empty(), "store leaked {}", core.store.len());
+    for dev in core.devices.values() {
+        assert_eq!(dev.hbm().used(), 0, "HBM leaked on {:?}", dev.id());
+    }
+    // The failure was delivered to the surviving hosts via housekeeping.
+    let log = rt.faults().error_log();
+    assert!(
+        !log.notices(HostId(2)).is_empty(),
+        "error delivery must reach live hosts"
+    );
+}
+
+/// Killing the host that runs an island's scheduler takes the island
+/// down; submissions to it fail fast with a typed island error.
+#[test]
+fn scheduler_host_death_kills_island_but_spares_others() {
+    let mut sim = Sim::new(0);
+    let rt = two_island_rt(&sim);
+    // Host 0 runs island 0's scheduler.
+    rt.install_fault_plan(FaultPlan::new().at(t(100), FaultSpec::Host(HostId(0))));
+    let client = rt.client(HostId(2));
+    let h = sim.handle();
+    let job = sim.spawn("client", async move {
+        // Submitted after the fault: island 0 is already dead.
+        h.sleep(SimDuration::from_micros(200)).await;
+        let s0 = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("doomed");
+        let k = b.computation(
+            FnSpec::compute_only("k", SimDuration::from_micros(100)),
+            &s0,
+        );
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let doomed = run.object_ref(k).unwrap();
+        run.finish().await;
+        let doomed_result = doomed.ready().await;
+
+        let s1 = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(1)))
+            .unwrap();
+        let mut b = client.trace("alive");
+        let k = b.computation(
+            FnSpec::compute_only("k", SimDuration::from_micros(100)),
+            &s1,
+        );
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let alive = run.object_ref(k).unwrap();
+        run.finish().await;
+        (doomed_result, alive.ready().await)
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    let (doomed, alive) = job.try_take().unwrap();
+    match doomed {
+        Err(err) => assert!(
+            matches!(
+                err.reason(),
+                FailureReason::Island(_) | FailureReason::Host(_) | FailureReason::Device(_)
+            ),
+            "unexpected reason {:?}",
+            err.reason()
+        ),
+        Ok(()) => panic!("run on a dead island must fail"),
+    }
+    assert_eq!(alive, Ok(()));
+    assert!(rt.core().store.is_empty());
+}
+
+/// A severed DCN link between the client's host and the scheduler's
+/// host partitions in-flight runs; both ends stay live for local work.
+#[test]
+fn severed_link_fails_spanning_runs() {
+    let mut sim = Sim::new(0);
+    let rt = two_island_rt(&sim);
+    rt.install_fault_plan(FaultPlan::new().at(t(100), FaultSpec::Link(HostId(2), HostId(0))));
+    let client = rt.client(HostId(2));
+    let job = sim.spawn("client", async move {
+        // In flight across the link when it is cut (compute far longer
+        // than the cut time).
+        let s0 = client
+            .virtual_slice(SliceRequest::devices(8).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("spanning");
+        let k = b.computation(
+            FnSpec::compute_only("k", SimDuration::from_millis(5)).with_allreduce(4),
+            &s0,
+        );
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let out = run.object_ref(k).unwrap();
+        run.finish().await;
+        out.ready().await
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    match job.try_take().unwrap() {
+        Err(err) => assert!(
+            matches!(err.reason(), FailureReason::Link(_, _)),
+            "want link failure, got {:?}",
+            err.reason()
+        ),
+        Ok(()) => panic!("partitioned run must fail"),
+    }
+    assert!(rt.core().store.is_empty());
+}
+
+/// Satellite: `fail_client` injected between submit and the first
+/// kernel grant — downstream consumers (a different client) unblock
+/// with a typed error, not stale data, and the producer's never-granted
+/// run still winds down to completion.
+#[test]
+fn fail_client_between_submit_and_first_grant_unblocks_consumers() {
+    let mut sim = Sim::new(0);
+    // A huge scheduler decision cost guarantees no grant has left the
+    // scheduler before the failure is injected.
+    let cfg = PathwaysConfig {
+        sched_decision: SimDuration::from_millis(2),
+        ..PathwaysConfig::default()
+    };
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::config_b(2),
+        NetworkParams::tpu_cluster(),
+        cfg,
+    );
+    let producer = rt.client(HostId(0));
+    let producer_id = producer.id();
+    let consumer = rt.client(HostId(1));
+    let consumer_result = Rc::new(RefCell::new(None));
+    let consumer_result2 = Rc::clone(&consumer_result);
+    let job = sim.spawn("clients", async move {
+        let slice = producer.virtual_slice(SliceRequest::devices(8)).unwrap();
+        let mut b = producer.trace("prod");
+        let k = b.computation(
+            FnSpec::compute_only("p", SimDuration::from_micros(100)).with_output_bytes(1 << 12),
+            &slice,
+        );
+        let prod_run = producer
+            .submit(&producer.prepare(&b.build().unwrap()))
+            .await;
+        let fut = prod_run.object_ref(k).unwrap();
+
+        let cslice = consumer.virtual_slice(SliceRequest::devices(8)).unwrap();
+        let mut b = consumer.trace("cons");
+        let x = b.input(InputSpec::new("x", fut.shards()));
+        let c = b.computation(
+            FnSpec::compute_only("c", SimDuration::from_micros(100)),
+            &cslice,
+        );
+        b.reshard_edge(x, c, 1 << 12);
+        let cons_run = consumer
+            .submit_with(&consumer.prepare(&b.build().unwrap()), &[(x, fut)])
+            .await
+            .unwrap();
+        let out = cons_run.object_ref(c).unwrap();
+        // Both runs are queued at the scheduler (decision cost 2ms);
+        // the failure lands now, before the first grant.
+        prod_run.finish().await;
+        cons_run.finish().await;
+        *consumer_result2.borrow_mut() = Some(out.ready().await);
+        true
+    });
+    // Submissions take ~50us of client overhead; the first grant cannot
+    // happen before 2ms. Kill the producer in between.
+    sim.run_until_time(t(500));
+    assert!(!job.is_finished(), "nothing can have been granted yet");
+    rt.fail_client(producer_id);
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    assert_eq!(job.try_take(), Some(true));
+    match consumer_result.borrow().as_ref().unwrap() {
+        Err(err) => assert!(
+            matches!(
+                err.reason(),
+                FailureReason::Upstream(_) | FailureReason::Client(_)
+            ),
+            "want upstream/client failure, got {:?}",
+            err.reason()
+        ),
+        Ok(()) => panic!("consumer must observe an error, not stale data"),
+    }
+    assert!(rt.core().store.is_empty());
+}
+
+/// Seeded chaos matrix: random fault schedules x random chained
+/// workloads never wedge a future, never leak store objects or HBM,
+/// and never stall the spare island.
+#[test]
+fn chaos_matrix_upholds_invariants() {
+    // At least 8 seeds (the CI chaos job runs this suite in release).
+    for seed in [1, 2, 3, 4, 5, 6, 7, 8, 0xC0FFEE, 0xBAD5EED] {
+        let report = run_chaos(&ChaosSpec::seeded(seed));
+        assert!(
+            report.outcome.is_quiescent(),
+            "seed {seed}: wedged with faults {:?}: {:?}",
+            report.faults,
+            report.outcome
+        );
+        assert!(
+            report.resolved_ok + report.resolved_err >= 1,
+            "seed {seed}: nothing resolved"
+        );
+        assert_eq!(
+            report.store_len, 0,
+            "seed {seed}: store leaked {} objects (faults {:?})",
+            report.store_len, report.faults
+        );
+        assert_eq!(
+            report.hbm_leaked, 0,
+            "seed {seed}: leaked {} HBM bytes (faults {:?})",
+            report.hbm_leaked, report.faults
+        );
+        assert!(
+            report.survivor_kernels > 0,
+            "seed {seed}: spare island made no progress (faults {:?})",
+            report.faults
+        );
+    }
+}
+
+/// The same seed reproduces a bit-identical event trace — fault
+/// schedule included (it is stamped on the `faults` trace track).
+#[test]
+fn chaos_runs_are_bit_identical_for_equal_seeds() {
+    for seed in [3, 0xD15EA5E] {
+        let a = run_chaos(&ChaosSpec::seeded(seed));
+        let b = run_chaos(&ChaosSpec::seeded(seed));
+        assert_eq!(a.faults, b.faults, "seed {seed}: fault schedules differ");
+        assert_eq!(
+            a.trace,
+            b.trace,
+            "seed {seed}: traces differ (fingerprints {:x} vs {:x})",
+            a.trace_fingerprint(),
+            b.trace_fingerprint()
+        );
+        assert_eq!(a.resolved_ok, b.resolved_ok);
+        assert_eq!(a.resolved_err, b.resolved_err);
+        assert_eq!(a.survivor_kernels, b.survivor_kernels);
+    }
+}

@@ -1,15 +1,16 @@
-//! Refcount-balance property test (ObjectRef era): across random
-//! schedules of plain, chained and abandoned runs, once every
-//! `ObjectRef` and `RunResult` has been dropped the object store is
-//! empty and every HBM lease has been returned.
+//! Refcount-balance property tests (ObjectRef era): across random
+//! schedules of plain, chained and abandoned runs — with and without
+//! random fault injection — once every `ObjectRef` and `RunResult` has
+//! been dropped the object store is empty and every HBM lease has been
+//! returned.
 
 use proptest::prelude::*;
 
 use pathways_core::{
-    FnSpec, InputSpec, ObjectRef, PathwaysConfig, PathwaysRuntime, Run, SliceRequest,
+    FaultSpec, FnSpec, InputSpec, ObjectRef, PathwaysConfig, PathwaysRuntime, Run, SliceRequest,
 };
-use pathways_net::{ClusterSpec, HostId, NetworkParams};
-use pathways_sim::{Sim, SimDuration};
+use pathways_net::{ClusterSpec, DeviceId, HostId, NetworkParams};
+use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
 
 /// Per-program action in the random schedule.
 ///
@@ -19,6 +20,12 @@ use pathways_sim::{Sim, SimDuration};
 fn schedule() -> impl Strategy<Value = Vec<(u8, u16, u8)>> {
     // (slice divisor selector, compute us, mode)
     proptest::collection::vec((1u8..3, 10u16..300, 0u8..3), 1..7)
+}
+
+/// Random fault schedule: `(kind, target selector, at_us)`.
+/// `kind % 2`: 0 = device failure, 1 = host failure.
+fn fault_schedule() -> impl Strategy<Value = Vec<(u8, u8, u16)>> {
+    proptest::collection::vec((0u8..2, 0u8..16, 20u16..2_000), 0..4)
 }
 
 proptest! {
@@ -99,6 +106,112 @@ proptest! {
                 0,
                 "HBM lease leaked on {:?}",
                 dev.id()
+            );
+        }
+    }
+
+    /// Satellite of the fault-injection tentpole: random device/host
+    /// fault schedules against the same random plain/chained/abandoned
+    /// workloads never leak HBM or store objects, and never wedge a
+    /// future — failed runs resolve through typed errors, and refcounts
+    /// still balance to an empty store.
+    #[test]
+    fn refcounts_balance_under_random_faults(
+        hosts in 1u32..3,
+        progs in schedule(),
+        faults in fault_schedule(),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(hosts),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig::default(),
+        );
+        let n_devices = hosts * 8;
+        let mut plan: FaultPlan<FaultSpec> = FaultPlan::new();
+        for (kind, target, at_us) in &faults {
+            let at = SimTime::ZERO + SimDuration::from_micros(*at_us as u64);
+            let spec = match kind % 2 {
+                0 => FaultSpec::Device(DeviceId(u32::from(*target) % n_devices)),
+                _ => FaultSpec::Host(HostId(u32::from(*target) % hosts)),
+            };
+            plan.push(at, spec);
+        }
+        rt.install_fault_plan(plan);
+        let client = rt.client(HostId(0));
+        let core = std::rc::Rc::clone(rt.core());
+        let progs2 = progs.clone();
+        let job = sim.spawn("client", async move {
+            let mut kept: Vec<Run> = Vec::new();
+            let mut last: Option<ObjectRef> = None;
+            let mut resolved = 0u32;
+            for (i, (sel, us, mode)) in progs2.iter().enumerate() {
+                let devs = (n_devices / *sel as u32).max(1);
+                // Dead devices are detached from the resource manager;
+                // a cluster that shrank below the request is a
+                // legitimate refusal, not a leak — skip the program.
+                let Ok(slice) = client.virtual_slice(SliceRequest::devices(devs)) else {
+                    continue;
+                };
+                let mut b = client.trace(format!("p{i}"));
+                let chain_src = if *mode == 1 { last.clone() } else { None };
+                let input = chain_src.as_ref().map(|src| {
+                    b.input(InputSpec::new("x", src.shards()))
+                });
+                let k = b.computation(
+                    FnSpec::compute_only("k", SimDuration::from_micros(*us as u64))
+                        .with_allreduce(4)
+                        .with_output_bytes(1 << 12),
+                    &slice,
+                );
+                if let Some(x) = input {
+                    b.reshard_edge(x, k, 1 << 12);
+                }
+                let prepared = client.prepare(&b.build().unwrap());
+                let run = match (input, chain_src) {
+                    (Some(x), Some(src)) => client
+                        .submit_with(&prepared, &[(x, src)])
+                        .await
+                        .unwrap(),
+                    _ => client.submit(&prepared).await,
+                };
+                last = run.object_ref(k);
+                if *mode == 2 {
+                    drop(run);
+                } else {
+                    kept.push(run);
+                }
+            }
+            drop(last);
+            for run in kept {
+                let result = run.finish().await;
+                // Every output future resolves, to data or to a typed
+                // error — never a hang.
+                for (_, objref) in result.refs() {
+                    let _ = objref.ready().await;
+                    resolved += 1;
+                }
+            }
+            resolved
+        });
+        let outcome = sim.run();
+        prop_assert!(outcome.is_quiescent(), "wedged under faults {:?}: {:?}", faults, outcome);
+        prop_assert!(job.try_take().is_some(), "client never finished");
+        prop_assert!(
+            core.store.is_empty(),
+            "store leaked {} objects under faults {:?}",
+            core.store.len(),
+            faults
+        );
+        for dev in core.devices.values() {
+            prop_assert_eq!(
+                dev.hbm().used(),
+                0,
+                "HBM lease leaked on {:?} under faults {:?}",
+                dev.id(),
+                &faults
             );
         }
     }

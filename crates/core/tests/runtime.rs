@@ -205,11 +205,11 @@ fn chained_submissions_dispatch_before_producers_finish() {
         let t_submitted = h.now();
         // Only now await anything: record each program's completion time
         // via its output future (readiness is set at kernel completion).
-        o1.ready().await;
+        o1.ready().await.unwrap();
         let t1 = h.now();
-        o2.ready().await;
+        o2.ready().await.unwrap();
         let t2 = h.now();
-        o3.ready().await;
+        o3.ready().await.unwrap();
         let t3 = h.now();
         // Drain the runs so the store empties once refs drop.
         r1.finish().await;

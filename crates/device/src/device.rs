@@ -20,11 +20,32 @@ use std::rc::Rc;
 
 use pathways_net::DeviceId;
 use pathways_sim::channel::{self, OneshotReceiver, OneshotSender, Sender};
-use pathways_sim::{SimDuration, SimHandle, SimTime};
+use pathways_sim::{FaultSignal, SimDuration, SimHandle, SimTime};
 
 use crate::gang::CollectiveRendezvous;
 use crate::hbm::HbmPool;
 use crate::kernel::Kernel;
+
+/// Error returned by [`DeviceHandle::enqueue`] when the device has
+/// failed (fault injection) or its queue task has exited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceDead {
+    /// The dead device.
+    pub device: DeviceId,
+    /// Why it died, when a fault stamp is available.
+    pub reason: Option<String>,
+}
+
+impl fmt::Display for DeviceDead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            Some(r) => write!(f, "{} is dead ({r})", self.device),
+            None => write!(f, "{} has shut down", self.device),
+        }
+    }
+}
+
+impl std::error::Error for DeviceDead {}
 
 /// Configuration of one device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +84,10 @@ pub struct EnqueuedKernel {
     pub inputs_ready: Vec<OneshotReceiver<()>>,
     /// Completion notification; dropped silently if the receiver is gone.
     pub done: Option<OneshotSender<KernelCompletion>>,
+    /// Owning run id for gang-abort bookkeeping (0 = none/unknown).
+    /// Carried to the rendezvous so a run failure aborts its gangs even
+    /// when some members' grants were lost before enqueue.
+    pub owner: u64,
 }
 
 impl fmt::Debug for EnqueuedKernel {
@@ -94,6 +119,8 @@ pub struct DeviceHandle {
     tx: Sender<EnqueuedKernel>,
     hbm: HbmPool,
     stats: Rc<RefCell<DeviceStats>>,
+    fault: FaultSignal,
+    rendezvous: CollectiveRendezvous,
 }
 
 impl fmt::Debug for DeviceHandle {
@@ -121,6 +148,9 @@ impl DeviceHandle {
         let stats = Rc::new(RefCell::new(DeviceStats::default()));
         let stats_task = Rc::clone(&stats);
         let handle = sim.clone();
+        let fault = FaultSignal::new();
+        let fault_task = fault.clone();
+        let rz_task = rendezvous.clone();
         let token = pathways_sim::IdleToken::new();
         let token_task = token.clone();
         sim.spawn_service(format!("{id}"), &token, async move {
@@ -128,17 +158,47 @@ impl DeviceHandle {
                 token_task.set_idle();
                 let Some(job) = rx.recv().await else { break };
                 token_task.set_busy();
+                // 0. A dead device stops accepting work: abort this job
+                //    and everything queued behind it, then exit. Aborted
+                //    jobs drop their completion sender, which downstream
+                //    code observes as a typed kernel abort.
+                if fault_task.is_failed() {
+                    drop(job);
+                    while let Ok(late) = rx.try_recv() {
+                        drop(late);
+                    }
+                    break;
+                }
                 // 1. Wait for inputs (dropped producers count as ready).
                 for input in job.inputs_ready {
                     let _ = input.await;
                 }
+                // Death may have struck while we waited for inputs.
+                if fault_task.is_failed() {
+                    drop(job.done);
+                    while let Ok(late) = rx.try_recv() {
+                        drop(late);
+                    }
+                    break;
+                }
                 let dequeued = handle.now();
                 // 2. Gang collective: blocks the whole queue until every
-                //    participant arrives at the same tag.
+                //    participant arrives at the same tag. A gang that
+                //    includes a dead device aborts instead of blocking;
+                //    the device itself survives and moves on.
                 if let Some(c) = &job.kernel.collective {
-                    rendezvous.arrive(c.tag, c.participants, c.duration).await;
+                    if rz_task
+                        .arrive(c.tag, c.participants, c.duration, &c.devices, job.owner)
+                        .await
+                        .is_err()
+                    {
+                        drop(job.done);
+                        continue;
+                    }
                 }
-                // 3. Statically-known compute time.
+                // 3. Statically-known compute time. A kernel that reached
+                //    its compute phase retires even if the fault fires
+                //    mid-sleep (death takes effect at kernel boundaries).
                 handle.sleep(job.kernel.compute).await;
                 let finished = handle.now();
                 let busy = job.kernel.min_duration();
@@ -159,7 +219,14 @@ impl DeviceHandle {
                 }
             }
         });
-        DeviceHandle { id, tx, hbm, stats }
+        DeviceHandle {
+            id,
+            tx,
+            hbm,
+            stats,
+            fault,
+            rendezvous,
+        }
     }
 
     /// This device's id.
@@ -172,30 +239,65 @@ impl DeviceHandle {
         &self.hbm
     }
 
+    /// The collective rendezvous this device participates in.
+    pub fn rendezvous(&self) -> &CollectiveRendezvous {
+        &self.rendezvous
+    }
+
+    /// This device's fault signal (fired by [`DeviceHandle::fail`]).
+    pub fn fault(&self) -> &FaultSignal {
+        &self.fault
+    }
+
+    /// True once the device has been failed.
+    pub fn is_failed(&self) -> bool {
+        self.fault.is_failed()
+    }
+
+    /// Kills the device at virtual time `at`: it stops accepting work
+    /// ([`DeviceHandle::enqueue`] errors), aborts its queued kernels the
+    /// next time its task runs, and gangs that include it abort at the
+    /// rendezvous instead of blocking forever.
+    pub fn fail(&self, at: SimTime, reason: impl Into<String>) {
+        self.fault.fire(at, reason);
+        self.rendezvous.mark_dead(self.id);
+    }
+
     /// Enqueues a kernel; returns immediately (asynchronous dispatch).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device task has exited (all handles dropped).
-    pub fn enqueue(&self, job: EnqueuedKernel) {
-        self.tx
-            .send(job)
-            .unwrap_or_else(|_| panic!("{} has shut down", self.id));
+    /// [`DeviceDead`] if the device has been failed or its queue task has
+    /// exited. The job (and its completion sender) is dropped, so anyone
+    /// holding the completion receiver observes the abort.
+    pub fn enqueue(&self, job: EnqueuedKernel) -> Result<(), DeviceDead> {
+        if self.fault.is_failed() {
+            return Err(DeviceDead {
+                device: self.id,
+                reason: self.fault.stamp().map(|s| s.reason),
+            });
+        }
+        self.tx.send(job).map_err(|_| DeviceDead {
+            device: self.id,
+            reason: None,
+        })
     }
 
     /// Convenience: enqueue a kernel with no inputs and return its
-    /// completion future.
+    /// completion future. If the device is dead, the returned future
+    /// resolves to a receive error (the abort signal).
     pub fn enqueue_simple(
         &self,
         kernel: Kernel,
         program: impl Into<String>,
     ) -> OneshotReceiver<KernelCompletion> {
         let (tx, rx) = channel::oneshot();
-        self.enqueue(EnqueuedKernel {
+        let _ = self.enqueue(EnqueuedKernel {
             kernel,
             program: program.into(),
             inputs_ready: Vec::new(),
             done: Some(tx),
+            owner: 0,
         });
         rx
     }
@@ -259,7 +361,9 @@ mod tests {
             program: "p".into(),
             inputs_ready: vec![in_rx],
             done: Some(done_tx),
-        });
+            owner: 0,
+        })
+        .unwrap();
         let h = sim.handle();
         sim.spawn("producer", async move {
             h.sleep(SimDuration::from_micros(100)).await;
@@ -282,6 +386,7 @@ mod tests {
             tag: GangTag(tag),
             participants: 2,
             duration: SimDuration::from_micros(3),
+            devices: vec![],
         };
         // Device 0 is delayed by a long kernel first.
         drop(devs[0].enqueue_simple(Kernel::compute("slow", SimDuration::from_micros(50)), "p"));
@@ -314,32 +419,45 @@ mod tests {
             tag: GangTag(tag),
             participants: 2,
             duration: SimDuration::ZERO,
+            devices: vec![],
         };
         // Opposite enqueue orders on the two devices.
-        devs[0].enqueue(EnqueuedKernel {
-            kernel: Kernel::compute("a", SimDuration::ZERO).with_collective(coll(1)),
-            program: "p1".into(),
-            inputs_ready: vec![],
-            done: None,
-        });
-        devs[0].enqueue(EnqueuedKernel {
-            kernel: Kernel::compute("b", SimDuration::ZERO).with_collective(coll(2)),
-            program: "p2".into(),
-            inputs_ready: vec![],
-            done: None,
-        });
-        devs[1].enqueue(EnqueuedKernel {
-            kernel: Kernel::compute("b", SimDuration::ZERO).with_collective(coll(2)),
-            program: "p2".into(),
-            inputs_ready: vec![],
-            done: None,
-        });
-        devs[1].enqueue(EnqueuedKernel {
-            kernel: Kernel::compute("a", SimDuration::ZERO).with_collective(coll(1)),
-            program: "p1".into(),
-            inputs_ready: vec![],
-            done: None,
-        });
+        devs[0]
+            .enqueue(EnqueuedKernel {
+                kernel: Kernel::compute("a", SimDuration::ZERO).with_collective(coll(1)),
+                program: "p1".into(),
+                inputs_ready: vec![],
+                done: None,
+                owner: 0,
+            })
+            .unwrap();
+        devs[0]
+            .enqueue(EnqueuedKernel {
+                kernel: Kernel::compute("b", SimDuration::ZERO).with_collective(coll(2)),
+                program: "p2".into(),
+                inputs_ready: vec![],
+                done: None,
+                owner: 0,
+            })
+            .unwrap();
+        devs[1]
+            .enqueue(EnqueuedKernel {
+                kernel: Kernel::compute("b", SimDuration::ZERO).with_collective(coll(2)),
+                program: "p2".into(),
+                inputs_ready: vec![],
+                done: None,
+                owner: 0,
+            })
+            .unwrap();
+        devs[1]
+            .enqueue(EnqueuedKernel {
+                kernel: Kernel::compute("a", SimDuration::ZERO).with_collective(coll(1)),
+                program: "p1".into(),
+                inputs_ready: vec![],
+                done: None,
+                owner: 0,
+            })
+            .unwrap();
         drop(devs);
         let out = sim.run();
         assert!(out.is_deadlock(), "expected device deadlock, got {out:?}");
@@ -391,11 +509,88 @@ mod tests {
             program: "p".into(),
             inputs_ready: vec![in_rx],
             done: Some(done_tx),
-        });
+            owner: 0,
+        })
+        .unwrap();
         let probe = sim.spawn("probe", async move { done_rx.await.is_ok() });
         drop(devs);
         drop(d);
         sim.run_to_quiescence();
         assert!(probe.try_take().unwrap());
+    }
+
+    #[test]
+    fn enqueue_to_dead_device_returns_error_not_panic() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 1);
+        let d = devs[0].clone();
+        d.fail(sim.now(), "scripted fault");
+        assert!(d.is_failed());
+        let err = d
+            .enqueue(EnqueuedKernel {
+                kernel: Kernel::compute("k", SimDuration::from_micros(1)),
+                program: "p".into(),
+                inputs_ready: vec![],
+                done: None,
+                owner: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err.device, DeviceId(0));
+        assert_eq!(err.reason.as_deref(), Some("scripted fault"));
+        drop(devs);
+        drop(d);
+        assert!(sim.run().is_quiescent());
+    }
+
+    #[test]
+    fn death_aborts_queued_kernels() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 1);
+        let d = devs[0].clone();
+        // A long kernel followed by a queued one; the fault fires while
+        // the first computes, so the first retires and the second aborts.
+        let r1 = d.enqueue_simple(Kernel::compute("k1", SimDuration::from_micros(50)), "p");
+        let r2 = d.enqueue_simple(Kernel::compute("k2", SimDuration::from_micros(50)), "p");
+        let d2 = d.clone();
+        let h = sim.handle();
+        sim.spawn("fault", async move {
+            h.sleep(SimDuration::from_micros(10)).await;
+            d2.fail(h.now(), "mid-flight death");
+        });
+        let probe = sim.spawn("probe", async move { (r1.await, r2.await) });
+        drop(devs);
+        drop(d);
+        sim.run_to_quiescence();
+        let (c1, c2) = probe.try_take().unwrap();
+        assert_eq!(c1.unwrap().finished.as_nanos(), 50_000, "in-flight retires");
+        assert!(c2.is_err(), "queued kernel must abort, not run");
+    }
+
+    #[test]
+    fn gang_with_dead_member_aborts_but_device_survives() {
+        let mut sim = Sim::new(0);
+        let devs = spawn_devices(&sim, 2);
+        let gang = vec![DeviceId(0), DeviceId(1)];
+        let coll = CollectiveOp {
+            kind: CollectiveKind::AllReduce,
+            tag: GangTag(1),
+            participants: 2,
+            duration: SimDuration::from_micros(3),
+            devices: gang,
+        };
+        devs[1].fail(sim.now(), "dead partner");
+        let r0 = devs[0].enqueue_simple(
+            Kernel::compute("c", SimDuration::from_micros(1)).with_collective(coll),
+            "p",
+        );
+        // A plain kernel queued behind the doomed gang still runs.
+        let r_after =
+            devs[0].enqueue_simple(Kernel::compute("k", SimDuration::from_micros(5)), "p");
+        let probe = sim.spawn("probe", async move { (r0.await, r_after.await) });
+        drop(devs);
+        sim.run_to_quiescence();
+        let (gang_result, after) = probe.try_take().unwrap();
+        assert!(gang_result.is_err(), "gang must abort");
+        assert_eq!(after.unwrap().finished.as_nanos(), 5_000);
     }
 }

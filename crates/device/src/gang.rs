@@ -1,5 +1,6 @@
 //! Collective rendezvous — where inconsistent enqueue orders become
-//! deadlocks.
+//! deadlocks, and where device failures turn would-be hangs into typed
+//! gang aborts.
 //!
 //! TPUs "are single-threaded and only run non-preemptible kernels, so the
 //! system will deadlock if communicating computations are not enqueued in
@@ -10,34 +11,86 @@
 //! its queue waiting for the other, no timer can fire, and the simulation
 //! reports a deadlock naming the stuck devices — exactly the failure the
 //! centralized gang scheduler (pathways-core) exists to prevent.
+//!
+//! Failure semantics: a dead device never reaches its collective, so its
+//! partners would block forever. When an arrival declares its gang's
+//! membership (the scheduler knows it; the grant carries it), the
+//! rendezvous checks the member list against the island's dead set and
+//! aborts the whole gang with [`GangAborted`] instead of blocking —
+//! either immediately at arrival, or retroactively when
+//! [`CollectiveRendezvous::mark_dead`] hits a tag with waiters. Arrivals
+//! with an *empty* member list opt out of failure detection (legacy
+//! call sites and tests that never inject faults).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 
+use pathways_net::DeviceId;
 use pathways_sim::channel::{self, OneshotSender};
 use pathways_sim::{SimDuration, SimHandle};
 
 use crate::kernel::GangTag;
 
+/// A gang collective was aborted because a participating device died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GangAborted {
+    /// The aborted collective instance.
+    pub tag: GangTag,
+    /// The dead participant that doomed the gang, when known (a gang can
+    /// also be aborted by a tag poisoned before this arrival).
+    pub dead: Option<DeviceId>,
+}
+
+impl fmt::Display for GangAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dead {
+            Some(d) => write!(f, "{} aborted: participant {d} is dead", self.tag),
+            None => write!(f, "{} aborted: gang includes a dead device", self.tag),
+        }
+    }
+}
+
+impl std::error::Error for GangAborted {}
+
 struct Pending {
     expected: u32,
     duration: SimDuration,
-    waiters: Vec<OneshotSender<()>>,
+    waiters: Vec<OneshotSender<Result<(), GangAborted>>>,
+    /// Union of the member lists declared by arrivals so far. Used by
+    /// [`CollectiveRendezvous::mark_dead`] to find doomed gangs.
+    members: BTreeSet<DeviceId>,
+    /// Owning run of the gang (0 = unknown), for
+    /// [`CollectiveRendezvous::mark_owner_failed`].
+    owner: u64,
+}
+
+struct RzState {
+    pending: HashMap<GangTag, Pending>,
+    dead: HashSet<DeviceId>,
+    /// Owners (runs) whose gangs must abort: members that were never
+    /// enqueued (grants lost to a dead host or severed link) would
+    /// otherwise leave arrived partners waiting forever.
+    failed_owners: HashSet<u64>,
+    /// Tags aborted by a death or owner failure; later arrivals fail
+    /// immediately.
+    poisoned: HashMap<GangTag, Option<DeviceId>>,
 }
 
 /// Rendezvous point shared by all devices of one island.
 #[derive(Clone)]
 pub struct CollectiveRendezvous {
     handle: SimHandle,
-    pending: Rc<RefCell<HashMap<GangTag, Pending>>>,
+    state: Rc<RefCell<RzState>>,
 }
 
 impl fmt::Debug for CollectiveRendezvous {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.borrow();
         f.debug_struct("CollectiveRendezvous")
-            .field("pending", &self.pending.borrow().len())
+            .field("pending", &st.pending.len())
+            .field("dead", &st.dead.len())
             .finish()
     }
 }
@@ -47,37 +100,161 @@ impl CollectiveRendezvous {
     pub fn new(handle: SimHandle) -> Self {
         CollectiveRendezvous {
             handle,
-            pending: Rc::new(RefCell::new(HashMap::new())),
+            state: Rc::new(RefCell::new(RzState {
+                pending: HashMap::new(),
+                dead: HashSet::new(),
+                failed_owners: HashSet::new(),
+                poisoned: HashMap::new(),
+            })),
         }
     }
 
     /// Number of collectives with at least one arrived participant that
     /// have not yet released (useful for deadlock diagnosis).
     pub fn in_flight(&self) -> usize {
-        self.pending.borrow().len()
+        self.state.borrow().pending.len()
+    }
+
+    /// Declares `device` dead: gangs whose declared membership includes
+    /// it abort — pending waiters wake with [`GangAborted`] now, future
+    /// arrivals at poisoned tags fail immediately, and future arrivals
+    /// whose member list contains a dead device fail up front.
+    pub fn mark_dead(&self, device: DeviceId) {
+        let doomed_waiters = {
+            let mut st = self.state.borrow_mut();
+            if !st.dead.insert(device) {
+                return;
+            }
+            // Deterministic order: tags are collected and sorted before
+            // waiters are woken.
+            let mut doomed: Vec<GangTag> = st
+                .pending
+                .iter()
+                .filter(|(_, p)| p.members.contains(&device))
+                .map(|(t, _)| *t)
+                .collect();
+            doomed.sort();
+            let mut all = Vec::new();
+            for tag in doomed {
+                let p = st.pending.remove(&tag).expect("tag collected above");
+                st.poisoned.insert(tag, Some(device));
+                all.push((tag, p.waiters));
+            }
+            all
+        };
+        for (tag, waiters) in doomed_waiters {
+            for w in waiters {
+                let _ = w.send(Err(GangAborted {
+                    tag,
+                    dead: Some(device),
+                }));
+            }
+        }
+    }
+
+    /// True if `device` has been marked dead on this rendezvous.
+    pub fn is_dead(&self, device: DeviceId) -> bool {
+        self.state.borrow().dead.contains(&device)
+    }
+
+    /// Declares run `owner` failed: its pending gangs abort now, and
+    /// its future arrivals fail immediately. This is what prevents a
+    /// partially-enqueued gang — some members' grants lost to a dead
+    /// host or severed link — from blocking its arrived members forever.
+    /// `owner` 0 (unknown) is ignored.
+    pub fn mark_owner_failed(&self, owner: u64) {
+        if owner == 0 {
+            return;
+        }
+        let doomed_waiters = {
+            let mut st = self.state.borrow_mut();
+            if !st.failed_owners.insert(owner) {
+                return;
+            }
+            let mut doomed: Vec<GangTag> = st
+                .pending
+                .iter()
+                .filter(|(_, p)| p.owner == owner)
+                .map(|(t, _)| *t)
+                .collect();
+            doomed.sort();
+            let mut all = Vec::new();
+            for tag in doomed {
+                let p = st.pending.remove(&tag).expect("tag collected above");
+                st.poisoned.insert(tag, None);
+                all.push((tag, p.waiters));
+            }
+            all
+        };
+        for (tag, waiters) in doomed_waiters {
+            for w in waiters {
+                let _ = w.send(Err(GangAborted { tag, dead: None }));
+            }
+        }
     }
 
     /// Arrives at collective `tag` expecting `participants` devices in
     /// total; resolves after all have arrived *and* the collective's wire
     /// time `duration` has elapsed.
     ///
+    /// `members` is the gang's device list as known to the caller (the
+    /// scheduler's grant carries it); an empty slice opts out of failure
+    /// detection for this arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`GangAborted`] if the tag was poisoned by an earlier death, a
+    /// declared member is already dead, or a member dies while waiting.
+    ///
     /// # Panics
     ///
     /// Panics if participants disagree on `participants` or `duration`
     /// for the same tag (a malformed program, not a scheduling hazard).
-    // The `pending` borrow is confined to the block computing `release`
-    // and dropped before the await; clippy's conservative lint cannot
-    // see through the block scope. The simulation is single-threaded
+    // The state borrow is confined to the block computing `release` and
+    // dropped before the await; clippy's conservative lint cannot see
+    // through the block scope. The simulation is single-threaded
     // cooperative, so no other task runs while the borrow is live.
     #[allow(clippy::await_holding_refcell_ref)]
-    pub async fn arrive(&self, tag: GangTag, participants: u32, duration: SimDuration) {
+    pub async fn arrive(
+        &self,
+        tag: GangTag,
+        participants: u32,
+        duration: SimDuration,
+        members: &[DeviceId],
+        owner: u64,
+    ) -> Result<(), GangAborted> {
         assert!(participants > 0, "collective needs participants");
         let release = {
-            let mut pending = self.pending.borrow_mut();
-            let entry = pending.entry(tag).or_insert_with(|| Pending {
+            let mut st = self.state.borrow_mut();
+            if let Some(&dead) = st.poisoned.get(&tag) {
+                return Err(GangAborted { tag, dead });
+            }
+            if owner != 0 && st.failed_owners.contains(&owner) {
+                let waiters = st.pending.remove(&tag).map(|p| p.waiters);
+                st.poisoned.insert(tag, None);
+                drop(st);
+                for w in waiters.into_iter().flatten() {
+                    let _ = w.send(Err(GangAborted { tag, dead: None }));
+                }
+                return Err(GangAborted { tag, dead: None });
+            }
+            if let Some(&d) = members.iter().find(|d| st.dead.contains(d)) {
+                // A member is already dead: poison the tag and abort any
+                // waiters that raced us in.
+                let waiters = st.pending.remove(&tag).map(|p| p.waiters);
+                st.poisoned.insert(tag, Some(d));
+                drop(st);
+                for w in waiters.into_iter().flatten() {
+                    let _ = w.send(Err(GangAborted { tag, dead: Some(d) }));
+                }
+                return Err(GangAborted { tag, dead: Some(d) });
+            }
+            let entry = st.pending.entry(tag).or_insert_with(|| Pending {
                 expected: participants,
                 duration,
                 waiters: Vec::new(),
+                members: BTreeSet::new(),
+                owner,
             });
             assert_eq!(
                 entry.expected, participants,
@@ -87,26 +264,31 @@ impl CollectiveRendezvous {
                 entry.duration, duration,
                 "{tag}: participants disagree on collective duration"
             );
+            entry.members.extend(members.iter().copied());
+            if entry.owner == 0 {
+                entry.owner = owner;
+            }
             if entry.waiters.len() as u32 + 1 == participants {
                 // Last to arrive: release everyone.
-                let entry = pending.remove(&tag).expect("entry exists");
+                let entry = st.pending.remove(&tag).expect("entry exists");
                 Some(entry.waiters)
             } else {
                 let (tx, rx) = channel::oneshot();
                 entry.waiters.push(tx);
-                drop(pending);
-                rx.await.expect("rendezvous dropped mid-collective");
+                drop(st);
+                rx.await.expect("rendezvous dropped mid-collective")?;
                 None
             }
         };
         if let Some(waiters) = release {
             for w in waiters {
-                let _ = w.send(());
+                let _ = w.send(Ok(()));
             }
         }
         // All participants resume here at the same instant, then sleep
         // the collective's wire time together.
         self.handle.sleep(duration).await;
+        Ok(())
     }
 }
 
@@ -126,7 +308,9 @@ mod tests {
             ends.push(sim.spawn(format!("d{i}"), async move {
                 // Stagger arrivals.
                 h.sleep(SimDuration::from_micros(i * 10)).await;
-                rz.arrive(GangTag(1), 4, SimDuration::from_micros(5)).await;
+                rz.arrive(GangTag(1), 4, SimDuration::from_micros(5), &[], 0)
+                    .await
+                    .unwrap();
                 h.now().as_nanos()
             }));
         }
@@ -145,7 +329,9 @@ mod tests {
         for i in 0..2 {
             let rz = rz.clone();
             sim.spawn(format!("d{i}"), async move {
-                rz.arrive(GangTag(9), 3, SimDuration::ZERO).await;
+                rz.arrive(GangTag(9), 3, SimDuration::ZERO, &[], 0)
+                    .await
+                    .unwrap();
             });
         }
         let out = sim.run();
@@ -161,13 +347,21 @@ mod tests {
         // Each blocks at its head-of-queue collective: deadlock.
         let rz_a = rz.clone();
         sim.spawn("devA", async move {
-            rz_a.arrive(GangTag(1), 2, SimDuration::ZERO).await;
-            rz_a.arrive(GangTag(2), 2, SimDuration::ZERO).await;
+            rz_a.arrive(GangTag(1), 2, SimDuration::ZERO, &[], 0)
+                .await
+                .unwrap();
+            rz_a.arrive(GangTag(2), 2, SimDuration::ZERO, &[], 0)
+                .await
+                .unwrap();
         });
         let rz_b = rz.clone();
         sim.spawn("devB", async move {
-            rz_b.arrive(GangTag(2), 2, SimDuration::ZERO).await;
-            rz_b.arrive(GangTag(1), 2, SimDuration::ZERO).await;
+            rz_b.arrive(GangTag(2), 2, SimDuration::ZERO, &[], 0)
+                .await
+                .unwrap();
+            rz_b.arrive(GangTag(1), 2, SimDuration::ZERO, &[], 0)
+                .await
+                .unwrap();
         });
         match sim.run() {
             pathways_sim::RunOutcome::Deadlock { stuck_tasks, .. } => {
@@ -184,8 +378,12 @@ mod tests {
         for name in ["devA", "devB"] {
             let rz = rz.clone();
             sim.spawn(name, async move {
-                rz.arrive(GangTag(1), 2, SimDuration::from_micros(1)).await;
-                rz.arrive(GangTag(2), 2, SimDuration::from_micros(1)).await;
+                rz.arrive(GangTag(1), 2, SimDuration::from_micros(1), &[], 0)
+                    .await
+                    .unwrap();
+                rz.arrive(GangTag(2), 2, SimDuration::from_micros(1), &[], 0)
+                    .await
+                    .unwrap();
             });
         }
         assert!(sim.run().is_quiescent());
@@ -198,12 +396,75 @@ mod tests {
         let rz = CollectiveRendezvous::new(sim.handle());
         let rz_a = rz.clone();
         sim.spawn("a", async move {
-            rz_a.arrive(GangTag(3), 2, SimDuration::ZERO).await;
+            let _ = rz_a.arrive(GangTag(3), 2, SimDuration::ZERO, &[], 0).await;
         });
         let rz_b = rz.clone();
         sim.spawn("b", async move {
-            rz_b.arrive(GangTag(3), 5, SimDuration::ZERO).await;
+            let _ = rz_b.arrive(GangTag(3), 5, SimDuration::ZERO, &[], 0).await;
         });
         sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn death_aborts_waiting_partners_instead_of_hanging() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        let gang = [DeviceId(0), DeviceId(1)];
+        // Device 0 arrives and waits for device 1, which dies instead.
+        let rz_a = rz.clone();
+        let waiter = sim.spawn("dev0", async move {
+            rz_a.arrive(GangTag(7), 2, SimDuration::from_micros(5), &gang, 0)
+                .await
+        });
+        let rz_k = rz.clone();
+        let h = sim.handle();
+        sim.spawn("fault", async move {
+            h.sleep(SimDuration::from_micros(10)).await;
+            rz_k.mark_dead(DeviceId(1));
+        });
+        assert!(sim.run().is_quiescent(), "abort must unwedge the waiter");
+        let err = waiter.try_take().unwrap().unwrap_err();
+        assert_eq!(err.tag, GangTag(7));
+        assert_eq!(err.dead, Some(DeviceId(1)));
+        assert_eq!(rz.in_flight(), 0);
+    }
+
+    #[test]
+    fn arrival_with_dead_member_fails_immediately() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        rz.mark_dead(DeviceId(3));
+        let gang = [DeviceId(2), DeviceId(3)];
+        let rz_a = rz.clone();
+        let t = sim.spawn("dev2", async move {
+            rz_a.arrive(GangTag(1), 2, SimDuration::ZERO, &gang, 0)
+                .await
+        });
+        sim.run_to_quiescence();
+        assert!(t.try_take().unwrap().is_err());
+        // The poisoned tag also rejects later arrivals without members.
+        let rz_b = rz.clone();
+        let late = sim.spawn("late", async move {
+            rz_b.arrive(GangTag(1), 2, SimDuration::ZERO, &[], 0).await
+        });
+        sim.run_to_quiescence();
+        assert!(late.try_take().unwrap().is_err());
+    }
+
+    #[test]
+    fn unrelated_gangs_survive_a_death() {
+        let mut sim = Sim::new(0);
+        let rz = CollectiveRendezvous::new(sim.handle());
+        rz.mark_dead(DeviceId(9));
+        let gang = [DeviceId(0), DeviceId(1)];
+        for i in 0..2u32 {
+            let rz = rz.clone();
+            sim.spawn(format!("d{i}"), async move {
+                rz.arrive(GangTag(4), 2, SimDuration::from_micros(1), &gang, 0)
+                    .await
+                    .unwrap();
+            });
+        }
+        assert!(sim.run().is_quiescent());
     }
 }

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use pathways_net::CollectiveKind;
+use pathways_net::{CollectiveKind, DeviceId};
 use pathways_sim::SimDuration;
 
 /// Unique tag identifying one *instance* of a gang collective: every
@@ -35,6 +35,11 @@ pub struct CollectiveOp {
     /// Wire time of the collective (precomputed from the fabric's cost
     /// model by the code constructing the kernel).
     pub duration: SimDuration,
+    /// The gang's device membership, when the enqueueing control plane
+    /// knows it (the scheduler's grant carries the full list). Used by
+    /// the rendezvous to abort gangs that include a dead device instead
+    /// of blocking forever. An empty list opts out of failure detection.
+    pub devices: Vec<DeviceId>,
 }
 
 /// One shard of a compiled function, ready to enqueue on a device.
@@ -106,6 +111,7 @@ mod tests {
                 tag: GangTag(7),
                 participants: 8,
                 duration: SimDuration::from_micros(20),
+                devices: vec![],
             })
             .with_output_bytes(1024);
         assert_eq!(k.min_duration(), SimDuration::from_micros(120));

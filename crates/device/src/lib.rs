@@ -35,7 +35,9 @@ mod gang;
 mod hbm;
 mod kernel;
 
-pub use device::{DeviceConfig, DeviceHandle, DeviceStats, EnqueuedKernel, KernelCompletion};
-pub use gang::CollectiveRendezvous;
+pub use device::{
+    DeviceConfig, DeviceDead, DeviceHandle, DeviceStats, EnqueuedKernel, KernelCompletion,
+};
+pub use gang::{CollectiveRendezvous, GangAborted};
 pub use hbm::{HbmLease, HbmPool};
 pub use kernel::{CollectiveOp, GangTag, Kernel};

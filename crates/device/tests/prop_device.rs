@@ -60,6 +60,7 @@ proptest! {
                         tag: GangTag(tag as u64),
                         participants: n_devices,
                         duration: SimDuration::from_micros(3),
+                        devices: vec![],
                     });
                 }
                 drop(dev.enqueue_simple(k, "p"));
@@ -98,6 +99,7 @@ proptest! {
                     tag: GangTag(1),
                     participants: n,
                     duration: SimDuration::from_micros(7),
+                    devices: vec![],
                 }),
                 "p",
             ));

@@ -8,6 +8,8 @@
 //! serializes), one PCIe queue per host (so enqueues from one host
 //! serialize), and one ICI egress port per device.
 
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -26,6 +28,25 @@ struct FabricInner {
     dcn_nics: Vec<FifoLink>,
     pcie: Vec<FifoLink>,
     ici_egress: Vec<FifoLink>,
+    /// Failed hosts and severed host pairs (fault injection). Messages
+    /// whose delivery crosses a dead endpoint or a severed pair are
+    /// dropped at delivery time — exactly what a crashed NIC does.
+    faults: RefCell<FabricFaults>,
+}
+
+#[derive(Default)]
+struct FabricFaults {
+    dead_hosts: HashSet<HostId>,
+    /// Severed pairs, stored with the smaller host first.
+    severed: HashSet<(HostId, HostId)>,
+}
+
+fn pair_key(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 /// Handle to the cluster's communication resources.
@@ -81,8 +102,49 @@ impl Fabric {
                 dcn_nics,
                 pcie,
                 ici_egress,
+                faults: RefCell::new(FabricFaults::default()),
             }),
         }
+    }
+
+    /// Marks `host`'s NIC dead: all DCN traffic to or from it is dropped
+    /// from now on (in-flight messages are dropped at delivery time).
+    ///
+    /// This is the *wire-level* half of a host failure. Runtimes layered
+    /// on the fabric keep their own failure registry for error
+    /// propagation (which runs to fail, what to tell clients) — inject
+    /// faults through that layer (e.g. the Pathways runtime's fault
+    /// injector) rather than calling this directly, or messages will be
+    /// dropped without anyone being told why.
+    pub fn fail_host(&self, host: HostId) {
+        self.inner.faults.borrow_mut().dead_hosts.insert(host);
+    }
+
+    /// Severs the DCN link between `a` and `b` in both directions. Same
+    /// caveat as [`Fabric::fail_host`]: wire-level only; inject through
+    /// the runtime's fault layer so error propagation stays in sync.
+    pub fn sever_link(&self, a: HostId, b: HostId) {
+        self.inner
+            .faults
+            .borrow_mut()
+            .severed
+            .insert(pair_key(a, b));
+    }
+
+    /// True if DCN traffic can still flow between `src` and `dst`: both
+    /// endpoints alive and the pair not severed. Loopback from a live
+    /// host is always up.
+    pub fn link_up(&self, src: HostId, dst: HostId) -> bool {
+        let faults = self.inner.faults.borrow();
+        if faults.dead_hosts.contains(&src) || faults.dead_hosts.contains(&dst) {
+            return false;
+        }
+        src == dst || !faults.severed.contains(&pair_key(src, dst))
+    }
+
+    /// True if `host`'s NIC has been failed.
+    pub fn host_failed(&self, host: HostId) -> bool {
+        self.inner.faults.borrow().dead_hosts.contains(&host)
     }
 
     /// The topology this fabric connects.
@@ -331,6 +393,23 @@ mod tests {
         let t_few = f.ici_collective_time(CollectiveKind::AllReduce, &few, 4);
         let t_all = f.ici_collective_time(CollectiveKind::AllReduce, &all, 4);
         assert!(t_all > t_few);
+    }
+
+    #[test]
+    fn link_state_tracks_failures_and_severs() {
+        let sim = Sim::new(0);
+        let f = fabric(&sim, ClusterSpec::config_b(4));
+        assert!(f.link_up(HostId(0), HostId(1)));
+        f.sever_link(HostId(1), HostId(0));
+        assert!(!f.link_up(HostId(0), HostId(1)), "severs are symmetric");
+        assert!(!f.link_up(HostId(1), HostId(0)));
+        assert!(f.link_up(HostId(0), HostId(2)), "other pairs unaffected");
+        f.fail_host(HostId(2));
+        assert!(f.host_failed(HostId(2)));
+        assert!(!f.link_up(HostId(0), HostId(2)));
+        assert!(!f.link_up(HostId(2), HostId(3)));
+        assert!(!f.link_up(HostId(2), HostId(2)), "dead host loopback down");
+        assert!(f.link_up(HostId(3), HostId(3)), "live loopback up");
     }
 
     #[test]

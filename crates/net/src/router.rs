@@ -92,6 +92,11 @@ impl<M: 'static> Router<M> {
             .clone()
             .spawn(format!("dcn:{src}->{dst}"), async move {
                 inner.fabric.dcn_send(src, dst, bytes).await;
+                // Checked at delivery time so a link that dies while the
+                // message is on the wire also loses it.
+                if !inner.fabric.link_up(src, dst) {
+                    return;
+                }
                 let tx = inner
                     .inboxes
                     .borrow()
@@ -176,6 +181,40 @@ mod tests {
         drop(inbox); // host 1 "fails"
         router.send(HostId(0), HostId(1), "lost".into(), 8);
         assert!(sim.run().is_quiescent());
+    }
+
+    #[test]
+    fn messages_over_dead_links_are_dropped() {
+        let mut sim = Sim::new(0);
+        let router = setup(&sim);
+        let mut in1 = router.register(HostId(1));
+        let mut in2 = router.register(HostId(2));
+        router.register(HostId(0));
+        router.fabric().fail_host(HostId(1));
+        router.fabric().sever_link(HostId(0), HostId(2));
+        router.send(HostId(0), HostId(1), "to-dead-host".into(), 8);
+        router.send(HostId(0), HostId(2), "over-severed-link".into(), 8);
+        assert!(sim.run().is_quiescent());
+        use pathways_sim::channel::TryRecvError;
+        assert_eq!(in1.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(in2.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn link_dying_mid_flight_loses_the_message() {
+        let mut sim = Sim::new(0);
+        let router = setup(&sim);
+        let mut inbox = router.register(HostId(1));
+        router.register(HostId(0));
+        // Sent while the link is up; the fault fires before the DCN
+        // latency elapses, so delivery finds the link down.
+        router.send(HostId(0), HostId(1), "in-flight".to_string(), 1 << 20);
+        let fabric = router.fabric().clone();
+        sim.spawn("fault", async move {
+            fabric.sever_link(HostId(0), HostId(1));
+        });
+        assert!(sim.run().is_quiescent());
+        assert!(inbox.try_recv().is_err());
     }
 
     #[test]

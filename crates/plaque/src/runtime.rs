@@ -227,6 +227,15 @@ impl RunHandle {
     pub async fn await_done(self) {
         self.done.await.expect("plaque runtime dropped mid-run");
     }
+
+    /// Splits the handle into its raw completion receiver, for callers
+    /// that must race completion against another signal (e.g. a failure
+    /// notification: a run partitioned by a severed DCN link can never
+    /// deliver the punctuations its completion tracking needs, so its
+    /// client abandons it on error delivery instead).
+    pub fn into_done_receiver(self) -> OneshotReceiver<()> {
+        self.done
+    }
 }
 
 impl PlaqueRuntime {
@@ -568,5 +577,47 @@ impl PlaqueRuntime {
     /// Number of runs still executing.
     pub fn live_runs(&self) -> usize {
         self.shared.runs.borrow().len()
+    }
+
+    /// True while `run` has shards that have not halted.
+    pub fn is_live(&self, run: RunId) -> bool {
+        self.shared.runs.borrow().contains_key(&run)
+    }
+
+    /// Allocates a fresh [`RunId`] without installing anything — used for
+    /// runs that fail before launch (their output objects still need
+    /// unique identities for error delivery).
+    pub fn reserve_run_id(&self) -> RunId {
+        let mut next = self.next_run.borrow_mut();
+        let id = RunId(*next);
+        *next += 1;
+        id
+    }
+
+    /// Force-starts every not-yet-started shard of `run`, in
+    /// deterministic `(host, node, shard)` order.
+    ///
+    /// This is the failure-propagation path: a run whose scheduler
+    /// grants were dropped (evicted, or lost with a dead host) has shard
+    /// slots that would otherwise never start and hence never halt,
+    /// wedging [`RunHandle::await_done`] forever. Starting them lets
+    /// their operators run their abort paths and wind the run down to a
+    /// clean completion.
+    pub fn force_start_run(&self, run: RunId) {
+        let mut targets: Vec<(HostId, NodeId, u32)> = Vec::new();
+        {
+            let workers = self.workers.borrow();
+            for (&host, map) in workers.iter() {
+                for ((r, node, shard), slot) in map.borrow().iter() {
+                    if *r == run && !slot.borrow().started {
+                        targets.push((host, *node, *shard));
+                    }
+                }
+            }
+        }
+        targets.sort();
+        for (host, node, shard) in targets {
+            self.start_local(host, run, node, shard);
+        }
     }
 }

@@ -1,0 +1,221 @@
+//! Deterministic fault injection primitives.
+//!
+//! A [`FaultPlan`] is a script of `(virtual time, fault)` entries
+//! registered on the simulation before it runs. The plan's driver task
+//! sleeps on the executor's timer wheel like every other task, so fault
+//! delivery is ordered by `(deadline, registration order)` exactly like
+//! any other event — the same seed and plan always reproduce the same
+//! interleaving, bit for bit. That replayability is the point: a fault
+//! schedule that wedges a future is a unit test, not a flake.
+//!
+//! [`FaultSignal`] is the observation side: a cheap, cloneable death
+//! flag a component (a simulated accelerator, a host agent) checks at
+//! its operation boundaries. Once fired it never resets, and it records
+//! when and why it fired for diagnostics.
+//!
+//! The payload type `F` is opaque to this crate — the runtime layers
+//! define their own fault vocabulary (kill device, kill host, sever a
+//! link) and apply it from the callback.
+//!
+//! ```
+//! use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let mut sim = Sim::new(0);
+//! let hits: Rc<RefCell<Vec<(u64, &str)>>> = Rc::default();
+//! let hits2 = Rc::clone(&hits);
+//! FaultPlan::new()
+//!     .at(SimTime::from_nanos(2_000), "kill-b")
+//!     .at(SimTime::from_nanos(1_000), "kill-a")
+//!     .spawn(&sim.handle(), move |at, fault| {
+//!         hits2.borrow_mut().push((at.as_nanos(), fault));
+//!     });
+//! sim.run_to_quiescence();
+//! // Entries fire in virtual-time order regardless of insertion order.
+//! assert_eq!(*hits.borrow(), vec![(1_000, "kill-a"), (2_000, "kill-b")]);
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::executor::{JoinHandle, SimHandle};
+use crate::time::SimTime;
+
+/// When and why a [`FaultSignal`] fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultStamp {
+    /// Virtual time of the fault.
+    pub at: SimTime,
+    /// Human-readable cause (used in traces and error payloads).
+    pub reason: String,
+}
+
+/// A one-way death flag: unset until [`FaultSignal::fire`], then set
+/// forever. Cloneable; all clones observe the same state.
+#[derive(Clone, Default)]
+pub struct FaultSignal {
+    inner: Rc<RefCell<Option<FaultStamp>>>,
+}
+
+impl fmt::Debug for FaultSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultSignal")
+            .field("fired", &self.inner.borrow().as_ref().map(|s| s.at))
+            .finish()
+    }
+}
+
+impl FaultSignal {
+    /// Creates an unfired signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the signal. Idempotent: the first stamp wins.
+    pub fn fire(&self, at: SimTime, reason: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.is_none() {
+            *inner = Some(FaultStamp {
+                at,
+                reason: reason.into(),
+            });
+        }
+    }
+
+    /// True once the signal has fired.
+    pub fn is_failed(&self) -> bool {
+        self.inner.borrow().is_some()
+    }
+
+    /// The stamp of the fault, if fired.
+    pub fn stamp(&self) -> Option<FaultStamp> {
+        self.inner.borrow().clone()
+    }
+}
+
+/// A scripted schedule of faults, applied at exact virtual times.
+///
+/// Entries may be added in any order; the driver sorts them stably by
+/// time, so two entries at the same instant fire in insertion order.
+pub struct FaultPlan<F> {
+    entries: Vec<(SimTime, F)>,
+}
+
+impl<F> fmt::Debug for FaultPlan<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl<F> Default for FaultPlan<F> {
+    fn default() -> Self {
+        FaultPlan {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<F: 'static> FaultPlan<F> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` at virtual time `at` (builder style).
+    #[must_use]
+    pub fn at(mut self, at: SimTime, fault: F) -> Self {
+        self.entries.push((at, fault));
+        self
+    }
+
+    /// Adds an entry in place (non-builder form, for loops).
+    pub fn push(&mut self, at: SimTime, fault: F) {
+        self.entries.push((at, fault));
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scheduled entries, in insertion order.
+    pub fn entries(&self) -> &[(SimTime, F)] {
+        &self.entries
+    }
+
+    /// Spawns the plan's driver task: it sleeps to each scripted time in
+    /// order and invokes `apply` with the (possibly clamped-forward)
+    /// actual virtual time and the fault payload.
+    pub fn spawn(
+        mut self,
+        handle: &SimHandle,
+        mut apply: impl FnMut(SimTime, F) + 'static,
+    ) -> JoinHandle<()> {
+        // Stable sort: same-instant faults apply in insertion order.
+        self.entries.sort_by_key(|(t, _)| *t);
+        let h = handle.clone();
+        handle.spawn("fault-plan", async move {
+            for (at, fault) in self.entries {
+                h.sleep_until(at).await;
+                apply(h.now(), fault);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn signal_fires_once_and_keeps_first_stamp() {
+        let s = FaultSignal::new();
+        assert!(!s.is_failed());
+        s.fire(SimTime::from_nanos(5), "first");
+        s.fire(SimTime::from_nanos(9), "second");
+        let stamp = s.stamp().unwrap();
+        assert_eq!(stamp.at, SimTime::from_nanos(5));
+        assert_eq!(stamp.reason, "first");
+        // Clones share state.
+        let c = s.clone();
+        assert!(c.is_failed());
+    }
+
+    #[test]
+    fn plan_applies_in_time_order_with_stable_ties() {
+        let mut sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::default();
+        let log2 = Rc::clone(&log);
+        let t = |us: u64| SimTime::ZERO + SimDuration::from_micros(us);
+        FaultPlan::new()
+            .at(t(3), 30u32)
+            .at(t(1), 10)
+            .at(t(3), 31)
+            .at(t(2), 20)
+            .spawn(&sim.handle(), move |at, f| {
+                log2.borrow_mut().push((at.as_nanos() / 1_000, f));
+            });
+        sim.run_to_quiescence();
+        assert_eq!(*log.borrow(), vec![(1, 10), (2, 20), (3, 30), (3, 31)]);
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let mut sim = Sim::new(0);
+        let plan: FaultPlan<u8> = FaultPlan::new();
+        assert!(plan.is_empty());
+        plan.spawn(&sim.handle(), |_, _| panic!("no faults scheduled"));
+        assert_eq!(sim.run_to_quiescence(), SimTime::ZERO);
+    }
+}

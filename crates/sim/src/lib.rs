@@ -37,6 +37,7 @@
 
 pub mod channel;
 mod executor;
+pub mod fault;
 pub mod sync;
 mod time;
 pub mod trace;
@@ -44,5 +45,6 @@ pub mod trace;
 pub use executor::{
     join_all, IdleToken, JoinHandle, RunOutcome, Sim, SimHandle, Sleep, TaskId, YieldNow,
 };
+pub use fault::{FaultPlan, FaultSignal, FaultStamp};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLog, TraceSpan};
