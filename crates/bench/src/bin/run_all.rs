@@ -4,6 +4,7 @@
 
 use pathways_baselines::{StepWorkload, SubmissionMode};
 use pathways_bench::chain::{chained_throughput, ChainDispatch};
+use pathways_bench::heal::healing_throughput;
 use pathways_bench::micro::{
     fig6_point, jax_throughput, pathways_multiclient_throughput, pathways_throughput,
     ray_throughput, tf1_throughput,
@@ -173,6 +174,30 @@ fn main() {
         "fig14 chained ObjectRef dispatch wins",
         chain_par > chain_seq * 1.2,
         format!("{chain_par:.0} vs {chain_seq:.0} prog/s"),
+    );
+
+    // fig_heal (reduced): throughput recovered after a mid-trace device
+    // kill — the slice is remapped and the client's next submit
+    // re-lowers onto the healed mapping.
+    let heal = healing_throughput(
+        2,
+        SimDuration::from_micros(100),
+        SimDuration::from_millis(10),
+    );
+    let i0 = &heal.islands[0];
+    let survivor_ok = heal.islands[1].failed_steps == 0
+        && heal.islands[1].post_per_sec >= heal.islands[1].pre_per_sec * 0.8;
+    verdict(
+        "fig_heal throughput recovers after device kill",
+        heal.healed && heal.recovery() > 0.5 && survivor_ok,
+        format!(
+            "island0 {:.0} -> {:.0} steps/s ({:.0}% recovered, {} failed), survivor unaffected: {}",
+            i0.pre_per_sec,
+            i0.post_per_sec,
+            100.0 * heal.recovery(),
+            i0.failed_steps,
+            survivor_ok,
+        ),
     );
 
     println!("\nFull-size runs: see the individual fig*/table* binaries.");

@@ -18,12 +18,14 @@
 //! | `fig10` | pipeline over 4 DCN-connected islands |
 //! | `fig12` | 64B/136B two-island data-parallel scaling |
 //! | `fig14` | chained-program ObjectRef dispatch, sequential vs parallel |
+//! | `fig_heal` | recovered throughput after a mid-trace device kill (elastic healing) |
 //! | `ablation_sched` | batched vs per-node scheduler messages |
 //! | `ablation_store` | object-store handle return vs client data pull |
 
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod heal;
 pub mod micro;
 pub mod pipeline;
 pub mod stream;

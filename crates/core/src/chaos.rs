@@ -20,6 +20,14 @@
 //!    [`ChaosSpec::spare_island`] the last island (and the client host,
 //!    placed there) is never targeted, and `survivor_kernels` counts
 //!    the kernels its devices executed.
+//! 4. **Healed slices heal** — after the fault horizon the client
+//!    resubmits one program per slice it allocated (the *heal epoch*).
+//!    Slices remapped off dead hardware re-lower transparently; every
+//!    resubmission resolves (`healed_ok + healed_err` equals the slice
+//!    count) and the spare island's resubmission always succeeds.
+//! 5. **Accounting drains** — once the client releases its slices,
+//!    every resource-manager use-count is back to zero
+//!    (`rm_residual_load == 0`, `rm_live_slices == 0`).
 //!
 //! Determinism: two [`run_chaos`] calls with the same spec produce
 //! identical [`ChaosReport::trace`]s (the fault schedule itself is
@@ -103,6 +111,22 @@ pub struct ChaosReport {
     /// Kernels executed by the spare island's devices (0 when
     /// `spare_island` is false).
     pub survivor_kernels: u64,
+    /// Heal-epoch resubmissions that completed with data.
+    pub healed_ok: u32,
+    /// Heal-epoch resubmissions that resolved with a typed error
+    /// (pinned island dead, slice unplaceable, ...).
+    pub healed_err: u32,
+    /// True if the spare island's heal-epoch resubmission succeeded
+    /// (vacuously true when `spare_island` is false).
+    pub spare_healed: bool,
+    /// Healing actions the fault injector took (slices remapped off
+    /// dead hardware, or recorded unplaceable).
+    pub heal_events: u32,
+    /// Sum of all resource-manager use-counts after the client released
+    /// every slice — nonzero means the accounting ledger drifted.
+    pub rm_residual_load: u64,
+    /// Live slices left in the resource manager after release.
+    pub rm_live_slices: usize,
 }
 
 impl ChaosReport {
@@ -247,9 +271,13 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     };
     let client = rt.client(client_host);
     let core = std::rc::Rc::clone(rt.core());
+    let rm = std::rc::Rc::clone(rt.resource_manager());
+    let spare_slice_idx = shapes.len().saturating_sub(1);
+    let has_spare = spec.spare_island;
 
     let job = sim.spawn("chaos-client", async move {
         let mut kept: Vec<(Run, ObjectRef)> = Vec::new();
+        let mut slices: Vec<crate::VirtualSlice> = Vec::new();
         let mut last: Option<ObjectRef> = None;
         for (i, shape) in shapes.iter().enumerate() {
             let slice = client
@@ -257,6 +285,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                     SliceRequest::devices(shape.devices).in_island(IslandId(shape.island)),
                 )
                 .expect("island has capacity");
+            slices.push(slice.clone());
             let mut b = client.trace(format!("p{i}"));
             let chain_src = if shape.chained { last.clone() } else { None };
             let input = chain_src
@@ -299,11 +328,46 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                 Err(_) => err += 1,
             }
         }
-        (ok, err)
+        // Heal epoch: every fault has landed (the kept runs resolved
+        // after the horizon); resubmit one fresh program per allocated
+        // slice. Slices that were remapped off dead hardware re-lower
+        // transparently and must complete; slices on dead islands (or
+        // left unplaceable) must fail fast with a typed error — either
+        // way nothing may hang.
+        let mut healed_ok = 0u32;
+        let mut healed_err = 0u32;
+        let mut spare_healed = !has_spare;
+        for (i, slice) in slices.iter().enumerate() {
+            let mut b = client.trace(format!("heal{i}"));
+            let k = b.computation(
+                FnSpec::compute_only("hk", SimDuration::from_micros(40)).with_output_bytes(1 << 10),
+                slice,
+            );
+            let prepared = client.prepare(&b.build().expect("valid heal program"));
+            let run = client.submit(&prepared).await;
+            let out = run.object_ref(k).expect("sink exists");
+            run.finish().await;
+            match out.ready().await {
+                Ok(()) => {
+                    healed_ok += 1;
+                    if has_spare && i == spare_slice_idx {
+                        spare_healed = true;
+                    }
+                }
+                Err(_) => healed_err += 1,
+            }
+        }
+        // Drain: release every slice so the accounting ledger must
+        // return to zero.
+        for slice in &slices {
+            rm.release(slice);
+        }
+        (ok, err, healed_ok, healed_err, spare_healed)
     });
 
     let outcome = sim.run();
-    let (resolved_ok, resolved_err) = job.try_take().unwrap_or((0, 0));
+    let (resolved_ok, resolved_err, healed_ok, healed_err, spare_healed) =
+        job.try_take().unwrap_or((0, 0, 0, 0, false));
     let store_len = core.store.len();
     let hbm_leaked: u64 = core.devices.values().map(|d| d.hbm().used()).sum();
     let survivor_kernels: u64 = if spec.spare_island {
@@ -316,6 +380,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     } else {
         0
     };
+    let rm = rt.resource_manager();
     ChaosReport {
         outcome,
         resolved_ok,
@@ -325,5 +390,11 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         store_len,
         hbm_leaked,
         survivor_kernels,
+        healed_ok,
+        healed_err,
+        spare_healed,
+        heal_events: rt.faults().heal_events().len() as u32,
+        rm_residual_load: rm.total_load(),
+        rm_live_slices: rm.live_slice_count(),
     }
 }

@@ -332,7 +332,11 @@ impl Client {
     }
 
     /// Lowers a traced program against the current virtual→physical
-    /// mapping. Re-prepare after a remap.
+    /// mapping. A prepared program whose slices are later remapped
+    /// (healing, rebalancing, explicit [`ResourceManager::remap`])
+    /// becomes stale; [`Client::submit`]/[`Client::submit_with`] detect
+    /// this through the slices' mapping generations and re-lower
+    /// automatically — "programs simply re-lower".
     pub fn prepare(&self, program: &Program) -> PreparedProgram {
         prepare(&self.core, self.id, self.host, &self.label, program)
     }
@@ -371,6 +375,21 @@ impl Client {
         prepared: &PreparedProgram,
         bindings: &[(CompId, ObjectRef)],
     ) -> Result<Run, SubmitError> {
+        // Elasticity: if any slice this program was lowered against has
+        // been remapped since (device healing after a fault, rebalance,
+        // an explicit remap), the preparation's device snapshot is
+        // stale. Re-lower against the current virtual→physical mapping
+        // — this is the client half of the paper's "remap without the
+        // client's cooperation": the next submit lands on the healed
+        // devices with no client-code changes. The re-lowered form is
+        // cached on the stale preparation, so the cost is paid once per
+        // remap, not once per submit.
+        let relowered = if prepared.is_stale() {
+            Some(self.refreshed(prepared))
+        } else {
+            None
+        };
+        let prepared = relowered.as_deref().unwrap_or(prepared);
         let info = &prepared.info;
         let comps = info.program.computations();
         // Validate the binding set against the program's declared inputs.
@@ -498,6 +517,20 @@ impl Client {
             failed,
             refs,
         })
+    }
+
+    /// The cached re-lowering of a stale preparation, minted on first
+    /// use and re-minted only if a further remap staled the cache too.
+    fn refreshed(&self, prepared: &PreparedProgram) -> Rc<PreparedProgram> {
+        let mut cache = prepared.relowered.borrow_mut();
+        if let Some(fresh) = cache.as_ref() {
+            if !fresh.is_stale() {
+                return Rc::clone(fresh);
+            }
+        }
+        let fresh = Rc::new(self.prepare(&prepared.info.program));
+        *cache = Some(Rc::clone(&fresh));
+        fresh
     }
 
     /// Declares each sink's object in the store and mints its

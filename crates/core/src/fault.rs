@@ -26,7 +26,12 @@
 //!   abort), and failures cascade along `ObjectRef` bindings to
 //!   downstream consumers. A housekeeping error-delivery program
 //!   ([`crate::housekeeping::deliver_errors`]) then fans the failure
-//!   out to every live host over the coordination substrate.
+//!   out to every live host over the coordination substrate. Finally
+//!   the injector closes the elasticity loop: the resource manager
+//!   [heals](crate::ResourceManager::heal) every live slice off the
+//!   dead hardware, heal notices fan out to live hosts
+//!   ([`FaultInjector::heal_log`]), and the affected clients' next
+//!   submits re-lower onto the healed mappings and succeed.
 //!
 //! Everything here is deterministic: scans iterate in sorted id order,
 //! and the fault plan's driver fires on the simulation's timer wheel,
@@ -43,8 +48,8 @@ use pathways_sim::sync::Event;
 use pathways_sim::{FaultPlan, SimHandle};
 
 use crate::context::CoreCtx;
-use crate::housekeeping::{spawn_error_delivery, ErrorLog};
-use crate::resource::ResourceManager;
+use crate::housekeeping::{spawn_error_delivery, spawn_heal_delivery, ErrorLog, HealLog};
+use crate::resource::{HealEvent, ResourceManager};
 use crate::store::{FailureReason, ObjectId};
 
 /// One scripted fault.
@@ -200,6 +205,9 @@ pub struct FaultInjector {
     rm: Rc<ResourceManager>,
     state: FailureState,
     errors: ErrorLog,
+    /// Every healing action taken so far, in injection order.
+    heals: RefCell<Vec<HealEvent>>,
+    heal_log: HealLog,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -217,6 +225,8 @@ impl FaultInjector {
             rm,
             state,
             errors: ErrorLog::new(),
+            heals: RefCell::new(Vec::new()),
+            heal_log: HealLog::new(),
         }
     }
 
@@ -228,6 +238,19 @@ impl FaultInjector {
     /// The per-host error log fed by housekeeping error delivery.
     pub fn error_log(&self) -> &ErrorLog {
         &self.errors
+    }
+
+    /// Every [`HealEvent`] so far: which slices were remapped off dead
+    /// hardware (or could not be), in injection order.
+    pub fn heal_events(&self) -> Vec<HealEvent> {
+        self.heals.borrow().clone()
+    }
+
+    /// The per-host heal-notice log fed by housekeeping delivery, so
+    /// client agents on live hosts learn which slices were remapped and
+    /// must re-lower.
+    pub fn heal_log(&self) -> &HealLog {
+        &self.heal_log
     }
 
     /// Spawns the driver task for `plan`: each fault applies at its
@@ -243,18 +266,65 @@ impl FaultInjector {
 
     /// Applies one fault now. Synchronous: when this returns, every
     /// doomed object carries its error, every doomed run is winding
-    /// down, and nothing downstream of the fault can block forever.
+    /// down, nothing downstream of the fault can block forever, and
+    /// every live slice touching the dead hardware has been remapped
+    /// onto spare capacity (or recorded as unplaceable) — the *next*
+    /// submit on a healed slice re-lowers and succeeds.
     pub fn inject(&self, spec: &FaultSpec) {
         let mut newly_failed: Vec<RunId> = Vec::new();
+        let mut newly_dead: Vec<DeviceId> = Vec::new();
         match *spec {
-            FaultSpec::Device(d) => {
-                self.fail_device(d, FailureReason::Device(d), &mut newly_failed)
-            }
-            FaultSpec::Host(h) => self.fail_host(h, &mut newly_failed),
+            FaultSpec::Device(d) => self.fail_device(
+                d,
+                FailureReason::Device(d),
+                &mut newly_failed,
+                &mut newly_dead,
+            ),
+            FaultSpec::Host(h) => self.fail_host(h, &mut newly_failed, &mut newly_dead),
             FaultSpec::Link(a, b) => self.sever_link(a, b, &mut newly_failed),
         }
+        self.heal_dead_hardware(&newly_dead);
         self.purge_completed();
         self.deliver(newly_failed);
+    }
+
+    /// Elastic slice healing (§4.1 closed-loop): remap every live slice
+    /// that touched the newly dead devices onto spare attached capacity.
+    /// Islands whose scheduler died are excluded — hardware there may be
+    /// alive, but nothing can be granted on them, so healing onto them
+    /// would strand the slice. Each heal is stamped onto the trace's
+    /// `heals` track (part of the replayable schedule) and fanned out to
+    /// live hosts over the coordination substrate.
+    fn heal_dead_hardware(&self, dead: &[DeviceId]) {
+        if dead.is_empty() {
+            return;
+        }
+        let excluded: Vec<IslandId> = {
+            let inner = self.state.inner.borrow();
+            let mut v: Vec<IslandId> = inner.dead_islands.iter().copied().collect();
+            v.sort();
+            v
+        };
+        let events = self.rm.heal(dead, &excluded);
+        if events.is_empty() {
+            return;
+        }
+        let now = self.core.handle.now();
+        let notices: Vec<(crate::resource::SliceId, String)> = events
+            .iter()
+            .map(|e| {
+                let outcome = match &e.to {
+                    Ok(to) => format!("remapped {:?} -> {:?}", e.from, to),
+                    Err(err) => format!("unplaceable: {err}"),
+                };
+                self.core
+                    .handle
+                    .trace_span("heals", format!("{} {outcome}", e.slice), now, now);
+                (e.slice, outcome)
+            })
+            .collect();
+        self.heals.borrow_mut().extend(events);
+        spawn_heal_delivery(&self.core, &self.state, &self.heal_log, &notices);
     }
 
     /// Simulates abrupt client failure: every live run of the client
@@ -289,15 +359,24 @@ impl FaultInjector {
         freed
     }
 
-    fn fail_device(&self, d: DeviceId, reason: FailureReason, newly_failed: &mut Vec<RunId>) {
+    fn fail_device(
+        &self,
+        d: DeviceId,
+        reason: FailureReason,
+        newly_failed: &mut Vec<RunId>,
+        newly_dead: &mut Vec<DeviceId>,
+    ) {
         {
             let mut inner = self.state.inner.borrow_mut();
             if !inner.dead_devices.insert(d) {
                 return;
             }
         }
+        newly_dead.push(d);
         // New slices avoid the dead device; the device itself stops
         // accepting kernels and its gangs abort at the rendezvous.
+        // Healing of live slices happens once per injected fault, after
+        // the whole blast radius is known (see `inject`).
         self.rm.detach_device(d);
         let now = self.core.handle.now();
         if let Some(dev) = self.core.devices.get(&d) {
@@ -323,7 +402,7 @@ impl FaultInjector {
         self.cascade_objects(&lost, newly_failed);
     }
 
-    fn fail_host(&self, h: HostId, newly_failed: &mut Vec<RunId>) {
+    fn fail_host(&self, h: HostId, newly_failed: &mut Vec<RunId>, newly_dead: &mut Vec<DeviceId>) {
         {
             let mut inner = self.state.inner.borrow_mut();
             if !inner.dead_hosts.insert(h) {
@@ -334,7 +413,7 @@ impl FaultInjector {
         let reason = FailureReason::Host(h);
         // The host's devices die with it.
         for d in self.core.fabric.topology().devices_of_host(h) {
-            self.fail_device(d, reason, newly_failed);
+            self.fail_device(d, reason, newly_failed, newly_dead);
         }
         // An island scheduler on the host takes its island down: nothing
         // on the island can be granted anymore.

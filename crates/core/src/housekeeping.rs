@@ -6,7 +6,7 @@
 //! distributing configuration information, monitoring programs, cleaning
 //! them up, delivering errors on failures, and so on."*
 //!
-//! This module implements three of those as PLAQUE programs:
+//! This module implements four of those as PLAQUE programs:
 //!
 //! * [`distribute_config`] — broadcast a key/value configuration update
 //!   to every host; each host's config store is updated and
@@ -17,7 +17,10 @@
 //!   *live* host so its client agents learn which runs died and why
 //!   (the "delivering errors on failures" clause). The
 //!   [`FaultInjector`](crate::FaultInjector) launches this
-//!   automatically after each injected fault.
+//!   automatically after each injected fault;
+//! * heal delivery ([`HealLog`]) — fan a slice-remap notice out to
+//!   every live host after elastic healing, so client agents know their
+//!   lowered programs are stale and must re-lower before resubmitting.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -28,6 +31,7 @@ use pathways_plaque::{EdgeId, GraphBuilder, Operator, RunId, ShardCtx, Tuple};
 
 use crate::context::CoreCtx;
 use crate::fault::FailureState;
+use crate::resource::SliceId;
 
 /// A per-host key/value configuration store, updated via housekeeping
 /// broadcasts.
@@ -306,65 +310,70 @@ impl ErrorLog {
     }
 }
 
+/// A broadcast of `notices` from one controller shard.
 #[derive(Debug, Clone)]
-struct ErrorMsg {
-    failures: Vec<(RunId, String)>,
+struct NoticeMsg<T> {
+    notices: Vec<T>,
 }
 
-struct ErrorBroadcaster {
+struct NoticeBroadcaster<T> {
     out: EdgeId,
-    msg: ErrorMsg,
+    msg: NoticeMsg<T>,
 }
 
-impl Operator for ErrorBroadcaster {
+impl<T: Clone + 'static> Operator for NoticeBroadcaster<T> {
     fn on_all_inputs_complete(&mut self, ctx: &mut ShardCtx<'_>) {
-        let bytes = 32 + 24 * self.msg.failures.len() as u64;
+        let bytes = 32 + 24 * self.msg.notices.len() as u64;
         ctx.broadcast(self.out, Tuple::new(self.msg.clone(), bytes));
         ctx.halt();
     }
 }
 
-struct ErrorApplier {
-    log: ErrorLog,
+/// How a host applies one received notice to its local log.
+type ApplyNotice<T> = Rc<dyn Fn(HostId, &T)>;
+
+struct NoticeApplier<T> {
+    apply: ApplyNotice<T>,
     ack_edge: EdgeId,
 }
 
-impl Operator for ErrorApplier {
+impl<T: Clone + 'static> Operator for NoticeApplier<T> {
     fn on_tuple(&mut self, ctx: &mut ShardCtx<'_>, _edge: EdgeId, _src: u32, tuple: Tuple) {
-        let msg = tuple.expect::<ErrorMsg>();
-        for (run, reason) in &msg.failures {
-            self.log.record(ctx.host(), *run, reason.clone());
+        let msg = tuple.expect::<NoticeMsg<T>>();
+        for notice in &msg.notices {
+            (self.apply)(ctx.host(), notice);
         }
         ctx.send(self.ack_edge, 0, Tuple::control(Ack));
     }
 }
 
-fn error_delivery_graph(
+/// The shared broadcast/apply/ack fan-out shape behind error and heal
+/// delivery: one controller shard broadcasts the notices, every host
+/// applies them through `apply`, acknowledgements gather back.
+fn notice_delivery_graph<T: Clone + 'static>(
+    name: &str,
     controller: HostId,
     hosts: Vec<HostId>,
-    log: &ErrorLog,
-    failures: Vec<(RunId, String)>,
+    notices: Vec<T>,
+    apply: ApplyNotice<T>,
     acks: &Rc<RefCell<u32>>,
 ) -> pathways_plaque::Graph {
     let bcast_edge = EdgeId(0);
     let ack_edge = EdgeId(1);
-    let mut g = GraphBuilder::new("error-delivery");
-    let msg = ErrorMsg { failures };
+    let mut g = GraphBuilder::new(name);
+    let msg = NoticeMsg { notices };
     let src = g.node("broadcast", vec![controller], move |_| {
-        Box::new(ErrorBroadcaster {
+        Box::new(NoticeBroadcaster {
             out: bcast_edge,
             msg: msg.clone(),
         })
     });
-    let appliers = {
-        let log = log.clone();
-        g.node("apply", hosts, move |_| {
-            Box::new(ErrorApplier {
-                log: log.clone(),
-                ack_edge,
-            })
+    let appliers = g.node("apply", hosts, move |_| {
+        Box::new(NoticeApplier {
+            apply: Rc::clone(&apply),
+            ack_edge,
         })
-    };
+    });
     let collector = {
         let acks = Rc::clone(acks);
         g.node("collect", vec![controller], move |_| {
@@ -376,6 +385,26 @@ fn error_delivery_graph(
     assert_eq!(g.edge(src, appliers), bcast_edge);
     assert_eq!(g.edge(appliers, collector), ack_edge);
     g.build().expect("housekeeping graph is valid")
+}
+
+fn error_delivery_graph(
+    controller: HostId,
+    hosts: Vec<HostId>,
+    log: &ErrorLog,
+    failures: Vec<(RunId, String)>,
+    acks: &Rc<RefCell<u32>>,
+) -> pathways_plaque::Graph {
+    let log = log.clone();
+    notice_delivery_graph(
+        "error-delivery",
+        controller,
+        hosts,
+        failures,
+        Rc::new(move |host, (run, reason): &(RunId, String)| {
+            log.record(host, *run, reason.clone());
+        }),
+        acks,
+    )
 }
 
 /// Hosts that can still participate in housekeeping from `controller`'s
@@ -447,6 +476,93 @@ pub(crate) fn spawn_error_delivery(
     if let Some((graph, controller, _acks)) = prepare_error_delivery(core, failures, log, notices) {
         drop(core.plaque.launch(&graph, controller));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Heal delivery (slice remaps → owning hosts)
+// ---------------------------------------------------------------------------
+
+/// One host's delivered heal notices: `(remapped slice, description)`.
+pub type HealNotices = Vec<(SliceId, String)>;
+
+/// Per-host record of slice heals delivered by housekeeping: which
+/// virtual slices were remapped off dead hardware (and onto what), as
+/// seen by each host's client agent. The notice is the trigger for the
+/// client side of elasticity: programs lowered against a remapped slice
+/// are stale and re-lower on their next submit.
+#[derive(Clone, Default)]
+pub struct HealLog {
+    inner: Rc<RefCell<BTreeMap<HostId, HealNotices>>>,
+}
+
+impl std::fmt::Debug for HealLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealLog")
+            .field("hosts", &self.inner.borrow().len())
+            .finish()
+    }
+}
+
+impl HealLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heal notices delivered to `host`, in delivery order.
+    pub fn notices(&self, host: HostId) -> HealNotices {
+        self.inner.borrow().get(&host).cloned().unwrap_or_default()
+    }
+
+    /// True if `host` has been told that `slice` was remapped.
+    pub fn knows_about(&self, host: HostId, slice: SliceId) -> bool {
+        self.inner
+            .borrow()
+            .get(&host)
+            .is_some_and(|v| v.iter().any(|(s, _)| *s == slice))
+    }
+
+    fn record(&self, host: HostId, slice: SliceId, detail: String) {
+        self.inner
+            .borrow_mut()
+            .entry(host)
+            .or_default()
+            .push((slice, detail));
+    }
+}
+
+/// Fire-and-forget heal-notice fan-out to every live, reachable host,
+/// launched by the fault injector right after the resource manager
+/// remapped slices off dead hardware. Mirrors `spawn_error_delivery`:
+/// not awaited, so an overlapping fault cannot wedge the injector.
+pub(crate) fn spawn_heal_delivery(
+    core: &Rc<CoreCtx>,
+    failures: &FailureState,
+    log: &HealLog,
+    notices: &[(SliceId, String)],
+) {
+    let Some(controller) = core
+        .fabric
+        .topology()
+        .hosts()
+        .find(|h| !failures.host_dead(*h))
+    else {
+        return;
+    };
+    let hosts = reachable_hosts(core, failures, controller);
+    let acks = Rc::new(RefCell::new(0u32));
+    let log = log.clone();
+    let graph = notice_delivery_graph(
+        "heal-delivery",
+        controller,
+        hosts,
+        notices.to_vec(),
+        Rc::new(move |host, (slice, detail): &(SliceId, String)| {
+            log.record(host, *slice, detail.clone());
+        }),
+        &acks,
+    );
+    drop(core.plaque.launch(&graph, controller));
 }
 
 #[cfg(test)]

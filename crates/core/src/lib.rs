@@ -4,7 +4,11 @@
 //! a simulated TPU cluster:
 //!
 //! * a **resource manager** handing out virtual device slices with a 1:1
-//!   virtual→physical mapping (§4.1),
+//!   virtual→physical mapping (§4.1), exact per-device use-count
+//!   accounting across remap/attach/detach churn, elastic healing
+//!   ([`ResourceManager::heal`]: dead hardware → slices remapped onto
+//!   spare capacity → programs re-lower on their next submit) and a
+//!   churn defragmenter ([`ResourceManager::rebalance`]),
 //! * a **client library** that traces programs into a compact sharded IR
 //!   and lowers it to a PLAQUE dataflow (§3, §4.2, §4.3), with
 //!   non-blocking submission returning typed [`ObjectRef`] data futures
@@ -119,13 +123,16 @@ pub use config::{DispatchMode, PathwaysConfig};
 pub use context::{CoreCtx, InputKey, InputSlot};
 pub use exec::{CompRegistration, EnqueueInfo, ExecutorShared};
 pub use fault::{FailureState, FaultInjector, FaultSpec, RunFootprint};
+pub use housekeeping::{ErrorLog, HealLog};
 pub use objref::ObjectRef;
 pub use ops::{PreparedProgram, ProgInfo};
 pub use program::{
     CompId, Computation, DataEdge, FnSpec, InputSpec, Program, ProgramBuilder, ProgramError,
     ShardMapping,
 };
-pub use resource::{ResourceError, ResourceManager, SliceId, SliceRequest, VirtualSlice};
+pub use resource::{
+    HealEvent, ResourceError, ResourceManager, SliceId, SliceRequest, VirtualSlice,
+};
 pub use runtime::PathwaysRuntime;
 pub use sched::policy::{
     FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy,

@@ -133,6 +133,15 @@ pub struct PreparedProgram {
     pub(crate) graph: Graph,
     pub(crate) submits: BTreeMap<IslandId, Vec<CompSubmit>>,
     pub(crate) est_cost: SimDuration,
+    /// Mapping generation of each computation's slice at lowering time
+    /// (`None` for external inputs). If any slice has been remapped
+    /// since — healing, rebalancing, explicit `remap` — this
+    /// preparation is stale and must be re-lowered.
+    pub(crate) slice_gens: Vec<Option<u64>>,
+    /// Cache of the re-lowered form minted when this preparation went
+    /// stale, so a long-lived prepared program pays the re-lowering
+    /// cost once per remap rather than once per submit.
+    pub(crate) relowered: std::cell::RefCell<Option<std::rc::Rc<PreparedProgram>>>,
 }
 
 impl std::fmt::Debug for PreparedProgram {
@@ -160,6 +169,21 @@ impl PreparedProgram {
     /// Whole-program device-time estimate (sum over islands).
     pub fn estimated_cost(&self) -> SimDuration {
         self.est_cost
+    }
+
+    /// True if any slice this program was lowered against has been
+    /// remapped since (its generation moved on) — the snapshot of
+    /// physical devices in here no longer matches the virtual→physical
+    /// mapping. [`Client::submit_with`](crate::Client) re-lowers stale
+    /// preparations automatically; callers holding long-lived prepared
+    /// programs can poll this to re-prepare eagerly.
+    pub fn is_stale(&self) -> bool {
+        self.info
+            .program
+            .computations()
+            .iter()
+            .zip(&self.slice_gens)
+            .any(|(comp, gen)| comp.slice().map(|s| s.generation()) != *gen)
     }
 }
 
@@ -335,11 +359,18 @@ pub fn prepare(
             (c.compute + coll) * c.participants as u64
         })
         .sum();
+    let slice_gens = program
+        .computations()
+        .iter()
+        .map(|c| c.slice().map(|s| s.generation()))
+        .collect();
     PreparedProgram {
         info,
         graph,
         submits,
         est_cost,
+        slice_gens,
+        relowered: std::cell::RefCell::new(None),
     }
 }
 

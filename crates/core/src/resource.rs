@@ -6,9 +6,34 @@
 //! layer of indirection is what lets the single controller remap a
 //! client's computation without the client's cooperation: a slice can be
 //! remapped and programs simply re-lower.
+//!
+//! ## Accounting invariant
+//!
+//! The manager keeps one use-count per physical device — exactly the
+//! number of live slices whose current mapping contains it (with
+//! multiplicity). Every mapping change moves counts atomically:
+//! [`ResourceManager::allocate`] charges, [`ResourceManager::release`]
+//! uncharges, and [`ResourceManager::remap`] / [`ResourceManager::heal`]
+//! / [`ResourceManager::rebalance`] uncharge the old devices and charge
+//! the new ones. Counts live in a ledger that spans *all* devices of the
+//! topology, attached or not, so a detach/attach cycle can never reset
+//! the load a detached device still carries from live slices. Underflow
+//! is a `debug_assert` — drift is caught in tests, never silently
+//! saturated away.
+//!
+//! ## Elasticity
+//!
+//! [`ResourceManager::heal`] closes the fault loop: given a set of dead
+//! devices it remaps every live slice touching them onto spare attached
+//! capacity, honoring the slice's original island and contiguity
+//! constraints (contiguity is validated against real torus adjacency,
+//! not id order). [`ResourceManager::rebalance`] is the churn
+//! defragmenter: after attach/detach cycles it re-places slices whose
+//! mapping is strictly worse than a fresh placement, compacting load
+//! back onto the least-loaded attached devices.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -33,8 +58,8 @@ pub struct SliceRequest {
     pub devices: u32,
     /// Require all devices in this island (collectives need one island).
     pub island: Option<IslandId>,
-    /// Require the devices to be contiguous in torus order (a "mesh
-    /// shaped" slice rather than scattered devices).
+    /// Require the devices to form a connected submesh of the torus (a
+    /// "mesh shaped" slice rather than scattered devices).
     pub contiguous: bool,
 }
 
@@ -63,7 +88,7 @@ impl SliceRequest {
     }
 }
 
-/// Errors from slice allocation.
+/// Errors from slice allocation and healing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResourceError {
     /// No island has enough attached devices.
@@ -73,10 +98,18 @@ pub enum ResourceError {
         /// Largest island's attached device count.
         largest_island: u32,
     },
-    /// The requested island does not exist or has been detached.
+    /// The requested island does not exist, or is excluded from
+    /// placement (e.g. its scheduler died). An existing island whose
+    /// devices are all detached reports `InsufficientDevices` instead.
     UnknownIsland {
         /// The island asked for.
         island: IslandId,
+    },
+    /// Enough devices are attached, but no torus-connected window of the
+    /// requested size survives the current detach pattern.
+    Fragmented {
+        /// Devices requested (contiguously).
+        requested: u32,
     },
     /// A zero-device slice was requested.
     EmptyRequest,
@@ -93,6 +126,10 @@ impl fmt::Display for ResourceError {
                 "requested {requested} devices but the largest island has {largest_island}"
             ),
             ResourceError::UnknownIsland { island } => write!(f, "unknown {island}"),
+            ResourceError::Fragmented { requested } => write!(
+                f,
+                "no torus-connected window of {requested} attached devices (fragmented)"
+            ),
             ResourceError::EmptyRequest => write!(f, "slice request for zero devices"),
         }
     }
@@ -100,25 +137,45 @@ impl fmt::Display for ResourceError {
 
 impl std::error::Error for ResourceError {}
 
+/// The shared, remappable state behind a slice: the current physical
+/// mapping plus a generation counter bumped on every remap, so lowered
+/// programs can detect staleness and re-lower.
+#[derive(Debug)]
+struct MappingState {
+    devices: Vec<DeviceId>,
+    generation: u64,
+}
+
 /// A slice of virtual devices with their current physical mapping.
 ///
 /// Cloneable; all clones observe remappings (the mapping is shared).
 #[derive(Clone)]
 pub struct VirtualSlice {
     id: SliceId,
-    mapping: Rc<RefCell<Vec<DeviceId>>>,
+    state: Rc<RefCell<MappingState>>,
 }
 
 impl fmt::Debug for VirtualSlice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("VirtualSlice")
             .field("id", &self.id)
-            .field("devices", &self.mapping.borrow().len())
+            .field("devices", &self.state.borrow().devices.len())
+            .field("generation", &self.state.borrow().generation)
             .finish()
     }
 }
 
 impl VirtualSlice {
+    fn new(id: SliceId, devices: Vec<DeviceId>) -> Self {
+        VirtualSlice {
+            id,
+            state: Rc::new(RefCell::new(MappingState {
+                devices,
+                generation: 0,
+            })),
+        }
+    }
+
     /// The slice id.
     pub fn id(&self) -> SliceId {
         self.id
@@ -126,7 +183,7 @@ impl VirtualSlice {
 
     /// Number of virtual devices.
     pub fn len(&self) -> usize {
-        self.mapping.borrow().len()
+        self.state.borrow().devices.len()
     }
 
     /// True if the slice has no devices.
@@ -136,29 +193,71 @@ impl VirtualSlice {
 
     /// Current physical device for each virtual device.
     pub fn physical_devices(&self) -> Vec<DeviceId> {
-        self.mapping.borrow().clone()
+        self.state.borrow().devices.clone()
+    }
+
+    /// The mapping generation: starts at 0 and is bumped by every
+    /// [`ResourceManager::remap`] / [`ResourceManager::heal`] /
+    /// [`ResourceManager::rebalance`] that moves this slice. A program
+    /// lowered against generation `g` is stale once the slice's
+    /// generation differs — [`Client::submit_with`](crate::Client)
+    /// re-lowers automatically.
+    pub fn generation(&self) -> u64 {
+        self.state.borrow().generation
     }
 
     /// Test-only constructor with a fixed mapping.
     #[doc(hidden)]
     pub fn for_tests(devices: Vec<DeviceId>) -> Self {
-        VirtualSlice {
-            id: SliceId(u64::MAX),
-            mapping: Rc::new(RefCell::new(devices)),
-        }
+        VirtualSlice::new(SliceId(u64::MAX), devices)
     }
 }
 
 struct Allocation {
     owner: ClientId,
-    mapping: Rc<RefCell<Vec<DeviceId>>>,
+    request: SliceRequest,
+    state: Rc<RefCell<MappingState>>,
+}
+
+/// Outcome of one [`ResourceManager::try_replace`] transaction.
+enum Replace {
+    /// The slice was moved onto this new mapping.
+    Moved(Vec<DeviceId>),
+    /// The candidate placement was declined; the old mapping stands.
+    Kept,
+    /// No placement was possible; the old mapping stands.
+    Failed(ResourceError),
+}
+
+/// What healing did to one slice that touched dead hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealEvent {
+    /// The affected slice.
+    pub slice: SliceId,
+    /// Its owning client (to notify for re-lower + resubmit).
+    pub owner: ClientId,
+    /// The mapping before healing (contains dead devices).
+    pub from: Vec<DeviceId>,
+    /// The new mapping, or why no placement was possible (the slice
+    /// keeps its broken mapping and future submits fail fast).
+    pub to: Result<Vec<DeviceId>, ResourceError>,
+}
+
+impl HealEvent {
+    /// True if the slice was successfully remapped onto live capacity.
+    pub fn healed(&self) -> bool {
+        self.to.is_ok()
+    }
 }
 
 /// The global resource manager.
 pub struct ResourceManager {
     topo: Rc<Topology>,
-    /// Attached devices per island, with a use-count for load balancing.
-    attached: RefCell<BTreeMap<IslandId, BTreeMap<DeviceId, u32>>>,
+    /// Attached devices per island (placement candidates).
+    attached: RefCell<BTreeMap<IslandId, BTreeSet<DeviceId>>>,
+    /// Use-count ledger covering every device of the topology, attached
+    /// or not: `counts[d]` == live slices currently mapping `d`.
+    use_counts: RefCell<BTreeMap<DeviceId, u32>>,
     slices: RefCell<BTreeMap<SliceId, Allocation>>,
     next_slice: RefCell<u64>,
 }
@@ -168,6 +267,7 @@ impl fmt::Debug for ResourceManager {
         f.debug_struct("ResourceManager")
             .field("islands", &self.attached.borrow().len())
             .field("live_slices", &self.slices.borrow().len())
+            .field("total_load", &self.total_load())
             .finish()
     }
 }
@@ -176,17 +276,18 @@ impl ResourceManager {
     /// Creates a manager with every device of `topo` attached.
     pub fn new(topo: Rc<Topology>) -> Self {
         let mut attached = BTreeMap::new();
+        let mut use_counts = BTreeMap::new();
         for island in topo.islands() {
-            let devs: BTreeMap<DeviceId, u32> = topo
-                .devices_of_island(island)
-                .into_iter()
-                .map(|d| (d, 0))
-                .collect();
+            let devs: BTreeSet<DeviceId> = topo.devices_of_island(island).into_iter().collect();
+            for d in &devs {
+                use_counts.insert(*d, 0);
+            }
             attached.insert(island, devs);
         }
         ResourceManager {
             topo,
             attached: RefCell::new(attached),
+            use_counts: RefCell::new(use_counts),
             slices: RefCell::new(BTreeMap::new()),
             next_slice: RefCell::new(0),
         }
@@ -206,17 +307,30 @@ impl ResourceManager {
             .sum()
     }
 
-    /// Detaches a device (e.g. maintenance); existing slices keep their
-    /// mapping until explicitly remapped.
-    pub fn detach_device(&self, device: DeviceId) {
+    /// True if `device` is currently attached (a placement candidate).
+    pub fn is_attached(&self, device: DeviceId) -> bool {
         let island = self.topo.island_of_device(device);
         self.attached
-            .borrow_mut()
-            .get_mut(&island)
-            .map(|m| m.remove(&device));
+            .borrow()
+            .get(&island)
+            .is_some_and(|m| m.contains(&device))
     }
 
-    /// Re-attaches a device.
+    /// Detaches a device (maintenance or death); existing slices keep
+    /// their mapping (and the device keeps the use-count they charge)
+    /// until they are remapped or released — see
+    /// [`ResourceManager::heal`] / [`ResourceManager::rebalance`] for
+    /// moving them off.
+    pub fn detach_device(&self, device: DeviceId) {
+        let island = self.topo.island_of_device(device);
+        if let Some(m) = self.attached.borrow_mut().get_mut(&island) {
+            m.remove(&device);
+        }
+    }
+
+    /// Re-attaches a device. The device re-enters placement with the
+    /// use-count it still carries from live slices (counts are never
+    /// reset by detach/attach cycles).
     ///
     /// # Panics
     ///
@@ -227,8 +341,7 @@ impl ResourceManager {
             .borrow_mut()
             .entry(island)
             .or_default()
-            .entry(device)
-            .or_insert(0);
+            .insert(device);
     }
 
     /// Allocates a virtual slice for `client`.
@@ -236,8 +349,11 @@ impl ResourceManager {
     /// The placement heuristic is the paper's "simple heuristic that
     /// attempts to statically balance load by spreading computations
     /// across all available devices": devices with the lowest use-count
-    /// are preferred, and the chosen island is the least-loaded one that
-    /// fits. Virtual devices map 1:1 onto physical devices.
+    /// are preferred, and islands are tried from least-loaded to
+    /// most-loaded. Virtual devices map 1:1 onto physical devices.
+    /// Contiguous requests only accept windows that form a connected
+    /// submesh of the island's torus — after a detach, an id-consecutive
+    /// window can span a torus gap and is skipped.
     ///
     /// # Errors
     ///
@@ -247,103 +363,39 @@ impl ResourceManager {
         client: ClientId,
         request: SliceRequest,
     ) -> Result<VirtualSlice, ResourceError> {
-        if request.devices == 0 {
-            return Err(ResourceError::EmptyRequest);
-        }
-        let attached = self.attached.borrow();
-        let candidate_islands: Vec<IslandId> = match request.island {
-            Some(i) => {
-                if !attached.contains_key(&i) {
-                    return Err(ResourceError::UnknownIsland { island: i });
-                }
-                vec![i]
-            }
-            None => attached.keys().copied().collect(),
+        let chosen = {
+            let attached = self.attached.borrow();
+            let counts = self.use_counts.borrow();
+            self.place(&request, &attached, &counts, &[])?
         };
-        // Pick the island with enough devices and the lowest total load.
-        let mut best: Option<(u64, IslandId)> = None;
-        for island in candidate_islands {
-            let devs = &attached[&island];
-            if (devs.len() as u32) < request.devices {
-                continue;
-            }
-            let load: u64 = devs.values().map(|c| *c as u64).sum();
-            if best.is_none() || load < best.expect("checked").0 {
-                best = Some((load, island));
-            }
-        }
-        let Some((_, island)) = best else {
-            let largest = attached.values().map(|m| m.len() as u32).max().unwrap_or(0);
-            return Err(ResourceError::InsufficientDevices {
-                requested: request.devices,
-                largest_island: largest,
-            });
-        };
-        drop(attached);
-
-        let chosen: Vec<DeviceId> = {
-            let mut attached = self.attached.borrow_mut();
-            let devs = attached.get_mut(&island).expect("island exists");
-            let chosen: Vec<DeviceId> = if request.contiguous {
-                // Contiguous in device-id (torus) order: pick the window
-                // with the lowest aggregate load.
-                let ids: Vec<DeviceId> = devs.keys().copied().collect();
-                let w = request.devices as usize;
-                let mut best_at = 0usize;
-                let mut best_load = u64::MAX;
-                for start in 0..=(ids.len() - w) {
-                    let load: u64 = ids[start..start + w].iter().map(|d| devs[d] as u64).sum();
-                    if load < best_load {
-                        best_load = load;
-                        best_at = start;
-                    }
-                }
-                ids[best_at..best_at + w].to_vec()
-            } else {
-                // Least-used devices first; ties broken by id for
-                // determinism.
-                let mut ids: Vec<(u32, DeviceId)> = devs.iter().map(|(d, c)| (*c, *d)).collect();
-                ids.sort();
-                ids.into_iter()
-                    .take(request.devices as usize)
-                    .map(|(_, d)| d)
-                    .collect()
-            };
-            for d in &chosen {
-                *devs.get_mut(d).expect("chosen from attached") += 1;
-            }
-            chosen
-        };
-
+        self.charge(&chosen);
         let id = {
             let mut next = self.next_slice.borrow_mut();
             let id = SliceId(*next);
             *next += 1;
             id
         };
-        let mapping = Rc::new(RefCell::new(chosen));
+        let slice = VirtualSlice::new(id, chosen);
         self.slices.borrow_mut().insert(
             id,
             Allocation {
                 owner: client,
-                mapping: Rc::clone(&mapping),
+                request,
+                state: Rc::clone(&slice.state),
             },
         );
-        Ok(VirtualSlice { id, mapping })
+        Ok(slice)
     }
 
     /// Releases a slice, decrementing device use-counts.
     pub fn release(&self, slice: &VirtualSlice) {
-        if let Some(alloc) = self.slices.borrow_mut().remove(&slice.id()) {
-            let mut attached = self.attached.borrow_mut();
-            for d in alloc.mapping.borrow().iter() {
-                let island = self.topo.island_of_device(*d);
-                if let Some(devs) = attached.get_mut(&island) {
-                    if let Some(c) = devs.get_mut(d) {
-                        *c = c.saturating_sub(1);
-                    }
-                }
-            }
+        self.release_id(slice.id());
+    }
+
+    fn release_id(&self, id: SliceId) {
+        if let Some(alloc) = self.slices.borrow_mut().remove(&id) {
+            let devices = alloc.state.borrow().devices.clone();
+            self.uncharge(&devices);
         }
     }
 
@@ -357,18 +409,18 @@ impl ResourceManager {
             .map(|(id, _)| *id)
             .collect();
         for id in ids {
-            let slice = VirtualSlice {
-                id,
-                mapping: Rc::clone(&self.slices.borrow()[&id].mapping),
-            };
-            self.release(&slice);
+            self.release_id(id);
         }
     }
 
     /// Remaps a slice's virtual devices onto new physical devices (the
     /// suspend/resume and migration hook enabled by the virtual-device
     /// indirection). Existing clones of the slice observe the change;
-    /// programs must re-lower before their next run.
+    /// programs lowered against the old mapping become stale (the
+    /// generation bumps) and re-lower on their next submit.
+    ///
+    /// Use-counts move with the mapping: the old devices are uncharged
+    /// and the new ones charged.
     ///
     /// # Panics
     ///
@@ -379,17 +431,287 @@ impl ResourceManager {
             slice.len(),
             "remap must preserve slice size"
         );
-        *slice.mapping.borrow_mut() = new_devices;
+        // Only live (tracked) slices are charged in the ledger; test
+        // slices built with `for_tests` are not.
+        if self.slices.borrow().contains_key(&slice.id()) {
+            let old = slice.state.borrow().devices.clone();
+            self.uncharge(&old);
+            self.adopt_mapping(&slice.state, new_devices);
+        } else {
+            Self::set_mapping(&slice.state, new_devices);
+        }
     }
 
-    /// Current use-count of a device (how many slices include it).
-    pub fn device_load(&self, device: DeviceId) -> u32 {
-        let island = self.topo.island_of_device(device);
-        self.attached
+    /// Installs `new` as a tracked slice's mapping: charges the new
+    /// devices (the caller has already uncharged the old mapping) and
+    /// bumps the generation so lowered programs go stale. The single
+    /// place where a mapping change and the ledger meet — `remap`,
+    /// `heal` and `rebalance` all move slices through here.
+    fn adopt_mapping(&self, state: &Rc<RefCell<MappingState>>, new: Vec<DeviceId>) {
+        self.charge(&new);
+        Self::set_mapping(state, new);
+    }
+
+    fn set_mapping(state: &Rc<RefCell<MappingState>>, new: Vec<DeviceId>) {
+        let mut st = state.borrow_mut();
+        st.devices = new;
+        st.generation += 1;
+    }
+
+    /// One ledger-safe re-placement transaction, shared by `heal` and
+    /// `rebalance`: uncharges the slice (so its own load does not skew
+    /// placement), places `request` against the remaining load, and
+    /// either adopts the new mapping (when `accept` approves it) or
+    /// recharges the old one. The uncharge/recharge pairing lives only
+    /// here — the ledger is exact on every exit path.
+    ///
+    /// `accept` sees the old mapping, the candidate, and the use-counts
+    /// *with this slice's own charge removed*.
+    fn try_replace(
+        &self,
+        state: &Rc<RefCell<MappingState>>,
+        request: &SliceRequest,
+        excluded_islands: &[IslandId],
+        accept: impl FnOnce(&[DeviceId], &[DeviceId], &BTreeMap<DeviceId, u32>) -> bool,
+    ) -> Replace {
+        let from = state.borrow().devices.clone();
+        self.uncharge(&from);
+        let placed = {
+            let attached = self.attached.borrow();
+            let counts = self.use_counts.borrow();
+            self.place(request, &attached, &counts, excluded_islands)
+        };
+        match placed {
+            Ok(to) => {
+                let accepted = {
+                    let counts = self.use_counts.borrow();
+                    accept(&from, &to, &counts)
+                };
+                if accepted {
+                    self.adopt_mapping(state, to.clone());
+                    Replace::Moved(to)
+                } else {
+                    self.charge(&from);
+                    Replace::Kept
+                }
+            }
+            Err(e) => {
+                self.charge(&from);
+                Replace::Failed(e)
+            }
+        }
+    }
+
+    /// Remaps every live slice that touches any of `dead` onto spare
+    /// attached capacity (the dead devices are detached first), honoring
+    /// each slice's original island and contiguity constraints. Islands
+    /// in `excluded_islands` are never chosen as a new home (the fault
+    /// injector passes islands whose scheduler died).
+    ///
+    /// Slices are healed in id order (deterministic). A slice that
+    /// cannot be placed keeps its broken mapping — future submits on it
+    /// fail fast with a typed error — and its [`HealEvent::to`] carries
+    /// the placement error. Either way, accounting stays exact: a healed
+    /// slice's counts move to its new devices; an unhealable slice keeps
+    /// charging its old ones until released.
+    pub fn heal(&self, dead: &[DeviceId], excluded_islands: &[IslandId]) -> Vec<HealEvent> {
+        for d in dead {
+            self.detach_device(*d);
+        }
+        let victims: Vec<SliceId> = self
+            .slices
             .borrow()
-            .get(&island)
-            .and_then(|m| m.get(&device).copied())
-            .unwrap_or(0)
+            .iter()
+            .filter(|(_, a)| a.state.borrow().devices.iter().any(|d| dead.contains(d)))
+            .map(|(id, _)| *id)
+            .collect();
+        let mut events = Vec::new();
+        for id in victims {
+            let (owner, request, state) = {
+                let slices = self.slices.borrow();
+                let a = &slices[&id];
+                (a.owner, a.request, Rc::clone(&a.state))
+            };
+            let from = state.borrow().devices.clone();
+            let to = match self.try_replace(&state, &request, excluded_islands, |_, _, _| true) {
+                Replace::Moved(to) => Ok(to),
+                Replace::Failed(e) => Err(e),
+                Replace::Kept => unreachable!("heal accepts every successful placement"),
+            };
+            events.push(HealEvent {
+                slice: id,
+                owner,
+                from,
+                to,
+            });
+        }
+        events
+    }
+
+    /// Churn defragmenter: re-places each live slice (in id order) and
+    /// adopts the fresh placement when it is strictly less loaded than
+    /// the current one, or when the current mapping uses detached
+    /// devices and an equally-loaded attached placement exists. Returns
+    /// the number of slices moved.
+    ///
+    /// Call at a safe point (between runs): moved slices bump their
+    /// generation, so affected programs re-lower on their next submit.
+    pub fn rebalance(&self) -> usize {
+        let ids: Vec<SliceId> = self.slices.borrow().keys().copied().collect();
+        let mut moved = 0;
+        for id in ids {
+            let (request, state) = {
+                let slices = self.slices.borrow();
+                let a = &slices[&id];
+                (a.request, Rc::clone(&a.state))
+            };
+            let outcome = self.try_replace(&state, &request, &[], |from, to, counts| {
+                if Self::same_devices(to, from) {
+                    return false;
+                }
+                let cur: u64 = from.iter().map(|d| u64::from(counts[d])).sum();
+                let new: u64 = to.iter().map(|d| u64::from(counts[d])).sum();
+                let off_detached = from.iter().any(|d| !self.is_attached(*d));
+                new < cur || (off_detached && new <= cur)
+            });
+            if matches!(outcome, Replace::Moved(_)) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    fn same_devices(a: &[DeviceId], b: &[DeviceId]) -> bool {
+        let mut a: Vec<DeviceId> = a.to_vec();
+        let mut b: Vec<DeviceId> = b.to_vec();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Current use-count of a device (how many live slices map to it,
+    /// whether or not the device is attached).
+    pub fn device_load(&self, device: DeviceId) -> u32 {
+        self.use_counts.borrow().get(&device).copied().unwrap_or(0)
+    }
+
+    /// Sum of all device use-counts. Zero exactly when no live slice
+    /// exists — the drain invariant chaos tests assert.
+    pub fn total_load(&self) -> u64 {
+        self.use_counts
+            .borrow()
+            .values()
+            .map(|c| u64::from(*c))
+            .sum()
+    }
+
+    /// Number of live (unreleased) slices.
+    pub fn live_slice_count(&self) -> usize {
+        self.slices.borrow().len()
+    }
+
+    fn charge(&self, devs: &[DeviceId]) {
+        let mut counts = self.use_counts.borrow_mut();
+        for d in devs {
+            *counts.get_mut(d).expect("device is in the topology") += 1;
+        }
+    }
+
+    fn uncharge(&self, devs: &[DeviceId]) {
+        let mut counts = self.use_counts.borrow_mut();
+        for d in devs {
+            let c = counts.get_mut(d).expect("device is in the topology");
+            debug_assert!(*c > 0, "use-count underflow on {d}: accounting drift");
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Pure placement: picks devices for `request` against the given
+    /// attach/ledger snapshot, without mutating anything.
+    fn place(
+        &self,
+        request: &SliceRequest,
+        attached: &BTreeMap<IslandId, BTreeSet<DeviceId>>,
+        counts: &BTreeMap<DeviceId, u32>,
+        excluded_islands: &[IslandId],
+    ) -> Result<Vec<DeviceId>, ResourceError> {
+        if request.devices == 0 {
+            return Err(ResourceError::EmptyRequest);
+        }
+        let candidates: Vec<IslandId> = match request.island {
+            Some(i) => {
+                if !attached.contains_key(&i) || excluded_islands.contains(&i) {
+                    return Err(ResourceError::UnknownIsland { island: i });
+                }
+                vec![i]
+            }
+            None => attached
+                .keys()
+                .copied()
+                .filter(|i| !excluded_islands.contains(i))
+                .collect(),
+        };
+        // Islands with enough attached devices, least-loaded first (ties
+        // broken by id for determinism).
+        let mut ranked: Vec<(u64, IslandId)> = candidates
+            .into_iter()
+            .filter(|i| attached[i].len() as u32 >= request.devices)
+            .map(|i| {
+                let load: u64 = attached[&i].iter().map(|d| u64::from(counts[d])).sum();
+                (load, i)
+            })
+            .collect();
+        ranked.sort();
+        if ranked.is_empty() {
+            let largest = attached.values().map(|m| m.len() as u32).max().unwrap_or(0);
+            return Err(ResourceError::InsufficientDevices {
+                requested: request.devices,
+                largest_island: largest,
+            });
+        }
+        for (_, island) in &ranked {
+            if let Some(devs) = self.place_in_island(request, &attached[island], counts) {
+                return Ok(devs);
+            }
+        }
+        // Capacity exists but no valid (torus-connected) window does.
+        Err(ResourceError::Fragmented {
+            requested: request.devices,
+        })
+    }
+
+    fn place_in_island(
+        &self,
+        request: &SliceRequest,
+        devs: &BTreeSet<DeviceId>,
+        counts: &BTreeMap<DeviceId, u32>,
+    ) -> Option<Vec<DeviceId>> {
+        let w = request.devices as usize;
+        if request.contiguous {
+            // Windows over the attached ids in torus order, keeping only
+            // those that are a connected submesh of the real torus, then
+            // the one with the lowest aggregate load (ties: lowest
+            // start, for determinism).
+            let ids: Vec<DeviceId> = devs.iter().copied().collect();
+            let mut best: Option<(u64, usize)> = None;
+            for start in 0..=(ids.len() - w) {
+                let win = &ids[start..start + w];
+                if !self.topo.is_connected_submesh(win) {
+                    continue;
+                }
+                let load: u64 = win.iter().map(|d| u64::from(counts[d])).sum();
+                if best.is_none_or(|(bl, _)| load < bl) {
+                    best = Some((load, start));
+                }
+            }
+            best.map(|(_, start)| ids[start..start + w].to_vec())
+        } else {
+            // Least-used devices first; ties broken by id for
+            // determinism.
+            let mut ids: Vec<(u32, DeviceId)> = devs.iter().map(|d| (counts[d], *d)).collect();
+            ids.sort();
+            Some(ids.into_iter().take(w).map(|(_, d)| d).collect())
+        }
     }
 }
 
@@ -466,6 +788,45 @@ mod tests {
         for w in devs.windows(2) {
             assert_eq!(w[1].0, w[0].0 + 1, "not contiguous: {devs:?}");
         }
+        assert!(rm.topology().is_connected_submesh(&devs));
+    }
+
+    #[test]
+    fn contiguous_skips_windows_spanning_detach_gaps() {
+        // 4x8 torus. Detaching device 1 leaves [0, 2, 3, 4, ...]: the
+        // id-window {0, 2, 3, 4} is NOT a connected submesh (0 = (0,0)
+        // and 2 = (0,2) are two hops apart), so the allocator must skip
+        // it rather than hand out a slice with a torus gap.
+        let rm = rm(ClusterSpec::config_b(4));
+        rm.detach_device(DeviceId(1));
+        let c = ClientId(0);
+        let s = rm
+            .allocate(c, SliceRequest::devices(4).contiguous())
+            .unwrap();
+        let devs = s.physical_devices();
+        assert!(
+            rm.topology().is_connected_submesh(&devs),
+            "allocator returned a disconnected 'contiguous' slice: {devs:?}"
+        );
+        assert!(!devs.contains(&DeviceId(1)));
+    }
+
+    #[test]
+    fn contiguous_reports_fragmentation() {
+        // 2x4 torus (8 devices). Detach every other device: plenty of
+        // capacity for 2, but no two attached devices are adjacent.
+        let rm = rm(ClusterSpec::config_b(1));
+        for d in [1u32, 3, 4, 6] {
+            rm.detach_device(DeviceId(d));
+        }
+        // Attached: {0, 2, 5, 7}. 0=(0,0), 2=(0,2), 5=(1,1), 7=(1,3):
+        // pairwise non-adjacent.
+        let err = rm
+            .allocate(ClientId(0), SliceRequest::devices(2).contiguous())
+            .unwrap_err();
+        assert_eq!(err, ResourceError::Fragmented { requested: 2 });
+        // Non-contiguous requests still succeed on the scattered devices.
+        assert!(rm.allocate(ClientId(0), SliceRequest::devices(2)).is_ok());
     }
 
     #[test]
@@ -476,6 +837,7 @@ mod tests {
         assert_eq!(rm.device_load(DeviceId(0)), 1);
         rm.release(&s);
         assert_eq!(rm.device_load(DeviceId(0)), 0);
+        assert_eq!(rm.total_load(), 0);
     }
 
     #[test]
@@ -497,9 +859,47 @@ mod tests {
         let c = ClientId(0);
         let s = rm.allocate(c, SliceRequest::devices(2)).unwrap();
         let clone = s.clone();
+        assert_eq!(clone.generation(), 0);
         let new = vec![DeviceId(14), DeviceId(15)];
         rm.remap(&s, new.clone());
         assert_eq!(clone.physical_devices(), new);
+        assert_eq!(clone.generation(), 1);
+    }
+
+    #[test]
+    fn remap_moves_use_counts() {
+        let rm = rm(ClusterSpec::config_b(2)); // 16 devices
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(2)).unwrap();
+        let old = s.physical_devices();
+        assert_eq!(old, vec![DeviceId(0), DeviceId(1)]);
+        rm.remap(&s, vec![DeviceId(14), DeviceId(15)]);
+        // Old devices are no longer charged; new devices are.
+        assert_eq!(rm.device_load(DeviceId(0)), 0);
+        assert_eq!(rm.device_load(DeviceId(1)), 0);
+        assert_eq!(rm.device_load(DeviceId(14)), 1);
+        assert_eq!(rm.device_load(DeviceId(15)), 1);
+        // A fresh allocation prefers the now-idle original devices.
+        let s2 = rm.allocate(c, SliceRequest::devices(2)).unwrap();
+        assert_eq!(s2.physical_devices(), vec![DeviceId(0), DeviceId(1)]);
+        // Release decrements the *post-remap* devices, exactly once.
+        rm.release(&s);
+        rm.release(&s2);
+        assert_eq!(rm.total_load(), 0);
+    }
+
+    #[test]
+    fn detach_attach_preserves_use_counts() {
+        let rm = rm(ClusterSpec::config_b(1));
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        rm.detach_device(DeviceId(0));
+        assert_eq!(rm.device_load(DeviceId(0)), 1, "count survives detach");
+        rm.attach_device(DeviceId(0));
+        assert_eq!(rm.device_load(DeviceId(0)), 1, "count survives re-attach");
+        rm.release(&s);
+        assert_eq!(rm.device_load(DeviceId(0)), 0, "no underflow, no drift");
+        assert_eq!(rm.total_load(), 0);
     }
 
     #[test]
@@ -515,6 +915,153 @@ mod tests {
         assert!(rm.allocate(c, SliceRequest::devices(5)).is_err());
         rm.attach_device(DeviceId(0));
         assert!(rm.allocate(c, SliceRequest::devices(5)).is_ok());
+    }
+
+    #[test]
+    fn heal_remaps_off_dead_devices() {
+        let rm = rm(ClusterSpec::config_b(1)); // 8 devices, one island
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(4)).unwrap();
+        assert_eq!(
+            s.physical_devices(),
+            vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)]
+        );
+        let events = rm.heal(&[DeviceId(2)], &[]);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].healed());
+        assert_eq!(events[0].slice, s.id());
+        let new = s.physical_devices();
+        assert!(!new.contains(&DeviceId(2)), "dead device still mapped");
+        assert_eq!(new.len(), 4);
+        assert_eq!(s.generation(), 1);
+        // Accounting: dead device uncharged, new devices charged once.
+        assert_eq!(rm.device_load(DeviceId(2)), 0);
+        for d in &new {
+            assert_eq!(rm.device_load(*d), 1);
+        }
+        rm.release(&s);
+        assert_eq!(rm.total_load(), 0);
+    }
+
+    #[test]
+    fn heal_honors_contiguity() {
+        let rm = rm(ClusterSpec::config_b(4)); // 4x8 torus
+        let c = ClientId(0);
+        let s = rm
+            .allocate(c, SliceRequest::devices(4).contiguous())
+            .unwrap();
+        let events = rm.heal(&[s.physical_devices()[1]], &[]);
+        assert!(events[0].healed());
+        assert!(
+            rm.topology().is_connected_submesh(&s.physical_devices()),
+            "healed mapping must stay a connected submesh"
+        );
+        rm.release(&s);
+        assert_eq!(rm.total_load(), 0);
+    }
+
+    #[test]
+    fn heal_unplaceable_keeps_charge_and_reports_error() {
+        let rm = rm(ClusterSpec::config_b(1)); // 8 devices, one island
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        // Killing one device leaves only 7 attached: an 8-wide slice
+        // cannot be healed in place.
+        let events = rm.heal(&[DeviceId(5)], &[]);
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].healed());
+        assert!(matches!(
+            events[0].to,
+            Err(ResourceError::InsufficientDevices { .. })
+        ));
+        // The broken mapping still charges its devices (no leak, no
+        // double-free on release).
+        assert_eq!(rm.device_load(DeviceId(5)), 1);
+        rm.release(&s);
+        assert_eq!(rm.total_load(), 0);
+    }
+
+    #[test]
+    fn heal_respects_excluded_islands() {
+        let rm = rm(ClusterSpec::islands_of(2, 1, 8));
+        let c = ClientId(0);
+        let s = rm
+            .allocate(c, SliceRequest::devices(8).in_island(IslandId(0)))
+            .unwrap();
+        // Island 0 cannot re-fit the slice once a device dies; the
+        // request is pinned there and island 1 is excluded anyway.
+        let events = rm.heal(&[DeviceId(0)], &[IslandId(0)]);
+        assert!(!events[0].healed());
+        assert_eq!(
+            events[0].to,
+            Err(ResourceError::UnknownIsland {
+                island: IslandId(0)
+            })
+        );
+        // An unpinned slice moves to the other island instead.
+        let s2 = rm.allocate(c, SliceRequest::devices(4)).unwrap();
+        let first = s2.physical_devices();
+        let dead = first[0];
+        let events = rm.heal(&[dead], &[rm.topology().island_of_device(dead)]);
+        let healed_ev = events.iter().find(|e| e.slice == s2.id()).unwrap();
+        assert!(healed_ev.healed());
+        let other = rm.topology().island_of_device(s2.physical_devices()[0]);
+        assert_ne!(other, rm.topology().island_of_device(dead));
+        rm.release(&s);
+        rm.release(&s2);
+        assert_eq!(rm.total_load(), 0);
+    }
+
+    #[test]
+    fn rebalance_compacts_after_churn() {
+        let rm = rm(ClusterSpec::config_b(1)); // 8 devices
+        let c = ClientId(0);
+        // Detach half the island, forcing both slices onto devices 4-7.
+        for d in 0..4 {
+            rm.detach_device(DeviceId(d));
+        }
+        let s1 = rm.allocate(c, SliceRequest::devices(4)).unwrap();
+        let s2 = rm.allocate(c, SliceRequest::devices(4)).unwrap();
+        assert_eq!(rm.device_load(DeviceId(4)), 2);
+        // Capacity returns; rebalance spreads the load back out.
+        for d in 0..4 {
+            rm.attach_device(DeviceId(d));
+        }
+        let moved = rm.rebalance();
+        assert_eq!(moved, 1, "exactly one slice needs to move");
+        let max_load = (0..8).map(|d| rm.device_load(DeviceId(d))).max().unwrap();
+        assert_eq!(max_load, 1, "load is compacted to one slice per device");
+        rm.release(&s1);
+        rm.release(&s2);
+        assert_eq!(rm.total_load(), 0);
+    }
+
+    #[test]
+    fn rebalance_moves_slices_off_detached_devices() {
+        let rm = rm(ClusterSpec::config_b(1));
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(2)).unwrap();
+        assert_eq!(s.physical_devices(), vec![DeviceId(0), DeviceId(1)]);
+        // Maintenance detach without a fault: heal is not involved, but
+        // rebalance migrates the slice onto attached capacity.
+        rm.detach_device(DeviceId(0));
+        let moved = rm.rebalance();
+        assert_eq!(moved, 1);
+        assert!(!s.physical_devices().contains(&DeviceId(0)));
+        assert_eq!(rm.device_load(DeviceId(0)), 0);
+        rm.release(&s);
+        assert_eq!(rm.total_load(), 0);
+    }
+
+    #[test]
+    fn rebalance_is_stable_when_balanced() {
+        let rm = rm(ClusterSpec::config_b(2));
+        let c = ClientId(0);
+        let s1 = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        let s2 = rm.allocate(c, SliceRequest::devices(8)).unwrap();
+        assert_eq!(rm.rebalance(), 0, "balanced layout must not churn");
+        assert_eq!(s1.generation(), 0);
+        assert_eq!(s2.generation(), 0);
     }
 
     #[test]

@@ -196,9 +196,19 @@ impl PathwaysRuntime {
     }
 
     /// The fault injector: apply [`FaultSpec`]s immediately or inspect
-    /// the failure registry and housekeeping error log.
+    /// the failure registry, housekeeping error log, and heal log.
     pub fn faults(&self) -> &Rc<FaultInjector> {
         &self.injector
+    }
+
+    /// Runs the resource manager's churn defragmenter
+    /// ([`ResourceManager::rebalance`]): re-places live slices whose
+    /// mapping is worse than a fresh placement (or uses detached
+    /// devices), compacting load after attach/detach cycles. Returns
+    /// the number of slices moved; affected programs re-lower on their
+    /// next submit. Call at a safe point between runs.
+    pub fn rebalance(&self) -> usize {
+        self.rm.rebalance()
     }
 
     /// Registers a scripted [`FaultPlan`] on the simulation: each fault

@@ -310,6 +310,174 @@ fn fail_client_between_submit_and_first_grant_unblocks_consumers() {
     assert!(rt.core().store.is_empty());
 }
 
+/// Acceptance scenario for elastic healing: a device is killed while a
+/// program is in flight on its slice. The in-flight run fails with
+/// `ProducerFailed`, the resource manager remaps the slice onto spare
+/// capacity in the same island, and the *same prepared program* —
+/// now stale — re-lowers transparently on the next submit and
+/// completes. Surviving islands progress throughout, heal notices reach
+/// live hosts, and after release the accounting ledger drains to zero.
+/// Run twice to assert the healed schedule replays bit-identically.
+#[test]
+fn device_kill_heals_slice_and_next_submit_succeeds() {
+    fn scenario() -> pathways_sim::trace::TraceLog {
+        let mut sim = Sim::new(11);
+        let rt = two_island_rt(&sim); // 2 islands x 8 devices
+        rt.install_fault_plan(FaultPlan::new().at(t(300), FaultSpec::Device(DeviceId(1))));
+        let client = rt.client(HostId(2)); // lives on the surviving island
+        let rm = Rc::clone(rt.resource_manager());
+        let rm2 = Rc::clone(&rm);
+
+        let job = sim.spawn("client", async move {
+            let slice = client
+                .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+                .unwrap();
+            assert_eq!(
+                slice.physical_devices(),
+                vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)]
+            );
+            let mut b = client.trace("step");
+            let k = b.computation(
+                FnSpec::compute_only("k", SimDuration::from_micros(800))
+                    .with_allreduce(4)
+                    .with_output_bytes(1 << 12),
+                &slice,
+            );
+            let prepared = client.prepare(&b.build().unwrap());
+            assert!(!prepared.is_stale());
+
+            // In flight on devices 0-3 when device 1 dies at t=300us.
+            let run1 = client.submit(&prepared).await;
+            let out1 = run1.object_ref(k).unwrap();
+            run1.finish().await;
+            let r1 = out1.ready().await;
+            drop(out1);
+
+            // The fault injector healed the slice synchronously: the
+            // mapping no longer contains the dead device, and the old
+            // preparation is stale.
+            let healed = slice.physical_devices();
+            assert!(
+                !healed.contains(&DeviceId(1)),
+                "slice not healed: {healed:?}"
+            );
+            assert_eq!(healed.len(), 4);
+            assert!(prepared.is_stale(), "remap must invalidate the lowering");
+
+            // Same prepared program, no client-side changes: submit
+            // re-lowers against the healed mapping and completes.
+            let run2 = client.submit(&prepared).await;
+            let out2 = run2.object_ref(k).unwrap();
+            run2.finish().await;
+            let r2 = out2.ready().await;
+            drop(out2);
+
+            rm2.release(&slice);
+            (r1, r2)
+        });
+
+        let outcome = sim.run();
+        assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+        let (r1, r2) = job.try_take().unwrap();
+        match r1 {
+            Err(ObjectError::ProducerFailed { .. }) => {}
+            other => panic!("in-flight run must fail, got {other:?}"),
+        }
+        assert_eq!(r2, Ok(()), "submit on the healed slice must succeed");
+
+        // Healing is observable: one heal event, the slice remapped.
+        let events = rt.faults().heal_events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].healed(), "heal failed: {:?}", events[0]);
+        assert!(events[0].from.contains(&DeviceId(1)));
+        // The heal notice reached the client's (live) host.
+        assert!(
+            rt.faults()
+                .heal_log()
+                .knows_about(HostId(2), events[0].slice),
+            "heal delivery must reach live hosts"
+        );
+        // Accounting drained to zero after release.
+        assert_eq!(rt.resource_manager().total_load(), 0);
+        assert_eq!(rt.resource_manager().live_slice_count(), 0);
+        assert!(rt.core().store.is_empty());
+        for dev in rt.core().devices.values() {
+            assert_eq!(dev.hbm().used(), 0, "HBM leaked on {:?}", dev.id());
+        }
+        sim.take_trace()
+    }
+
+    let trace_a = scenario();
+    let trace_b = scenario();
+    assert_eq!(
+        trace_a, trace_b,
+        "healed schedule must replay bit-identically"
+    );
+}
+
+/// Killing a host takes several devices at once; every slice touching
+/// them is healed in one pass onto the island's surviving host (or
+/// fails typed if the island's scheduler died with it). Here the dying
+/// host is NOT the scheduler host, so healing lands in-island.
+#[test]
+fn host_kill_heals_all_touched_slices_in_one_pass() {
+    let mut sim = Sim::new(5);
+    let rt = two_island_rt(&sim); // hosts 0,1 -> island 0; 2,3 -> island 1
+                                  // Host 1 holds devices 4-7; host 0 keeps the island-0 scheduler.
+    rt.install_fault_plan(FaultPlan::new().at(t(200), FaultSpec::Host(HostId(1))));
+    let client = rt.client(HostId(2));
+    let rm = Rc::clone(rt.resource_manager());
+    let rm2 = Rc::clone(&rm);
+    let job = sim.spawn("client", async move {
+        // Two 2-device slices placed across island 0; at least one
+        // touches host 1's devices after load balancing spreads them.
+        let s1 = client
+            .virtual_slice(SliceRequest::devices(6).in_island(IslandId(0)))
+            .unwrap();
+        let s2 = client
+            .virtual_slice(SliceRequest::devices(6).in_island(IslandId(0)))
+            .unwrap();
+        let h = client.handle().clone();
+        h.sleep(SimDuration::from_micros(400)).await; // fault has landed
+                                                      // Both slices must have been healed off devices 4-7... but the
+                                                      // island only has 4 live devices left, so 6-wide slices are
+                                                      // unplaceable — they stay broken and submits fail fast.
+        let mut b = client.trace("post");
+        let k = b.computation(FnSpec::compute_only("k", SimDuration::from_micros(50)), &s1);
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let out = run.object_ref(k).unwrap();
+        run.finish().await;
+        let r_broken = out.ready().await;
+
+        // A fresh, smaller allocation fits the surviving capacity and
+        // completes.
+        let s3 = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("fresh");
+        let k = b.computation(FnSpec::compute_only("k", SimDuration::from_micros(50)), &s3);
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let out = run.object_ref(k).unwrap();
+        run.finish().await;
+        let r_fresh = out.ready().await;
+        for s in [&s1, &s2, &s3] {
+            rm2.release(s);
+        }
+        (r_broken, r_fresh)
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    let (r_broken, r_fresh) = job.try_take().unwrap();
+    assert!(r_broken.is_err(), "unplaceable slice must fail fast");
+    assert_eq!(r_fresh, Ok(()), "right-sized reallocation must work");
+    // Both oversized slices produced (failed) heal events.
+    let events = rt.faults().heal_events();
+    assert_eq!(events.len(), 2);
+    assert!(events.iter().all(|e| !e.healed()));
+    assert_eq!(rt.resource_manager().total_load(), 0);
+    assert!(rt.core().store.is_empty());
+}
+
 /// Seeded chaos matrix: random fault schedules x random chained
 /// workloads never wedge a future, never leak store objects or HBM,
 /// and never stall the spare island.
@@ -343,6 +511,33 @@ fn chaos_matrix_upholds_invariants() {
             "seed {seed}: spare island made no progress (faults {:?})",
             report.faults
         );
+        // Healing invariants: every heal-epoch resubmission resolves
+        // (one per allocated slice: programs + the guaranteed spare),
+        // and the spare island's resubmission always succeeds.
+        let spec = ChaosSpec::seeded(seed);
+        assert_eq!(
+            report.healed_ok + report.healed_err,
+            spec.programs + 1,
+            "seed {seed}: heal-epoch resubmission wedged (faults {:?})",
+            report.faults
+        );
+        assert!(
+            report.spare_healed,
+            "seed {seed}: spare island's resubmission failed (faults {:?})",
+            report.faults
+        );
+        // Accounting drains: after the client released every slice, no
+        // device carries residual load and no slice is still tracked.
+        assert_eq!(
+            report.rm_residual_load, 0,
+            "seed {seed}: resource-manager ledger drifted by {} (faults {:?})",
+            report.rm_residual_load, report.faults
+        );
+        assert_eq!(
+            report.rm_live_slices, 0,
+            "seed {seed}: {} slices leaked (faults {:?})",
+            report.rm_live_slices, report.faults
+        );
     }
 }
 
@@ -364,5 +559,11 @@ fn chaos_runs_are_bit_identical_for_equal_seeds() {
         assert_eq!(a.resolved_ok, b.resolved_ok);
         assert_eq!(a.resolved_err, b.resolved_err);
         assert_eq!(a.survivor_kernels, b.survivor_kernels);
+        assert_eq!(a.healed_ok, b.healed_ok);
+        assert_eq!(a.healed_err, b.healed_err);
+        assert_eq!(
+            a.heal_events, b.heal_events,
+            "healing must be deterministic"
+        );
     }
 }

@@ -295,6 +295,45 @@ impl Topology {
     pub fn same_island(&self, a: DeviceId, b: DeviceId) -> bool {
         self.island_of_device(a) == self.island_of_device(b)
     }
+
+    /// True if `a` and `b` are directly wired on the ICI torus (one hop
+    /// apart in the same island).
+    pub fn ici_adjacent(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.same_island(a, b) && self.ici_hops(a, b) == 1
+    }
+
+    /// True if `devs` forms a single connected submesh of one island's
+    /// ICI torus: every device is reachable from every other through
+    /// torus-adjacent devices *of the set*. This is the physical meaning
+    /// of a "contiguous" (mesh-shaped) slice — a set of device ids that
+    /// happens to be consecutive in id order can still be disconnected
+    /// once devices in between have been detached.
+    ///
+    /// An empty set and a singleton are trivially connected; a set
+    /// spanning islands is never connected (there is no ICI between
+    /// islands).
+    pub fn is_connected_submesh(&self, devs: &[DeviceId]) -> bool {
+        if devs.len() <= 1 {
+            return true;
+        }
+        let island = self.island_of_device(devs[0]);
+        if devs.iter().any(|d| self.island_of_device(*d) != island) {
+            return false;
+        }
+        let set: std::collections::BTreeSet<DeviceId> = devs.iter().copied().collect();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut frontier = vec![devs[0]];
+        seen.insert(devs[0]);
+        while let Some(d) = frontier.pop() {
+            for n in set.iter() {
+                if !seen.contains(n) && self.ici_adjacent(d, *n) {
+                    seen.insert(*n);
+                    frontier.push(*n);
+                }
+            }
+        }
+        seen.len() == set.len()
+    }
 }
 
 /// Factors `n` into `(rows, cols)` with `rows <= cols`, as square as
@@ -377,6 +416,43 @@ mod tests {
     fn ici_across_islands_panics() {
         let topo = ClusterSpec::config_c().build();
         let _ = topo.ici_hops(DeviceId(0), DeviceId(32));
+    }
+
+    #[test]
+    fn adjacency_matches_torus_wiring() {
+        let topo = ClusterSpec::config_b(4).build(); // 32 devices, 4x8 torus
+                                                     // Same row, consecutive columns: one hop.
+        assert!(topo.ici_adjacent(DeviceId(0), DeviceId(1)));
+        // Same column, consecutive rows: one hop.
+        assert!(topo.ici_adjacent(DeviceId(0), DeviceId(8)));
+        // Row wrap-around: (0,0) and (0,7) are neighbors on the torus.
+        assert!(topo.ici_adjacent(DeviceId(0), DeviceId(7)));
+        // Diagonal: two hops, not adjacent.
+        assert!(!topo.ici_adjacent(DeviceId(0), DeviceId(9)));
+        assert!(!topo.ici_adjacent(DeviceId(0), DeviceId(0)));
+    }
+
+    #[test]
+    fn connected_submesh_detects_gaps() {
+        let topo = ClusterSpec::config_b(4).build(); // 4x8 torus
+        let ids = |v: &[u32]| v.iter().map(|d| DeviceId(*d)).collect::<Vec<_>>();
+        assert!(topo.is_connected_submesh(&ids(&[])));
+        assert!(topo.is_connected_submesh(&ids(&[5])));
+        // A row prefix is a path.
+        assert!(topo.is_connected_submesh(&ids(&[0, 1, 2, 3])));
+        // Two full rows form a 2x8 submesh.
+        assert!(topo.is_connected_submesh(&ids(&[
+            0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15
+        ])));
+        // A detach gap in the middle disconnects the window: 3=(0,3)
+        // and 5=(0,5) are two hops apart with nothing bridging them.
+        assert!(!topo.is_connected_submesh(&ids(&[1, 2, 3, 5])));
+        assert!(!topo.is_connected_submesh(&ids(&[0, 1, 4, 5])));
+        // {2,3} and {9} are not wired: (1,1) touches (0,1), not (0,2)/(0,3).
+        assert!(!topo.is_connected_submesh(&ids(&[2, 3, 9])));
+        // Devices from different islands are never connected.
+        let c = ClusterSpec::config_c().build();
+        assert!(!c.is_connected_submesh(&[DeviceId(31), DeviceId(32)]));
     }
 
     #[test]
