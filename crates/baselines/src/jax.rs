@@ -156,7 +156,6 @@ impl JaxRuntime {
         for host in topo.hosts() {
             let local: Vec<DeviceHandle> = topo
                 .devices_of_host(host)
-                .into_iter()
                 .map(|d| devices[&d].clone())
                 .collect();
             let fabric = fabric.clone();

@@ -157,7 +157,8 @@ impl RayRuntime {
             let mut inbox = router.register(host);
             let router2 = router.clone();
             let fabric = self.fabric.clone();
-            let gpu = self.devices[&topo.devices_of_host(host)[0]].clone();
+            let first_dev = topo.devices_of_host(host).next().expect("host has devices");
+            let gpu = self.devices[&first_dev].clone();
             let h = handle.clone();
             let token = pathways_sim::IdleToken::new();
             let token2 = token.clone();

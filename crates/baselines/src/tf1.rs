@@ -137,7 +137,10 @@ impl Tf1Runtime {
         let topo = Rc::clone(&self.topo);
         let handle = self.handle.clone();
         let router: Router<WorkerMsg> = Router::new(self.fabric.clone());
-        let coordinator_host = topo.hosts_of_island(pathways_net::IslandId(0))[0];
+        let coordinator_host = topo
+            .hosts_of_island(pathways_net::IslandId(0))
+            .next()
+            .expect("island has hosts");
 
         // Per mode: how many barrier-separated *steps* one client call
         // performs, and the kernel run per step.
@@ -175,7 +178,6 @@ impl Tf1Runtime {
             let fabric = self.fabric.clone();
             let local: Vec<DeviceHandle> = topo
                 .devices_of_host(host)
-                .into_iter()
                 .map(|d| self.devices[&d].clone())
                 .collect();
             let token = IdleToken::new();

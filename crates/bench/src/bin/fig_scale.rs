@@ -1,0 +1,73 @@
+//! Warehouse-scale sweep: sim-time/wall-time ratio, controller
+//! overhead per scheduled kernel, and heal latency vs blast radius,
+//! from 4 islands (160 devices) up to 256 islands (10240 devices).
+//!
+//! Usage: `fig_scale [ISLANDS...]` — island counts to sweep; defaults
+//! to `4 16 64 256`. Writes `BENCH_fig_scale.json` at the repo root
+//! (override the directory with `BENCH_OUT_DIR`).
+
+use pathways_bench::perf::{BenchReport, ClusterShape};
+use pathways_bench::scale::{heal_point, scale_point, DEVICES_PER_HOST, HOSTS_PER_ISLAND};
+use pathways_sim::SimDuration;
+
+fn main() {
+    let mut sweep: Vec<u32> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            a.parse()
+                .unwrap_or_else(|_| panic!("bad island count {a:?}"))
+        })
+        .collect();
+    if sweep.is_empty() {
+        sweep = vec![4, 16, 64, 256];
+    }
+
+    println!("Scaling sweep: {HOSTS_PER_ISLAND} hosts/island x {DEVICES_PER_HOST} devices/host");
+    println!(
+        "{:>8} {:>8} {:>7} {:>10} {:>12} {:>8} {:>12} {:>8}",
+        "islands", "devices", "steps", "sim/wall", "us/kernel", "slices", "heal_us", "blast"
+    );
+
+    let mut report = BenchReport::new(
+        "fig_scale",
+        ClusterShape {
+            islands: *sweep.last().expect("sweep is non-empty"),
+            hosts_per_island: HOSTS_PER_ISLAND,
+            devices_per_host: DEVICES_PER_HOST,
+        },
+    );
+
+    for &islands in &sweep {
+        let s = scale_point(
+            islands,
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(2),
+        );
+        let h = heal_point(islands, 40);
+        println!(
+            "{:>8} {:>8} {:>7} {:>10.3} {:>12.2} {:>8} {:>12.1} {:>8}",
+            islands,
+            s.devices,
+            s.steps,
+            s.sim_wall_ratio(),
+            s.wall_us_per_kernel(),
+            h.live_slices,
+            h.heal_wall_us,
+            h.blast_radius,
+        );
+        report = report
+            .metric(format!("sim_wall_ratio_i{islands}"), s.sim_wall_ratio())
+            .metric(
+                format!("wall_us_per_kernel_i{islands}"),
+                s.wall_us_per_kernel(),
+            )
+            .metric(format!("steps_i{islands}"), s.steps as f64)
+            .metric(format!("heal_wall_us_i{islands}"), h.heal_wall_us)
+            .metric(
+                format!("heal_blast_radius_i{islands}"),
+                f64::from(h.blast_radius),
+            )
+            .metric(format!("live_slices_i{islands}"), h.live_slices as f64);
+    }
+    report.write_or_warn();
+}

@@ -1,6 +1,11 @@
 //! Runs a quick (scaled-down) pass over every experiment, printing a
 //! one-line verdict per paper claim — a smoke test of the whole
 //! reproduction in about a minute.
+//!
+//! Besides the PASS/FAIL lines, every figure's headline numbers are
+//! written to a `BENCH_<figure>.json` file at the repo root (metric
+//! names and values, cluster shape, git rev) so the perf trajectory of
+//! the reproduction is machine-readable across commits.
 
 use pathways_baselines::{StepWorkload, SubmissionMode};
 use pathways_bench::chain::{chained_throughput, ChainDispatch};
@@ -9,6 +14,7 @@ use pathways_bench::micro::{
     fig6_point, jax_throughput, pathways_multiclient_throughput, pathways_throughput,
     ray_throughput, tf1_throughput,
 };
+use pathways_bench::perf::{BenchReport, ClusterShape};
 use pathways_bench::pipeline::pipeline_throughput;
 use pathways_bench::tenancy::tenancy_trace;
 use pathways_bench::training::{
@@ -21,6 +27,16 @@ use pathways_sim::SimDuration;
 
 fn verdict(name: &str, ok: bool, detail: String) {
     println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+}
+
+/// Cluster shape shared by the small micro figures below: one island of
+/// 2 hosts x 8 devices.
+fn small_island(islands: u32, hosts: u32, devices_per_host: u32) -> ClusterShape {
+    ClusterShape {
+        islands,
+        hosts_per_island: hosts,
+        devices_per_host,
+    }
 }
 
 fn main() {
@@ -60,6 +76,15 @@ fn main() {
         ray_o * 2.0 < pw_o,
         format!("{ray_o:.0} vs {pw_o:.0}"),
     );
+    BenchReport::new("fig5", small_island(1, 2, 8))
+        .metric("jax_opbyop_per_sec", jax_o)
+        .metric("jax_fused_per_sec", jax_f)
+        .metric("pw_opbyop_per_sec", pw_o)
+        .metric("pw_chained_per_sec", pw_c)
+        .metric("pw_fused_per_sec", pw_f)
+        .metric("tf1_opbyop_per_sec", tf_o)
+        .metric("ray_opbyop_per_sec", ray_o)
+        .write_or_warn();
 
     // Figure 6: parity improves with computation size.
     let (j_s, p_s) = fig6_point(4, 8, SimDuration::from_micros(100), 30);
@@ -69,6 +94,10 @@ fn main() {
         p_s / j_s < 0.95 && p_b / j_b > 0.9,
         format!("ratio {:.2} -> {:.2}", p_s / j_s, p_b / j_b),
     );
+    BenchReport::new("fig6", small_island(1, 4, 8))
+        .metric("ratio_small_computation", p_s / j_s)
+        .metric("ratio_large_computation", p_b / j_b)
+        .write_or_warn();
 
     // Figure 7.
     let par = pipeline_throughput(16, DispatchMode::Parallel, SimDuration::from_micros(10), 4);
@@ -83,6 +112,10 @@ fn main() {
         par > seq * 1.3,
         format!("{par:.0} vs {seq:.0} comp/s"),
     );
+    BenchReport::new("fig7", small_island(1, 16, 1))
+        .metric("parallel_per_sec", par)
+        .metric("sequential_per_sec", seq)
+        .write_or_warn();
 
     // Figure 8.
     let one = pathways_multiclient_throughput(
@@ -106,6 +139,10 @@ fn main() {
         eight > one * 1.3,
         format!("{one:.0} -> {eight:.0} comp/s"),
     );
+    BenchReport::new("fig8", small_island(1, 2, 8))
+        .metric("one_client_per_sec", one)
+        .metric("eight_clients_per_sec", eight)
+        .write_or_warn();
 
     // Figure 9.
     let t = tenancy_trace(
@@ -122,6 +159,10 @@ fn main() {
         d / a > 3.0 && t.utilization > 0.9,
         format!("D/A = {:.1}, util {:.0}%", d / a, t.utilization * 100.0),
     );
+    BenchReport::new("fig9", small_island(1, 1, 8))
+        .metric("share_ratio_d_over_a", d / a)
+        .metric("utilization", t.utilization)
+        .write_or_warn();
 
     // Table 1.
     let (jax_t5, pw_t5) = table1_point(TransformerConfig::t5_base(), 32, 0.65, 2);
@@ -130,6 +171,10 @@ fn main() {
         (pw_t5 / jax_t5 - 1.0).abs() < 0.05,
         format!("{jax_t5:.0} vs {pw_t5:.0} tokens/s"),
     );
+    BenchReport::new("table1", small_island(1, 8, 4))
+        .metric("jax_tokens_per_sec", jax_t5)
+        .metric("pw_tokens_per_sec", pw_t5)
+        .write_or_warn();
 
     // Table 2 (reduced).
     let setup = {
@@ -144,6 +189,10 @@ fn main() {
         pipe / spmd > 0.9,
         format!("{pipe:.0} vs {spmd:.0} tokens/s"),
     );
+    BenchReport::new("table2", small_island(1, 8, 4))
+        .metric("spmd_tokens_per_sec", spmd)
+        .metric("pipeline_tokens_per_sec", pipe)
+        .write_or_warn();
 
     // Figure 12 (reduced).
     let (two, single) = two_island_scaling(16, &setup, 2);
@@ -152,6 +201,11 @@ fn main() {
         two / single > 0.7,
         format!("{:.1}%", 100.0 * two / single),
     );
+    BenchReport::new("fig12", small_island(2, 4, 4))
+        .metric("two_island_tokens_per_sec", two)
+        .metric("single_island_tokens_per_sec", single)
+        .metric("scaling_efficiency", two / single)
+        .write_or_warn();
 
     // Figure 14 (reduced): chained programs through ObjectRef futures.
     let chain_seq = chained_throughput(
@@ -175,6 +229,10 @@ fn main() {
         chain_par > chain_seq * 1.2,
         format!("{chain_par:.0} vs {chain_seq:.0} prog/s"),
     );
+    BenchReport::new("fig14", small_island(1, 2, 8))
+        .metric("sequential_programs_per_sec", chain_seq)
+        .metric("parallel_programs_per_sec", chain_par)
+        .write_or_warn();
 
     // fig_heal (reduced): throughput recovered after a mid-trace device
     // kill — the slice is remapped and the client's next submit
@@ -199,6 +257,12 @@ fn main() {
             survivor_ok,
         ),
     );
+    BenchReport::new("fig_heal", small_island(2, 2, 4))
+        .metric("island0_pre_steps_per_sec", i0.pre_per_sec)
+        .metric("island0_post_steps_per_sec", i0.post_per_sec)
+        .metric("island0_recovery", heal.recovery())
+        .metric("island0_failed_steps", i0.failed_steps as f64)
+        .write_or_warn();
 
     println!("\nFull-size runs: see the individual fig*/table* binaries.");
 }

@@ -75,7 +75,11 @@ pub fn healing_throughput(islands: u32, compute: SimDuration, window: SimDuratio
     // least-loaded devices of each island).
     let mut clients = Vec::new();
     for i in 0..islands {
-        let host = rt.topology().hosts_of_island(IslandId(i))[0];
+        let host = rt
+            .topology()
+            .hosts_of_island(IslandId(i))
+            .next()
+            .expect("island has hosts");
         let client = rt.client(host);
         let slice = client
             .virtual_slice(SliceRequest::devices(4).in_island(IslandId(i)))

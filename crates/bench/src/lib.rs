@@ -19,15 +19,22 @@
 //! | `fig12` | 64B/136B two-island data-parallel scaling |
 //! | `fig14` | chained-program ObjectRef dispatch, sequential vs parallel |
 //! | `fig_heal` | recovered throughput after a mid-trace device kill (elastic healing) |
+//! | `fig_scale` | warehouse-scale sweep: sim/wall ratio, per-kernel overhead, heal latency up to 10k devices |
 //! | `ablation_sched` | batched vs per-node scheduler messages |
 //! | `ablation_store` | object-store handle return vs client data pull |
+//!
+//! `run_all` and `fig_scale` additionally emit machine-readable
+//! `BENCH_<figure>.json` reports (see [`perf`]) so the perf trajectory
+//! of the reproduction can be tracked across commits.
 
 #![warn(missing_docs)]
 
 pub mod chain;
 pub mod heal;
 pub mod micro;
+pub mod perf;
 pub mod pipeline;
+pub mod scale;
 pub mod stream;
 pub mod table;
 pub mod tenancy;

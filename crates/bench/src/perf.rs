@@ -1,0 +1,194 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every figure/table harness can serialize its headline numbers to a
+//! `BENCH_<figure>.json` file at the repository root — one JSON object
+//! per figure with the metric names and values, the cluster shape the
+//! numbers were measured on, and the git revision that produced them.
+//! A perf trajectory across commits is then a matter of collecting the
+//! files (CI uploads them as artifacts; see `.github/workflows/ci.yml`).
+//!
+//! The workspace has no JSON dependency, so the writer is hand-rolled:
+//! the format is flat (strings and finite numbers only), escaping is
+//! the minimal JSON string escape, and non-finite floats serialize as
+//! `null` (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The cluster shape a report's numbers were measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterShape {
+    /// Number of ICI islands.
+    pub islands: u32,
+    /// Hosts per island.
+    pub hosts_per_island: u32,
+    /// Devices per host.
+    pub devices_per_host: u32,
+}
+
+impl ClusterShape {
+    /// Total device count.
+    pub fn devices(&self) -> u32 {
+        self.islands * self.hosts_per_island * self.devices_per_host
+    }
+}
+
+/// One figure's machine-readable result set.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    figure: String,
+    cluster: ClusterShape,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Starts an empty report for `figure` (e.g. `"fig5"`), measured on
+    /// `cluster`.
+    pub fn new(figure: impl Into<String>, cluster: ClusterShape) -> Self {
+        BenchReport {
+            figure: figure.into(),
+            cluster,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one named metric. Insertion order is preserved in the
+    /// output.
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Serializes the report as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"figure\": {},", json_string(&self.figure));
+        let _ = writeln!(out, "  \"git_rev\": {},", json_string(&git_rev()));
+        let _ = writeln!(
+            out,
+            "  \"cluster\": {{\"islands\": {}, \"hosts_per_island\": {}, \"devices_per_host\": {}, \"devices\": {}}},",
+            self.cluster.islands,
+            self.cluster.hosts_per_island,
+            self.cluster.devices_per_host,
+            self.cluster.devices(),
+        );
+        out.push_str("  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_string(name), json_number(*value));
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Writes the report to `BENCH_<figure>.json` in the output
+    /// directory (`BENCH_OUT_DIR` if set, else the repository root) and
+    /// returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = out_dir().join(format!("BENCH_{}.json", self.figure));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path.canonicalize().unwrap_or(path))
+    }
+
+    /// Like [`BenchReport::write`] but prints a one-line warning instead
+    /// of failing — benches should report numbers even when the output
+    /// directory is read-only.
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", self.figure),
+        }
+    }
+}
+
+/// The directory `BENCH_*.json` files land in: `$BENCH_OUT_DIR` when
+/// set, else the repository root (two levels above this crate).
+fn out_dir() -> PathBuf {
+    match std::env::var_os("BENCH_OUT_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+/// Short git revision of the working tree, `"unknown"` when git is
+/// unavailable (e.g. running from an exported tarball).
+pub fn git_rev() -> String {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal; non-finite floats become `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_to_valid_flat_json() {
+        let json = BenchReport::new(
+            "figX",
+            ClusterShape {
+                islands: 4,
+                hosts_per_island: 5,
+                devices_per_host: 8,
+            },
+        )
+        .metric("steps_per_sec", 1234.5)
+        .metric("ratio", f64::NAN)
+        .to_json();
+        assert!(json.contains("\"figure\": \"figX\""));
+        assert!(json.contains("\"devices\": 160"));
+        assert!(json.contains("\"steps_per_sec\": 1234.5"));
+        // NaN is not JSON: it must degrade to null.
+        assert!(json.contains("\"ratio\": null"));
+        assert!(!json.contains("NaN"));
+        // The git_rev field is present whatever its value.
+        assert!(json.contains("\"git_rev\": \""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -374,8 +374,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         core.fabric
             .topology()
             .devices_of_island(spare)
-            .iter()
-            .map(|d| core.devices[d].stats().kernels)
+            .map(|d| core.devices[&d].stats().kernels)
             .sum()
     } else {
         0

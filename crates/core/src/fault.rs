@@ -513,8 +513,8 @@ impl FaultInjector {
         // (0 is the rendezvous's "unknown" sentinel).
         let topo = self.core.fabric.topology();
         for island in &islands {
-            if let Some(d) = topo.devices_of_island(*island).first() {
-                if let Some(dev) = self.core.devices.get(d) {
+            if let Some(d) = topo.devices_of_island(*island).next() {
+                if let Some(dev) = self.core.devices.get(&d) {
                     dev.rendezvous().mark_owner_failed(run.0 + 1);
                 }
             }

@@ -193,7 +193,7 @@ struct HealthReporter {
 impl Operator for HealthReporter {
     fn on_tuple(&mut self, ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, _t: Tuple) {
         let host = ctx.host();
-        let devices: Vec<DeviceId> = self.core.fabric.topology().devices_of_host(host);
+        let devices: Vec<DeviceId> = self.core.fabric.topology().devices_of_host(host).collect();
         let mut kernels = 0u64;
         let mut hbm_used = 0u64;
         for d in &devices {

@@ -251,6 +251,24 @@ impl HealEvent {
 }
 
 /// The global resource manager.
+///
+/// Alongside the authoritative ledger it maintains three derived
+/// indexes so the placement and healing hot paths scale with the blast
+/// radius of a change rather than the cluster size:
+///
+/// * `island_load` — per-island sum of *attached* devices' use-counts,
+///   the island ranking key (`place` used to re-sum every island's
+///   devices on every allocation);
+/// * `by_load` — each island's attached devices ordered by
+///   `(use-count, id)`, so least-loaded selection reads the first `w`
+///   entries instead of sorting the whole island;
+/// * `dev_slices` — which live slices map each device (with
+///   multiplicity), so `heal` visits only the slices touching dead
+///   hardware instead of filtering every live slice.
+///
+/// All three are updated at the ledger's single choke points
+/// (`charge`/`uncharge`/`detach_device`/`attach_device`), and the
+/// `prop_resource` suite checks them against a naive linear-scan model.
 pub struct ResourceManager {
     topo: Rc<Topology>,
     /// Attached devices per island (placement candidates).
@@ -260,6 +278,13 @@ pub struct ResourceManager {
     use_counts: RefCell<BTreeMap<DeviceId, u32>>,
     slices: RefCell<BTreeMap<SliceId, Allocation>>,
     next_slice: RefCell<u64>,
+    /// Sum of attached devices' use-counts, per island.
+    island_load: RefCell<BTreeMap<IslandId, u64>>,
+    /// Attached devices of each island in `(use-count, id)` order.
+    by_load: RefCell<BTreeMap<IslandId, BTreeSet<(u32, DeviceId)>>>,
+    /// Live slices mapping each device, with multiplicity (a remap may
+    /// map the same physical device more than once).
+    dev_slices: RefCell<BTreeMap<DeviceId, BTreeMap<SliceId, u32>>>,
 }
 
 impl fmt::Debug for ResourceManager {
@@ -277,11 +302,15 @@ impl ResourceManager {
     pub fn new(topo: Rc<Topology>) -> Self {
         let mut attached = BTreeMap::new();
         let mut use_counts = BTreeMap::new();
+        let mut island_load = BTreeMap::new();
+        let mut by_load = BTreeMap::new();
         for island in topo.islands() {
-            let devs: BTreeSet<DeviceId> = topo.devices_of_island(island).into_iter().collect();
+            let devs: BTreeSet<DeviceId> = topo.devices_of_island(island).collect();
             for d in &devs {
                 use_counts.insert(*d, 0);
             }
+            island_load.insert(island, 0u64);
+            by_load.insert(island, devs.iter().map(|d| (0u32, *d)).collect());
             attached.insert(island, devs);
         }
         ResourceManager {
@@ -290,6 +319,9 @@ impl ResourceManager {
             use_counts: RefCell::new(use_counts),
             slices: RefCell::new(BTreeMap::new()),
             next_slice: RefCell::new(0),
+            island_load: RefCell::new(island_load),
+            by_load: RefCell::new(by_load),
+            dev_slices: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -324,7 +356,19 @@ impl ResourceManager {
     pub fn detach_device(&self, device: DeviceId) {
         let island = self.topo.island_of_device(device);
         if let Some(m) = self.attached.borrow_mut().get_mut(&island) {
-            m.remove(&device);
+            if m.remove(&device) {
+                let count = self.use_counts.borrow()[&device];
+                *self
+                    .island_load
+                    .borrow_mut()
+                    .get_mut(&island)
+                    .expect("island indexed") -= u64::from(count);
+                self.by_load
+                    .borrow_mut()
+                    .get_mut(&island)
+                    .expect("island indexed")
+                    .remove(&(count, device));
+            }
         }
     }
 
@@ -337,11 +381,21 @@ impl ResourceManager {
     /// Panics if `device` is not part of the topology.
     pub fn attach_device(&self, device: DeviceId) {
         let island = self.topo.island_of_device(device);
-        self.attached
+        if self
+            .attached
             .borrow_mut()
             .entry(island)
             .or_default()
-            .insert(device);
+            .insert(device)
+        {
+            let count = self.use_counts.borrow()[&device];
+            *self.island_load.borrow_mut().entry(island).or_insert(0) += u64::from(count);
+            self.by_load
+                .borrow_mut()
+                .entry(island)
+                .or_default()
+                .insert((count, device));
+        }
     }
 
     /// Allocates a virtual slice for `client`.
@@ -368,13 +422,13 @@ impl ResourceManager {
             let counts = self.use_counts.borrow();
             self.place(&request, &attached, &counts, &[])?
         };
-        self.charge(&chosen);
         let id = {
             let mut next = self.next_slice.borrow_mut();
             let id = SliceId(*next);
             *next += 1;
             id
         };
+        self.charge(id, &chosen);
         let slice = VirtualSlice::new(id, chosen);
         self.slices.borrow_mut().insert(
             id,
@@ -395,7 +449,7 @@ impl ResourceManager {
     fn release_id(&self, id: SliceId) {
         if let Some(alloc) = self.slices.borrow_mut().remove(&id) {
             let devices = alloc.state.borrow().devices.clone();
-            self.uncharge(&devices);
+            self.uncharge(id, &devices);
         }
     }
 
@@ -435,8 +489,8 @@ impl ResourceManager {
         // slices built with `for_tests` are not.
         if self.slices.borrow().contains_key(&slice.id()) {
             let old = slice.state.borrow().devices.clone();
-            self.uncharge(&old);
-            self.adopt_mapping(&slice.state, new_devices);
+            self.uncharge(slice.id(), &old);
+            self.adopt_mapping(slice.id(), &slice.state, new_devices);
         } else {
             Self::set_mapping(&slice.state, new_devices);
         }
@@ -447,8 +501,8 @@ impl ResourceManager {
     /// bumps the generation so lowered programs go stale. The single
     /// place where a mapping change and the ledger meet — `remap`,
     /// `heal` and `rebalance` all move slices through here.
-    fn adopt_mapping(&self, state: &Rc<RefCell<MappingState>>, new: Vec<DeviceId>) {
-        self.charge(&new);
+    fn adopt_mapping(&self, id: SliceId, state: &Rc<RefCell<MappingState>>, new: Vec<DeviceId>) {
+        self.charge(id, &new);
         Self::set_mapping(state, new);
     }
 
@@ -469,13 +523,14 @@ impl ResourceManager {
     /// *with this slice's own charge removed*.
     fn try_replace(
         &self,
+        id: SliceId,
         state: &Rc<RefCell<MappingState>>,
         request: &SliceRequest,
         excluded_islands: &[IslandId],
         accept: impl FnOnce(&[DeviceId], &[DeviceId], &BTreeMap<DeviceId, u32>) -> bool,
     ) -> Replace {
         let from = state.borrow().devices.clone();
-        self.uncharge(&from);
+        self.uncharge(id, &from);
         let placed = {
             let attached = self.attached.borrow();
             let counts = self.use_counts.borrow();
@@ -488,15 +543,15 @@ impl ResourceManager {
                     accept(&from, &to, &counts)
                 };
                 if accepted {
-                    self.adopt_mapping(state, to.clone());
+                    self.adopt_mapping(id, state, to.clone());
                     Replace::Moved(to)
                 } else {
-                    self.charge(&from);
+                    self.charge(id, &from);
                     Replace::Kept
                 }
             }
             Err(e) => {
-                self.charge(&from);
+                self.charge(id, &from);
                 Replace::Failed(e)
             }
         }
@@ -518,13 +573,19 @@ impl ResourceManager {
         for d in dead {
             self.detach_device(*d);
         }
-        let victims: Vec<SliceId> = self
-            .slices
-            .borrow()
-            .iter()
-            .filter(|(_, a)| a.state.borrow().devices.iter().any(|d| dead.contains(d)))
-            .map(|(id, _)| *id)
-            .collect();
+        // Blast radius only: the reverse index names the slices touching
+        // dead hardware; no scan over the live-slice table. The BTreeSet
+        // union preserves heal's deterministic id order.
+        let victims: Vec<SliceId> = {
+            let dev_slices = self.dev_slices.borrow();
+            let mut ids = BTreeSet::new();
+            for d in dead {
+                if let Some(owners) = dev_slices.get(d) {
+                    ids.extend(owners.keys().copied());
+                }
+            }
+            ids.into_iter().collect()
+        };
         let mut events = Vec::new();
         for id in victims {
             let (owner, request, state) = {
@@ -533,7 +594,8 @@ impl ResourceManager {
                 (a.owner, a.request, Rc::clone(&a.state))
             };
             let from = state.borrow().devices.clone();
-            let to = match self.try_replace(&state, &request, excluded_islands, |_, _, _| true) {
+            let to = match self.try_replace(id, &state, &request, excluded_islands, |_, _, _| true)
+            {
                 Replace::Moved(to) => Ok(to),
                 Replace::Failed(e) => Err(e),
                 Replace::Kept => unreachable!("heal accepts every successful placement"),
@@ -565,7 +627,7 @@ impl ResourceManager {
                 let a = &slices[&id];
                 (a.request, Rc::clone(&a.state))
             };
-            let outcome = self.try_replace(&state, &request, &[], |from, to, counts| {
+            let outcome = self.try_replace(id, &state, &request, &[], |from, to, counts| {
                 if Self::same_devices(to, from) {
                     return false;
                 }
@@ -610,19 +672,97 @@ impl ResourceManager {
         self.slices.borrow().len()
     }
 
-    fn charge(&self, devs: &[DeviceId]) {
+    /// Asserts that every incremental index (`island_load`, `by_load`,
+    /// `dev_slices`) agrees with a naive linear-scan recomputation from
+    /// the ground-truth ledger and live slices. Test-only hook for the
+    /// resource-manager property tests; panics on any drift.
+    #[doc(hidden)]
+    pub fn assert_indexes_consistent(&self) {
+        let counts = self.use_counts.borrow();
+        let attached = self.attached.borrow();
+        let slices = self.slices.borrow();
+
+        // island_load / by_load: recompute from attached devices' counts.
+        for (island, devs) in attached.iter() {
+            let want_load: u64 = devs.iter().map(|d| u64::from(counts[d])).sum();
+            let got_load = self.island_load.borrow().get(island).copied().unwrap_or(0);
+            assert_eq!(got_load, want_load, "island_load drift on {island}");
+            let want_order: BTreeSet<(u32, DeviceId)> =
+                devs.iter().map(|d| (counts[d], *d)).collect();
+            let got_order = self
+                .by_load
+                .borrow()
+                .get(island)
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(got_order, want_order, "by_load drift on {island}");
+        }
+
+        // dev_slices: recompute device -> slice multiplicities from the
+        // live slices' current mappings.
+        let mut want: BTreeMap<DeviceId, BTreeMap<SliceId, u32>> = BTreeMap::new();
+        for (id, alloc) in slices.iter() {
+            for d in &alloc.state.borrow().devices {
+                *want.entry(*d).or_default().entry(*id).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(
+            *self.dev_slices.borrow(),
+            want,
+            "dev_slices reverse index drift"
+        );
+    }
+
+    fn charge(&self, slice: SliceId, devs: &[DeviceId]) {
         let mut counts = self.use_counts.borrow_mut();
+        let attached = self.attached.borrow();
+        let mut island_load = self.island_load.borrow_mut();
+        let mut by_load = self.by_load.borrow_mut();
+        let mut dev_slices = self.dev_slices.borrow_mut();
         for d in devs {
-            *counts.get_mut(d).expect("device is in the topology") += 1;
+            let c = counts.get_mut(d).expect("device is in the topology");
+            let old = *c;
+            *c += 1;
+            *dev_slices.entry(*d).or_default().entry(slice).or_insert(0) += 1;
+            let island = self.topo.island_of_device(*d);
+            if attached.get(&island).is_some_and(|m| m.contains(d)) {
+                *island_load.get_mut(&island).expect("island indexed") += 1;
+                let order = by_load.get_mut(&island).expect("island indexed");
+                order.remove(&(old, *d));
+                order.insert((old + 1, *d));
+            }
         }
     }
 
-    fn uncharge(&self, devs: &[DeviceId]) {
+    fn uncharge(&self, slice: SliceId, devs: &[DeviceId]) {
         let mut counts = self.use_counts.borrow_mut();
+        let attached = self.attached.borrow();
+        let mut island_load = self.island_load.borrow_mut();
+        let mut by_load = self.by_load.borrow_mut();
+        let mut dev_slices = self.dev_slices.borrow_mut();
         for d in devs {
             let c = counts.get_mut(d).expect("device is in the topology");
             debug_assert!(*c > 0, "use-count underflow on {d}: accounting drift");
+            let old = *c;
             *c = c.saturating_sub(1);
+            if let Some(owners) = dev_slices.get_mut(d) {
+                if let Some(mult) = owners.get_mut(&slice) {
+                    *mult -= 1;
+                    if *mult == 0 {
+                        owners.remove(&slice);
+                    }
+                }
+                if owners.is_empty() {
+                    dev_slices.remove(d);
+                }
+            }
+            let island = self.topo.island_of_device(*d);
+            if old > 0 && attached.get(&island).is_some_and(|m| m.contains(d)) {
+                *island_load.get_mut(&island).expect("island indexed") -= 1;
+                let order = by_load.get_mut(&island).expect("island indexed");
+                order.remove(&(old, *d));
+                order.insert((old - 1, *d));
+            }
         }
     }
 
@@ -652,15 +792,16 @@ impl ResourceManager {
                 .collect(),
         };
         // Islands with enough attached devices, least-loaded first (ties
-        // broken by id for determinism).
-        let mut ranked: Vec<(u64, IslandId)> = candidates
-            .into_iter()
-            .filter(|i| attached[i].len() as u32 >= request.devices)
-            .map(|i| {
-                let load: u64 = attached[&i].iter().map(|d| u64::from(counts[d])).sum();
-                (load, i)
-            })
-            .collect();
+        // broken by id for determinism). Loads come from the maintained
+        // per-island index — O(candidates), not O(devices).
+        let mut ranked: Vec<(u64, IslandId)> = {
+            let island_load = self.island_load.borrow();
+            candidates
+                .into_iter()
+                .filter(|i| attached[i].len() as u32 >= request.devices)
+                .map(|i| (island_load.get(&i).copied().unwrap_or(0), i))
+                .collect()
+        };
         ranked.sort();
         if ranked.is_empty() {
             let largest = attached.values().map(|m| m.len() as u32).max().unwrap_or(0);
@@ -670,7 +811,7 @@ impl ResourceManager {
             });
         }
         for (_, island) in &ranked {
-            if let Some(devs) = self.place_in_island(request, &attached[island], counts) {
+            if let Some(devs) = self.place_in_island(request, *island, &attached[island], counts) {
                 return Ok(devs);
             }
         }
@@ -683,6 +824,7 @@ impl ResourceManager {
     fn place_in_island(
         &self,
         request: &SliceRequest,
+        island: IslandId,
         devs: &BTreeSet<DeviceId>,
         counts: &BTreeMap<DeviceId, u32>,
     ) -> Option<Vec<DeviceId>> {
@@ -691,26 +833,34 @@ impl ResourceManager {
             // Windows over the attached ids in torus order, keeping only
             // those that are a connected submesh of the real torus, then
             // the one with the lowest aggregate load (ties: lowest
-            // start, for determinism).
+            // start, for determinism). Window loads are prefix-sum
+            // differences — O(n) total instead of O(n·w) re-summing.
             let ids: Vec<DeviceId> = devs.iter().copied().collect();
+            let mut prefix = Vec::with_capacity(ids.len() + 1);
+            prefix.push(0u64);
+            for d in &ids {
+                prefix.push(prefix.last().unwrap() + u64::from(counts[d]));
+            }
             let mut best: Option<(u64, usize)> = None;
             for start in 0..=(ids.len() - w) {
                 let win = &ids[start..start + w];
                 if !self.topo.is_connected_submesh(win) {
                     continue;
                 }
-                let load: u64 = win.iter().map(|d| u64::from(counts[d])).sum();
+                let load = prefix[start + w] - prefix[start];
                 if best.is_none_or(|(bl, _)| load < bl) {
                     best = Some((load, start));
                 }
             }
             best.map(|(_, start)| ids[start..start + w].to_vec())
         } else {
-            // Least-used devices first; ties broken by id for
-            // determinism.
-            let mut ids: Vec<(u32, DeviceId)> = devs.iter().map(|d| (counts[d], *d)).collect();
-            ids.sort();
-            Some(ids.into_iter().take(w).map(|(_, d)| d).collect())
+            // Least-used devices first; ties broken by id — read
+            // straight off the maintained `(use-count, id)` order, no
+            // per-allocation sort.
+            let by_load = self.by_load.borrow();
+            let order = by_load.get(&island).expect("island indexed");
+            debug_assert_eq!(order.len(), devs.len(), "by_load index drift");
+            Some(order.iter().take(w).map(|(_, d)| *d).collect())
         }
     }
 }

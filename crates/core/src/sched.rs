@@ -578,7 +578,7 @@ pub fn spawn_scheduler(
 /// first host).
 pub fn scheduler_hosts(topo: &pathways_net::Topology) -> HashMap<IslandId, HostId> {
     topo.islands()
-        .map(|i| (i, topo.hosts_of_island(i)[0]))
+        .map(|i| (i, topo.hosts_of_island(i).next().expect("island has hosts")))
         .collect()
 }
 

@@ -24,7 +24,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use pathways_device::{DeviceHandle, HbmLease};
-use pathways_net::{ClientId, DeviceId, HostId, IslandId};
+use pathways_net::{ClientId, DeviceId, FxHashMap, HostId, IslandId};
 use pathways_plaque::RunId;
 use pathways_sim::sync::Event;
 
@@ -196,6 +196,45 @@ struct ObjectEntry {
     error: Option<ObjectError>,
 }
 
+/// The object table plus the two indexes failure fan-out walks: which
+/// objects each client owns (failure-GC) and which objects have a shard
+/// pinned on each device (hardware death). The per-key lists are plain
+/// `Vec`s — maintenance runs once per object/shard on the steady-state
+/// path, so it uses O(1) pushes and swap-removes (no tree nodes), and
+/// the rare blast-radius queries sort their snapshot instead. Empty
+/// lists stay in the map on purpose: their capacity is reused by the
+/// next object on the same key, so a steady-state step allocates
+/// nothing here.
+#[derive(Default)]
+struct StoreInner {
+    objects: HashMap<ObjectId, ObjectEntry>,
+    by_owner: FxHashMap<ClientId, Vec<ObjectId>>,
+    by_device: FxHashMap<DeviceId, Vec<ObjectId>>,
+}
+
+/// Removes one occurrence of `id` (pushes and removals are 1:1).
+fn unindex(list: &mut Vec<ObjectId>, id: ObjectId) {
+    if let Some(pos) = list.iter().position(|x| *x == id) {
+        list.swap_remove(pos);
+    }
+}
+
+impl StoreInner {
+    /// Removes an object and unthreads it from both indexes.
+    fn remove_object(&mut self, id: ObjectId) -> Option<ObjectEntry> {
+        let entry = self.objects.remove(&id)?;
+        if let Some(owned) = self.by_owner.get_mut(&entry.owner) {
+            unindex(owned, id);
+        }
+        for shard in entry.shards.values() {
+            if let Some(objs) = self.by_device.get_mut(&shard.device) {
+                unindex(objs, id);
+            }
+        }
+        Some(entry)
+    }
+}
+
 /// The cluster-wide sharded object store.
 ///
 /// One instance is shared by all host executors in the simulation (each
@@ -203,13 +242,13 @@ struct ObjectEntry {
 /// models the per-host stores plus the client's logical handle table).
 #[derive(Clone, Default)]
 pub struct ObjectStore {
-    inner: Rc<RefCell<HashMap<ObjectId, ObjectEntry>>>,
+    inner: Rc<RefCell<StoreInner>>,
 }
 
 impl fmt::Debug for ObjectStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ObjectStore")
-            .field("objects", &self.inner.borrow().len())
+            .field("objects", &self.inner.borrow().objects.len())
             .finish()
     }
 }
@@ -223,12 +262,17 @@ impl ObjectStore {
     /// Registers an object owned by `owner` with refcount 1. Idempotent
     /// per object: shards are added with [`ObjectStore::put_shard`].
     pub fn create(&self, id: ObjectId, owner: ClientId) {
-        self.inner.borrow_mut().entry(id).or_insert(ObjectEntry {
-            owner,
-            refcount: 1,
-            ready: HashMap::new(),
-            shards: HashMap::new(),
-            error: None,
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.objects.entry(id).or_insert_with(|| {
+            inner.by_owner.entry(owner).or_default().push(id);
+            ObjectEntry {
+                owner,
+                refcount: 1,
+                ready: HashMap::new(),
+                shards: HashMap::new(),
+                error: None,
+            }
         });
     }
 
@@ -244,12 +288,16 @@ impl ObjectStore {
     /// [`retain`](ObjectStore::retain) explicitly.
     pub fn declare(&self, id: ObjectId, owner: ClientId, shards: u32) -> Vec<Event> {
         let mut inner = self.inner.borrow_mut();
-        let entry = inner.entry(id).or_insert(ObjectEntry {
-            owner,
-            refcount: 1,
-            ready: HashMap::new(),
-            shards: HashMap::new(),
-            error: None,
+        let inner = &mut *inner;
+        let entry = inner.objects.entry(id).or_insert_with(|| {
+            inner.by_owner.entry(owner).or_default().push(id);
+            ObjectEntry {
+                owner,
+                refcount: 1,
+                ready: HashMap::new(),
+                shards: HashMap::new(),
+                error: None,
+            }
         });
         (0..shards)
             .map(|s| entry.ready.entry(s).or_default().clone())
@@ -276,7 +324,7 @@ impl ObjectStore {
     ) -> Event {
         {
             let inner = self.inner.borrow();
-            match inner.get(&id) {
+            match inner.objects.get(&id) {
                 None => return Event::new(),
                 // A failed object's output is discarded: its events are
                 // already set, nothing gets pinned.
@@ -291,7 +339,8 @@ impl ObjectStore {
         // HBM back-pressure happens outside the store borrow.
         let lease = device.hbm().allocate(bytes).await;
         let mut inner = self.inner.borrow_mut();
-        let Some(entry) = inner.get_mut(&id) else {
+        let inner = &mut *inner;
+        let Some(entry) = inner.objects.get_mut(&id) else {
             // Released while we waited on back-pressure: discard.
             return Event::new();
         };
@@ -312,6 +361,7 @@ impl ObjectStore {
             },
         );
         assert!(prev.is_none(), "{id} shard {shard} stored twice");
+        inner.by_device.entry(device.id()).or_default().push(id);
         ready
     }
 
@@ -319,7 +369,7 @@ impl ObjectStore {
     ///
     /// Late marks on released objects are ignored — the consumer is gone.
     pub fn mark_ready(&self, id: ObjectId, shard: u32) {
-        if let Some(entry) = self.inner.borrow().get(&id) {
+        if let Some(entry) = self.inner.borrow().objects.get(&id) {
             if let Some(ev) = entry.ready.get(&shard) {
                 ev.set();
             }
@@ -331,6 +381,7 @@ impl ObjectStore {
     pub fn shard_ready(&self, id: ObjectId, shard: u32) -> Option<Event> {
         self.inner
             .borrow()
+            .objects
             .get(&id)
             .and_then(|e| e.ready.get(&shard).cloned())
     }
@@ -344,7 +395,7 @@ impl ObjectStore {
     /// tolerate the race (handle duplication) treat this as a no-op.
     pub fn retain(&self, id: ObjectId) -> Result<(), StoreError> {
         let mut inner = self.inner.borrow_mut();
-        match inner.get_mut(&id) {
+        match inner.objects.get_mut(&id) {
             Some(entry) => {
                 entry.refcount += 1;
                 Ok(())
@@ -358,12 +409,12 @@ impl ObjectStore {
     /// is a no-op (the GC got there first).
     pub fn release(&self, id: ObjectId) {
         let mut inner = self.inner.borrow_mut();
-        let Some(entry) = inner.get_mut(&id) else {
+        let Some(entry) = inner.objects.get_mut(&id) else {
             return;
         };
         entry.refcount -= 1;
         if entry.refcount == 0 {
-            inner.remove(&id);
+            inner.remove_object(id);
         }
     }
 
@@ -377,14 +428,17 @@ impl ObjectStore {
     /// the simulation stays quiescent-able.
     pub fn gc_client(&self, client: ClientId) -> usize {
         let mut inner = self.inner.borrow_mut();
-        let doomed: Vec<ObjectId> = inner
-            .iter()
-            .filter(|(_, e)| e.owner == client)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut doomed: Vec<ObjectId> = inner
+            .by_owner
+            .get(&client)
+            .map(|owned| owned.to_vec())
+            .unwrap_or_default();
+        // Swap-removes scramble the list; restore the ascending id
+        // order deterministic fault replay relies on.
+        doomed.sort_unstable();
         let n = doomed.len();
         for id in doomed {
-            if let Some(entry) = inner.remove(&id) {
+            if let Some(entry) = inner.remove_object(id) {
                 for ev in entry.ready.values() {
                     ev.set();
                 }
@@ -402,11 +456,17 @@ impl ObjectStore {
     /// objects.
     pub fn fail_object(&self, id: ObjectId, reason: FailureReason) -> bool {
         let mut inner = self.inner.borrow_mut();
-        let Some(entry) = inner.get_mut(&id) else {
+        let inner = &mut *inner;
+        let Some(entry) = inner.objects.get_mut(&id) else {
             return false;
         };
         if entry.error.is_none() {
             entry.error = Some(ObjectError::ProducerFailed { object: id, reason });
+        }
+        for shard in entry.shards.values() {
+            if let Some(objs) = inner.by_device.get_mut(&shard.device) {
+                unindex(objs, id);
+            }
         }
         entry.shards.clear();
         for ev in entry.ready.values() {
@@ -419,7 +479,7 @@ impl ObjectStore {
     /// store while someone still holds a handle to it was reclaimed by a
     /// failure-GC; that is reported as [`FailureReason::OwnerGone`].
     pub fn object_error(&self, id: ObjectId) -> Option<ObjectError> {
-        match self.inner.borrow().get(&id) {
+        match self.inner.borrow().objects.get(&id) {
             Some(entry) => entry.error,
             None => Some(ObjectError::ProducerFailed {
                 object: id,
@@ -430,26 +490,31 @@ impl ObjectStore {
 
     /// True if the store still holds an entry for `id`.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.inner.borrow().contains_key(&id)
+        self.inner.borrow().objects.contains_key(&id)
     }
 
     /// The owner of `id`, if it is still in the store.
     pub fn owner_of(&self, id: ObjectId) -> Option<ClientId> {
-        self.inner.borrow().get(&id).map(|e| e.owner)
+        self.inner.borrow().objects.get(&id).map(|e| e.owner)
     }
 
     /// Fails every object with a shard pinned on `device` (the data is
     /// gone with the hardware). Returns the failed ids in ascending
     /// order — deterministic, so fault injection replays identically.
     pub fn fail_objects_on_device(&self, device: DeviceId, reason: FailureReason) -> Vec<ObjectId> {
+        // The device index holds exactly the objects with a live shard
+        // here (failed entries were unindexed when their shards dropped)
+        // — one occurrence per shard, so objects with several shards on
+        // this device are deduplicated along with the determinism sort.
         let mut doomed: Vec<ObjectId> = self
             .inner
             .borrow()
-            .iter()
-            .filter(|(_, e)| e.error.is_none() && e.shards.values().any(|s| s.device == device))
-            .map(|(id, _)| *id)
-            .collect();
-        doomed.sort();
+            .by_device
+            .get(&device)
+            .map(|objs| objs.to_vec())
+            .unwrap_or_default();
+        doomed.sort_unstable();
+        doomed.dedup();
         for id in &doomed {
             self.fail_object(*id, reason);
         }
@@ -458,31 +523,32 @@ impl ObjectStore {
 
     /// Ids of all live objects owned by `client`, in ascending order.
     pub fn objects_owned_by(&self, client: ClientId) -> Vec<ObjectId> {
-        let mut ids: Vec<ObjectId> = self
+        let mut owned: Vec<ObjectId> = self
             .inner
             .borrow()
-            .iter()
-            .filter(|(_, e)| e.owner == client)
-            .map(|(id, _)| *id)
-            .collect();
-        ids.sort();
-        ids
+            .by_owner
+            .get(&client)
+            .map(|owned| owned.to_vec())
+            .unwrap_or_default();
+        owned.sort_unstable();
+        owned
     }
 
     /// Number of live logical objects.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.borrow().objects.len()
     }
 
     /// True if the store holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.borrow().objects.is_empty()
     }
 
     /// Total bytes pinned across all shards of `id`.
     pub fn object_bytes(&self, id: ObjectId) -> u64 {
         self.inner
             .borrow()
+            .objects
             .get(&id)
             .map(|e| e.shards.values().map(|s| s.bytes).sum())
             .unwrap_or(0)

@@ -12,6 +12,14 @@
 //! manager now moves counts on every mapping change and `debug_assert`s
 //! on underflow, so any drift fails this test loudly (test profiles
 //! keep debug assertions on).
+//!
+//! The manager also keeps incremental placement indexes (per-island
+//! load sums, a load-ordered device set, and a device -> slices reverse
+//! index) so allocation and healing scale with the blast radius rather
+//! than the cluster. After every step the test additionally calls
+//! [`ResourceManager::assert_indexes_consistent`], which recomputes all
+//! three from the ground-truth ledger with a naive linear scan and
+//! panics on any drift.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -99,7 +107,7 @@ proptest! {
                         let idx = usize::from(*a) % live.len();
                         let s = &live[idx];
                         let island = topo.island_of_device(s.physical_devices()[0]);
-                        let devs = topo.devices_of_island(island);
+                        let devs: Vec<DeviceId> = topo.devices_of_island(island).collect();
                         let start = usize::from(*b) % devs.len();
                         let new: Vec<DeviceId> = (0..s.len())
                             .map(|i| devs[(start + i) % devs.len()])
@@ -123,6 +131,7 @@ proptest! {
                 }
             }
             assert_ledger_matches(&rm, &live, step);
+            rm.assert_indexes_consistent();
         }
 
         // Full drain: releasing everything zeroes every count.
@@ -134,5 +143,6 @@ proptest! {
         for d in topo.devices() {
             assert_eq!(rm.device_load(d), 0, "{d} still charged after drain");
         }
+        rm.assert_indexes_consistent();
     }
 }

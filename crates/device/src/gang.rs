@@ -23,11 +23,11 @@
 //! call sites and tests that never inject faults).
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
-use pathways_net::DeviceId;
+use pathways_net::{DeviceId, FxHashMap, FxHashSet};
 use pathways_sim::channel::{self, OneshotSender};
 use pathways_sim::{SimDuration, SimHandle};
 
@@ -67,15 +67,53 @@ struct Pending {
 }
 
 struct RzState {
-    pending: HashMap<GangTag, Pending>,
-    dead: HashSet<DeviceId>,
+    pending: FxHashMap<GangTag, Pending>,
+    /// Reverse index: declared member -> pending tags naming it. Keeps
+    /// [`CollectiveRendezvous::mark_dead`] proportional to the gangs
+    /// that actually include the dead device, not all in-flight gangs.
+    /// A plain `Vec` per key: the happy path (every collective of every
+    /// step) maintains it with O(1) pushes and swap-removes, and the
+    /// rare abort path sorts its snapshot into the ascending tag order
+    /// the old full scan produced. Empty lists stay in the map so their
+    /// capacity is reused — a steady-state step allocates nothing here.
+    by_member: FxHashMap<DeviceId, Vec<GangTag>>,
+    /// Reverse index: owning run -> pending tags, for
+    /// [`CollectiveRendezvous::mark_owner_failed`]. Owner 0 (unknown)
+    /// is never indexed.
+    by_owner: FxHashMap<u64, Vec<GangTag>>,
+    dead: FxHashSet<DeviceId>,
     /// Owners (runs) whose gangs must abort: members that were never
     /// enqueued (grants lost to a dead host or severed link) would
     /// otherwise leave arrived partners waiting forever.
-    failed_owners: HashSet<u64>,
+    failed_owners: FxHashSet<u64>,
     /// Tags aborted by a death or owner failure; later arrivals fail
     /// immediately.
-    poisoned: HashMap<GangTag, Option<DeviceId>>,
+    poisoned: FxHashMap<GangTag, Option<DeviceId>>,
+}
+
+/// Removes one occurrence of `tag` (insertions and removals are 1:1).
+fn unindex(list: &mut Vec<GangTag>, tag: GangTag) {
+    if let Some(pos) = list.iter().position(|x| *x == tag) {
+        list.swap_remove(pos);
+    }
+}
+
+impl RzState {
+    /// Removes `tag` from `pending` and both reverse indexes.
+    fn remove_pending(&mut self, tag: GangTag) -> Option<Pending> {
+        let p = self.pending.remove(&tag)?;
+        for m in &p.members {
+            if let Some(tags) = self.by_member.get_mut(m) {
+                unindex(tags, tag);
+            }
+        }
+        if p.owner != 0 {
+            if let Some(tags) = self.by_owner.get_mut(&p.owner) {
+                unindex(tags, tag);
+            }
+        }
+        Some(p)
+    }
 }
 
 /// Rendezvous point shared by all devices of one island.
@@ -101,10 +139,12 @@ impl CollectiveRendezvous {
         CollectiveRendezvous {
             handle,
             state: Rc::new(RefCell::new(RzState {
-                pending: HashMap::new(),
-                dead: HashSet::new(),
-                failed_owners: HashSet::new(),
-                poisoned: HashMap::new(),
+                pending: FxHashMap::default(),
+                by_member: FxHashMap::default(),
+                by_owner: FxHashMap::default(),
+                dead: FxHashSet::default(),
+                failed_owners: FxHashSet::default(),
+                poisoned: FxHashMap::default(),
             })),
         }
     }
@@ -125,18 +165,18 @@ impl CollectiveRendezvous {
             if !st.dead.insert(device) {
                 return;
             }
-            // Deterministic order: tags are collected and sorted before
-            // waiters are woken.
+            // The member index yields exactly the gangs naming this
+            // device; sorting restores the deterministic ascending
+            // abort order the old sorted full scan produced.
             let mut doomed: Vec<GangTag> = st
-                .pending
-                .iter()
-                .filter(|(_, p)| p.members.contains(&device))
-                .map(|(t, _)| *t)
-                .collect();
-            doomed.sort();
+                .by_member
+                .get(&device)
+                .map(|tags| tags.to_vec())
+                .unwrap_or_default();
+            doomed.sort_unstable();
             let mut all = Vec::new();
             for tag in doomed {
-                let p = st.pending.remove(&tag).expect("tag collected above");
+                let p = st.remove_pending(tag).expect("tag is indexed");
                 st.poisoned.insert(tag, Some(device));
                 all.push((tag, p.waiters));
             }
@@ -172,15 +212,14 @@ impl CollectiveRendezvous {
                 return;
             }
             let mut doomed: Vec<GangTag> = st
-                .pending
-                .iter()
-                .filter(|(_, p)| p.owner == owner)
-                .map(|(t, _)| *t)
-                .collect();
-            doomed.sort();
+                .by_owner
+                .get(&owner)
+                .map(|tags| tags.to_vec())
+                .unwrap_or_default();
+            doomed.sort_unstable();
             let mut all = Vec::new();
             for tag in doomed {
-                let p = st.pending.remove(&tag).expect("tag collected above");
+                let p = st.remove_pending(tag).expect("tag is indexed");
                 st.poisoned.insert(tag, None);
                 all.push((tag, p.waiters));
             }
@@ -210,11 +249,6 @@ impl CollectiveRendezvous {
     ///
     /// Panics if participants disagree on `participants` or `duration`
     /// for the same tag (a malformed program, not a scheduling hazard).
-    // The state borrow is confined to the block computing `release` and
-    // dropped before the await; clippy's conservative lint cannot see
-    // through the block scope. The simulation is single-threaded
-    // cooperative, so no other task runs while the borrow is live.
-    #[allow(clippy::await_holding_refcell_ref)]
     pub async fn arrive(
         &self,
         tag: GangTag,
@@ -224,13 +258,16 @@ impl CollectiveRendezvous {
         owner: u64,
     ) -> Result<(), GangAborted> {
         assert!(participants > 0, "collective needs participants");
-        let release = {
+        // `Ok(waiters)`: last to arrive, release everyone. `Err(rx)`:
+        // wait for the releaser. The state borrow ends with this block,
+        // before any await.
+        let outcome = {
             let mut st = self.state.borrow_mut();
             if let Some(&dead) = st.poisoned.get(&tag) {
                 return Err(GangAborted { tag, dead });
             }
             if owner != 0 && st.failed_owners.contains(&owner) {
-                let waiters = st.pending.remove(&tag).map(|p| p.waiters);
+                let waiters = st.remove_pending(tag).map(|p| p.waiters);
                 st.poisoned.insert(tag, None);
                 drop(st);
                 for w in waiters.into_iter().flatten() {
@@ -241,7 +278,7 @@ impl CollectiveRendezvous {
             if let Some(&d) = members.iter().find(|d| st.dead.contains(d)) {
                 // A member is already dead: poison the tag and abort any
                 // waiters that raced us in.
-                let waiters = st.pending.remove(&tag).map(|p| p.waiters);
+                let waiters = st.remove_pending(tag).map(|p| p.waiters);
                 st.poisoned.insert(tag, Some(d));
                 drop(st);
                 for w in waiters.into_iter().flatten() {
@@ -249,12 +286,13 @@ impl CollectiveRendezvous {
                 }
                 return Err(GangAborted { tag, dead: Some(d) });
             }
+            let st = &mut *st;
             let entry = st.pending.entry(tag).or_insert_with(|| Pending {
                 expected: participants,
                 duration,
                 waiters: Vec::new(),
                 members: BTreeSet::new(),
-                owner,
+                owner: 0,
             });
             assert_eq!(
                 entry.expected, participants,
@@ -264,26 +302,32 @@ impl CollectiveRendezvous {
                 entry.duration, duration,
                 "{tag}: participants disagree on collective duration"
             );
-            entry.members.extend(members.iter().copied());
-            if entry.owner == 0 {
+            for m in members {
+                if entry.members.insert(*m) {
+                    st.by_member.entry(*m).or_default().push(tag);
+                }
+            }
+            if entry.owner == 0 && owner != 0 {
                 entry.owner = owner;
+                st.by_owner.entry(owner).or_default().push(tag);
             }
             if entry.waiters.len() as u32 + 1 == participants {
                 // Last to arrive: release everyone.
-                let entry = st.pending.remove(&tag).expect("entry exists");
-                Some(entry.waiters)
+                let entry = st.remove_pending(tag).expect("entry exists");
+                Ok(entry.waiters)
             } else {
                 let (tx, rx) = channel::oneshot();
                 entry.waiters.push(tx);
-                drop(st);
-                rx.await.expect("rendezvous dropped mid-collective")?;
-                None
+                Err(rx)
             }
         };
-        if let Some(waiters) = release {
-            for w in waiters {
-                let _ = w.send(Ok(()));
+        match outcome {
+            Ok(waiters) => {
+                for w in waiters {
+                    let _ = w.send(Ok(()));
+                }
             }
+            Err(rx) => rx.await.expect("rendezvous dropped mid-collective")?,
         }
         // All participants resume here at the same instant, then sleep
         // the collective's wire time together.

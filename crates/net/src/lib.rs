@@ -44,5 +44,6 @@ pub use fabric::Fabric;
 pub use ids::{ClientId, DeviceId, HostId, IslandId, TorusCoord};
 pub use link::FifoLink;
 pub use params::{Bandwidth, NetworkParams};
+pub use pathways_sim::hash::{FxHashMap, FxHashSet};
 pub use router::{Envelope, Router};
 pub use topology::{ClusterSpec, IslandSpec, Topology};

@@ -9,6 +9,9 @@
 //!
 //! Constructors for all three are provided.
 
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{DeviceId, HostId, IslandId, TorusCoord};
@@ -117,6 +120,18 @@ pub struct Topology {
     islands: Vec<IslandInfo>,
     num_hosts: u32,
     num_devices: u32,
+    /// `device_island[d]` is the island index of device `d` — O(1)
+    /// `island_of_device` instead of a binary search per lookup, which
+    /// dominates `ici_hops`/`torus_coord` on placement hot paths.
+    device_island: Vec<u32>,
+    /// `host_island[h]` is the island index of host `h`.
+    host_island: Vec<u32>,
+    /// Memo for [`Topology::is_connected_submesh`], keyed by the exact
+    /// device-id set. Sound because a topology is immutable: a set's
+    /// connectivity never changes. Bounded (cleared when full), since
+    /// the resource manager probes many distinct windows at 10k-device
+    /// scale.
+    submesh_cache: RefCell<HashMap<Box<[u32]>, bool>>,
 }
 
 impl Topology {
@@ -147,11 +162,23 @@ impl Topology {
             host_cursor += isl.hosts;
             device_cursor += devices;
         }
+        let mut device_island = Vec::with_capacity(device_cursor as usize);
+        let mut host_island = Vec::with_capacity(host_cursor as usize);
+        for (idx, info) in islands.iter().enumerate() {
+            device_island.extend(std::iter::repeat_n(
+                idx as u32,
+                (info.hosts * info.devices_per_host) as usize,
+            ));
+            host_island.extend(std::iter::repeat_n(idx as u32, info.hosts as usize));
+        }
         Topology {
             spec: spec.clone(),
             islands,
             num_hosts: host_cursor,
             num_devices: device_cursor,
+            device_island,
+            host_island,
+            submesh_cache: RefCell::new(HashMap::new()),
         }
     }
 
@@ -201,10 +228,7 @@ impl Topology {
     /// Panics if `host` is out of range.
     pub fn island_of_host(&self, host: HostId) -> IslandId {
         assert!(host.0 < self.num_hosts, "{host} out of range");
-        let idx = self
-            .islands
-            .partition_point(|i| i.first_host + i.hosts <= host.0);
-        IslandId(idx as u32)
+        IslandId(self.host_island[host.index()])
     }
 
     /// Island containing `device`.
@@ -214,10 +238,7 @@ impl Topology {
     /// Panics if `device` is out of range.
     pub fn island_of_device(&self, device: DeviceId) -> IslandId {
         assert!(device.0 < self.num_devices, "{device} out of range");
-        let idx = self
-            .islands
-            .partition_point(|i| i.first_device + i.hosts * i.devices_per_host <= device.0);
-        IslandId(idx as u32)
+        IslandId(self.device_island[device.index()])
     }
 
     /// Host that `device` is attached to (PCIe).
@@ -229,31 +250,43 @@ impl Topology {
     }
 
     /// Hosts of one island, in id order.
-    pub fn hosts_of_island(&self, island: IslandId) -> Vec<HostId> {
+    ///
+    /// Islands are id-contiguous, so this is a plain range — no
+    /// allocation per call.
+    pub fn hosts_of_island(
+        &self,
+        island: IslandId,
+    ) -> impl DoubleEndedIterator<Item = HostId> + ExactSizeIterator + Clone {
         let info = self.island_info(island);
-        (info.first_host..info.first_host + info.hosts)
-            .map(HostId)
-            .collect()
+        (info.first_host..info.first_host + info.hosts).map(HostId)
     }
 
     /// Devices of one island, in id order.
-    pub fn devices_of_island(&self, island: IslandId) -> Vec<DeviceId> {
+    ///
+    /// Islands are id-contiguous, so this is a plain range — no
+    /// allocation per call.
+    pub fn devices_of_island(
+        &self,
+        island: IslandId,
+    ) -> impl DoubleEndedIterator<Item = DeviceId> + ExactSizeIterator + Clone {
         let info = self.island_info(island);
         let n = info.hosts * info.devices_per_host;
-        (info.first_device..info.first_device + n)
-            .map(DeviceId)
-            .collect()
+        (info.first_device..info.first_device + n).map(DeviceId)
     }
 
     /// Devices attached to one host, in id order.
-    pub fn devices_of_host(&self, host: HostId) -> Vec<DeviceId> {
+    ///
+    /// A host's devices are id-contiguous, so this is a plain range —
+    /// no allocation per call.
+    pub fn devices_of_host(
+        &self,
+        host: HostId,
+    ) -> impl DoubleEndedIterator<Item = DeviceId> + ExactSizeIterator + Clone {
         let island = self.island_of_host(host);
         let info = self.island_info(island);
         let local_host = host.0 - info.first_host;
         let first = info.first_device + local_host * info.devices_per_host;
-        (first..first + info.devices_per_host)
-            .map(DeviceId)
-            .collect()
+        (first..first + info.devices_per_host).map(DeviceId)
     }
 
     /// Coordinates of `device` in its island's ICI torus.
@@ -320,19 +353,43 @@ impl Topology {
         if devs.iter().any(|d| self.island_of_device(*d) != island) {
             return false;
         }
-        let set: std::collections::BTreeSet<DeviceId> = devs.iter().copied().collect();
-        let mut seen = std::collections::BTreeSet::new();
-        let mut frontier = vec![devs[0]];
-        seen.insert(devs[0]);
-        while let Some(d) = frontier.pop() {
-            for n in set.iter() {
-                if !seen.contains(n) && self.ici_adjacent(d, *n) {
-                    seen.insert(*n);
-                    frontier.push(*n);
+        let key: Box<[u32]> = devs.iter().map(|d| d.0).collect();
+        if let Some(&hit) = self.submesh_cache.borrow().get(&key) {
+            return hit;
+        }
+        // BFS over torus coordinates with O(1) 4-neighbor lookups:
+        // O(w) for a w-device window, replacing the seed's all-pairs
+        // adjacency probe (O(w²) with a binary search per probe).
+        let (rows, cols) = self.torus_shape(island);
+        let coord = |d: &DeviceId| {
+            let c = self.torus_coord(*d);
+            (c.row, c.col)
+        };
+        let set: HashSet<(u32, u32)> = devs.iter().map(coord).collect();
+        let mut seen = HashSet::with_capacity(set.len());
+        let start = coord(&devs[0]);
+        let mut frontier = vec![start];
+        seen.insert(start);
+        while let Some((r, c)) = frontier.pop() {
+            let neighbors = [
+                ((r + rows - 1) % rows, c),
+                ((r + 1) % rows, c),
+                (r, (c + cols - 1) % cols),
+                (r, (c + 1) % cols),
+            ];
+            for n in neighbors {
+                if set.contains(&n) && seen.insert(n) {
+                    frontier.push(n);
                 }
             }
         }
-        seen.len() == set.len()
+        let connected = seen.len() == set.len();
+        let mut cache = self.submesh_cache.borrow_mut();
+        if cache.len() >= 1 << 16 {
+            cache.clear();
+        }
+        cache.insert(key, connected);
+        connected
     }
 }
 
@@ -373,7 +430,7 @@ mod tests {
         let topo = ClusterSpec::config_c().build();
         for d in topo.devices() {
             let h = topo.host_of_device(d);
-            assert!(topo.devices_of_host(h).contains(&d));
+            assert!(topo.devices_of_host(h).any(|x| x == d));
             assert_eq!(topo.island_of_host(h), topo.island_of_device(d));
         }
         for h in topo.hosts() {

@@ -29,8 +29,7 @@
 //! ```
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -42,8 +41,10 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::hash::FxHashMap;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
+use crate::wheel::TimerWheel;
 
 /// Identifier of a spawned task within one [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -90,29 +91,6 @@ impl Wake for TaskWaker {
     }
 }
 
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
-    waker: Waker,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
-}
-
 struct TaskEntry {
     name: String,
     future: Pin<Box<dyn Future<Output = ()>>>,
@@ -154,8 +132,8 @@ impl IdleToken {
 
 struct Inner {
     now: SimTime,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    tasks: HashMap<TaskId, TaskEntry>,
+    timers: TimerWheel<Waker>,
+    tasks: FxHashMap<TaskId, TaskEntry>,
     next_task: u64,
     next_seq: u64,
     rng: StdRng,
@@ -168,11 +146,7 @@ impl Inner {
     fn register_timer(&mut self, deadline: SimTime, waker: Waker) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.timers.push(Reverse(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        }));
+        self.timers.insert(deadline, seq, waker);
     }
 }
 
@@ -240,8 +214,8 @@ impl Sim {
         Sim {
             inner: Rc::new(RefCell::new(Inner {
                 now: SimTime::ZERO,
-                timers: BinaryHeap::new(),
-                tasks: HashMap::new(),
+                timers: TimerWheel::new(),
+                tasks: FxHashMap::default(),
                 next_task: 0,
                 next_seq: 0,
                 rng: StdRng::seed_from_u64(seed),
@@ -294,27 +268,41 @@ impl Sim {
     /// Runs until quiescence, deadlock, or the clock reaching `limit`
     /// (whichever comes first). Timers beyond `limit` are left pending.
     pub fn run_until_time(&mut self, limit: SimTime) -> RunOutcome {
+        // One waker buffer for the whole run: `pop_batch_into` refills
+        // it in place, so advancing time allocates nothing.
+        let mut wakers = Vec::new();
         loop {
             // Drain the ready queue in FIFO order.
             while let Some(id) = self.ready.pop() {
                 self.poll_task(id);
             }
-            // Advance virtual time to the next timer.
+            // Advance virtual time to the next deadline, taking *every*
+            // timer that shares it in one batch pop (one wheel operation
+            // per simulated instant instead of one heap pop per timer).
             let fired = {
                 let mut inner = self.inner.borrow_mut();
-                match inner.timers.peek() {
-                    Some(Reverse(entry)) if entry.deadline <= limit => {
-                        let Reverse(entry) = inner.timers.pop().expect("peeked timer vanished");
-                        debug_assert!(entry.deadline >= inner.now, "timer in the past");
-                        inner.now = entry.deadline.max(inner.now);
-                        Some(entry.waker)
+                match inner.timers.pop_batch_into(limit, &mut wakers) {
+                    Some(deadline) => {
+                        debug_assert!(deadline >= inner.now, "timer in the past");
+                        inner.now = deadline.max(inner.now);
+                        true
                     }
-                    _ => None,
+                    None => false,
                 }
             };
-            match fired {
-                Some(waker) => waker.wake(),
-                None => break,
+            if !fired {
+                break;
+            }
+            // Wake each timer and drain the ready queue before the
+            // next waker fires — the exact interleaving of the old
+            // pop-per-timer loop. Nothing can join this batch
+            // mid-drain: `Sleep` never registers a timer at
+            // `deadline == now`.
+            for waker in wakers.drain(..) {
+                waker.wake();
+                while let Some(id) = self.ready.pop() {
+                    self.poll_task(id);
+                }
             }
         }
         let inner = self.inner.borrow();

@@ -38,13 +38,16 @@
 pub mod channel;
 mod executor;
 pub mod fault;
+pub mod hash;
 pub mod sync;
 mod time;
 pub mod trace;
+mod wheel;
 
 pub use executor::{
     join_all, IdleToken, JoinHandle, RunOutcome, Sim, SimHandle, Sleep, TaskId, YieldNow,
 };
 pub use fault::{FaultPlan, FaultSignal, FaultStamp};
+pub use hash::{FxHashMap, FxHashSet};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLog, TraceSpan};
