@@ -8,7 +8,7 @@
 //! device side is the collective plus the computation. Whichever is
 //! slower bounds throughput.
 
-use std::collections::HashMap;
+use pathways_sim::hash::FxHashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -45,7 +45,7 @@ pub struct JaxRuntime {
     handle: SimHandle,
     topo: Rc<Topology>,
     fabric: Fabric,
-    devices: HashMap<DeviceId, DeviceHandle>,
+    devices: FxHashMap<DeviceId, DeviceHandle>,
     cfg: JaxConfig,
 }
 

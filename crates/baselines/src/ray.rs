@@ -11,7 +11,7 @@
 //! * collectives run over the DCN (no dedicated interconnect), as a
 //!   ring all-reduce.
 
-use std::collections::HashMap;
+use pathways_sim::hash::FxHashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -76,7 +76,7 @@ pub struct RayRuntime {
     handle: SimHandle,
     topo: Rc<Topology>,
     fabric: Fabric,
-    devices: HashMap<DeviceId, DeviceHandle>,
+    devices: FxHashMap<DeviceId, DeviceHandle>,
     cfg: RayConfig,
 }
 

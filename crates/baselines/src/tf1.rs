@@ -10,7 +10,7 @@
 //! * **no device object store**: results are transferred back to the
 //!   client after every client call, paying DCN bandwidth.
 
-use std::collections::HashMap;
+use pathways_sim::hash::FxHashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -70,7 +70,7 @@ pub struct Tf1Runtime {
     handle: SimHandle,
     topo: Rc<Topology>,
     fabric: Fabric,
-    devices: HashMap<DeviceId, DeviceHandle>,
+    devices: FxHashMap<DeviceId, DeviceHandle>,
     cfg: Tf1Config,
 }
 

@@ -18,6 +18,10 @@
 //! Wall-clock numbers are measured with [`std::time::Instant`] and are
 //! machine-dependent; the virtual-time numbers are deterministic.
 
+// This module is the designated wall-time measurement site: pathlint's
+// wall-clock rule and clippy.toml both exempt it (and only it).
+#![allow(clippy::disallowed_types)]
+
 use std::rc::Rc;
 use std::time::Instant;
 

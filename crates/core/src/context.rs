@@ -1,7 +1,7 @@
 //! Shared runtime context threaded through operators and clients.
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -86,17 +86,17 @@ pub struct CoreCtx {
     /// Scheduler → executor control channel.
     pub exec_router: Router<CtrlMsg>,
     /// All device handles.
-    pub devices: Rc<HashMap<DeviceId, DeviceHandle>>,
+    pub devices: Rc<FxHashMap<DeviceId, DeviceHandle>>,
     /// Per-host registration rendezvous.
-    pub executors: HashMap<HostId, ExecutorShared>,
+    pub executors: FxHashMap<HostId, ExecutorShared>,
     /// Island → scheduler host.
-    pub sched_hosts: HashMap<IslandId, HostId>,
+    pub sched_hosts: FxHashMap<IslandId, HostId>,
     /// Bound external inputs, keyed by `(run, input comp)`. Installed by
     /// `Client::submit_with` before the run launches; removed by the
     /// last input shard once its transfers are driven.
-    pub(crate) bindings: RefCell<HashMap<(RunId, CompId), Rc<InputBinding>>>,
+    pub(crate) bindings: RefCell<FxHashMap<(RunId, CompId), Rc<InputBinding>>>,
     /// Live consumer input buffers (see [`InputSlot`]).
-    pub input_slots: RefCell<HashMap<InputKey, InputSlot>>,
+    pub input_slots: RefCell<FxHashMap<InputKey, InputSlot>>,
     /// Shared failure registry: dead hardware and failed runs, consulted
     /// by clients (fail-fast submission), schedulers (eviction) and
     /// executors (grant skipping).

@@ -9,8 +9,8 @@
 //! device's queue sees concurrent programs' collectives in the same
 //! relative order — the deadlock-freedom invariant.
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -71,7 +71,7 @@ impl fmt::Debug for EnqueueInfo {
 /// executor.
 #[derive(Clone, Default)]
 pub struct ExecutorShared {
-    regs: Rc<RefCell<HashMap<ShardKey, CompRegistration>>>,
+    regs: Rc<RefCell<FxHashMap<ShardKey, CompRegistration>>>,
     arrival: Notify,
 }
 
@@ -133,7 +133,7 @@ pub fn spawn_executor(
     shared: ExecutorShared,
     fabric: Fabric,
     store: ObjectStore,
-    devices: Rc<HashMap<DeviceId, DeviceHandle>>,
+    devices: Rc<FxHashMap<DeviceId, DeviceHandle>>,
     plaque: pathways_plaque::PlaqueRuntime,
     failures: FailureState,
     mode: DispatchMode,

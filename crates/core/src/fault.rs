@@ -37,8 +37,8 @@
 //! and the fault plan's driver fires on the simulation's timer wheel,
 //! so the same seed and schedule reproduce a bit-identical trace.
 
+use pathways_sim::hash::{FxHashMap, FxHashSet};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -102,12 +102,12 @@ pub struct RunFootprint {
 
 #[derive(Default)]
 struct FailInner {
-    dead_devices: HashSet<DeviceId>,
-    dead_hosts: HashSet<HostId>,
-    dead_islands: HashSet<IslandId>,
-    severed: HashSet<(HostId, HostId)>,
-    failed_runs: HashMap<RunId, FailureReason>,
-    runs: HashMap<RunId, RunFootprint>,
+    dead_devices: FxHashSet<DeviceId>,
+    dead_hosts: FxHashSet<HostId>,
+    dead_islands: FxHashSet<IslandId>,
+    severed: FxHashSet<(HostId, HostId)>,
+    failed_runs: FxHashMap<RunId, FailureReason>,
+    runs: FxHashMap<RunId, RunFootprint>,
 }
 
 /// Shared, cheaply-cloneable failure registry.

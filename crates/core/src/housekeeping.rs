@@ -22,8 +22,9 @@
 //!   every live host after elastic healing, so client agents know their
 //!   lowered programs are stale and must re-lower before resubmitting.
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use pathways_net::{DeviceId, HostId};
@@ -37,7 +38,7 @@ use crate::resource::SliceId;
 /// broadcasts.
 #[derive(Clone, Default)]
 pub struct ConfigStore {
-    inner: Rc<RefCell<HashMap<(HostId, String), String>>>,
+    inner: Rc<RefCell<FxHashMap<(HostId, String), String>>>,
 }
 
 impl std::fmt::Debug for ConfigStore {

@@ -22,7 +22,8 @@
 //! store. That is the paper's parallel asynchronous dispatch, extended
 //! across program boundaries.
 
-use std::collections::{BTreeMap, HashMap};
+use pathways_sim::hash::FxHashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use pathways_net::{ClientId, DeviceId, HostId, IslandId};
@@ -381,12 +382,12 @@ pub fn prepare(
 struct OpState {
     /// plaque forward edge → local in-edge index (edges where this comp
     /// is the consumer).
-    fwd_in: HashMap<PEdge, usize>,
+    fwd_in: FxHashMap<PEdge, usize>,
     /// plaque backward edge → local out-edge index (edges where this
     /// comp is the producer, receiving consumer addresses).
-    back_in: HashMap<PEdge, usize>,
+    back_in: FxHashMap<PEdge, usize>,
     /// Address events per (local out-edge index, consumer shard).
-    addr_events: HashMap<(usize, u32), Event>,
+    addr_events: FxHashMap<(usize, u32), Event>,
     /// Sequential-mode gate.
     prereq: Event,
     futures_needed: u64,
@@ -426,7 +427,7 @@ impl Operator for CompOperator {
         // driven by the client-side InputOperator replaying the bound
         // ObjectRef.
         let mut input_events = Vec::with_capacity(in_edges.len());
-        let mut fwd_in = HashMap::new();
+        let mut fwd_in = FxHashMap::default();
         let mut futures_needed = 0u64;
         for (ii, &e) in in_edges.iter().enumerate() {
             let feeders = info.feeders(e, self.shard).len() as u64;
@@ -439,8 +440,8 @@ impl Operator for CompOperator {
             futures_needed += feeders;
             fwd_in.insert(info.fwd_edges[e], ii);
         }
-        let mut back_in = HashMap::new();
-        let mut addr_events = HashMap::new();
+        let mut back_in = FxHashMap::default();
+        let mut addr_events = FxHashMap::default();
         for (oi, &e) in out_edges.iter().enumerate() {
             back_in.insert(info.back_edges[e], oi);
             for d in info.feeds(e, self.shard) {
@@ -611,7 +612,7 @@ async fn drive_shard(
     // in which case consumers get a zero-byte poison delivery — their
     // runs were failed by the injector, so the error, not the data, is
     // what they observe).
-    let addr_map: HashMap<(usize, u32), Event> = addr_events.into_iter().collect();
+    let addr_map: FxHashMap<(usize, u32), Event> = addr_events.into_iter().collect();
     let src_dev = info.devices[comp.index()][shard as usize];
     let mode = if completed {
         TransferMode::Data
@@ -690,7 +691,7 @@ fn spawn_output_transfers(
     shard: u32,
     run: pathways_plaque::RunId,
     emitter: &Emitter,
-    addr_map: &HashMap<(usize, u32), Event>,
+    addr_map: &FxHashMap<(usize, u32), Event>,
     src_dev: DeviceId,
     gate: Option<Event>,
     mode: TransferMode,
@@ -803,9 +804,9 @@ pub(crate) struct InputOperator {
     comp: CompId,
     shard: u32,
     /// plaque backward edge → local out-edge index.
-    back_in: HashMap<PEdge, usize>,
+    back_in: FxHashMap<PEdge, usize>,
     /// Address events per (local out-edge index, consumer shard).
-    addr_events: HashMap<(usize, u32), Event>,
+    addr_events: FxHashMap<(usize, u32), Event>,
 }
 
 impl InputOperator {
@@ -815,8 +816,8 @@ impl InputOperator {
             info,
             comp,
             shard,
-            back_in: HashMap::new(),
-            addr_events: HashMap::new(),
+            back_in: FxHashMap::default(),
+            addr_events: FxHashMap::default(),
         }
     }
 }
@@ -926,7 +927,7 @@ async fn drive_input_shard(
     // than replaying stale bytes.
     let src_dev = binding.objref.devices()[shard as usize];
     let ready = binding.objref.shard_ready(shard).clone();
-    let addr_map: HashMap<(usize, u32), Event> = addr_events.into_iter().collect();
+    let addr_map: FxHashMap<(usize, u32), Event> = addr_events.into_iter().collect();
     let transfers = spawn_output_transfers(
         &core,
         &info,

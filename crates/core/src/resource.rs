@@ -837,9 +837,11 @@ impl ResourceManager {
             // differences — O(n) total instead of O(n·w) re-summing.
             let ids: Vec<DeviceId> = devs.iter().copied().collect();
             let mut prefix = Vec::with_capacity(ids.len() + 1);
-            prefix.push(0u64);
+            let mut sum = 0u64;
+            prefix.push(sum);
             for d in &ids {
-                prefix.push(prefix.last().unwrap() + u64::from(counts[d]));
+                sum += u64::from(counts[d]);
+                prefix.push(sum);
             }
             let mut best: Option<(u64, usize)> = None;
             for start in 0..=(ids.len() - w) {

@@ -1,7 +1,7 @@
 //! Assembly of the full Pathways backend over a simulated cluster.
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -27,7 +27,7 @@ use crate::store::ObjectStore;
 pub struct PathwaysRuntime {
     core: Rc<CoreCtx>,
     rm: Rc<ResourceManager>,
-    schedulers: HashMap<pathways_net::IslandId, SchedulerHandle>,
+    schedulers: FxHashMap<pathways_net::IslandId, SchedulerHandle>,
     injector: Rc<FaultInjector>,
     next_client: RefCell<u32>,
 }
@@ -49,7 +49,7 @@ impl PathwaysRuntime {
         let fabric = Fabric::new(handle.clone(), Rc::clone(&topo), net);
 
         // Devices, with one collective rendezvous per island.
-        let mut devices: HashMap<DeviceId, DeviceHandle> = HashMap::new();
+        let mut devices: FxHashMap<DeviceId, DeviceHandle> = FxHashMap::default();
         for island in topo.islands() {
             let rz = CollectiveRendezvous::new(handle.clone());
             for d in topo.devices_of_island(island) {
@@ -75,7 +75,7 @@ impl PathwaysRuntime {
         let failures = FailureState::new();
 
         // Executors: one per host.
-        let mut executors = HashMap::new();
+        let mut executors = FxHashMap::default();
         for host in topo.hosts() {
             let shared = ExecutorShared::new();
             spawn_executor(
@@ -97,7 +97,7 @@ impl PathwaysRuntime {
         // Submissions arrive on the sched router; grants leave on the
         // exec router (separate namespaces, one shared physical NIC).
         let sched_hosts = scheduler_hosts(&topo);
-        let mut schedulers = HashMap::new();
+        let mut schedulers = FxHashMap::default();
         for island in topo.islands() {
             let host = sched_hosts[&island];
             let sh = spawn_scheduler(
@@ -125,8 +125,8 @@ impl PathwaysRuntime {
             devices,
             executors,
             sched_hosts,
-            bindings: RefCell::new(HashMap::new()),
-            input_slots: RefCell::new(HashMap::new()),
+            bindings: RefCell::new(FxHashMap::default()),
+            input_slots: RefCell::new(FxHashMap::default()),
             failures,
             cfg,
         });

@@ -19,8 +19,9 @@
 
 pub mod policy;
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -279,7 +280,7 @@ pub struct SchedulerState {
     /// kernels are still executing. Bounded to the most recent
     /// [`ARRIVAL_HISTORY`] runs so long-lived schedulers don't grow
     /// without bound.
-    arrivals: HashMap<RunId, SimTime>,
+    arrivals: FxHashMap<RunId, SimTime>,
     /// Insertion order of `arrivals`, for eviction.
     arrival_order: VecDeque<RunId>,
 }
@@ -306,7 +307,7 @@ impl SchedulerState {
             // even though rendezvous is per island.
             next_tag: (island.0 as u64) << 48,
             granted_programs: 0,
-            arrivals: HashMap::new(),
+            arrivals: FxHashMap::default(),
             arrival_order: VecDeque::new(),
         }
     }
@@ -575,10 +576,11 @@ pub fn spawn_scheduler(
 }
 
 /// Maps each island to the host its scheduler runs on (the island's
-/// first host).
-pub fn scheduler_hosts(topo: &pathways_net::Topology) -> HashMap<IslandId, HostId> {
+/// first host). Islands with no hosts are skipped — they cannot run a
+/// scheduler.
+pub fn scheduler_hosts(topo: &pathways_net::Topology) -> FxHashMap<IslandId, HostId> {
     topo.islands()
-        .map(|i| (i, topo.hosts_of_island(i).next().expect("island has hosts")))
+        .filter_map(|i| topo.hosts_of_island(i).next().map(|h| (i, h)))
         .collect()
 }
 

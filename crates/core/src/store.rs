@@ -19,7 +19,6 @@
 //! dispatch, extended across programs).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -188,8 +187,8 @@ struct ObjectEntry {
     /// Per-shard readiness events. Populated eagerly by
     /// [`ObjectStore::declare`] (so consumers can gate on shards that do
     /// not exist yet) or lazily by [`ObjectStore::put_shard`].
-    ready: HashMap<u32, Event>,
-    shards: HashMap<u32, StoredShard>,
+    ready: FxHashMap<u32, Event>,
+    shards: FxHashMap<u32, StoredShard>,
     /// Set when the producer failed: shards are dropped (HBM freed),
     /// readiness events fire, and consumers observe the error instead of
     /// stale data. The entry itself lives until its refcount drains.
@@ -207,7 +206,7 @@ struct ObjectEntry {
 /// nothing here.
 #[derive(Default)]
 struct StoreInner {
-    objects: HashMap<ObjectId, ObjectEntry>,
+    objects: FxHashMap<ObjectId, ObjectEntry>,
     by_owner: FxHashMap<ClientId, Vec<ObjectId>>,
     by_device: FxHashMap<DeviceId, Vec<ObjectId>>,
 }
@@ -269,8 +268,8 @@ impl ObjectStore {
             ObjectEntry {
                 owner,
                 refcount: 1,
-                ready: HashMap::new(),
-                shards: HashMap::new(),
+                ready: FxHashMap::default(),
+                shards: FxHashMap::default(),
                 error: None,
             }
         });
@@ -294,8 +293,8 @@ impl ObjectStore {
             ObjectEntry {
                 owner,
                 refcount: 1,
-                ready: HashMap::new(),
-                shards: HashMap::new(),
+                ready: FxHashMap::default(),
+                shards: FxHashMap::default(),
                 error: None,
             }
         });

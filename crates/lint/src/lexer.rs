@@ -1,0 +1,552 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `syn` is unavailable offline (the workspace builds with no registry
+//! access), so pathlint ships its own lexer. It produces exactly the
+//! token shapes the rules need — identifiers, lifetimes, literals,
+//! punctuation, `::` — and strips comments into a side table (comments
+//! carry `// pathlint: allow(..)` suppressions, so their line numbers
+//! matter, but they must never confuse token-sequence matching).
+//!
+//! Deliberately *not* a full spec lexer: no token trees, no float/int
+//! distinction, no shebang/frontmatter handling. It does get the
+//! tricky cases right that would otherwise produce phantom matches:
+//! raw strings (`r#"…"#` with any hash count), byte and raw-byte
+//! strings, char literals vs lifetimes (`'a'` vs `'a`), nested block
+//! comments, raw identifiers (`r#fn`), and numeric literals with
+//! suffixes/underscores/exponents (so `0..10` is not a float).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#async` → `async`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — text excludes the leading quote.
+    Lifetime,
+    /// String / raw-string / byte-string / char literal. Text is the
+    /// *content* only; rules never need the quoting.
+    Literal,
+    /// Numeric literal (text as written).
+    Number,
+    /// Single punctuation character.
+    Punct(char),
+    /// The `::` path separator, fused so path matching is one token.
+    PathSep,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment stripped out of the token stream (suppression carrier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+    /// 1-based line the comment *ends* on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Raw comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the stripped comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs consume to EOF,
+/// and unrecognized bytes are skipped — a linter must degrade
+/// gracefully on code that rustc itself will reject later.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                // Raw identifiers and raw / byte strings all start with
+                // an ident char; disambiguate before the generic ident
+                // path so `r"…"` is not lexed as ident `r` + string.
+                'r' | 'b' if self.is_raw_or_byte_literal() => self.raw_or_byte_literal(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                '"' => self.string(),
+                '\'' => self.lifetime_or_char(),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::PathSep, "::".into(), line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Is the cursor at `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`,
+    /// `br#"` (any hash count)? Plain idents starting with r/b fall
+    /// through to [`Self::ident`].
+    fn is_raw_or_byte_literal(&self) -> bool {
+        let mut i = 1;
+        let first = self.peek(0);
+        if first == Some('b') && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        // Skip hashes of a raw string.
+        let mut j = i;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        match self.peek(j) {
+            Some('"') => true,
+            // b'x' byte char (no hashes allowed).
+            Some('\'') => first == Some('b') && i == 1 && j == 1,
+            // r#ident raw identifier: r + exactly one # + ident start.
+            Some(c) => first == Some('r') && i == 1 && j == 2 && is_ident_start(c),
+            None => false,
+        }
+    }
+
+    fn raw_or_byte_literal(&mut self) {
+        let line = self.line;
+        let mut raw = false;
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        if self.peek(0) == Some('r') {
+            raw = true;
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        match self.peek(0) {
+            Some('"') if raw => {
+                self.bump();
+                // Raw string: ends at `"` followed by `hashes` hashes.
+                let mut text = String::new();
+                'outer: while let Some(c) = self.bump() {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if self.peek(k) != Some('#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            break 'outer;
+                        }
+                    }
+                    text.push(c);
+                }
+                self.push(TokenKind::Literal, text, line);
+            }
+            Some('"') => {
+                // b"…": ordinary escaped string.
+                self.string_at(line);
+            }
+            Some('\'') => {
+                // b'x'
+                self.bump();
+                let mut text = String::new();
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                        }
+                        continue;
+                    }
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokenKind::Literal, text, line);
+            }
+            _ => {
+                // r#ident raw identifier: emit the bare ident so
+                // keyword matching sees through the escape.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, text, line);
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.string_at(line);
+    }
+
+    fn string_at(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn lifetime_or_char(&mut self) {
+        let line = self.line;
+        self.bump(); // leading quote
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let is_lifetime = match first {
+            // `'a`, `'static`, `'_` — but `'a'` is a char literal.
+            Some(c) if is_ident_start(c) => second != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            let mut text = String::new();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                            // `'\u{1F600}'`: consume the braced payload.
+                            if e == 'u' && self.peek(0) == Some('{') {
+                                while let Some(u) = self.bump() {
+                                    if u == '}' {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    '\'' => break,
+                    _ => text.push(c),
+                }
+            }
+            self.push(TokenKind::Literal, text, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+                // Exponent sign: `1e-5` / `2E+3`.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    text.push(self.bump().unwrap());
+                }
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` is one number; `0..10` and `1.max(2)` are not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_paths_and_punct() {
+        let toks = kinds("use std::collections::HashMap;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "use".into()),
+                (TokenKind::Ident, "std".into()),
+                (TokenKind::PathSep, "::".into()),
+                (TokenKind::Ident, "collections".into()),
+                (TokenKind::PathSep, "::".into()),
+                (TokenKind::Ident, "HashMap".into()),
+                (TokenKind::Punct(';'), ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "two 'a lifetimes: {toks:?}");
+        let chars = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Literal && (t == "a" || t == "n"))
+            .count();
+        assert_eq!(chars, 2, "char literals 'a' and '\\n': {toks:?}");
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // A HashMap mention inside a raw string must not tokenize.
+        let toks = kinds(r####"let s = r#"std::collections::HashMap"#;"####);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn raw_string_hash_counts_nest() {
+        // r##"…"# …"## — the single-hash close must not end it.
+        let src = "r##\"one \"# two\"## HashMap";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Literal, "one \"# two".into()),
+                (TokenKind::Ident, "HashMap".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"let a = b"x"; let b = br#"y"#; let c = b'z';"##);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lits, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        let toks = kinds("let r#fn = 1; r#unwrap()");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn comments_stripped_and_recorded() {
+        let lexed =
+            lex("let x = 1; // pathlint: allow(panic-path)\n/* block\nHashMap */ let y = 2;");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("pathlint: allow"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("0..10 1.5 1.max(2) 0x1f_u32 1e-5 1_000.5f64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0", "10", "1.5", "1", "2", "0x1f_u32", "1e-5", "1_000.5f64"]
+        );
+        // `.max` survives as punct + ident (method call shape).
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof() {
+        let lexed = lex("let s = \"never closed");
+        assert_eq!(lexed.tokens.last().unwrap().kind, TokenKind::Literal);
+    }
+}

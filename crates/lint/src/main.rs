@@ -1,0 +1,111 @@
+//! `pathlint` CLI.
+//!
+//! ```text
+//! pathlint                # lint the workspace, write LINT_REPORT.json
+//! pathlint --bless-panics # regenerate the panic allowlist from the
+//!                         # current violations (then hand-prune it!)
+//! pathlint --no-notes     # hide allowlisted/suppressed notes
+//! ```
+//!
+//! Exit code 0 iff the workspace is clean: zero unsuppressed
+//! violations and zero stale allowlist entries. The JSON report lands
+//! in the workspace root (override the directory with
+//! `PATHLINT_OUT_DIR`), mirroring the bench crate's `BENCH_*.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pathways_lint::{find_workspace_root, lint_workspace, rules, Allowlist, Status};
+
+const ALLOWLIST_REL: &str = "crates/lint/panic_allowlist.txt";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless-panics");
+    let no_notes = args.iter().any(|a| a == "--no-notes");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--bless-panics" && *a != "--no-notes")
+    {
+        eprintln!("pathlint: unknown argument `{unknown}`");
+        eprintln!("usage: pathlint [--bless-panics] [--no-notes]");
+        return ExitCode::from(2);
+    }
+
+    let cwd = std::env::current_dir().expect("cwd");
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!("pathlint: no workspace root ([workspace] Cargo.toml) above {cwd:?}");
+        return ExitCode::from(2);
+    };
+
+    let allowlist_path = root.join(ALLOWLIST_REL);
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+
+    let report = match lint_workspace(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pathlint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if bless {
+        let mut keys: Vec<&str> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == rules::PANIC_PATH && v.status != Status::Suppressed)
+            .filter_map(|v| v.allow_key.as_deref())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut text = String::from(
+            "# pathlint panic allowlist — `file.rs::fn_name`, one per line.\n\
+             #\n\
+             # Every entry vouches that the panics in that function are\n\
+             # genuinely unreachable (invariants enforced elsewhere) or that\n\
+             # aborting is the correct response (corrupted simulator state).\n\
+             # Stale entries fail the lint, so this list only ever shrinks.\n\
+             # Regenerate with `cargo run -p pathways-lint -- --bless-panics`,\n\
+             # then hand-review the diff — blessing is not auditing.\n\n",
+        );
+        for k in keys {
+            text.push_str(k);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(&allowlist_path, text) {
+            eprintln!("pathlint: cannot write {allowlist_path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("pathlint: wrote {ALLOWLIST_REL}; re-run to verify it is exhaustive");
+        return ExitCode::SUCCESS;
+    }
+
+    let text = report.render_text();
+    if no_notes {
+        for line in text.lines() {
+            if !line.starts_with("note:") {
+                println!("{line}");
+            }
+        }
+    } else {
+        print!("{text}");
+    }
+
+    let out_dir = std::env::var_os("PATHLINT_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.clone());
+    let json_path = out_dir.join("LINT_REPORT.json");
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("pathlint: cannot write {json_path:?}: {e}");
+        return ExitCode::from(2);
+    }
+
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

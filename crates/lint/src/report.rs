@@ -1,0 +1,194 @@
+//! Diagnostics and the machine-readable `LINT_REPORT.json`.
+//!
+//! Like the bench crate's `BENCH_*.json` writer, the JSON here is
+//! hand-rolled (the workspace has no JSON dependency — it builds with
+//! no registry access): flat strings/numbers, minimal escape.
+
+use std::fmt::Write as _;
+
+use crate::Violation;
+
+/// How a violation was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Unsuppressed, not allowlisted: fails the build.
+    Error,
+    /// Covered by an inline `// pathlint: allow(<rule>)`.
+    Suppressed,
+    /// Covered by a `crates/lint/panic_allowlist.txt` entry.
+    Allowlisted,
+}
+
+impl Status {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Error => "error",
+            Status::Suppressed => "suppressed",
+            Status::Allowlisted => "allowlisted",
+        }
+    }
+}
+
+/// Whole-run result: everything the CI gate and the JSON report need.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched nothing (stale — must be pruned
+    /// so the list only ever shrinks toward genuinely unreachable
+    /// panics).
+    pub stale_allowlist: Vec<String>,
+}
+
+impl RunReport {
+    pub fn count(&self, status: Status) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.status == status)
+            .count()
+    }
+
+    /// True when the run should fail the build.
+    pub fn failed(&self) -> bool {
+        self.count(Status::Error) > 0 || !self.stale_allowlist.is_empty()
+    }
+
+    /// Human-readable diagnostics, one `path:line: [rule] message` per
+    /// violation, errors last so they sit next to the summary in
+    /// terminal scrollback.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut sorted: Vec<&Violation> = self.violations.iter().collect();
+        sorted.sort_by_key(|v| {
+            (
+                v.status != Status::Allowlisted,
+                v.status != Status::Suppressed,
+                v.path.clone(),
+                v.line,
+            )
+        });
+        for v in sorted {
+            match v.status {
+                Status::Error => {
+                    let _ = writeln!(
+                        out,
+                        "error: {}:{}: [{}] {}",
+                        v.path, v.line, v.rule, v.message
+                    );
+                }
+                Status::Suppressed | Status::Allowlisted => {
+                    let _ = writeln!(
+                        out,
+                        "note: {}:{}: [{}] {} ({})",
+                        v.path,
+                        v.line,
+                        v.rule,
+                        v.message,
+                        v.status.as_str()
+                    );
+                }
+            }
+        }
+        for key in &self.stale_allowlist {
+            let _ = writeln!(
+                out,
+                "error: crates/lint/panic_allowlist.txt: stale entry `{key}` matches nothing — \
+                 remove it (the allowlist only ever shrinks)"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "pathlint: {} files, {} errors, {} allowlisted, {} suppressed, {} stale allowlist entries",
+            self.files_scanned,
+            self.count(Status::Error),
+            self.count(Status::Allowlisted),
+            self.count(Status::Suppressed),
+            self.stale_allowlist.len(),
+        );
+        out
+    }
+
+    /// Serializes the run as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"tool\": \"pathlint\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"errors\": {}, \"allowlisted\": {}, \"suppressed\": {}, \
+             \"stale_allowlist\": {}}},",
+            self.count(Status::Error),
+            self.count(Status::Allowlisted),
+            self.count(Status::Suppressed),
+            self.stale_allowlist.len(),
+        );
+        out.push_str("  \"stale_allowlist\": [");
+        for (i, key) in self.stale_allowlist.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(key));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"status\": {}, \
+                 \"message\": {}}}",
+                json_string(v.rule),
+                json_string(&v.path),
+                v.line,
+                json_string(v.status.as_str()),
+                json_string(&v.message),
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn failed_on_stale_entries_even_without_errors() {
+        let mut r = RunReport::default();
+        assert!(!r.failed());
+        r.stale_allowlist.push("x::y".into());
+        assert!(r.failed());
+    }
+}

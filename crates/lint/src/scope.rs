@@ -1,0 +1,274 @@
+//! Brace/scope tracking over the token stream.
+//!
+//! For every token index this computes:
+//! - the brace depth (`{`/`}` nesting) *before* the token is applied,
+//! - whether the token sits inside test-only code (`#[cfg(test)]` mod
+//!   or fn, or a `#[test]` fn), and
+//! - the innermost enclosing function name (for panic-allowlist keys).
+//!
+//! The tracker is attribute-aware but deliberately shallow: it pairs a
+//! pending `fn name` / `mod name` with the next `{` at statement
+//! level, cancelling on `;` (trait method signatures, `mod foo;`).
+//! Const-generic brace expressions in signatures are rare enough in
+//! this workspace to ignore; the fixture tests pin the cases that
+//! matter (nested generics, where-clauses, closures, nested items).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-token scope annotations, parallel to the token slice.
+#[derive(Debug)]
+pub struct ScopeMap {
+    /// Brace depth at each token (before processing that token).
+    pub depth: Vec<u32>,
+    /// True where the token is inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: Vec<bool>,
+    /// Innermost enclosing fn name (`None` at item level).
+    pub enclosing_fn: Vec<Option<String>>,
+}
+
+#[derive(Debug)]
+struct OpenScope {
+    /// Depth *inside* the scope (depth value of its body tokens).
+    body_depth: u32,
+    /// `Some(name)` if this scope is a fn body.
+    fn_name: Option<String>,
+    /// True if this scope starts (or continues) test-only code.
+    test: bool,
+}
+
+/// Builds the scope map for `tokens`.
+pub fn build(tokens: &[Token]) -> ScopeMap {
+    let mut depth_v = Vec::with_capacity(tokens.len());
+    let mut test_v = Vec::with_capacity(tokens.len());
+    let mut fn_v = Vec::with_capacity(tokens.len());
+
+    let mut depth: u32 = 0;
+    let mut scopes: Vec<OpenScope> = Vec::new();
+    // Attribute marked the *next* item as test-only.
+    let mut test_attr = false;
+    // A `fn name` seen but whose body `{` has not opened yet.
+    let mut pending: Option<String> = None;
+    // Paren/bracket nesting inside a pending item's signature, so the
+    // `;` in `fn f(x: &[u8; 2])` does not read as an item terminator.
+    let mut sig_nest: u32 = 0;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+
+        // Record state as seen *at* this token.
+        depth_v.push(depth);
+        test_v.push(scopes.iter().any(|s| s.test));
+        fn_v.push(scopes.iter().rev().find_map(|s| s.fn_name.clone()));
+
+        match &t.kind {
+            TokenKind::Punct('#') => {
+                // `#[…]` or `#![…]`: scan the bracket group, flag test
+                // attributes. (`#` not followed by `[`/`![` is left to
+                // the default arm's advance below — not valid Rust.)
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+                    let (end, is_test) = scan_attr(tokens, j);
+                    if is_test {
+                        test_attr = true;
+                    }
+                    // Replay the depth/test/fn state for the skipped
+                    // attribute tokens so the vectors stay parallel.
+                    for _ in (i + 1)..end {
+                        depth_v.push(depth);
+                        test_v.push(*test_v.last().unwrap());
+                        fn_v.push(fn_v.last().unwrap().clone());
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                    pending = Some(name.text.clone());
+                    sig_nest = 0;
+                }
+            }
+            TokenKind::Punct('(') | TokenKind::Punct('[') if pending.is_some() || test_attr => {
+                sig_nest += 1;
+            }
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                sig_nest = sig_nest.saturating_sub(1);
+            }
+            TokenKind::Punct(';') if sig_nest == 0 => {
+                // `mod foo;` / trait method signature / `#[cfg(test)]
+                // struct X;` — the pending item never opens a body
+                // here; its attributes die with it.
+                pending = None;
+                test_attr = false;
+            }
+            TokenKind::Punct('{') => {
+                depth += 1;
+                sig_nest = 0;
+                let fn_name = pending.take();
+                // A test attribute is consumed by the first body it can
+                // apply to (fn, mod, impl, struct, …) so it can never
+                // leak past the item it annotates.
+                let test = test_attr;
+                test_attr = false;
+                scopes.push(OpenScope {
+                    body_depth: depth,
+                    fn_name,
+                    test,
+                });
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|s| s.body_depth > depth) {
+                    scopes.pop();
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    ScopeMap {
+        depth: depth_v,
+        in_test: test_v,
+        enclosing_fn: fn_v,
+    }
+}
+
+/// Scans an attribute starting at the `[` token index. Returns the
+/// index just past the closing `]` and whether the attribute marks
+/// test-only code (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`).
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut level = 0usize;
+    let mut i = open;
+    let mut idents: Vec<&str> = Vec::new();
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('[') => level += 1,
+            TokenKind::Punct(']') => {
+                level -= 1;
+                if level == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident => idents.push(tokens[i].text.as_str()),
+            _ => {}
+        }
+        i += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"test") => idents.len() == 1,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Scope info at the first token matching `ident`.
+    fn at(src: &str, ident: &str) -> (u32, bool, Option<String>) {
+        let lexed = lex(src);
+        let map = build(&lexed.tokens);
+        let idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("{ident} not found"));
+        (
+            map.depth[idx],
+            map.in_test[idx],
+            map.enclosing_fn[idx].clone(),
+        )
+    }
+
+    #[test]
+    fn tracks_enclosing_fn() {
+        let src = "fn outer() { let marker = 1; } fn other() {}";
+        let (depth, test, f) = at(src, "marker");
+        assert_eq!(depth, 1);
+        assert!(!test);
+        assert_eq!(f.as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_contents() {
+        let src = "fn prod() {} #[cfg(test)] mod tests { fn helper() { let marker = 1; } }";
+        let (_, test, f) = at(src, "marker");
+        assert!(test);
+        assert_eq!(f.as_deref(), Some("helper"));
+        let (_, prod_test, _) = at(src, "prod");
+        assert!(!prod_test);
+    }
+
+    #[test]
+    fn test_attr_fn_marks_body_only() {
+        let src = "#[test] fn a_test() { let inside = 1; } fn prod() { let outside = 2; }";
+        assert!(at(src, "inside").1);
+        assert!(!at(src, "outside").1);
+    }
+
+    #[test]
+    fn array_type_semicolons_in_signatures_do_not_cancel_fn() {
+        let src = "fn takes_arrays(x: &[u8; 2], y: [u32; 4]) -> [u8; 1] { let marker = 1; }";
+        assert_eq!(at(src, "marker").2.as_deref(), Some("takes_arrays"));
+    }
+
+    #[test]
+    fn mod_decl_without_body_cancels_attr() {
+        // `#[cfg(test)] mod integration;` must not poison later items.
+        let src = "#[cfg(test)] mod integration; fn prod() { let marker = 1; }";
+        assert!(!at(src, "marker").1);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_confuse_fn_pairing() {
+        let src = "fn tricky<T: Iterator<Item = Vec<u8>>>(x: T) -> Option<Vec<T>> \
+                   where T: Clone { let marker = 1; }";
+        let (depth, _, f) = at(src, "marker");
+        assert_eq!(depth, 1);
+        assert_eq!(f.as_deref(), Some("tricky"));
+    }
+
+    #[test]
+    fn closures_do_not_shadow_fn_name() {
+        let src = "fn host() { let c = |x: u32| { let marker = x; }; }";
+        let (depth, _, f) = at(src, "marker");
+        assert_eq!(depth, 2);
+        assert_eq!(f.as_deref(), Some("host"));
+    }
+
+    #[test]
+    fn nested_fns_report_innermost() {
+        let src = "fn outer() { fn inner() { let marker = 1; } }";
+        assert_eq!(at(src, "marker").2.as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn struct_literals_and_match_blocks_are_anonymous() {
+        let src = "fn f() { let p = Point { x: 1 }; match p { _ => { let marker = 1; } } }";
+        let (_, _, f) = at(src, "marker");
+        assert_eq!(f.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn cfg_any_test_counts_as_test() {
+        let src = "#[cfg(any(test, feature = \"x\"))] mod m { let marker = 1; }";
+        assert!(at(src, "marker").1);
+    }
+
+    #[test]
+    fn lifetimes_and_raw_strings_in_signatures() {
+        let src = "fn s<'a>(x: &'a str) -> &'a str { let marker = r#\"{ not a brace \"#; x }";
+        let (depth, _, f) = at(src, "marker");
+        assert_eq!(depth, 1);
+        assert_eq!(f.as_deref(), Some("s"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: guards held across `.await` must fire.
+
+async fn named_guard_across_await(state: &Mutex<u32>, ev: &Event) {
+    let guard = state.lock();
+    ev.wait().await; // guard still live here
+    drop(guard);
+}
+
+async fn rwlock_write_guard(state: &RwLock<u32>, ev: &Event) {
+    let mut w = state.write();
+    *w += 1;
+    ev.wait().await;
+}
+
+async fn temporary_guard_same_statement(state: &Mutex<Queue>, ev: &Event) {
+    state.lock().push(ev.wait().await);
+}

@@ -1,0 +1,25 @@
+//! Fixture: the rule must NOT fire here — the guard is released
+//! before every suspension point.
+
+async fn dropped_before_await(state: &Mutex<u32>, ev: &Event) {
+    let guard = state.lock();
+    let snapshot = *guard;
+    drop(guard);
+    ev.wait().await;
+    let _ = snapshot;
+}
+
+async fn scoped_before_await(state: &Mutex<u32>, ev: &Event) {
+    let snapshot = {
+        let guard = state.lock();
+        *guard
+    };
+    ev.wait().await;
+    let _ = snapshot;
+}
+
+async fn temporary_in_earlier_statement(state: &Mutex<u32>, ev: &Event) {
+    let snapshot = *state.lock();
+    ev.wait().await;
+    let _ = snapshot;
+}

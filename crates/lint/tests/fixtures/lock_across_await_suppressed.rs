@@ -1,0 +1,8 @@
+//! Fixture: a suppressed (reviewed) hold-across-await must not fire.
+
+async fn reviewed_hold(state: &Mutex<u32>, ev: &Event) {
+    let guard = state.lock();
+    // pathlint: allow(lock-across-await) — single-threaded test executor only
+    ev.wait().await;
+    drop(guard);
+}

@@ -1,0 +1,12 @@
+//! Fixture: every shape of banned-container usage must fire.
+
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+fn qualified() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}
+
+fn grouped(m: HashMap<u32, u32>, s: HashSet<u32>, b: BTreeMap<u32, u32>) {
+    let _ = (m, s, b);
+}

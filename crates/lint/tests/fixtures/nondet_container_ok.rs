@@ -1,0 +1,26 @@
+//! Fixture: the rule must NOT fire here.
+//!
+//! - explicit deterministic hashers (that is how the FxHashMap alias
+//!   itself is defined),
+//! - ordered std containers,
+//! - mentions inside strings and comments (lexer correctness).
+
+use std::collections::BTreeMap;
+use std::hash::BuildHasherDefault;
+
+// The alias-definition shape: a HashMap with a named deterministic
+// hasher is the escape hatch the Fx types are built from.
+pub type DetMap<K, V> =
+    std::collections::HashMap<K, V, BuildHasherDefault<crate::FxHasher>>;
+pub type DetSet<T> = std::collections::HashSet<T, BuildHasherDefault<crate::FxHasher>>;
+
+fn ordered(b: BTreeMap<u32, u32>) {
+    let _ = b;
+}
+
+fn strings_and_comments() -> &'static str {
+    // std::collections::HashMap in a comment is fine.
+    let raw = r#"std::collections::HashMap in a raw string"#;
+    let _ = raw;
+    "std::collections::HashSet in a string"
+}

@@ -1,0 +1,10 @@
+//! Fixture: inline suppressions silence the rule (both placements).
+
+// pathlint: allow(nondet-container) — interop with an external API type
+use std::collections::HashMap;
+
+use std::collections::HashSet; // pathlint: allow(nondet-container)
+
+fn f(m: HashMap<u32, u32>, s: HashSet<u32>) {
+    let _ = (m, s);
+}

@@ -1,0 +1,33 @@
+//! Fixture: panic paths in non-test runtime code must fire — and the
+//! same constructs inside `#[cfg(test)]` / `#[test]` code must not.
+
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expects(x: Result<u32, ()>) -> u32 {
+    x.expect("fixture")
+}
+
+fn panics(x: u32) {
+    if x > 3 {
+        panic!("fixture: x too big");
+    }
+}
+
+// Not flagged: non-panicking relatives.
+fn relatives(x: Option<u32>) -> u32 {
+    x.unwrap_or(0).max(x.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_panics_freely() {
+        let v: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| v.unwrap()).is_err());
+        let r: Result<u32, ()> = Err(());
+        r.expect("fine in tests");
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: inline suppression and allowlisting both silence the
+//! panic-path rule (the allowlist key for `allowlisted` below is
+//! `<this fixture's rel_path>::allowlisted`).
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // pathlint: allow(panic-path) — length checked two lines up
+    x.unwrap()
+}
+
+fn allowlisted(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,20 @@
+//! Fixture: every wall-clock / OS-entropy shape must fire.
+
+use std::time::Instant;
+use std::time::{Duration, SystemTime};
+
+fn measure() {
+    let start = std::time::Instant::now();
+    std::thread::sleep(Duration::from_millis(1));
+    let _ = (start, SystemTime::now());
+}
+
+fn sleepy() {
+    use std::thread;
+    thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,11 @@
+//! Fixture: suppressed wall-clock uses must not fire, and virtual
+//! time / `Duration` (pure data) are always fine.
+
+use std::time::Duration;
+
+// pathlint: allow(wall-clock) — this fixture measures real elapsed time
+use std::time::Instant;
+
+fn virtual_time_is_fine(now: crate::SimInstant) -> Duration {
+    now.elapsed()
+}

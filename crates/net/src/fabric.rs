@@ -8,8 +8,8 @@
 //! serializes), one PCIe queue per host (so enqueues from one host
 //! serialize), and one ICI egress port per device.
 
+use pathways_sim::hash::FxHashSet;
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -36,9 +36,9 @@ struct FabricInner {
 
 #[derive(Default)]
 struct FabricFaults {
-    dead_hosts: HashSet<HostId>,
+    dead_hosts: FxHashSet<HostId>,
     /// Severed pairs, stored with the smaller host first.
-    severed: HashSet<(HostId, HostId)>,
+    severed: FxHashSet<(HostId, HostId)>,
 }
 
 fn pair_key(a: HostId, b: HostId) -> (HostId, HostId) {

@@ -5,8 +5,8 @@
 //! replacement (crate `pathways-plaque`) and the single-controller
 //! control planes are built on.
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -26,7 +26,7 @@ pub struct Envelope<M> {
 
 struct RouterInner<M> {
     fabric: Fabric,
-    inboxes: RefCell<HashMap<HostId, Sender<Envelope<M>>>>,
+    inboxes: RefCell<FxHashMap<HostId, Sender<Envelope<M>>>>,
 }
 
 /// Typed DCN message router. Cheaply cloneable.
@@ -56,7 +56,7 @@ impl<M: 'static> Router<M> {
         Router {
             inner: Rc::new(RouterInner {
                 fabric,
-                inboxes: RefCell::new(HashMap::new()),
+                inboxes: RefCell::new(FxHashMap::default()),
             }),
         }
     }

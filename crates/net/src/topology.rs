@@ -9,8 +9,8 @@
 //!
 //! Constructors for all three are provided.
 
+use pathways_sim::hash::{FxHashMap, FxHashSet};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -131,7 +131,7 @@ pub struct Topology {
     /// connectivity never changes. Bounded (cleared when full), since
     /// the resource manager probes many distinct windows at 10k-device
     /// scale.
-    submesh_cache: RefCell<HashMap<Box<[u32]>, bool>>,
+    submesh_cache: RefCell<FxHashMap<Box<[u32]>, bool>>,
 }
 
 impl Topology {
@@ -178,7 +178,7 @@ impl Topology {
             num_devices: device_cursor,
             device_island,
             host_island,
-            submesh_cache: RefCell::new(HashMap::new()),
+            submesh_cache: RefCell::new(FxHashMap::default()),
         }
     }
 
@@ -365,8 +365,8 @@ impl Topology {
             let c = self.torus_coord(*d);
             (c.row, c.col)
         };
-        let set: HashSet<(u32, u32)> = devs.iter().map(coord).collect();
-        let mut seen = HashSet::with_capacity(set.len());
+        let set: FxHashSet<(u32, u32)> = devs.iter().map(coord).collect();
+        let mut seen = FxHashSet::with_capacity_and_hasher(set.len(), Default::default());
         let start = coord(&devs[0]);
         let mut frontier = vec![start];
         seen.insert(start);

@@ -8,8 +8,8 @@
 //! messages from async tasks (the "send critical messages with low
 //! latency" requirement).
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -69,9 +69,9 @@ pub(crate) struct ShardCore {
     pub host: HostId,
     pub graph: Graph,
     /// Per out-edge, per destination shard: tuples sent so far.
-    pub sent: HashMap<EdgeId, Vec<u64>>,
+    pub sent: FxHashMap<EdgeId, Vec<u64>>,
     /// Out-edges already punctuated.
-    pub edge_done: HashMap<EdgeId, bool>,
+    pub edge_done: FxHashMap<EdgeId, bool>,
     /// Shard declared finished.
     pub halted: bool,
     /// Completion was already propagated to the run tracker.
@@ -80,8 +80,8 @@ pub(crate) struct ShardCore {
 
 impl ShardCore {
     pub fn new(run: RunId, node: NodeId, shard: u32, host: HostId, graph: Graph) -> Self {
-        let mut sent = HashMap::new();
-        let mut edge_done = HashMap::new();
+        let mut sent = FxHashMap::default();
+        let mut edge_done = FxHashMap::default();
         for &e in graph.out_edges(node) {
             let (_, dst) = graph.edge_endpoints(e);
             sent.insert(e, vec![0; graph.shards(dst) as usize]);

@@ -19,7 +19,7 @@ use std::fmt;
 #[derive(Clone)]
 pub struct ProgressTracker {
     expected_srcs: u32,
-    dones: std::collections::HashSet<u32>,
+    dones: pathways_sim::hash::FxHashSet<u32>,
     expected: u64,
     received: u64,
     fired: bool,
@@ -51,7 +51,7 @@ impl ProgressTracker {
         );
         ProgressTracker {
             expected_srcs,
-            dones: std::collections::HashSet::new(),
+            dones: pathways_sim::hash::FxHashSet::default(),
             expected: 0,
             received: 0,
             fired: false,

@@ -8,8 +8,9 @@
 //! into a single DCN message (batching for throughput); asynchronous
 //! [`Emitter`](crate::Emitter) sends bypass the batcher (low latency).
 
+use pathways_sim::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -79,14 +80,14 @@ pub enum PlaqueMsg {
 struct Slot {
     op: Box<dyn Operator>,
     core: Rc<RefCell<ShardCore>>,
-    trackers: HashMap<EdgeId, ProgressTracker>,
+    trackers: FxHashMap<EdgeId, ProgressTracker>,
     started: bool,
     pending: Vec<PlaqueMsg>,
     inputs_complete_fired: bool,
 }
 
 type ShardKey = (RunId, NodeId, u32);
-type ShardMap = Rc<RefCell<HashMap<ShardKey, Rc<RefCell<Slot>>>>>;
+type ShardMap = Rc<RefCell<FxHashMap<ShardKey, Rc<RefCell<Slot>>>>>;
 
 struct RunEntry {
     remaining: u32,
@@ -102,19 +103,19 @@ type EgressBuffer = Vec<(HostId, PlaqueMsg, u64)>;
 pub struct RuntimeShared {
     pub(crate) handle: SimHandle,
     router: Router<Vec<PlaqueMsg>>,
-    runs: Rc<RefCell<HashMap<RunId, RunEntry>>>,
+    runs: Rc<RefCell<FxHashMap<RunId, RunEntry>>>,
     /// Per-host shard tables (shared with the workers) so completed
     /// shards can be reclaimed as soon as they finalize — long-running
     /// benchmarks launch thousands of runs and must not accumulate
     /// dead slots.
-    workers: Rc<RefCell<HashMap<HostId, ShardMap>>>,
+    workers: Rc<RefCell<FxHashMap<HostId, ShardMap>>>,
     /// Per-source-host egress buffers for the asynchronous (emitter)
     /// path: messages emitted within the same virtual instant coalesce
     /// into one NIC message per destination host. This adds no virtual
     /// latency (the flush runs after one executor micro-step) and is
     /// what keeps punctuation storms from O(M x N) sharded edges off
     /// the NICs — §4.3's batching requirement.
-    async_egress: Rc<RefCell<HashMap<HostId, EgressBuffer>>>,
+    async_egress: Rc<RefCell<FxHashMap<HostId, EgressBuffer>>>,
 }
 
 impl fmt::Debug for RuntimeShared {
@@ -198,7 +199,7 @@ impl RuntimeShared {
 #[derive(Clone)]
 pub struct PlaqueRuntime {
     shared: RuntimeShared,
-    workers: Rc<RefCell<HashMap<HostId, ShardMap>>>,
+    workers: Rc<RefCell<FxHashMap<HostId, ShardMap>>>,
     next_run: Rc<RefCell<u64>>,
 }
 
@@ -242,14 +243,15 @@ impl PlaqueRuntime {
     /// Creates a runtime over `fabric`.
     pub fn new(fabric: Fabric) -> Self {
         let handle = fabric.handle().clone();
-        let workers: Rc<RefCell<HashMap<HostId, ShardMap>>> = Rc::new(RefCell::new(HashMap::new()));
+        let workers: Rc<RefCell<FxHashMap<HostId, ShardMap>>> =
+            Rc::new(RefCell::new(FxHashMap::default()));
         PlaqueRuntime {
             shared: RuntimeShared {
                 handle,
                 router: Router::new(fabric),
-                runs: Rc::new(RefCell::new(HashMap::new())),
+                runs: Rc::new(RefCell::new(FxHashMap::default())),
                 workers: Rc::clone(&workers),
-                async_egress: Rc::new(RefCell::new(HashMap::new())),
+                async_egress: Rc::new(RefCell::new(FxHashMap::default())),
             },
             workers,
             next_run: Rc::new(RefCell::new(0)),
@@ -261,7 +263,7 @@ impl PlaqueRuntime {
         if let Some(map) = self.workers.borrow().get(&host) {
             return Rc::clone(map);
         }
-        let map: ShardMap = Rc::new(RefCell::new(HashMap::new()));
+        let map: ShardMap = Rc::new(RefCell::new(FxHashMap::default()));
         self.workers.borrow_mut().insert(host, Rc::clone(&map));
         let mut inbox = self.shared.router.register(host);
         let shared = self.shared.clone();
@@ -538,7 +540,7 @@ impl PlaqueRuntime {
                     host,
                     graph.clone(),
                 )));
-                let mut trackers = HashMap::new();
+                let mut trackers = FxHashMap::default();
                 for &e in graph.in_edges(node) {
                     trackers.insert(e, ProgressTracker::new(graph.expected_srcs(e, shard)));
                 }

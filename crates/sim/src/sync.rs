@@ -128,17 +128,19 @@ impl Semaphore {
                 while matches!(inner.waiters.front(), Some(w) if w.borrow().cancelled) {
                     inner.waiters.pop_front();
                 }
-                let amount = match inner.waiters.front() {
-                    Some(w) => w.borrow().amount,
+                let front = match inner.waiters.pop_front() {
+                    Some(w) => w,
                     None => return,
                 };
+                let amount = front.borrow().amount;
                 if inner.permits >= amount {
                     inner.permits -= amount;
-                    let front = inner.waiters.pop_front().expect("front checked above");
                     let mut st = front.borrow_mut();
                     st.granted = true;
                     st.waker.take()
                 } else {
+                    // Not enough permits yet: the head keeps its place.
+                    inner.waiters.push_front(front);
                     return;
                 }
             };

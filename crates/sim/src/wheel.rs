@@ -280,19 +280,22 @@ impl<T> TimerWheel<T> {
         // of its *top-level window* into the wheel, so overflow keys
         // stay strictly beyond the cursor's top window and the wheel
         // branches above stay authoritative about the minimum.
-        let (&first, _) = self.overflow.iter().next()?;
+        let (&first, _) = self.overflow.first_key_value()?;
         if first > limit {
             return None;
         }
-        let batch = self.overflow.remove(&first).expect("peeked key exists");
+        let (first, batch) = self.overflow.pop_first()?;
         self.cursor = first;
         let top_shift = SLOT_BITS * LEVELS as u32;
         let window = first >> top_shift;
-        while let Some((&d, _)) = self.overflow.iter().next() {
-            if d >> top_shift != window {
+        while self
+            .overflow
+            .first_key_value()
+            .is_some_and(|(&d, _)| d >> top_shift == window)
+        {
+            let Some((_, entries)) = self.overflow.pop_first() else {
                 break;
-            }
-            let entries = self.overflow.remove(&d).expect("peeked key exists");
+            };
             for e in entries {
                 self.place(e);
             }

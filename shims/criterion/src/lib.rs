@@ -4,6 +4,10 @@
 //! printed. No statistics, plots, or baselines — enough to spot
 //! order-of-magnitude regressions in the simulator's hot paths.
 
+// Benchmarks measure wall time by definition; the workspace-wide
+// Instant ban (clippy.toml) does not apply to the harness shim.
+#![allow(clippy::disallowed_types)]
+
 use std::fmt::Display;
 use std::time::Instant;
 
