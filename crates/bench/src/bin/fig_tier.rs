@@ -1,0 +1,88 @@
+//! `fig_tier`: the tiered object store's two headline curves —
+//! throughput vs per-device HBM budget (retained outputs spill to DRAM
+//! and disk under pressure), and recovery time vs checkpoint interval
+//! (disk restore vs lineage recompute after a device kill). Emits
+//! `BENCH_fig_tier.json` with both metric families.
+
+use pathways_bench::perf::{BenchReport, ClusterShape};
+use pathways_bench::table::Table;
+use pathways_bench::tier::{recovery_latency, spill_throughput, SHARD_BYTES};
+use pathways_sim::SimDuration;
+
+fn main() {
+    const STEPS: u32 = 24;
+    println!("fig_tier: tiered store under pressure and under faults");
+    println!(
+        "family 1: {STEPS} retained 4x{} MiB outputs vs per-device HBM budget\n",
+        SHARD_BYTES >> 20
+    );
+    let mut t = Table::new(&[
+        "hbm/device",
+        "steps/s (virtual)",
+        "spills",
+        "demotions",
+        "spilled MiB",
+    ]);
+    let budgets: [u64; 4] = [2 << 30, 1 << 30, 512 << 20, 256 << 20];
+    let mut report = BenchReport::new(
+        "fig_tier",
+        ClusterShape {
+            islands: 2,
+            hosts_per_island: 2,
+            devices_per_host: 4,
+        },
+    );
+    for hbm in budgets {
+        let p = spill_throughput(hbm, STEPS);
+        t.row(vec![
+            format!("{} MiB", hbm >> 20),
+            format!("{:.0}", p.steps_per_sec),
+            p.spills.to_string(),
+            p.demotions.to_string(),
+            format!("{}", p.spilled_bytes >> 20),
+        ]);
+        let tag = format!("{}mib", hbm >> 20);
+        report = report
+            .metric(format!("spill_steps_per_sec_hbm_{tag}"), p.steps_per_sec)
+            .metric(format!("spill_count_hbm_{tag}"), p.spills as f64)
+            .metric(format!("spill_demotions_hbm_{tag}"), p.demotions as f64);
+    }
+    println!("{}", t.render());
+    println!("expected shape: large budgets never spill; shrinking budgets trade");
+    println!("throughput for spill transfers, and past the DRAM budget, disk demotions.\n");
+
+    println!("family 2: kill-to-consumer-completion time vs checkpoint interval");
+    println!("(200ms producer, one device of its slice killed after completion)\n");
+    let mut t = Table::new(&["checkpoint interval", "recovery (virtual)", "path"]);
+    let intervals: [(Option<SimDuration>, &str); 4] = [
+        (None, "lineage"),
+        (Some(SimDuration::from_millis(50)), "ckpt_50ms"),
+        (Some(SimDuration::from_millis(10)), "ckpt_10ms"),
+        (Some(SimDuration::from_millis(1)), "ckpt_1ms"),
+    ];
+    for (interval, tag) in intervals {
+        let p = recovery_latency(interval);
+        t.row(vec![
+            interval.map_or("none".into(), |d| d.to_string()),
+            p.recovery.to_string(),
+            if p.restored {
+                "disk restore"
+            } else {
+                "lineage recompute"
+            }
+            .to_string(),
+        ]);
+        report = report
+            .metric(format!("recovery_ms_{tag}"), p.recovery.as_secs_f64() * 1e3)
+            .metric(
+                format!("recovery_restored_{tag}"),
+                if p.restored { 1.0 } else { 0.0 },
+            );
+    }
+    println!("{}", t.render());
+    println!("expected shape: any committed checkpoint restores in ~constant disk-read");
+    println!("time; without checkpoints the object recomputes via lineage, paying the");
+    println!("producer's full compute again — the classic tradeoff, which flips when");
+    println!("recompute is cheaper than the disk read.");
+    report.write_or_warn();
+}

@@ -17,6 +17,7 @@ use pathways_bench::micro::{
 use pathways_bench::perf::{BenchReport, ClusterShape};
 use pathways_bench::pipeline::pipeline_throughput;
 use pathways_bench::tenancy::tenancy_trace;
+use pathways_bench::tier::{recovery_latency, spill_throughput};
 use pathways_bench::training::{
     pathways_pipeline_tokens_per_sec, pathways_spmd_tokens_per_sec, table1_point, table2_setup,
     two_island_scaling,
@@ -262,6 +263,37 @@ fn main() {
         .metric("island0_post_steps_per_sec", i0.post_per_sec)
         .metric("island0_recovery", heal.recovery())
         .metric("island0_failed_steps", i0.failed_steps as f64)
+        .write_or_warn();
+
+    // fig_tier (reduced): the tiered store's two curves — spill cost
+    // under HBM pressure, and checkpoint restore vs lineage recompute
+    // after a device kill.
+    let roomy = spill_throughput(2 << 30, 12);
+    let tight = spill_throughput(256 << 20, 12);
+    verdict(
+        "fig_tier spill trades throughput for capacity",
+        roomy.spills == 0 && tight.spills > 0 && tight.steps_per_sec < roomy.steps_per_sec,
+        format!(
+            "{:.0} -> {:.0} steps/s ({} spills, {} demotions)",
+            roomy.steps_per_sec, tight.steps_per_sec, tight.spills, tight.demotions
+        ),
+    );
+    let lineage = recovery_latency(None);
+    let ckpt = recovery_latency(Some(SimDuration::from_millis(10)));
+    verdict(
+        "fig_tier checkpoint restore beats recompute",
+        !lineage.restored && ckpt.restored && ckpt.recovery < lineage.recovery,
+        format!(
+            "restore {} vs recompute {}",
+            ckpt.recovery, lineage.recovery
+        ),
+    );
+    BenchReport::new("fig_tier_quick", small_island(2, 2, 4))
+        .metric("spill_steps_per_sec_roomy", roomy.steps_per_sec)
+        .metric("spill_steps_per_sec_tight", tight.steps_per_sec)
+        .metric("spill_count_tight", tight.spills as f64)
+        .metric("recovery_ms_lineage", lineage.recovery.as_secs_f64() * 1e3)
+        .metric("recovery_ms_ckpt_10ms", ckpt.recovery.as_secs_f64() * 1e3)
         .write_or_warn();
 
     println!("\nFull-size runs: see the individual fig*/table* binaries.");

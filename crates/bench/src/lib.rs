@@ -20,6 +20,7 @@
 //! | `fig14` | chained-program ObjectRef dispatch, sequential vs parallel |
 //! | `fig_heal` | recovered throughput after a mid-trace device kill (elastic healing) |
 //! | `fig_scale` | warehouse-scale sweep: sim/wall ratio, per-kernel overhead, heal latency up to 10k devices |
+//! | `fig_tier` | tiered store: throughput vs HBM budget (spill), recovery time vs checkpoint interval |
 //! | `ablation_sched` | batched vs per-node scheduler messages |
 //! | `ablation_store` | object-store handle return vs client data pull |
 //!
@@ -38,4 +39,5 @@ pub mod scale;
 pub mod stream;
 pub mod table;
 pub mod tenancy;
+pub mod tier;
 pub mod training;

@@ -118,8 +118,17 @@ fn out_dir() -> PathBuf {
 }
 
 /// Short git revision of the working tree, `"unknown"` when git is
-/// unavailable (e.g. running from an exported tarball).
+/// unavailable (e.g. running from an exported tarball). A non-empty
+/// `GIT_REV` environment variable overrides the probe — CI and release
+/// tooling use it to stamp reports with the commit under test rather
+/// than whatever HEAD the checkout happens to be on.
 pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
     let out = Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .current_dir(env!("CARGO_MANIFEST_DIR"))

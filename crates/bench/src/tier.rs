@@ -1,0 +1,246 @@
+//! `fig_tier` harness: the two headline curves of the tiered object
+//! store.
+//!
+//! **Family 1 — throughput vs HBM budget.** One client steps a 4-device
+//! gang program and *retains every output* (the accumulating-activations
+//! pattern), so resident bytes grow linearly with steps. Against a large
+//! HBM budget nothing spills; as the budget shrinks the store's LRU
+//! spiller moves cold shards to host DRAM (and past the DRAM budget, to
+//! disk), and each spill costs virtual transfer time on the producing
+//! device's critical path. The curve is steps/second of virtual time vs
+//! budget, with the spill/demotion counters alongside.
+//!
+//! **Family 2 — recovery time vs checkpoint interval.** A producer with
+//! expensive compute finishes, a scripted fault kills one device holding
+//! its output, and a consumer submitted after the kill binds the lost
+//! object. With checkpointing enabled the object restores from disk (one
+//! disk read); with `checkpoint_interval: None` it recomputes via
+//! lineage (re-runs the producer). The curve is virtual time from kill
+//! to consumer completion vs interval — the classic
+//! checkpoint-vs-recompute tradeoff, which flips whenever recompute cost
+//! drops below the disk read.
+
+use pathways_core::{
+    FaultSpec, FnSpec, InputSpec, PathwaysConfig, PathwaysRuntime, SliceRequest, Tier, TierConfig,
+};
+use pathways_net::{ClusterSpec, DeviceId, HostId, IslandId, NetworkParams};
+use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
+
+/// One point of the throughput-vs-HBM-budget sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpillPoint {
+    /// HBM capacity per device.
+    pub hbm_bytes: u64,
+    /// Gang steps completed per second of virtual time.
+    pub steps_per_sec: f64,
+    /// HBM -> DRAM spills performed.
+    pub spills: u64,
+    /// DRAM -> disk demotions performed.
+    pub demotions: u64,
+    /// Total bytes moved out of HBM.
+    pub spilled_bytes: u64,
+}
+
+/// One point of the recovery-time-vs-checkpoint-interval sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPoint {
+    /// Checkpoint interval (`None` = lineage recompute only).
+    pub checkpoint_interval: Option<SimDuration>,
+    /// Virtual time from the device kill to the consumer completing on
+    /// the recovered object.
+    pub recovery: SimDuration,
+    /// True if the object came back from a disk checkpoint, false if it
+    /// was recomputed via lineage.
+    pub restored: bool,
+}
+
+/// Bytes per output shard in both workloads (4-shard gang: 128 MiB per
+/// retained object in the spill sweep).
+pub const SHARD_BYTES: u64 = 32 << 20;
+
+/// Runs the retained-outputs stepping workload against `hbm_bytes` of
+/// HBM per device and returns the measured point. Deterministic for
+/// equal arguments.
+pub fn spill_throughput(hbm_bytes: u64, steps: u32) -> SpillPoint {
+    let mut sim = Sim::new(0);
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::islands_of(1, 2, 4),
+        NetworkParams::tpu_cluster(),
+        PathwaysConfig {
+            hbm_per_device: hbm_bytes,
+            tiers: Some(TierConfig {
+                // Family 1 isolates the spill path: no checkpoint
+                // traffic, and a DRAM budget small enough that the
+                // tightest HBM budget also demotes to disk.
+                dram_per_host: 512 << 20,
+                checkpoint_interval: None,
+                ..TierConfig::default()
+            }),
+            ..PathwaysConfig::default()
+        },
+    );
+    let client = rt.client(HostId(0));
+    let job = sim.spawn("stepper", async move {
+        let h = client.handle().clone();
+        let slice = client
+            .virtual_slice(SliceRequest::devices(4))
+            .expect("island fits a 4-device slice");
+        let mut b = client.trace("step");
+        let k = b.computation(
+            FnSpec::compute_only("train_step", SimDuration::from_micros(500))
+                .with_output_bytes(SHARD_BYTES),
+            &slice,
+        );
+        let prepared = client.prepare(&b.build().expect("valid step program"));
+        let mut retained = Vec::new();
+        for _ in 0..steps {
+            let run = client.submit(&prepared).await;
+            let out = run.object_ref(k).expect("sink exists");
+            run.finish().await;
+            assert_eq!(out.ready().await, Ok(()), "steps never fail here");
+            retained.push(out); // accumulate: this is the spill pressure
+        }
+        let elapsed = h.now() - SimTime::ZERO;
+        drop(retained);
+        elapsed
+    });
+    sim.run_to_quiescence();
+    let elapsed = job.try_take().expect("stepper finished");
+    let core = rt.core();
+    let stats = core.store.tier_stats();
+    let spilled_bytes: u64 = core
+        .store
+        .spill_events()
+        .iter()
+        .filter(|e| e.from == Tier::Hbm)
+        .map(|e| e.bytes)
+        .sum();
+    assert!(core.store.is_empty(), "retained outputs must drain");
+    SpillPoint {
+        hbm_bytes,
+        steps_per_sec: f64::from(steps) / elapsed.as_secs_f64(),
+        spills: stats.spills,
+        demotions: stats.demotions,
+        spilled_bytes,
+    }
+}
+
+/// Measures kill-to-consumer-completion time for one checkpoint
+/// interval: an expensive (200ms) producer on island 0 finishes, a
+/// scripted fault kills one device holding its output at 300ms, and a
+/// consumer submitted just after binds the lost object. Deterministic
+/// for equal arguments.
+pub fn recovery_latency(checkpoint_interval: Option<SimDuration>) -> RecoveryPoint {
+    const KILL_US: u64 = 300_000;
+    let mut sim = Sim::new(0);
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::islands_of(2, 2, 4),
+        NetworkParams::tpu_cluster(),
+        PathwaysConfig {
+            tiers: Some(TierConfig {
+                checkpoint_interval,
+                ..TierConfig::default()
+            }),
+            ..PathwaysConfig::default()
+        },
+    );
+    // Device 1 is always part of the deterministic least-loaded
+    // 4-device placement on island 0.
+    rt.install_fault_plan(FaultPlan::new().at(
+        SimTime::ZERO + SimDuration::from_micros(KILL_US),
+        FaultSpec::Device(DeviceId(1)),
+    ));
+    let client = rt.client(HostId(2));
+    let job = sim.spawn("client", async move {
+        let h = client.handle().clone();
+        let slice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .expect("island 0 fits the producer");
+        let mut b = client.trace("producer");
+        let k = b.computation(
+            FnSpec::compute_only("expensive", SimDuration::from_millis(200))
+                .with_output_bytes(SHARD_BYTES),
+            &slice,
+        );
+        let run = client
+            .submit(&client.prepare(&b.build().expect("valid producer")))
+            .await;
+        let out = run.object_ref(k).expect("sink exists");
+        run.finish().await;
+        assert_eq!(out.ready().await, Ok(()), "producer must succeed");
+
+        h.sleep_until(SimTime::ZERO + SimDuration::from_micros(KILL_US + 100))
+            .await;
+        let t0 = h.now();
+        let cslice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .expect("island 0 still has 4 live devices");
+        let mut b = client.trace("consumer");
+        let x = b.input(InputSpec::new("x", out.shards()));
+        let c = b.computation(
+            FnSpec::compute_only("consume", SimDuration::from_micros(100)),
+            &cslice,
+        );
+        b.reshard_edge(x, c, 1 << 16);
+        let crun = client
+            .submit_with(
+                &client.prepare(&b.build().expect("valid consumer")),
+                &[(x, out)],
+            )
+            .await
+            .expect("binding is valid");
+        let cout = crun.object_ref(c).expect("sink exists");
+        crun.finish().await;
+        assert_eq!(cout.ready().await, Ok(()), "consumer must recover");
+        h.now() - t0
+    });
+    sim.run_to_quiescence();
+    let recovery = job.try_take().expect("client finished");
+    let stats = rt.faults().recovery_stats();
+    assert_eq!(
+        stats.restored + stats.recomputed,
+        1,
+        "exactly one recovery: {stats:?}"
+    );
+    RecoveryPoint {
+        checkpoint_interval,
+        recovery,
+        restored: stats.restored == 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinking_hbm_budget_spills_and_costs_throughput() {
+        let roomy = spill_throughput(2 << 30, 24);
+        let tight = spill_throughput(256 << 20, 24);
+        assert_eq!(roomy.spills, 0, "2 GiB fits 24 x 32 MiB shards");
+        assert!(tight.spills > 0, "256 MiB cannot hold 768 MiB of outputs");
+        assert!(tight.demotions > 0, "spill overflow must demote to disk");
+        assert!(
+            tight.steps_per_sec < roomy.steps_per_sec,
+            "spill transfers must cost virtual time ({} vs {})",
+            tight.steps_per_sec,
+            roomy.steps_per_sec
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_beats_expensive_recompute() {
+        let lineage = recovery_latency(None);
+        let ckpt = recovery_latency(Some(SimDuration::from_millis(10)));
+        assert!(!lineage.restored, "no checkpoint exists to restore");
+        assert!(ckpt.restored, "a committed checkpoint must win");
+        assert!(
+            ckpt.recovery < lineage.recovery,
+            "disk read must beat a 200ms recompute ({} vs {})",
+            ckpt.recovery,
+            lineage.recovery
+        );
+    }
+}

@@ -64,6 +64,12 @@ pub struct ChaosSpec {
     /// Keep the last island (and the client host, placed there) out of
     /// every fault's blast radius so surviving-progress is assertable.
     pub spare_island: bool,
+    /// Run with storage tiers and recovery enabled
+    /// ([`crate::TierConfig::default`]): objects checkpoint to disk and
+    /// hardware loss recovers via restore/lineage instead of surfacing
+    /// `ProducerFailed`. Adds the tier-conservation invariants to the
+    /// report. `false` keeps the single-tier seed semantics.
+    pub tiered: bool,
 }
 
 impl Default for ChaosSpec {
@@ -77,6 +83,7 @@ impl Default for ChaosSpec {
             max_faults: 3,
             horizon_us: 2_000,
             spare_island: true,
+            tiered: false,
         }
     }
 }
@@ -86,6 +93,15 @@ impl ChaosSpec {
     pub fn seeded(seed: u64) -> Self {
         ChaosSpec {
             seed,
+            ..Self::default()
+        }
+    }
+
+    /// The default shape with tiers + recovery enabled.
+    pub fn seeded_tiered(seed: u64) -> Self {
+        ChaosSpec {
+            seed,
+            tiered: true,
             ..Self::default()
         }
     }
@@ -127,6 +143,19 @@ pub struct ChaosReport {
     pub rm_residual_load: u64,
     /// Live slices left in the resource manager after release.
     pub rm_live_slices: usize,
+    /// Tier activity counters ([`crate::TierStats`]; all zero when
+    /// [`ChaosSpec::tiered`] is false).
+    pub tier_stats: crate::TierStats,
+    /// Recovery outcomes ([`crate::RecoveryStats`]; all zero when
+    /// untiered).
+    pub recovery: crate::RecoveryStats,
+    /// DRAM-tier bytes still charged after every handle dropped.
+    pub dram_leaked: u64,
+    /// Disk-tier bytes still charged after every handle dropped.
+    pub disk_leaked: u64,
+    /// True iff the tier byte ledgers match a recount of the store's
+    /// entries (vacuously true when untiered).
+    pub tiers_conserved: bool,
 }
 
 impl ChaosReport {
@@ -255,11 +284,15 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
 
     // --- Build and run the simulation. ---------------------------------
     let mut sim = Sim::new(spec.seed);
+    let cfg = PathwaysConfig {
+        tiers: spec.tiered.then(crate::TierConfig::default),
+        ..PathwaysConfig::default()
+    };
     let rt = PathwaysRuntime::new(
         &sim,
         ClusterSpec::islands_of(spec.islands, spec.hosts_per_island, spec.devices_per_host),
         NetworkParams::tpu_cluster(),
-        PathwaysConfig::default(),
+        cfg,
     );
     rt.install_fault_plan(plan);
     // The client process lives on the spare island's first host when one
@@ -395,5 +428,10 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         heal_events: rt.faults().heal_events().len() as u32,
         rm_residual_load: rm.total_load(),
         rm_live_slices: rm.live_slice_count(),
+        tier_stats: core.store.tier_stats(),
+        recovery: rt.faults().recovery_stats(),
+        dram_leaked: core.store.dram_used(),
+        disk_leaked: core.store.disk_used(),
+        tiers_conserved: core.store.tiers_conserved(),
     }
 }

@@ -463,6 +463,21 @@ impl Client {
         // per-shard readiness events) before anything executes.
         let refs = self.mint_output_refs(prepared, run);
 
+        // Lineage (tiered store with recovery only): record each sink's
+        // producing program and exact input bindings so a later hardware
+        // loss can recompute it by re-submission. The record's ObjectRef
+        // clones retain the inputs for as long as the outputs live.
+        if self.core.store.lineage_enabled() {
+            let record = Rc::new(crate::recover::LineageRecord {
+                client: self.clone(),
+                program: info.program.clone(),
+                bindings: bindings.to_vec(),
+            });
+            for (_, r) in &refs {
+                self.core.store.set_lineage(r.id(), Rc::clone(&record));
+            }
+        }
+
         // Bind the inputs, then start their shards (and the Result node)
         // locally.
         for (comp, objref) in bindings {

@@ -3,6 +3,7 @@
 use pathways_sim::SimDuration;
 
 use crate::sched::SchedPolicy;
+use crate::tier::TierConfig;
 
 /// Host-side dispatch strategy (§4.5, Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +48,13 @@ pub struct PathwaysConfig {
     /// message (§4.5's "single message describing the entire subgraph").
     /// `false` sends one message per computation — the ablation.
     pub batch_grants: bool,
+    /// Storage tiers and object recovery. `None` (the default) keeps
+    /// the single-tier seed semantics: HBM only, no spill, no
+    /// checkpoints, `ProducerFailed` terminal. `Some` enables host-DRAM
+    /// and disk tiers with LRU spill under HBM pressure, periodic disk
+    /// checkpoints, and (if [`TierConfig::recovery`]) lineage-based
+    /// object recovery.
+    pub tiers: Option<TierConfig>,
 }
 
 impl Default for PathwaysConfig {
@@ -60,6 +68,7 @@ impl Default for PathwaysConfig {
             sched_horizon: SimDuration::from_millis(3),
             hbm_per_device: 16 << 30,
             batch_grants: true,
+            tiers: None,
         }
     }
 }
@@ -74,5 +83,6 @@ mod tests {
         assert_eq!(c.dispatch, DispatchMode::Parallel);
         assert_eq!(c.policy, SchedPolicy::Fifo);
         assert!(c.hbm_per_device >= 1 << 30);
+        assert!(c.tiers.is_none(), "seed semantics by default");
     }
 }

@@ -208,8 +208,11 @@ pub fn spawn_executor(
                     }
                     // Host-side resource allocation: output buffer in the
                     // object store (HBM back-pressure applies) plus
-                    // transient input staging.
+                    // transient input staging. On a tiered store, HBM
+                    // pressure first spills LRU ready shards to host
+                    // DRAM so the staging allocation need not stall.
                     let input_lease = if grant.input_bytes > 0 {
+                        store.ensure_room(&device, grant.input_bytes).await;
                         Some(device.hbm().allocate(grant.input_bytes).await)
                     } else {
                         None

@@ -49,6 +49,7 @@ use pathways_sim::{FaultPlan, SimHandle};
 
 use crate::context::CoreCtx;
 use crate::housekeeping::{spawn_error_delivery, spawn_heal_delivery, ErrorLog, HealLog};
+use crate::recover::{RecoveryManager, RecoveryStats};
 use crate::resource::{HealEvent, ResourceManager};
 use crate::store::{FailureReason, ObjectId};
 
@@ -208,6 +209,10 @@ pub struct FaultInjector {
     /// Every healing action taken so far, in injection order.
     heals: RefCell<Vec<HealEvent>>,
     heal_log: HealLog,
+    /// Present when object recovery is enabled (tiered store with
+    /// `recovery: true`): hardware loss is absorbed into checkpoint
+    /// restore / lineage recompute instead of terminal `ProducerFailed`.
+    recovery: RefCell<Option<Rc<RecoveryManager>>>,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -227,7 +232,33 @@ impl FaultInjector {
             errors: ErrorLog::new(),
             heals: RefCell::new(Vec::new()),
             heal_log: HealLog::new(),
+            recovery: RefCell::new(None),
         }
+    }
+
+    /// Turns on object recovery (called by the runtime assembly when the
+    /// store is tiered with `recovery: true`): the blast-radius walk
+    /// routes object loss through the [`RecoveryManager`] before
+    /// declaring anything `ProducerFailed`.
+    pub(crate) fn enable_recovery(self: &Rc<Self>) {
+        let Some(cfg) = self.core.cfg.tiers.clone() else {
+            return;
+        };
+        let manager = Rc::new(RecoveryManager::new(
+            Rc::clone(&self.core),
+            cfg,
+            Rc::downgrade(self),
+        ));
+        *self.recovery.borrow_mut() = Some(manager);
+    }
+
+    /// Recovery outcome counters (all zero when recovery is disabled).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+            .borrow()
+            .as_ref()
+            .map(|r| r.stats())
+            .unwrap_or_default()
     }
 
     /// The shared failure registry.
@@ -382,8 +413,11 @@ impl FaultInjector {
         if let Some(dev) = self.core.devices.get(&d) {
             dev.fail(now, reason.to_string());
         }
-        // Data already produced onto the device is lost.
-        let lost = self.core.store.fail_objects_on_device(d, reason);
+        // Data already produced onto the device is lost — unless the
+        // recovery manager can absorb the loss (checkpoint restore or
+        // lineage recompute); absorbed objects are neither failed nor
+        // cascaded, their consumers wait through the recovery window.
+        let lost = self.fail_or_recover_device_objects(d, reason);
         // In-flight runs with any shard lowered onto the device fail.
         let victims: Vec<RunId> = {
             let inner = self.state.inner.borrow();
@@ -415,6 +449,20 @@ impl FaultInjector {
         for d in self.core.fabric.topology().devices_of_host(h) {
             self.fail_device(d, reason, newly_failed, newly_dead);
         }
+        // So do shards spilled to the host's DRAM (tiered store only;
+        // untiered stores never populate the DRAM index).
+        let recovery = self.recovery.borrow().clone();
+        let mut dram_lost: Vec<ObjectId> = Vec::new();
+        for id in self.core.store.objects_with_dram_on(h) {
+            let absorbed = recovery
+                .as_ref()
+                .is_some_and(|r| r.absorb_dram_loss(id, h, reason));
+            if !absorbed {
+                self.core.store.fail_object(id, reason);
+                dram_lost.push(id);
+            }
+        }
+        self.cascade_objects(&dram_lost, newly_failed);
         // An island scheduler on the host takes its island down: nothing
         // on the island can be granted anymore.
         let dead_islands: Vec<IslandId> = {
@@ -504,8 +552,20 @@ impl FaultInjector {
         }
         newly_failed.push(run);
         failed_ev.set();
+        // A failed run's in-flight sinks can still be saved: a sink with
+        // lineage (or a checkpoint from an earlier completed production)
+        // recovers by re-submission instead of failing. Only terminally
+        // dead sinks fail and cascade.
+        let recovery = self.recovery.borrow().clone();
+        let mut dead_sinks: Vec<ObjectId> = Vec::new();
         for sink in &sinks {
-            self.core.store.fail_object(*sink, reason);
+            let absorbed = recovery
+                .as_ref()
+                .is_some_and(|r| r.absorb_run_loss(*sink, reason));
+            if !absorbed {
+                self.core.store.fail_object(*sink, reason);
+                dead_sinks.push(*sink);
+            }
         }
         // Abort the run's gang collectives: members whose grants are
         // already lost (dead host, severed link) will never arrive, so
@@ -528,7 +588,38 @@ impl FaultInjector {
         for host in hosts {
             self.core.executors[&host].fail_run(run);
         }
-        self.cascade_objects(&sinks, newly_failed);
+        self.cascade_objects(&dead_sinks, newly_failed);
+    }
+
+    /// The device leg of the blast-radius walk: each object with HBM
+    /// shards on dead device `d` is absorbed into recovery when
+    /// possible, failed otherwise. Returns the *failed* (non-absorbed)
+    /// ids, ascending — the set the upstream cascade walks.
+    fn fail_or_recover_device_objects(&self, d: DeviceId, reason: FailureReason) -> Vec<ObjectId> {
+        let recovery = self.recovery.borrow().clone();
+        let Some(recovery) = recovery else {
+            return self.core.store.fail_objects_on_device(d, reason);
+        };
+        let mut lost = Vec::new();
+        for id in self.core.store.objects_on_device(d) {
+            if !recovery.absorb_device_loss(id, d, reason) {
+                self.core.store.fail_object(id, reason);
+                lost.push(id);
+            }
+        }
+        lost
+    }
+
+    /// The deferred half of the blast-radius walk, used by abandoned
+    /// recoveries: cascade `objects`' failure to bound consumers and fan
+    /// the resulting run failures out to live hosts — exactly what
+    /// `inject` would have done synchronously had recovery not been
+    /// attempted.
+    pub(crate) fn cascade_failure(&self, objects: &[ObjectId]) {
+        let mut newly_failed: Vec<RunId> = Vec::new();
+        self.cascade_objects(objects, &mut newly_failed);
+        self.purge_completed();
+        self.deliver(newly_failed);
     }
 
     /// Fails every run bound (as a consumer) to any of `objects`.

@@ -111,10 +111,12 @@ pub mod housekeeping;
 mod objref;
 mod ops;
 mod program;
+mod recover;
 mod resource;
 mod runtime;
 pub mod sched;
 mod store;
+mod tier;
 
 #[allow(deprecated)]
 pub use client::PendingRun;
@@ -130,6 +132,7 @@ pub use program::{
     CompId, Computation, DataEdge, FnSpec, InputSpec, Program, ProgramBuilder, ProgramError,
     ShardMapping,
 };
+pub use recover::RecoveryStats;
 pub use resource::{
     HealEvent, ResourceError, ResourceManager, SliceId, SliceRequest, VirtualSlice,
 };
@@ -138,4 +141,7 @@ pub use sched::policy::{
     FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy,
 };
 pub use sched::{SchedPolicy, SchedulerHandle};
-pub use store::{FailureReason, ObjectError, ObjectId, ObjectStore, StoreError, StoredShard};
+pub use store::{
+    FailureReason, ObjectError, ObjectId, ObjectStore, StoreError, StoredShard, TierStats,
+};
+pub use tier::{SpillEvent, Tier, TierConfig};

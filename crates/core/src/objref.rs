@@ -124,6 +124,14 @@ impl ObjectRef {
         for ev in self.ready.iter() {
             ev.wait().await;
         }
+        // Recovery transparency (tiered store): if the object's data was
+        // lost to hardware death but a restore/recompute is rebuilding
+        // it, wait through the recovery window instead of reporting a
+        // transient state. The window always closes — with the shards
+        // back (Ok below) or a terminal error.
+        while let Some(rec) = self.store.recovering(self.id) {
+            rec.wait().await;
+        }
         match self.error() {
             Some(err) => Err(err),
             None => Ok(()),

@@ -731,16 +731,42 @@ fn spawn_output_transfers(
                     if let Some(ready) = &gate {
                         ready.wait().await;
                     }
-                    let move_data = addr.is_set()
-                        && match mode {
-                            TransferMode::Data => true,
-                            TransferMode::Poison => false,
-                            TransferMode::CheckObject(src) => {
-                                core.store.object_error(src).is_none()
-                            }
-                        };
+                    let mut src = src_dev;
+                    let mut move_data = addr.is_set();
                     if move_data {
-                        core.move_bytes(src_dev, dst_dev, bytes).await;
+                        match mode {
+                            TransferMode::Data => {}
+                            TransferMode::Poison => move_data = false,
+                            TransferMode::CheckObject(src_obj) => {
+                                // Tiered store: a source object mid
+                                // restore/recompute is neither stale nor
+                                // failed — wait the recovery window out
+                                // (racing the consumer's own failure so
+                                // a doomed run still unwedges).
+                                while let Some(rec) = core.store.recovering(src_obj) {
+                                    event_or_cancel(&rec, cancel.as_ref()).await;
+                                    if !rec.is_set() {
+                                        break;
+                                    }
+                                }
+                                if core.store.object_error(src_obj).is_some() {
+                                    move_data = false;
+                                } else if let Some((loc, penalty)) =
+                                    core.store.read_shard(src_obj, shard)
+                                {
+                                    // Spilled/restored shards replay from
+                                    // their current tier location with the
+                                    // staging penalty.
+                                    if penalty > pathways_sim::SimDuration::ZERO {
+                                        core.handle.sleep(penalty).await;
+                                    }
+                                    src = loc;
+                                }
+                            }
+                        }
+                    }
+                    if move_data {
+                        core.move_bytes(src, dst_dev, bytes).await;
                     }
                     if let Some(slot) = core
                         .input_slots

@@ -1,0 +1,319 @@
+//! Object recovery: making `ProducerFailed` a last resort.
+//!
+//! PR 4's healing recovers *capacity* — live slices remap off dead
+//! hardware and the next submit re-lowers — but every byte already
+//! produced onto that hardware was lost, and
+//! [`ObjectError::ProducerFailed`](crate::ObjectError) was terminal. The
+//! [`RecoveryManager`] closes that gap with the two mechanisms real
+//! deployments use (Ray-style lineage per `crates/baselines`' Ray model,
+//! durable checkpoints per the tiered store):
+//!
+//! 1. **Restore from checkpoint** — if the object has a disk checkpoint,
+//!    copy it back into a live host's DRAM (one disk read on the sim
+//!    wheel) and fire the readiness events.
+//! 2. **Recompute via lineage** — otherwise, if the object's producing
+//!    program and bound inputs were recorded, re-submit the program
+//!    through the client's normal path. Because the fault injector heals
+//!    slices *before* recovery tasks run, the re-submission re-lowers
+//!    onto the healed mapping (PR 4's re-lowering path) and lands on
+//!    live devices. The fresh output is then staged into DRAM under the
+//!    original object id.
+//! 3. **Surface the error** — only when neither works (no checkpoint, no
+//!    lineage, inputs themselves dead, attempts exhausted) does the
+//!    object fail terminally and the failure cascade to consumers.
+//!
+//! While a recovery is in flight the store entry carries a `recovering`
+//! event; consumers ([`ObjectRef::ready`](crate::ObjectRef::ready), the
+//! input-transfer drivers) wait through it transparently, so the client
+//! of a consuming run never observes the loss at all — the acceptance
+//! bar of this PR.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+use pathways_net::{DeviceId, FxHashMap, HostId};
+
+use crate::client::Client;
+use crate::context::CoreCtx;
+use crate::fault::FaultInjector;
+use crate::objref::ObjectRef;
+use crate::program::{CompId, Program};
+use crate::store::{FailureReason, ObjectId};
+use crate::tier::TierConfig;
+
+/// How to reproduce one object: the producing program plus the exact
+/// input bindings of the original submission. The bindings hold
+/// [`ObjectRef`] clones, so lineage *retains its inputs* — an input
+/// cannot be garbage-collected while something downstream might need it
+/// for recompute (this retention is what drives tier spill pressure in
+/// long chains, and it is released with the object's last reference).
+pub(crate) struct LineageRecord {
+    pub(crate) client: Client,
+    pub(crate) program: Program,
+    pub(crate) bindings: Vec<(CompId, ObjectRef)>,
+}
+
+impl fmt::Debug for LineageRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LineageRecord")
+            .field("client", &self.client.id())
+            .field("inputs", &self.bindings.len())
+            .finish()
+    }
+}
+
+/// Counters over recovery outcomes (monotonic).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Objects rematerialized from a disk checkpoint.
+    pub restored: u64,
+    /// Objects rematerialized by re-running their producing program.
+    pub recomputed: u64,
+    /// Recoveries that failed terminally (`ProducerFailed` surfaced).
+    pub abandoned: u64,
+}
+
+/// Absorbs hardware loss of store objects into asynchronous recovery
+/// instead of terminal failure. Owned by the [`FaultInjector`], which
+/// consults it during the synchronous blast-radius walk: an *absorbed*
+/// object is dropped from the walk's doomed set (no error recorded, no
+/// cascade) and a recovery task is spawned to rebuild it.
+pub(crate) struct RecoveryManager {
+    core: Rc<CoreCtx>,
+    cfg: TierConfig,
+    /// Back-reference for the terminal path: an abandoned recovery must
+    /// cascade the failure to consumers exactly as the injector would
+    /// have, just later in virtual time.
+    injector: Weak<FaultInjector>,
+    /// Recovery attempts per object, against
+    /// [`TierConfig::max_recovery_attempts`].
+    attempts: RefCell<FxHashMap<ObjectId, u32>>,
+    stats: RefCell<RecoveryStats>,
+}
+
+impl fmt::Debug for RecoveryManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryManager")
+            .field("stats", &*self.stats.borrow())
+            .finish()
+    }
+}
+
+impl RecoveryManager {
+    pub(crate) fn new(core: Rc<CoreCtx>, cfg: TierConfig, injector: Weak<FaultInjector>) -> Self {
+        RecoveryManager {
+            core,
+            cfg,
+            injector,
+            attempts: RefCell::new(FxHashMap::default()),
+            stats: RefCell::new(RecoveryStats::default()),
+        }
+    }
+
+    /// Outcome counters so far.
+    pub(crate) fn stats(&self) -> RecoveryStats {
+        *self.stats.borrow()
+    }
+
+    /// Tries to absorb the loss of `id`'s HBM shards on dead `device`.
+    /// True means the object is (already or now) recovering and must not
+    /// be failed or cascaded; false means the loss is terminal and the
+    /// caller proceeds with `fail_object`.
+    pub(crate) fn absorb_device_loss(
+        self: &Rc<Self>,
+        id: ObjectId,
+        device: DeviceId,
+        reason: FailureReason,
+    ) -> bool {
+        let store = &self.core.store;
+        if store.recovering(id).is_some() {
+            // An earlier fault already opened the window; this fault
+            // just killed another replica of the same object.
+            store.drop_shards_on_device(id, device);
+            return true;
+        }
+        if !self.budget_and_lineage_allow(id) {
+            return false;
+        }
+        store.drop_shards_on_device(id, device);
+        if store.begin_recovery(id).is_none() {
+            return false;
+        }
+        self.note_attempt(id);
+        self.spawn_recovery(id, reason);
+        true
+    }
+
+    /// Tries to absorb the loss of `id`'s DRAM shards spilled to dead
+    /// `host`. Same contract as
+    /// [`RecoveryManager::absorb_device_loss`].
+    pub(crate) fn absorb_dram_loss(
+        self: &Rc<Self>,
+        id: ObjectId,
+        host: HostId,
+        reason: FailureReason,
+    ) -> bool {
+        let store = &self.core.store;
+        if store.recovering(id).is_some() {
+            store.drop_dram_on_host(id, host);
+            return true;
+        }
+        if !self.budget_and_lineage_allow(id) {
+            return false;
+        }
+        store.drop_dram_on_host(id, host);
+        if store.begin_recovery(id).is_none() {
+            return false;
+        }
+        self.note_attempt(id);
+        self.spawn_recovery(id, reason);
+        true
+    }
+
+    /// Tries to absorb the failure of a run whose sink `id` is — the
+    /// in-flight production died with its hardware. No shards to drop up
+    /// front (partial output is swept by the recompute commit); the
+    /// object recovers by lineage re-submission (a checkpoint can only
+    /// exist for a *completed* production, i.e. an earlier incarnation).
+    pub(crate) fn absorb_run_loss(self: &Rc<Self>, id: ObjectId, reason: FailureReason) -> bool {
+        let store = &self.core.store;
+        if store.recovering(id).is_some() {
+            return true;
+        }
+        if !self.budget_and_lineage_allow(id) {
+            return false;
+        }
+        if store.begin_recovery(id).is_none() {
+            return false;
+        }
+        self.note_attempt(id);
+        self.spawn_recovery(id, reason);
+        true
+    }
+
+    /// Common absorb gate: the object must be recoverable (checkpoint or
+    /// healthy lineage) *and* within its attempt budget. Exhausting the
+    /// budget on an otherwise-recoverable object counts as an
+    /// abandonment — the loss was in principle survivable.
+    fn budget_and_lineage_allow(&self, id: ObjectId) -> bool {
+        if !self.core.store.recoverable(id) {
+            return false;
+        }
+        if self.attempts.borrow().get(&id).copied().unwrap_or(0) >= self.cfg.max_recovery_attempts {
+            self.stats.borrow_mut().abandoned += 1;
+            return false;
+        }
+        true
+    }
+
+    fn note_attempt(&self, id: ObjectId) {
+        *self.attempts.borrow_mut().entry(id).or_insert(0) += 1;
+    }
+
+    /// First live (host, device) pair in id order — where checkpoint
+    /// restores stage their data. Deterministic by construction.
+    fn restore_target(&self) -> Option<(DeviceId, HostId)> {
+        let topo = Rc::clone(self.core.fabric.topology());
+        let failures = &self.core.failures;
+        let mut hosts: Vec<HostId> = topo.hosts().collect();
+        hosts.sort();
+        for h in hosts {
+            if failures.host_dead(h) {
+                continue;
+            }
+            let mut devs: Vec<DeviceId> = topo.devices_of_host(h).collect();
+            devs.sort();
+            for d in devs {
+                if !failures.device_dead(d) {
+                    return Some((d, h));
+                }
+            }
+        }
+        None
+    }
+
+    /// Spawns the asynchronous recovery of `id`. The task runs after the
+    /// injector's synchronous walk returns — in particular after slice
+    /// healing — so lineage re-submissions re-lower onto healed devices.
+    fn spawn_recovery(self: &Rc<Self>, id: ObjectId, reason: FailureReason) {
+        let this = Rc::clone(self);
+        self.core.handle.spawn(format!("recover-{id}"), async move {
+            this.recover(id, reason).await;
+        });
+    }
+
+    async fn recover(self: Rc<Self>, id: ObjectId, reason: FailureReason) {
+        let h = self.core.handle.clone();
+        let store = self.core.store.clone();
+        let t0 = h.now();
+
+        // 1. Restore from checkpoint: one disk read into a live host's
+        // DRAM, then every shard is servable again.
+        if let Some(total) = store.checkpoint_restore_size(id) {
+            if let Some((device, host)) = self.restore_target() {
+                h.sleep(self.cfg.disk_time(total)).await;
+                if store.complete_restore(id, device, host) {
+                    h.trace_span("tiers", format!("restore {id}"), t0, h.now());
+                    self.stats.borrow_mut().restored += 1;
+                    return;
+                }
+                if !store.contains(id) {
+                    return; // released while restoring; nothing to rebuild
+                }
+            }
+        }
+
+        // 2. Recompute via lineage: re-submit the producing program with
+        // its original bindings. Stale preparations re-lower against the
+        // healed mapping inside submit_with (PR 4's path), so the
+        // recompute lands on live devices without any special casing.
+        if let Some(lineage) = store.lineage_of(id) {
+            if lineage.bindings.iter().all(|(_, r)| r.error().is_none()) {
+                let prepared = lineage.client.prepare(&lineage.program);
+                if let Ok(run) = lineage
+                    .client
+                    .submit_with(&prepared, &lineage.bindings)
+                    .await
+                {
+                    let out = run.object_ref(id.comp);
+                    let result = run.finish().await;
+                    if let Some(out) = out {
+                        if out.ready().await.is_ok() {
+                            // Stage the fresh output into DRAM under the
+                            // original id (one HBM->DRAM copy).
+                            h.sleep(self.cfg.hbm_dram_time(out.total_bytes())).await;
+                            let topo = Rc::clone(self.core.fabric.topology());
+                            let shards: Vec<(u32, u64, DeviceId, HostId)> = out
+                                .devices()
+                                .iter()
+                                .enumerate()
+                                .map(|(s, d)| {
+                                    (s as u32, out.bytes_per_shard(), *d, topo.host_of_device(*d))
+                                })
+                                .collect();
+                            if store.complete_recompute(id, &shards) {
+                                h.trace_span("tiers", format!("recompute {id}"), t0, h.now());
+                                self.stats.borrow_mut().recomputed += 1;
+                                drop(result); // releases the recompute copy
+                                return;
+                            }
+                        }
+                    }
+                    drop(result);
+                }
+            }
+        }
+
+        // 3. Terminal: surface ProducerFailed and cascade exactly as the
+        // injector's synchronous walk would have.
+        if !store.contains(id) {
+            return;
+        }
+        self.stats.borrow_mut().abandoned += 1;
+        store.fail_object(id, reason);
+        if let Some(inj) = self.injector.upgrade() {
+            inj.cascade_failure(&[id]);
+        }
+    }
+}

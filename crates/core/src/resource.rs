@@ -742,9 +742,12 @@ impl ResourceManager {
         let mut dev_slices = self.dev_slices.borrow_mut();
         for d in devs {
             let c = counts.get_mut(d).expect("device is in the topology");
-            debug_assert!(*c > 0, "use-count underflow on {d}: accounting drift");
+            // A hard invariant in every profile: saturating here would
+            // mask accounting drift in release builds and let by_load /
+            // island_load diverge from the true ledger.
+            assert!(*c > 0, "use-count underflow on {d}: accounting drift");
             let old = *c;
-            *c = c.saturating_sub(1);
+            *c -= 1;
             if let Some(owners) = dev_slices.get_mut(d) {
                 if let Some(mult) = owners.get_mut(&slice) {
                     *mult -= 1;
@@ -757,7 +760,7 @@ impl ResourceManager {
                 }
             }
             let island = self.topo.island_of_device(*d);
-            if old > 0 && attached.get(&island).is_some_and(|m| m.contains(d)) {
+            if attached.get(&island).is_some_and(|m| m.contains(d)) {
                 *island_load.get_mut(&island).expect("island indexed") -= 1;
                 let order = by_load.get_mut(&island).expect("island indexed");
                 order.remove(&(old, *d));
@@ -897,6 +900,20 @@ mod tests {
         // Time-multiplexing: both slices cover the same 8 devices.
         assert_eq!(s1.physical_devices(), s2.physical_devices());
         assert_eq!(rm.device_load(DeviceId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "use-count underflow")]
+    fn uncharge_underflow_is_a_hard_invariant_in_release() {
+        let rm = rm(ClusterSpec::config_b(1));
+        let c = ClientId(0);
+        let s = rm.allocate(c, SliceRequest::devices(2)).unwrap();
+        let devs = s.physical_devices();
+        rm.uncharge(s.id(), &devs);
+        // The ledger is at zero for these devices; a second uncharge
+        // must abort in every build profile (this suite runs in release
+        // on CI) rather than saturate and silently drift by_load.
+        rm.uncharge(s.id(), &devs);
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl PathwaysRuntime {
         }
         let devices = Rc::new(devices);
 
-        let store = ObjectStore::new();
+        let store = match &cfg.tiers {
+            Some(tc) => ObjectStore::with_tiers(handle.clone(), Rc::clone(&topo), tc.clone()),
+            None => ObjectStore::new(),
+        };
         let sched_router: Router<crate::sched::CtrlMsg> = Router::new(fabric.clone());
         let exec_router: Router<crate::sched::CtrlMsg> = Router::new(fabric.clone());
         let plaque = PlaqueRuntime::new(fabric.clone());
@@ -136,6 +139,9 @@ impl PathwaysRuntime {
             Rc::clone(&rm),
             core.failures.clone(),
         ));
+        if core.cfg.tiers.as_ref().is_some_and(|t| t.recovery) {
+            FaultInjector::enable_recovery(&injector);
+        }
         PathwaysRuntime {
             core,
             rm,

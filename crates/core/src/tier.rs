@@ -1,0 +1,162 @@
+//! Storage-tier vocabulary for the object store: HBM, host DRAM and
+//! cluster-durable disk.
+//!
+//! The seed store modeled exactly one tier — device HBM — so every byte
+//! of produced data died with its device and `ProducerFailed` was
+//! terminal. [`TierConfig`] turns on the memory hierarchy the paper's
+//! deployment sits on: under per-device HBM pressure the store spills
+//! least-recently-used ready shards to the device's host DRAM (and
+//! cascades DRAM overflow to disk), periodic checkpoints copy completed
+//! sink objects to disk, and the recovery manager restores or recomputes
+//! objects lost to hardware death before surfacing an error. Every tier
+//! transition is a virtual-time transfer cost on the simulation wheel
+//! and is stamped onto the `tiers` trace track, so tiered runs replay
+//! bit-identically.
+
+use std::fmt;
+
+use pathways_net::HostId;
+use pathways_sim::{SimDuration, SimTime};
+
+use crate::store::ObjectId;
+
+/// Where one shard's bytes currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// Pinned in a device's HBM (the only tier of the untiered store).
+    Hbm,
+    /// Spilled (or restored) to a host's DRAM; lost if that host dies.
+    Dram,
+    /// On cluster-durable disk; survives device and host death.
+    Disk,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Hbm => write!(f, "hbm"),
+            Tier::Dram => write!(f, "dram"),
+            Tier::Disk => write!(f, "disk"),
+        }
+    }
+}
+
+/// Configuration of the tiered store and its recovery machinery.
+///
+/// Installed through
+/// [`PathwaysConfig::tiers`](crate::PathwaysConfig::tiers); `None`
+/// (the default) keeps the seed behavior: HBM only, no spill, no
+/// checkpoints, `ProducerFailed` terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Host-DRAM spill capacity per host.
+    pub dram_per_host: u64,
+    /// HBM↔DRAM staging bandwidth (PCIe class), bytes per second.
+    pub hbm_dram_bw: u64,
+    /// DRAM↔disk bandwidth, bytes per second.
+    pub dram_disk_bw: u64,
+    /// Fixed per-operation disk access latency (seek + request).
+    pub disk_latency: SimDuration,
+    /// Periodic checkpoint cadence: completed sink objects are copied
+    /// to disk at the next multiple of this interval. `None` disables
+    /// checkpointing (recovery then relies on lineage alone).
+    pub checkpoint_interval: Option<SimDuration>,
+    /// Attempt restore-from-checkpoint, then recompute-via-lineage,
+    /// before surfacing `ProducerFailed` for objects lost to hardware
+    /// death.
+    pub recovery: bool,
+    /// Recovery attempts per object before the failure becomes terminal.
+    pub max_recovery_attempts: u32,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            dram_per_host: 64 << 30,
+            hbm_dram_bw: 16_000_000_000,
+            dram_disk_bw: 2_000_000_000,
+            disk_latency: SimDuration::from_micros(200),
+            checkpoint_interval: Some(SimDuration::from_micros(500)),
+            recovery: true,
+            max_recovery_attempts: 2,
+        }
+    }
+}
+
+impl TierConfig {
+    /// Virtual time to move `bytes` between HBM and host DRAM.
+    pub fn hbm_dram_time(&self, bytes: u64) -> SimDuration {
+        xfer_time(bytes, self.hbm_dram_bw)
+    }
+
+    /// Virtual time to move `bytes` between DRAM and disk (one disk
+    /// latency plus the bandwidth term).
+    pub fn disk_time(&self, bytes: u64) -> SimDuration {
+        self.disk_latency + xfer_time(bytes, self.dram_disk_bw)
+    }
+}
+
+/// One tier transition of one shard — spills, disk demotions, restores
+/// and recompute materializations all log these (the store's
+/// [`spill_events`](crate::ObjectStore::spill_events)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillEvent {
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// The logical object.
+    pub object: ObjectId,
+    /// The shard that moved.
+    pub shard: u32,
+    /// Shard size.
+    pub bytes: u64,
+    /// Tier the bytes left.
+    pub from: Tier,
+    /// Tier the bytes landed in.
+    pub to: Tier,
+    /// Host whose DRAM is involved (accounting key for DRAM legs).
+    pub host: HostId,
+}
+
+impl fmt::Display for SpillEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} {}B {}->{} ({})",
+            self.object, self.shard, self.bytes, self.from, self.to, self.host
+        )
+    }
+}
+
+/// Duration of moving `bytes` at `bw` bytes/sec (u128 intermediate so
+/// multi-GiB shards cannot overflow).
+pub(crate) fn xfer_time(bytes: u64, bw: u64) -> SimDuration {
+    let ns = (u128::from(bytes) * 1_000_000_000) / u128::from(bw.max(1));
+    SimDuration::from_nanos(ns.min(u128::from(u64::MAX)) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TierConfig::default();
+        assert!(c.dram_per_host > 0 && c.hbm_dram_bw > c.dram_disk_bw);
+        assert!(c.recovery && c.max_recovery_attempts >= 1);
+    }
+
+    #[test]
+    fn transfer_times_scale_with_bytes() {
+        let c = TierConfig::default();
+        assert_eq!(xfer_time(0, c.hbm_dram_bw), SimDuration::ZERO);
+        assert_eq!(
+            xfer_time(c.hbm_dram_bw, c.hbm_dram_bw),
+            SimDuration::from_nanos(1_000_000_000)
+        );
+        // Disk ops always pay the fixed latency.
+        assert!(c.disk_time(0) >= c.disk_latency);
+        // No overflow at warehouse sizes.
+        let big = xfer_time(u64::MAX, 1);
+        assert!(big > SimDuration::ZERO);
+    }
+}

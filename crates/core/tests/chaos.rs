@@ -541,6 +541,84 @@ fn chaos_matrix_upholds_invariants() {
     }
 }
 
+/// Tiered chaos matrix: the same fault schedules with storage tiers and
+/// recovery enabled. All the untiered invariants still hold, plus the
+/// tier byte ledgers conserve and drain to zero, and across the matrix
+/// the recovery machinery actually fires (checkpoints committed, losses
+/// absorbed into restore/recompute instead of surfacing errors).
+#[test]
+fn tiered_chaos_matrix_upholds_invariants() {
+    let mut checkpoints = 0u64;
+    let mut recoveries = 0u64;
+    for seed in [1, 2, 3, 4, 5, 6, 7, 8, 0xC0FFEE, 0xBAD5EED] {
+        let report = run_chaos(&ChaosSpec::seeded_tiered(seed));
+        assert!(
+            report.outcome.is_quiescent(),
+            "seed {seed}: wedged with faults {:?}: {:?}",
+            report.faults,
+            report.outcome
+        );
+        assert_eq!(
+            report.store_len, 0,
+            "seed {seed}: store leaked {} objects (faults {:?})",
+            report.store_len, report.faults
+        );
+        assert_eq!(report.hbm_leaked, 0, "seed {seed}: leaked HBM bytes");
+        assert_eq!(
+            report.dram_leaked, 0,
+            "seed {seed}: leaked {} DRAM-tier bytes (faults {:?})",
+            report.dram_leaked, report.faults
+        );
+        assert_eq!(
+            report.disk_leaked, 0,
+            "seed {seed}: leaked {} disk-tier bytes (faults {:?})",
+            report.disk_leaked, report.faults
+        );
+        assert!(
+            report.tiers_conserved,
+            "seed {seed}: tier byte ledgers drifted (faults {:?})",
+            report.faults
+        );
+        let spec = ChaosSpec::seeded_tiered(seed);
+        assert_eq!(
+            report.healed_ok + report.healed_err,
+            spec.programs + 1,
+            "seed {seed}: heal-epoch resubmission wedged"
+        );
+        assert!(report.spare_healed, "seed {seed}: spare heal failed");
+        assert!(report.survivor_kernels > 0, "seed {seed}: spare stalled");
+        assert_eq!(report.rm_residual_load, 0, "seed {seed}: rm ledger drift");
+        assert_eq!(report.rm_live_slices, 0, "seed {seed}: slices leaked");
+        checkpoints += report.tier_stats.checkpoints;
+        recoveries +=
+            report.recovery.restored + report.recovery.recomputed + report.recovery.abandoned;
+    }
+    assert!(checkpoints > 0, "no seed ever committed a checkpoint");
+    assert!(recoveries > 0, "no seed ever exercised object recovery");
+}
+
+/// Tiered chaos is as replayable as untiered chaos: spill, checkpoint,
+/// and recovery scheduling are all on the deterministic wheel.
+#[test]
+fn tiered_chaos_runs_are_bit_identical_for_equal_seeds() {
+    for seed in [3, 0xD15EA5E] {
+        let a = run_chaos(&ChaosSpec::seeded_tiered(seed));
+        let b = run_chaos(&ChaosSpec::seeded_tiered(seed));
+        assert_eq!(a.faults, b.faults, "seed {seed}: fault schedules differ");
+        assert_eq!(
+            a.trace,
+            b.trace,
+            "seed {seed}: traces differ (fingerprints {:x} vs {:x})",
+            a.trace_fingerprint(),
+            b.trace_fingerprint()
+        );
+        assert_eq!(a.tier_stats, b.tier_stats, "tier activity must replay");
+        assert_eq!(a.recovery, b.recovery, "recovery must replay");
+        assert_eq!(a.resolved_ok, b.resolved_ok);
+        assert_eq!(a.resolved_err, b.resolved_err);
+    }
+}
+
 /// The same seed reproduces a bit-identical event trace — fault
 /// schedule included (it is stamped on the `faults` trace track).
 #[test]

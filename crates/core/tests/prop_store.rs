@@ -8,6 +8,7 @@ use proptest::prelude::*;
 
 use pathways_core::{
     FaultSpec, FnSpec, InputSpec, ObjectRef, PathwaysConfig, PathwaysRuntime, Run, SliceRequest,
+    TierConfig,
 };
 use pathways_net::{ClusterSpec, DeviceId, HostId, NetworkParams};
 use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
@@ -26,6 +27,21 @@ fn schedule() -> impl Strategy<Value = Vec<(u8, u16, u8)>> {
 /// `kind % 2`: 0 = device failure, 1 = host failure.
 fn fault_schedule() -> impl Strategy<Value = Vec<(u8, u8, u16)>> {
     proptest::collection::vec((0u8..2, 0u8..16, 20u16..2_000), 0..4)
+}
+
+/// Tight budgets so random schedules actually spill HBM->DRAM and
+/// demote DRAM->disk: ~6 64-KiB shards of HBM per device, ~4 of DRAM
+/// per host, checkpoints every 100us.
+fn tiered_cfg() -> PathwaysConfig {
+    PathwaysConfig {
+        hbm_per_device: 384 << 10,
+        tiers: Some(TierConfig {
+            dram_per_host: 256 << 10,
+            checkpoint_interval: Some(SimDuration::from_micros(100)),
+            ..TierConfig::default()
+        }),
+        ..PathwaysConfig::default()
+    }
 }
 
 proptest! {
@@ -204,6 +220,128 @@ proptest! {
             "store leaked {} objects under faults {:?}",
             core.store.len(),
             faults
+        );
+        for dev in core.devices.values() {
+            prop_assert_eq!(
+                dev.hbm().used(),
+                0,
+                "HBM lease leaked on {:?} under faults {:?}",
+                dev.id(),
+                &faults
+            );
+        }
+    }
+
+    /// Tiered satellite: random schedules under HBM/DRAM pressure and
+    /// random faults — so shards spill, demote, checkpoint, restore and
+    /// recompute — always keep the tier byte ledgers conserved, and
+    /// drain store, HBM, DRAM and disk to zero once every handle drops.
+    ///
+    /// Outputs are retained until the end (that is what builds spill
+    /// pressure) and submission is sequential (each output awaited
+    /// before the next submit), bounding un-spillable in-flight bytes so
+    /// back-pressure cannot wedge against the tiny HBM budget.
+    #[test]
+    fn tiers_conserve_bytes_under_pressure_and_faults(
+        hosts in 1u32..3,
+        progs in schedule(),
+        faults in fault_schedule(),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(hosts),
+            NetworkParams::tpu_cluster(),
+            tiered_cfg(),
+        );
+        let n_devices = hosts * 8;
+        let mut plan: FaultPlan<FaultSpec> = FaultPlan::new();
+        for (kind, target, at_us) in &faults {
+            let at = SimTime::ZERO + SimDuration::from_micros(*at_us as u64);
+            let spec = match kind % 2 {
+                0 => FaultSpec::Device(DeviceId(u32::from(*target) % n_devices)),
+                _ => FaultSpec::Host(HostId(u32::from(*target) % hosts)),
+            };
+            plan.push(at, spec);
+        }
+        rt.install_fault_plan(plan);
+        let client = rt.client(HostId(0));
+        let core = std::rc::Rc::clone(rt.core());
+        let progs2 = progs.clone();
+        let job = sim.spawn("client", async move {
+            let mut kept: Vec<Run> = Vec::new();
+            let mut retained: Vec<ObjectRef> = Vec::new();
+            let mut last: Option<ObjectRef> = None;
+            for (i, (sel, us, mode)) in progs2.iter().enumerate() {
+                let devs = (n_devices / *sel as u32).max(1);
+                let Ok(slice) = client.virtual_slice(SliceRequest::devices(devs)) else {
+                    continue;
+                };
+                let mut b = client.trace(format!("p{i}"));
+                let chain_src = if *mode == 1 { last.clone() } else { None };
+                let input = chain_src.as_ref().map(|src| {
+                    b.input(InputSpec::new("x", src.shards()))
+                });
+                let k = b.computation(
+                    FnSpec::compute_only("k", SimDuration::from_micros(*us as u64))
+                        .with_output_bytes(64 << 10),
+                    &slice,
+                );
+                if let Some(x) = input {
+                    b.reshard_edge(x, k, 64 << 10);
+                }
+                let prepared = client.prepare(&b.build().unwrap());
+                let run = match (input, chain_src) {
+                    (Some(x), Some(src)) => client
+                        .submit_with(&prepared, &[(x, src)])
+                        .await
+                        .unwrap(),
+                    _ => client.submit(&prepared).await,
+                };
+                let out = run.object_ref(k);
+                if let Some(o) = &out {
+                    // Resolve (to data or error) before the next submit.
+                    let _ = o.ready().await;
+                }
+                last = out.clone();
+                if *mode == 2 {
+                    drop(run);
+                } else {
+                    kept.push(run);
+                    if let Some(o) = out {
+                        retained.push(o); // pressure: hold until the end
+                    }
+                }
+            }
+            drop(last);
+            for run in kept {
+                run.finish().await;
+            }
+            drop(retained);
+            true
+        });
+        let outcome = sim.run();
+        prop_assert!(outcome.is_quiescent(), "wedged under faults {:?}: {:?}", faults, outcome);
+        prop_assert_eq!(job.try_take(), Some(true));
+        prop_assert!(
+            core.store.tiers_conserved(),
+            "tier byte ledgers drifted under faults {:?}",
+            faults
+        );
+        prop_assert!(
+            core.store.is_empty(),
+            "store leaked {} objects under faults {:?}",
+            core.store.len(),
+            faults
+        );
+        prop_assert_eq!(
+            core.store.dram_used(), 0,
+            "DRAM-tier bytes leaked under faults {:?}", &faults
+        );
+        prop_assert_eq!(
+            core.store.disk_used(), 0,
+            "disk-tier bytes leaked under faults {:?}", &faults
         );
         for dev in core.devices.values() {
             prop_assert_eq!(

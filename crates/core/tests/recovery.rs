@@ -1,0 +1,320 @@
+//! Tiered-store recovery acceptance tests (ISSUE 8).
+//!
+//! The bar: under a seeded fault plan, an object lost to a device kill
+//! is restored from its disk checkpoint or recomputed via lineage, and
+//! the consuming run completes successfully — no `ProducerFailed`
+//! reaches the client. With recovery disabled, the seed semantics are
+//! unchanged (the error surfaces).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pathways_core::{
+    FaultSpec, FnSpec, InputSpec, ObjectError, PathwaysConfig, PathwaysRuntime, SliceRequest,
+    TierConfig,
+};
+use pathways_net::{ClusterSpec, DeviceId, HostId, IslandId, NetworkParams};
+use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+fn tiered_cfg(checkpoint_us: Option<u64>) -> PathwaysConfig {
+    PathwaysConfig {
+        tiers: Some(TierConfig {
+            checkpoint_interval: checkpoint_us.map(SimDuration::from_micros),
+            ..TierConfig::default()
+        }),
+        ..PathwaysConfig::default()
+    }
+}
+
+fn tiered_rt(sim: &Sim, cfg: PathwaysConfig) -> PathwaysRuntime {
+    PathwaysRuntime::new(
+        sim,
+        ClusterSpec::islands_of(2, 2, 4),
+        NetworkParams::tpu_cluster(),
+        cfg,
+    )
+}
+
+/// The core scenario, shared by the lineage and checkpoint variants: a
+/// producer completes on island 0, a scripted fault kills one of the
+/// devices holding its output, and a consumer submitted *after* the
+/// kill binds the producer's `ObjectRef`. Returns (producer result
+/// re-checked after recovery, consumer result, trace).
+fn kill_and_consume(
+    seed: u64,
+    cfg: PathwaysConfig,
+) -> (
+    Result<(), ObjectError>,
+    Result<(), ObjectError>,
+    PathwaysRuntime,
+    pathways_sim::trace::TraceLog,
+) {
+    let mut sim = Sim::new(seed);
+    let rt = tiered_rt(&sim, cfg);
+    rt.install_fault_plan(FaultPlan::new().at(t(1500), FaultSpec::Device(DeviceId(1))));
+    // Client on island 1's host: its agent outlives the island-0 fault.
+    let client = rt.client(HostId(2));
+    let results = Rc::new(RefCell::new(None));
+    let results2 = Rc::clone(&results);
+    sim.spawn("client", async move {
+        let h = client.handle().clone();
+        let slice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("producer");
+        let k = b.computation(
+            FnSpec::compute_only("p", SimDuration::from_micros(100)).with_output_bytes(1 << 12),
+            &slice,
+        );
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let out = run.object_ref(k).unwrap();
+        run.finish().await;
+        assert_eq!(out.ready().await, Ok(()), "producer itself must succeed");
+
+        // The fault lands at t=1.5ms (after any checkpoint the config
+        // schedules has committed). Submit the consumer after it.
+        h.sleep_until(t(2000)).await;
+        let cslice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("consumer");
+        let x = b.input(InputSpec::new("x", out.shards()));
+        let c = b.computation(
+            FnSpec::compute_only("c", SimDuration::from_micros(100)),
+            &cslice,
+        );
+        b.reshard_edge(x, c, 1 << 12);
+        let crun = client
+            .submit_with(&client.prepare(&b.build().unwrap()), &[(x, out.clone())])
+            .await
+            .unwrap();
+        let cout = crun.object_ref(c).unwrap();
+        crun.finish().await;
+        let consumer_result = cout.ready().await;
+        // Re-check the producer's handle after everything settled: no
+        // ProducerFailed may ever have surfaced on it.
+        let producer_result = out.ready().await;
+        *results2.borrow_mut() = Some((producer_result, consumer_result));
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    let (producer_result, consumer_result) = results.borrow_mut().take().unwrap();
+    // Refcounts drained and tier ledgers conserved after recovery.
+    let store = &rt.core().store;
+    assert!(store.is_empty(), "store leaked {}", store.len());
+    assert!(store.tiers_conserved(), "tier byte ledgers drifted");
+    assert_eq!(
+        store.dram_used() + store.disk_used(),
+        0,
+        "tier bytes leaked"
+    );
+    for dev in rt.core().devices.values() {
+        assert_eq!(dev.hbm().used(), 0, "HBM leaked on {:?}", dev.id());
+    }
+    let trace = sim.take_trace();
+    (producer_result, consumer_result, rt, trace)
+}
+
+/// No checkpointing configured: the lost object recomputes via lineage
+/// (re-submission through the re-lowering path), and the consumer never
+/// observes the loss. Replays bit-identically.
+#[test]
+fn device_kill_recomputes_lost_object_via_lineage() {
+    let run = || kill_and_consume(11, tiered_cfg(None));
+    let (producer, consumer, rt, trace_a) = run();
+    assert_eq!(producer, Ok(()), "no ProducerFailed may reach the client");
+    assert_eq!(consumer, Ok(()), "consumer must complete on recovered data");
+    let stats = rt.faults().recovery_stats();
+    assert_eq!(
+        stats.recomputed, 1,
+        "exactly one lineage recompute: {stats:?}"
+    );
+    assert_eq!(stats.restored, 0, "no checkpoint exists to restore from");
+    assert_eq!(stats.abandoned, 0, "recovery must not fall through");
+    // The device loss was healed AND the data recovered.
+    assert!(rt.faults().heal_events().iter().any(|e| e.healed()));
+
+    let (_, _, _, trace_b) = run();
+    assert_eq!(trace_a, trace_b, "recovery must replay bit-identically");
+}
+
+/// With periodic checkpoints, the same kill restores from disk instead
+/// of recomputing — and the restore is cheaper than a recompute in
+/// virtual time (that delta is what `fig_tier` sweeps).
+#[test]
+fn device_kill_restores_object_from_checkpoint() {
+    let (producer, consumer, rt, trace_a) = kill_and_consume(11, tiered_cfg(Some(200)));
+    assert_eq!(producer, Ok(()), "no ProducerFailed may reach the client");
+    assert_eq!(consumer, Ok(()), "consumer must complete on restored data");
+    let stats = rt.faults().recovery_stats();
+    assert_eq!(stats.restored, 1, "checkpoint restore must win: {stats:?}");
+    assert_eq!(stats.recomputed, 0, "restore preempts recompute");
+    assert!(
+        rt.core().store.tier_stats().checkpoints >= 1,
+        "a checkpoint must have committed before the kill"
+    );
+    let (_, _, _, trace_b) = kill_and_consume(11, tiered_cfg(Some(200)));
+    assert_eq!(trace_a, trace_b, "restore must replay bit-identically");
+}
+
+/// Recovery off (tiers on): the seed failure semantics are preserved —
+/// the kill surfaces `ProducerFailed` to the consumer.
+#[test]
+fn recovery_disabled_surfaces_producer_failed() {
+    let cfg = PathwaysConfig {
+        tiers: Some(TierConfig {
+            recovery: false,
+            checkpoint_interval: None,
+            ..TierConfig::default()
+        }),
+        ..PathwaysConfig::default()
+    };
+    let (producer, consumer, rt, _) = kill_and_consume(11, cfg);
+    assert!(
+        matches!(producer, Err(ObjectError::ProducerFailed { .. })),
+        "without recovery the loss is terminal: {producer:?}"
+    );
+    assert!(
+        matches!(consumer, Err(ObjectError::ProducerFailed { .. })),
+        "consumer of a dead object must observe the error: {consumer:?}"
+    );
+    let stats = rt.faults().recovery_stats();
+    assert_eq!(
+        (stats.restored, stats.recomputed, stats.abandoned),
+        (0, 0, 0)
+    );
+}
+
+/// A device kill *mid-production* fails the producing run, but its sink
+/// has lineage: the run loss is absorbed, the program re-submits, and a
+/// consumer bound before the kill completes on the recomputed object.
+#[test]
+fn in_flight_production_loss_recomputes_and_unblocks_consumer() {
+    let mut sim = Sim::new(3);
+    let rt = tiered_rt(&sim, tiered_cfg(None));
+    // Mid-flight of a 2ms producer kernel.
+    rt.install_fault_plan(FaultPlan::new().at(t(500), FaultSpec::Device(DeviceId(2))));
+    let client = rt.client(HostId(2));
+    let results = Rc::new(RefCell::new(None));
+    let results2 = Rc::clone(&results);
+    sim.spawn("client", async move {
+        let slice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("producer");
+        let k = b.computation(
+            FnSpec::compute_only("p", SimDuration::from_millis(2)).with_output_bytes(1 << 12),
+            &slice,
+        );
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let out = run.object_ref(k).unwrap();
+        // Consumer bound BEFORE the fault, on the other island so the
+        // kill does not touch its own footprint.
+        let cslice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(1)))
+            .unwrap();
+        let mut b = client.trace("consumer");
+        let x = b.input(InputSpec::new("x", out.shards()));
+        let c = b.computation(
+            FnSpec::compute_only("c", SimDuration::from_micros(100)),
+            &cslice,
+        );
+        b.reshard_edge(x, c, 1 << 12);
+        let crun = client
+            .submit_with(&client.prepare(&b.build().unwrap()), &[(x, out.clone())])
+            .await
+            .unwrap();
+        let cout = crun.object_ref(c).unwrap();
+        run.finish().await;
+        crun.finish().await;
+        *results2.borrow_mut() = Some((out.ready().await, cout.ready().await));
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    let (producer, consumer) = results.borrow_mut().take().unwrap();
+    assert_eq!(
+        producer,
+        Ok(()),
+        "in-flight loss must recover: {producer:?}"
+    );
+    assert_eq!(consumer, Ok(()), "consumer must complete: {consumer:?}");
+    let stats = rt.faults().recovery_stats();
+    assert_eq!(stats.recomputed, 1, "{stats:?}");
+    assert_eq!(stats.abandoned, 0, "{stats:?}");
+    let store = &rt.core().store;
+    assert!(store.is_empty(), "store leaked {}", store.len());
+    assert!(store.tiers_conserved());
+    for dev in rt.core().devices.values() {
+        assert_eq!(dev.hbm().used(), 0, "HBM leaked on {:?}", dev.id());
+    }
+}
+
+/// Attempt exhaustion: killing the recovered object's hardware more
+/// times than `max_recovery_attempts` eventually surfaces the error —
+/// recovery is bounded, never an infinite resubmit loop.
+#[test]
+fn recovery_attempts_are_bounded() {
+    let mut sim = Sim::new(9);
+    let cfg = PathwaysConfig {
+        tiers: Some(TierConfig {
+            checkpoint_interval: None,
+            max_recovery_attempts: 1,
+            ..TierConfig::default()
+        }),
+        ..PathwaysConfig::default()
+    };
+    let rt = tiered_rt(&sim, cfg);
+    // First kill: recovered (one attempt). Second kill targets the
+    // healed replacement hardware later; the budget (1) is spent, so the
+    // second loss is terminal.
+    let client = rt.client(HostId(2));
+    let core = Rc::clone(rt.core());
+    let results = Rc::new(RefCell::new(None));
+    let results2 = Rc::clone(&results);
+    sim.spawn("client", async move {
+        let h = client.handle().clone();
+        let slice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("producer");
+        let k = b.computation(
+            FnSpec::compute_only("p", SimDuration::from_micros(100)).with_output_bytes(1 << 12),
+            &slice,
+        );
+        let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let out = run.object_ref(k).unwrap();
+        run.finish().await;
+        assert_eq!(out.ready().await, Ok(()));
+        h.sleep_until(t(10_000)).await;
+        let after_first = out.ready().await;
+        h.sleep_until(t(20_000)).await;
+        *results2.borrow_mut() = Some((after_first, out.ready().await));
+    });
+    // The recomputed copy lands in island-0 host DRAM; a second wave of
+    // *host* kills loses it again with the attempt budget already spent.
+    let faults = Rc::clone(rt.faults());
+    let h = sim.handle();
+    h.clone().spawn("killer", async move {
+        h.sleep_until(t(1500)).await;
+        faults.inject(&FaultSpec::Device(DeviceId(1)));
+        h.sleep_until(t(12_000)).await;
+        faults.inject(&FaultSpec::Host(HostId(0)));
+        faults.inject(&FaultSpec::Host(HostId(1)));
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    let (after_first, after_second) = results.borrow_mut().take().unwrap();
+    assert_eq!(after_first, Ok(()), "first loss recovers");
+    assert!(
+        matches!(after_second, Err(ObjectError::ProducerFailed { .. })),
+        "exhausted budget must surface the error: {after_second:?}"
+    );
+    let stats = rt.faults().recovery_stats();
+    assert_eq!(stats.recomputed, 1, "{stats:?}");
+    assert!(stats.abandoned >= 1, "{stats:?}");
+    assert!(core.store.tiers_conserved());
+}
