@@ -10,7 +10,7 @@
 
 use pathways_sim::hash::FxHashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::{
     CollectiveOp, CollectiveRendezvous, DeviceConfig, DeviceHandle, GangTag, Kernel,
@@ -43,7 +43,7 @@ impl Default for JaxConfig {
 /// The multi-controller runtime.
 pub struct JaxRuntime {
     handle: SimHandle,
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     fabric: Fabric,
     devices: FxHashMap<DeviceId, DeviceHandle>,
     cfg: JaxConfig,
@@ -61,13 +61,13 @@ impl JaxRuntime {
     /// Builds the baseline over a fresh cluster.
     pub fn new(sim: &Sim, spec: ClusterSpec, net: NetworkParams, cfg: JaxConfig) -> Self {
         let handle = sim.handle();
-        let topo = Rc::new(spec.build());
+        let topo = Arc::new(spec.build());
         assert_eq!(
             topo.num_islands(),
             1,
             "multi-controller JAX cannot span islands (its collectives are ICI-only, §3)"
         );
-        let fabric = Fabric::new(handle.clone(), Rc::clone(&topo), net);
+        let fabric = Fabric::new(handle.clone(), Arc::clone(&topo), net);
         let rz = CollectiveRendezvous::new(handle.clone());
         let devices = topo
             .devices()
@@ -116,7 +116,7 @@ impl JaxRuntime {
         let coll = self.allreduce_time(workload.allreduce_bytes);
         let cfg = self.cfg;
         let fabric = self.fabric.clone();
-        let topo = Rc::clone(&self.topo);
+        let topo = Arc::clone(&self.topo);
         let devices = self.devices.clone();
         let handle = self.handle.clone();
 

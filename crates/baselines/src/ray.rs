@@ -13,7 +13,7 @@
 
 use pathways_sim::hash::FxHashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::{
     CollectiveOp, CollectiveRendezvous, DeviceConfig, DeviceHandle, GangTag, Kernel,
@@ -74,7 +74,7 @@ const DRIVER_ADDR: HostId = HostId(u32::MAX - 2);
 /// The Ray-like runtime: one actor + one GPU per host.
 pub struct RayRuntime {
     handle: SimHandle,
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     fabric: Fabric,
     devices: FxHashMap<DeviceId, DeviceHandle>,
     cfg: RayConfig,
@@ -92,8 +92,8 @@ impl RayRuntime {
     /// Builds a Ray-like cluster of `hosts` one-GPU machines.
     pub fn new(sim: &Sim, hosts: u32, net: NetworkParams, cfg: RayConfig) -> Self {
         let handle = sim.handle();
-        let topo = Rc::new(ClusterSpec::single_island(hosts, 1).build());
-        let fabric = Fabric::new(handle.clone(), Rc::clone(&topo), net);
+        let topo = Arc::new(ClusterSpec::single_island(hosts, 1).build());
+        let fabric = Fabric::new(handle.clone(), Arc::clone(&topo), net);
         let rz = CollectiveRendezvous::new(handle.clone());
         let devices = topo
             .devices()
@@ -137,7 +137,7 @@ impl RayRuntime {
         let participants = self.topo.num_devices();
         let coll = self.allreduce_time(workload.allreduce_bytes);
         let cfg = self.cfg;
-        let topo = Rc::clone(&self.topo);
+        let topo = Arc::clone(&self.topo);
         let handle = self.handle.clone();
         let router: Router<ActorMsg> = Router::new(self.fabric.clone());
         let driver_host = HostId(0);

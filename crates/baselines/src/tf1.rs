@@ -12,7 +12,7 @@
 
 use pathways_sim::hash::FxHashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::{
     CollectiveOp, CollectiveRendezvous, DeviceConfig, DeviceHandle, GangTag, Kernel,
@@ -68,7 +68,7 @@ enum WorkerMsg {
 /// The single-controller runtime.
 pub struct Tf1Runtime {
     handle: SimHandle,
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     fabric: Fabric,
     devices: FxHashMap<DeviceId, DeviceHandle>,
     cfg: Tf1Config,
@@ -90,8 +90,8 @@ impl Tf1Runtime {
     /// Builds the baseline over a fresh cluster.
     pub fn new(sim: &Sim, spec: ClusterSpec, net: NetworkParams, cfg: Tf1Config) -> Self {
         let handle = sim.handle();
-        let topo = Rc::new(spec.build());
-        let fabric = Fabric::new(handle.clone(), Rc::clone(&topo), net);
+        let topo = Arc::new(spec.build());
+        let fabric = Fabric::new(handle.clone(), Arc::clone(&topo), net);
         let rz = CollectiveRendezvous::new(handle.clone());
         let devices = topo
             .devices()
@@ -134,7 +134,7 @@ impl Tf1Runtime {
             workload.allreduce_bytes,
         );
         let cfg = self.cfg;
-        let topo = Rc::clone(&self.topo);
+        let topo = Arc::clone(&self.topo);
         let handle = self.handle.clone();
         let router: Router<WorkerMsg> = Router::new(self.fabric.clone());
         let coordinator_host = topo

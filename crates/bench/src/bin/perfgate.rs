@@ -1,0 +1,143 @@
+//! CI perf-regression gate: diffs freshly generated `BENCH_*.json`
+//! reports against the checked-in baselines under `perf/baselines/`.
+//!
+//! Usage:
+//!   `perfgate`           — gate every fresh report that has a baseline;
+//!                          fail on regressions, missing metrics, or a
+//!                          fresh figure with no baseline at all.
+//!   `perfgate --bless`   — copy the fresh reports over the baselines
+//!                          (run after an intentional perf/shape change,
+//!                          then commit `perf/baselines/`).
+//!
+//! Fresh reports are read from `BENCH_OUT_DIR` (default: the repo
+//! root), the same place the bench binaries write them; baselines live
+//! in `perf/baselines/` at the repo root. Tolerances are per-metric
+//! classes — see [`pathways_bench::gate::rule_for`].
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pathways_bench::gate::{compare, parse_report, GateReport};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fresh_dir() -> PathBuf {
+    match std::env::var_os("BENCH_OUT_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => repo_root(),
+    }
+}
+
+/// `BENCH_*.json` files in `dir`, sorted by name for stable output.
+fn report_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn load(path: &Path) -> Result<GateReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_report(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let bless = std::env::args().any(|a| a == "--bless");
+    let baseline_dir = repo_root().join("perf/baselines");
+    let fresh = report_files(&fresh_dir());
+    if fresh.is_empty() {
+        eprintln!(
+            "perfgate: no BENCH_*.json in {} — run the bench binaries first \
+             (run_all, fig_scale, fig_dispatch)",
+            fresh_dir().display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if bless {
+        if let Err(e) = std::fs::create_dir_all(&baseline_dir) {
+            eprintln!("perfgate: cannot create {}: {e}", baseline_dir.display());
+            return ExitCode::FAILURE;
+        }
+        for path in &fresh {
+            // Parse before blessing so a malformed report never becomes
+            // a baseline.
+            if let Err(e) = load(path) {
+                eprintln!("perfgate: refusing to bless: {e}");
+                return ExitCode::FAILURE;
+            }
+            let dst = baseline_dir.join(path.file_name().expect("report has a file name"));
+            match std::fs::copy(path, &dst) {
+                Ok(_) => println!("blessed {}", dst.display()),
+                Err(e) => {
+                    eprintln!("perfgate: copy to {}: {e}", dst.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = 0usize;
+    let mut gated = 0usize;
+    for path in &fresh {
+        let report = match load(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perfgate: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let base_path = baseline_dir.join(path.file_name().expect("report has a file name"));
+        let baseline = match load(&base_path) {
+            Ok(b) => b,
+            Err(_) => {
+                eprintln!(
+                    "FAIL {}: no baseline at {} — run `perfgate --bless` and commit it",
+                    report.figure,
+                    base_path.display()
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        let findings = compare(&report, &baseline);
+        let failed: Vec<_> = findings.iter().filter(|f| f.verdict.fails()).collect();
+        gated += findings.len();
+        if failed.is_empty() {
+            println!("ok   {} ({} metrics)", report.figure, report.metrics.len());
+        } else {
+            println!("FAIL {}:", report.figure);
+            for f in &failed {
+                println!("  {f}");
+            }
+            failures += failed.len();
+        }
+        for f in findings
+            .iter()
+            .filter(|f| matches!(f.verdict, pathways_bench::gate::Verdict::Unbaselined))
+        {
+            println!("  note: {f}");
+        }
+    }
+    println!("perfgate: {gated} metrics gated, {failures} failure(s)");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

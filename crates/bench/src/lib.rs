@@ -31,6 +31,8 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod dispatch;
+pub mod gate;
 pub mod heal;
 pub mod micro;
 pub mod perf;

@@ -191,7 +191,7 @@ pub fn pathways_multiclient_throughput(
         PathwaysConfig::default(),
     );
     let n_devices = hosts * devices_per_host;
-    let counter = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     for c in 0..clients {
         let client = rt.client(HostId(c % hosts));
         let slice = client
@@ -203,17 +203,17 @@ pub fn pathways_multiclient_throughput(
             &slice,
         );
         let program = b.build().unwrap();
-        let prepared = std::rc::Rc::new(client.prepare(&program));
+        let prepared = std::sync::Arc::new(client.prepare(&program));
         crate::stream::spawn_program_stream(
             &mut sim,
             client,
             prepared,
             outstanding,
-            std::rc::Rc::clone(&counter),
+            std::sync::Arc::clone(&counter),
         );
     }
     sim.run_until_time(SimTime::ZERO + window);
-    counter.get() as f64 / window.as_secs_f64()
+    counter.load(std::sync::atomic::Ordering::Relaxed) as f64 / window.as_secs_f64()
 }
 
 #[cfg(test)]

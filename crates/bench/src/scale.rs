@@ -22,7 +22,7 @@
 // wall-clock rule and clippy.toml both exempt it (and only it).
 #![allow(clippy::disallowed_types)]
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pathways_core::{FnSpec, PathwaysConfig, PathwaysRuntime, ResourceManager, SliceRequest};
@@ -155,8 +155,8 @@ pub struct HealScaleStats {
 pub fn heal_point(islands: u32, slices_per_island: u32) -> HealScaleStats {
     assert!(islands >= 1);
     let topo =
-        Rc::new(ClusterSpec::islands_of(islands, HOSTS_PER_ISLAND, DEVICES_PER_HOST).build());
-    let rm = ResourceManager::new(Rc::clone(&topo));
+        Arc::new(ClusterSpec::islands_of(islands, HOSTS_PER_ISLAND, DEVICES_PER_HOST).build());
+    let rm = ResourceManager::new(Arc::clone(&topo));
     let client = pathways_net::ClientId(0);
     let mut live = Vec::new();
     for i in 0..islands {

@@ -2,8 +2,8 @@
 //! number outstanding — the workload shape of the multi-tenancy
 //! experiments (Figures 8, 9, 11).
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pathways_core::{Client, PreparedProgram};
 use pathways_sim::sync::Semaphore;
@@ -15,9 +15,9 @@ use pathways_sim::Sim;
 pub fn spawn_program_stream(
     sim: &mut Sim,
     client: Client,
-    prepared: Rc<PreparedProgram>,
+    prepared: Arc<PreparedProgram>,
     outstanding: u32,
-    completed: Rc<Cell<u64>>,
+    completed: Arc<AtomicU64>,
 ) {
     let window = Semaphore::new(outstanding as u64);
     let h = sim.handle();
@@ -30,11 +30,11 @@ pub fn spawn_program_stream(
             // single-threaded client process — while completions are
             // awaited concurrently in spawned tasks.
             let pending = client.submit(&prepared).await;
-            let completed = Rc::clone(&completed);
+            let completed = Arc::clone(&completed);
             h.spawn(format!("run-{label}-{seq}"), async move {
                 let _window_slot = permit;
                 pending.finish().await;
-                completed.set(completed.get() + 1);
+                completed.fetch_add(1, Ordering::Relaxed);
             });
             seq += 1;
         }
@@ -65,15 +65,15 @@ mod tests {
             &slice,
         );
         let program = b.build().unwrap();
-        let prepared = Rc::new(client.prepare(&program));
-        let counter = Rc::new(Cell::new(0));
-        spawn_program_stream(&mut sim, client, prepared, 8, Rc::clone(&counter));
+        let prepared = Arc::new(client.prepare(&program));
+        let counter = Arc::new(AtomicU64::new(0));
+        spawn_program_stream(&mut sim, client, prepared, 8, Arc::clone(&counter));
         sim.run_until_time(SimTime::ZERO + SimDuration::from_millis(20));
         // ~20ms / ~100us per program, minus ramp-up: well over 100.
         assert!(
-            counter.get() > 100,
+            counter.load(Ordering::Relaxed) > 100,
             "only {} programs completed",
-            counter.get()
+            counter.load(Ordering::Relaxed)
         );
     }
 }

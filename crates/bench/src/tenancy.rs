@@ -101,8 +101,8 @@ pub fn tenancy_trace_with_policy(
             &slice,
         );
         let program = b.build().unwrap();
-        let prepared = std::rc::Rc::new(client.prepare(&program));
-        let counter = std::rc::Rc::new(std::cell::Cell::new(0));
+        let prepared = std::sync::Arc::new(client.prepare(&program));
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         crate::stream::spawn_program_stream(&mut sim, client, prepared, 12, counter);
     }
     sim.run_until_time(SimTime::ZERO + window);

@@ -39,7 +39,7 @@ use rand::{RngExt, SeedableRng};
 
 use pathways_net::{ClusterSpec, DeviceId, HostId, IslandId, NetworkParams};
 use pathways_sim::trace::TraceLog;
-use pathways_sim::{FaultPlan, RunOutcome, Sim, SimDuration, SimTime};
+use pathways_sim::{Executor, FaultPlan, RunOutcome, SimDuration, SimTime};
 
 use crate::fault::FaultSpec;
 use crate::{FnSpec, InputSpec, ObjectRef, PathwaysConfig, PathwaysRuntime, Run, SliceRequest};
@@ -135,6 +135,11 @@ pub struct ChaosReport {
     /// True if the spare island's heal-epoch resubmission succeeded
     /// (vacuously true when `spare_island` is false).
     pub spare_healed: bool,
+    /// Programs whose slice allocation succeeded and that were actually
+    /// submitted. Always `programs + 1` (the spare) on the
+    /// deterministic backend; on the threaded backend a fault can race
+    /// ahead of setup and exhaust an island, skipping a program.
+    pub launched: u32,
     /// Healing actions the fault injector took (slices remapped off
     /// dead hardware, or recorded unplaceable).
     pub heal_events: u32,
@@ -283,7 +288,11 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     faults.sort();
 
     // --- Build and run the simulation. ---------------------------------
-    let mut sim = Sim::new(spec.seed);
+    // Backend comes from `PATHWAYS_EXECUTOR` so the CI matrix can run
+    // the same chaos schedules on the deterministic wheel and on real
+    // threads. Invariants hold on both; only the deterministic backend
+    // additionally guarantees bit-identical traces.
+    let mut sim = Executor::from_env(spec.seed);
     let cfg = PathwaysConfig {
         tiers: spec.tiered.then(crate::TierConfig::default),
         ..PathwaysConfig::default()
@@ -303,22 +312,29 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         HostId(0)
     };
     let client = rt.client(client_host);
-    let core = std::rc::Rc::clone(rt.core());
-    let rm = std::rc::Rc::clone(rt.resource_manager());
+    let core = std::sync::Arc::clone(rt.core());
+    let rm = std::sync::Arc::clone(rt.resource_manager());
     let spare_slice_idx = shapes.len().saturating_sub(1);
     let has_spare = spec.spare_island;
 
     let job = sim.spawn("chaos-client", async move {
         let mut kept: Vec<(Run, ObjectRef)> = Vec::new();
-        let mut slices: Vec<crate::VirtualSlice> = Vec::new();
+        let mut slices: Vec<(usize, crate::VirtualSlice)> = Vec::new();
         let mut last: Option<ObjectRef> = None;
         for (i, shape) in shapes.iter().enumerate() {
-            let slice = client
-                .virtual_slice(
-                    SliceRequest::devices(shape.devices).in_island(IslandId(shape.island)),
-                )
-                .expect("island has capacity");
-            slices.push(slice.clone());
+            // On the deterministic backend every allocation happens
+            // before the first fault (earliest fault: t=50us) and must
+            // succeed. On the threaded backend real time passes during
+            // setup, so a fault can race ahead of an allocation and
+            // legitimately exhaust the island; such programs are skipped
+            // and `launched` records how many actually ran.
+            let slice = match client.virtual_slice(
+                SliceRequest::devices(shape.devices).in_island(IslandId(shape.island)),
+            ) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            slices.push((i, slice.clone()));
             let mut b = client.trace(format!("p{i}"));
             let chain_src = if shape.chained { last.clone() } else { None };
             let input = chain_src
@@ -370,7 +386,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         let mut healed_ok = 0u32;
         let mut healed_err = 0u32;
         let mut spare_healed = !has_spare;
-        for (i, slice) in slices.iter().enumerate() {
+        for (i, slice) in &slices {
             let mut b = client.trace(format!("heal{i}"));
             let k = b.computation(
                 FnSpec::compute_only("hk", SimDuration::from_micros(40)).with_output_bytes(1 << 10),
@@ -383,7 +399,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
             match out.ready().await {
                 Ok(()) => {
                     healed_ok += 1;
-                    if has_spare && i == spare_slice_idx {
+                    if has_spare && *i == spare_slice_idx {
                         spare_healed = true;
                     }
                 }
@@ -392,15 +408,16 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         }
         // Drain: release every slice so the accounting ledger must
         // return to zero.
-        for slice in &slices {
+        let launched = slices.len() as u32;
+        for (_, slice) in &slices {
             rm.release(slice);
         }
-        (ok, err, healed_ok, healed_err, spare_healed)
+        (ok, err, healed_ok, healed_err, spare_healed, launched)
     });
 
     let outcome = sim.run();
-    let (resolved_ok, resolved_err, healed_ok, healed_err, spare_healed) =
-        job.try_take().unwrap_or((0, 0, 0, 0, false));
+    let (resolved_ok, resolved_err, healed_ok, healed_err, spare_healed, launched) =
+        job.try_take().unwrap_or((0, 0, 0, 0, false, 0));
     let store_len = core.store.len();
     let hbm_leaked: u64 = core.devices.values().map(|d| d.hbm().used()).sum();
     let survivor_kernels: u64 = if spec.spare_island {
@@ -425,6 +442,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         healed_ok,
         healed_err,
         spare_healed,
+        launched,
         heal_events: rt.faults().heal_events().len() as u32,
         rm_residual_load: rm.total_load(),
         rm_live_slices: rm.live_slice_count(),

@@ -19,7 +19,7 @@
 //! producers' per-shard readiness events.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::{ClientId, HostId};
 use pathways_plaque::RunId;
@@ -262,8 +262,8 @@ pub struct Client {
     id: ClientId,
     label: String,
     host: HostId,
-    core: Rc<CoreCtx>,
-    rm: Rc<ResourceManager>,
+    core: Arc<CoreCtx>,
+    rm: Arc<ResourceManager>,
 }
 
 impl fmt::Debug for Client {
@@ -280,8 +280,8 @@ impl Client {
         id: ClientId,
         label: String,
         host: HostId,
-        core: Rc<CoreCtx>,
-        rm: Rc<ResourceManager>,
+        core: Arc<CoreCtx>,
+        rm: Arc<ResourceManager>,
     ) -> Self {
         Client {
             id,
@@ -322,7 +322,7 @@ impl Client {
     }
 
     /// The shared runtime context.
-    pub fn core(&self) -> &Rc<CoreCtx> {
+    pub fn core(&self) -> &Arc<CoreCtx> {
         &self.core
     }
 
@@ -468,13 +468,13 @@ impl Client {
         // loss can recompute it by re-submission. The record's ObjectRef
         // clones retain the inputs for as long as the outputs live.
         if self.core.store.lineage_enabled() {
-            let record = Rc::new(crate::recover::LineageRecord {
+            let record = Arc::new(crate::recover::LineageRecord {
                 client: self.clone(),
                 program: info.program.clone(),
                 bindings: bindings.to_vec(),
             });
             for (_, r) in &refs {
-                self.core.store.set_lineage(r.id(), Rc::clone(&record));
+                self.core.store.set_lineage(r.id(), Arc::clone(&record));
             }
         }
 
@@ -482,9 +482,9 @@ impl Client {
         // locally.
         for (comp, objref) in bindings {
             let shards = info.shards[comp.index()];
-            self.core.bindings.borrow_mut().insert(
+            self.core.bindings.lock().insert(
                 (run, *comp),
-                Rc::new(InputBinding::new(objref.clone(), shards)),
+                Arc::new(InputBinding::new(objref.clone(), shards)),
             );
         }
         let result_node = pathways_plaque::NodeId(comps.len() as u32);
@@ -536,15 +536,15 @@ impl Client {
 
     /// The cached re-lowering of a stale preparation, minted on first
     /// use and re-minted only if a further remap staled the cache too.
-    fn refreshed(&self, prepared: &PreparedProgram) -> Rc<PreparedProgram> {
-        let mut cache = prepared.relowered.borrow_mut();
+    fn refreshed(&self, prepared: &PreparedProgram) -> Arc<PreparedProgram> {
+        let mut cache = prepared.relowered.lock();
         if let Some(fresh) = cache.as_ref() {
             if !fresh.is_stale() {
-                return Rc::clone(fresh);
+                return Arc::clone(fresh);
             }
         }
-        let fresh = Rc::new(self.prepare(&prepared.info.program));
-        *cache = Some(Rc::clone(&fresh));
+        let fresh = Arc::new(self.prepare(&prepared.info.program));
+        *cache = Some(Arc::clone(&fresh));
         fresh
     }
 

@@ -1,9 +1,9 @@
 //! Shared runtime context threaded through operators and clients.
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::DeviceHandle;
 use pathways_net::{DeviceId, Fabric, HostId, IslandId, Router};
@@ -33,7 +33,7 @@ pub type InputKey = (RunId, CompId, u32, usize);
 /// with no host or DCN message in the critical path.
 #[derive(Debug, Clone)]
 pub struct InputSlot {
-    remaining: std::rc::Rc<std::cell::Cell<u64>>,
+    remaining: std::sync::Arc<std::sync::atomic::AtomicU64>,
     event: Event,
 }
 
@@ -46,7 +46,7 @@ impl InputSlot {
             event.set();
         }
         InputSlot {
-            remaining: std::rc::Rc::new(std::cell::Cell::new(expected)),
+            remaining: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(expected)),
             event,
         }
     }
@@ -62,9 +62,10 @@ impl InputSlot {
     ///
     /// Panics if more transfers land than were expected.
     pub fn deliver(&self) {
-        let left = self.remaining.get();
+        let left = self
+            .remaining
+            .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
         assert!(left > 0, "input slot over-delivered");
-        self.remaining.set(left - 1);
         if left == 1 {
             self.event.set();
         }
@@ -86,7 +87,7 @@ pub struct CoreCtx {
     /// Scheduler → executor control channel.
     pub exec_router: Router<CtrlMsg>,
     /// All device handles.
-    pub devices: Rc<FxHashMap<DeviceId, DeviceHandle>>,
+    pub devices: Arc<FxHashMap<DeviceId, DeviceHandle>>,
     /// Per-host registration rendezvous.
     pub executors: FxHashMap<HostId, ExecutorShared>,
     /// Island → scheduler host.
@@ -94,9 +95,9 @@ pub struct CoreCtx {
     /// Bound external inputs, keyed by `(run, input comp)`. Installed by
     /// `Client::submit_with` before the run launches; removed by the
     /// last input shard once its transfers are driven.
-    pub(crate) bindings: RefCell<FxHashMap<(RunId, CompId), Rc<InputBinding>>>,
+    pub(crate) bindings: Lock<FxHashMap<(RunId, CompId), Arc<InputBinding>>>,
     /// Live consumer input buffers (see [`InputSlot`]).
-    pub input_slots: RefCell<FxHashMap<InputKey, InputSlot>>,
+    pub input_slots: Lock<FxHashMap<InputKey, InputSlot>>,
     /// Shared failure registry: dead hardware and failed runs, consulted
     /// by clients (fail-fast submission), schedulers (eviction) and
     /// executors (grant skipping).
@@ -123,7 +124,7 @@ impl CoreCtx {
             self.handle.yield_now().await;
             return;
         }
-        let topo = Rc::clone(self.fabric.topology());
+        let topo = Arc::clone(self.fabric.topology());
         if topo.same_island(src, dst) {
             self.fabric.ici_transfer(src, dst, bytes).await;
         } else {

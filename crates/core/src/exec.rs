@@ -10,9 +10,9 @@
 //! relative order — the deadlock-freedom invariant.
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::{
     CollectiveOp, DeviceHandle, EnqueuedKernel, HbmLease, Kernel, KernelCompletion,
@@ -71,14 +71,14 @@ impl fmt::Debug for EnqueueInfo {
 /// executor.
 #[derive(Clone, Default)]
 pub struct ExecutorShared {
-    regs: Rc<RefCell<FxHashMap<ShardKey, CompRegistration>>>,
+    regs: Arc<Lock<FxHashMap<ShardKey, CompRegistration>>>,
     arrival: Notify,
 }
 
 impl fmt::Debug for ExecutorShared {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ExecutorShared")
-            .field("pending_registrations", &self.regs.borrow().len())
+            .field("pending_registrations", &self.regs.lock().len())
             .finish()
     }
 }
@@ -95,7 +95,7 @@ impl ExecutorShared {
     ///
     /// Panics on duplicate registration of the same key.
     pub fn register(&self, key: ShardKey, reg: CompRegistration) {
-        let prev = self.regs.borrow_mut().insert(key, reg);
+        let prev = self.regs.lock().insert(key, reg);
         assert!(prev.is_none(), "shard {key:?} registered twice");
         self.arrival.notify_waiters();
     }
@@ -105,7 +105,7 @@ impl ExecutorShared {
     /// abort, and any executor parked in `wait_for` on
     /// one of the run's shards is woken to notice the failure.
     pub fn fail_run(&self, run: RunId) {
-        self.regs.borrow_mut().retain(|(r, _, _), _| *r != run);
+        self.regs.lock().retain(|(r, _, _), _| *r != run);
         self.arrival.notify_waiters();
     }
 
@@ -113,7 +113,7 @@ impl ExecutorShared {
     /// (the registration was, or will be, swept by the fault injector).
     async fn wait_for(&self, key: ShardKey, failures: &FailureState) -> Option<CompRegistration> {
         loop {
-            if let Some(reg) = self.regs.borrow_mut().remove(&key) {
+            if let Some(reg) = self.regs.lock().remove(&key) {
                 return Some(reg);
             }
             if failures.run_failed(key.0) {
@@ -133,7 +133,7 @@ pub fn spawn_executor(
     shared: ExecutorShared,
     fabric: Fabric,
     store: ObjectStore,
-    devices: Rc<FxHashMap<DeviceId, DeviceHandle>>,
+    devices: Arc<FxHashMap<DeviceId, DeviceHandle>>,
     plaque: pathways_plaque::PlaqueRuntime,
     failures: FailureState,
     mode: DispatchMode,

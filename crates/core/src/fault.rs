@@ -38,9 +38,9 @@
 //! so the same seed and schedule reproduce a bit-identical trace.
 
 use pathways_sim::hash::{FxHashMap, FxHashSet};
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::{ClientId, DeviceId, HostId, IslandId};
 use pathways_plaque::RunId;
@@ -114,12 +114,12 @@ struct FailInner {
 /// Shared, cheaply-cloneable failure registry.
 #[derive(Clone, Default)]
 pub struct FailureState {
-    inner: Rc<RefCell<FailInner>>,
+    inner: Arc<Lock<FailInner>>,
 }
 
 impl fmt::Debug for FailureState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         f.debug_struct("FailureState")
             .field("dead_devices", &inner.dead_devices.len())
             .field("dead_hosts", &inner.dead_hosts.len())
@@ -136,33 +136,33 @@ impl FailureState {
 
     /// True if `run` has been failed.
     pub fn run_failed(&self, run: RunId) -> bool {
-        self.inner.borrow().failed_runs.contains_key(&run)
+        self.inner.lock().failed_runs.contains_key(&run)
     }
 
     /// Why `run` failed, if it has.
     pub fn run_failure(&self, run: RunId) -> Option<FailureReason> {
-        self.inner.borrow().failed_runs.get(&run).copied()
+        self.inner.lock().failed_runs.get(&run).copied()
     }
 
     /// True if `device` is dead.
     pub fn device_dead(&self, device: DeviceId) -> bool {
-        self.inner.borrow().dead_devices.contains(&device)
+        self.inner.lock().dead_devices.contains(&device)
     }
 
     /// True if `host` is dead.
     pub fn host_dead(&self, host: HostId) -> bool {
-        self.inner.borrow().dead_hosts.contains(&host)
+        self.inner.lock().dead_hosts.contains(&host)
     }
 
     /// True if `island` lost its scheduler.
     pub fn island_dead(&self, island: IslandId) -> bool {
-        self.inner.borrow().dead_islands.contains(&island)
+        self.inner.lock().dead_islands.contains(&island)
     }
 
     /// True if the link between `a` and `b` is severed or either end is
     /// dead.
     pub fn link_down(&self, a: HostId, b: HostId) -> bool {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         inner.dead_hosts.contains(&a)
             || inner.dead_hosts.contains(&b)
             || (a != b && inner.severed.contains(&pair_key(a, b)))
@@ -170,23 +170,19 @@ impl FailureState {
 
     /// Registers an in-flight run's footprint (client submission path).
     pub fn register_run(&self, run: RunId, footprint: RunFootprint) {
-        self.inner.borrow_mut().runs.insert(run, footprint);
+        self.inner.lock().runs.insert(run, footprint);
     }
 
     /// The run's failure event, if the run is registered. Transfer
     /// tasks race their cross-host waits against this so wind-down
     /// messages lost to dead NICs cannot wedge them.
     pub fn failed_event(&self, run: RunId) -> Option<Event> {
-        self.inner
-            .borrow()
-            .runs
-            .get(&run)
-            .map(|fp| fp.failed.clone())
+        self.inner.lock().runs.get(&run).map(|fp| fp.failed.clone())
     }
 
     /// Number of runs currently failed (tests/metrics).
     pub fn failed_run_count(&self) -> usize {
-        self.inner.borrow().failed_runs.len()
+        self.inner.lock().failed_runs.len()
     }
 }
 
@@ -202,17 +198,17 @@ fn pair_key(a: HostId, b: HostId) -> (HostId, HostId) {
 /// [`PathwaysRuntime`](crate::PathwaysRuntime) and propagates the
 /// resulting errors so no future ever wedges.
 pub struct FaultInjector {
-    core: Rc<CoreCtx>,
-    rm: Rc<ResourceManager>,
+    core: Arc<CoreCtx>,
+    rm: Arc<ResourceManager>,
     state: FailureState,
     errors: ErrorLog,
     /// Every healing action taken so far, in injection order.
-    heals: RefCell<Vec<HealEvent>>,
+    heals: Lock<Vec<HealEvent>>,
     heal_log: HealLog,
     /// Present when object recovery is enabled (tiered store with
     /// `recovery: true`): hardware loss is absorbed into checkpoint
     /// restore / lineage recompute instead of terminal `ProducerFailed`.
-    recovery: RefCell<Option<Rc<RecoveryManager>>>,
+    recovery: Lock<Option<Arc<RecoveryManager>>>,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -224,15 +220,15 @@ impl fmt::Debug for FaultInjector {
 }
 
 impl FaultInjector {
-    pub(crate) fn new(core: Rc<CoreCtx>, rm: Rc<ResourceManager>, state: FailureState) -> Self {
+    pub(crate) fn new(core: Arc<CoreCtx>, rm: Arc<ResourceManager>, state: FailureState) -> Self {
         FaultInjector {
             core,
             rm,
             state,
             errors: ErrorLog::new(),
-            heals: RefCell::new(Vec::new()),
+            heals: Lock::new(Vec::new()),
             heal_log: HealLog::new(),
-            recovery: RefCell::new(None),
+            recovery: Lock::new(None),
         }
     }
 
@@ -240,22 +236,22 @@ impl FaultInjector {
     /// store is tiered with `recovery: true`): the blast-radius walk
     /// routes object loss through the [`RecoveryManager`] before
     /// declaring anything `ProducerFailed`.
-    pub(crate) fn enable_recovery(self: &Rc<Self>) {
+    pub(crate) fn enable_recovery(self: &Arc<Self>) {
         let Some(cfg) = self.core.cfg.tiers.clone() else {
             return;
         };
-        let manager = Rc::new(RecoveryManager::new(
-            Rc::clone(&self.core),
+        let manager = Arc::new(RecoveryManager::new(
+            Arc::clone(&self.core),
             cfg,
-            Rc::downgrade(self),
+            Arc::downgrade(self),
         ));
-        *self.recovery.borrow_mut() = Some(manager);
+        *self.recovery.lock() = Some(manager);
     }
 
     /// Recovery outcome counters (all zero when recovery is disabled).
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery
-            .borrow()
+            .lock()
             .as_ref()
             .map(|r| r.stats())
             .unwrap_or_default()
@@ -274,7 +270,7 @@ impl FaultInjector {
     /// Every [`HealEvent`] so far: which slices were remapped off dead
     /// hardware (or could not be), in injection order.
     pub fn heal_events(&self) -> Vec<HealEvent> {
-        self.heals.borrow().clone()
+        self.heals.lock().clone()
     }
 
     /// The per-host heal-notice log fed by housekeeping delivery, so
@@ -286,8 +282,8 @@ impl FaultInjector {
 
     /// Spawns the driver task for `plan`: each fault applies at its
     /// scripted virtual time, stamped onto the trace's `faults` track.
-    pub fn install_plan(self: &Rc<Self>, handle: &SimHandle, plan: FaultPlan<FaultSpec>) {
-        let this = Rc::clone(self);
+    pub fn install_plan(self: &Arc<Self>, handle: &SimHandle, plan: FaultPlan<FaultSpec>) {
+        let this = Arc::clone(self);
         let h = handle.clone();
         plan.spawn(handle, move |at, spec| {
             h.trace_span("faults", spec.to_string(), at, at);
@@ -331,7 +327,7 @@ impl FaultInjector {
             return;
         }
         let excluded: Vec<IslandId> = {
-            let inner = self.state.inner.borrow();
+            let inner = self.state.inner.lock();
             let mut v: Vec<IslandId> = inner.dead_islands.iter().copied().collect();
             v.sort();
             v
@@ -354,7 +350,7 @@ impl FaultInjector {
                 (e.slice, outcome)
             })
             .collect();
-        self.heals.borrow_mut().extend(events);
+        self.heals.lock().extend(events);
         spawn_heal_delivery(&self.core, &self.state, &self.heal_log, &notices);
     }
 
@@ -366,7 +362,7 @@ impl FaultInjector {
         let mut newly_failed: Vec<RunId> = Vec::new();
         // Live runs submitted by the client fail outright.
         let victims: Vec<RunId> = {
-            let inner = self.state.inner.borrow();
+            let inner = self.state.inner.lock();
             let mut v: Vec<RunId> = inner
                 .runs
                 .iter()
@@ -398,7 +394,7 @@ impl FaultInjector {
         newly_dead: &mut Vec<DeviceId>,
     ) {
         {
-            let mut inner = self.state.inner.borrow_mut();
+            let mut inner = self.state.inner.lock();
             if !inner.dead_devices.insert(d) {
                 return;
             }
@@ -420,7 +416,7 @@ impl FaultInjector {
         let lost = self.fail_or_recover_device_objects(d, reason);
         // In-flight runs with any shard lowered onto the device fail.
         let victims: Vec<RunId> = {
-            let inner = self.state.inner.borrow();
+            let inner = self.state.inner.lock();
             let mut v: Vec<RunId> = inner
                 .runs
                 .iter()
@@ -438,7 +434,7 @@ impl FaultInjector {
 
     fn fail_host(&self, h: HostId, newly_failed: &mut Vec<RunId>, newly_dead: &mut Vec<DeviceId>) {
         {
-            let mut inner = self.state.inner.borrow_mut();
+            let mut inner = self.state.inner.lock();
             if !inner.dead_hosts.insert(h) {
                 return;
             }
@@ -451,7 +447,7 @@ impl FaultInjector {
         }
         // So do shards spilled to the host's DRAM (tiered store only;
         // untiered stores never populate the DRAM index).
-        let recovery = self.recovery.borrow().clone();
+        let recovery = self.recovery.lock().clone();
         let mut dram_lost: Vec<ObjectId> = Vec::new();
         for id in self.core.store.objects_with_dram_on(h) {
             let absorbed = recovery
@@ -477,12 +473,12 @@ impl FaultInjector {
             v
         };
         for island in &dead_islands {
-            self.state.inner.borrow_mut().dead_islands.insert(*island);
+            self.state.inner.lock().dead_islands.insert(*island);
         }
         // Runs touching the host (shards, client process, scheduler) or
         // a newly dead island fail.
         let victims: Vec<RunId> = {
-            let inner = self.state.inner.borrow();
+            let inner = self.state.inner.lock();
             let mut v: Vec<RunId> = inner
                 .runs
                 .iter()
@@ -501,7 +497,7 @@ impl FaultInjector {
 
     fn sever_link(&self, a: HostId, b: HostId, newly_failed: &mut Vec<RunId>) {
         {
-            let mut inner = self.state.inner.borrow_mut();
+            let mut inner = self.state.inner.lock();
             if !inner.severed.insert(pair_key(a, b)) {
                 return;
             }
@@ -511,7 +507,7 @@ impl FaultInjector {
         // plane spans both endpoints can no longer coordinate.
         let reason = FailureReason::Link(a, b);
         let victims: Vec<RunId> = {
-            let inner = self.state.inner.borrow();
+            let inner = self.state.inner.lock();
             let mut v: Vec<RunId> = inner
                 .runs
                 .iter()
@@ -533,7 +529,7 @@ impl FaultInjector {
     /// down, and cascades to runs consuming its outputs.
     fn fail_run(&self, run: RunId, reason: FailureReason, newly_failed: &mut Vec<RunId>) {
         let (sinks, islands, failed_ev) = {
-            let mut inner = self.state.inner.borrow_mut();
+            let mut inner = self.state.inner.lock();
             if inner.failed_runs.contains_key(&run) {
                 return;
             }
@@ -547,7 +543,7 @@ impl FaultInjector {
         if !self.core.plaque.is_live(run) {
             // Already completed: its data-loss case is handled by the
             // store scan; nothing is in flight to wind down.
-            self.state.inner.borrow_mut().failed_runs.remove(&run);
+            self.state.inner.lock().failed_runs.remove(&run);
             return;
         }
         newly_failed.push(run);
@@ -556,7 +552,7 @@ impl FaultInjector {
         // lineage (or a checkpoint from an earlier completed production)
         // recovers by re-submission instead of failing. Only terminally
         // dead sinks fail and cascade.
-        let recovery = self.recovery.borrow().clone();
+        let recovery = self.recovery.lock().clone();
         let mut dead_sinks: Vec<ObjectId> = Vec::new();
         for sink in &sinks {
             let absorbed = recovery
@@ -596,7 +592,7 @@ impl FaultInjector {
     /// possible, failed otherwise. Returns the *failed* (non-absorbed)
     /// ids, ascending — the set the upstream cascade walks.
     fn fail_or_recover_device_objects(&self, d: DeviceId, reason: FailureReason) -> Vec<ObjectId> {
-        let recovery = self.recovery.borrow().clone();
+        let recovery = self.recovery.lock().clone();
         let Some(recovery) = recovery else {
             return self.core.store.fail_objects_on_device(d, reason);
         };
@@ -630,7 +626,7 @@ impl FaultInjector {
         let mut consumers: Vec<(RunId, ObjectId)> = self
             .core
             .bindings
-            .borrow()
+            .lock()
             .iter()
             .filter(|(_, b)| objects.contains(&b.objref.id()))
             .map(|((run, _), b)| (*run, b.objref.id()))
@@ -646,7 +642,7 @@ impl FaultInjector {
     /// on long-lived simulations.
     fn purge_completed(&self) {
         let plaque = self.core.plaque.clone();
-        let inner = &mut *self.state.inner.borrow_mut();
+        let inner = &mut *self.state.inner.lock();
         let failed_runs = &inner.failed_runs;
         inner
             .runs

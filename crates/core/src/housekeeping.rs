@@ -23,9 +23,9 @@
 //!   lowered programs are stale and must re-lower before resubmitting.
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::{DeviceId, HostId};
 use pathways_plaque::{EdgeId, GraphBuilder, Operator, RunId, ShardCtx, Tuple};
@@ -38,13 +38,13 @@ use crate::resource::SliceId;
 /// broadcasts.
 #[derive(Clone, Default)]
 pub struct ConfigStore {
-    inner: Rc<RefCell<FxHashMap<(HostId, String), String>>>,
+    inner: Arc<Lock<FxHashMap<(HostId, String), String>>>,
 }
 
 impl std::fmt::Debug for ConfigStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConfigStore")
-            .field("entries", &self.inner.borrow().len())
+            .field("entries", &self.inner.lock().len())
             .finish()
     }
 }
@@ -57,11 +57,11 @@ impl ConfigStore {
 
     /// Reads `key` as seen by `host`.
     pub fn get(&self, host: HostId, key: &str) -> Option<String> {
-        self.inner.borrow().get(&(host, key.to_string())).cloned()
+        self.inner.lock().get(&(host, key.to_string())).cloned()
     }
 
     fn set(&self, host: HostId, key: String, value: String) {
-        self.inner.borrow_mut().insert((host, key), value);
+        self.inner.lock().insert((host, key), value);
     }
 }
 
@@ -114,13 +114,13 @@ impl Operator for ConfigApplier {
 }
 
 struct AckCollector {
-    acks: Rc<RefCell<u32>>,
+    acks: Arc<Lock<u32>>,
 }
 
 impl Operator for AckCollector {
     fn on_tuple(&mut self, _ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, tuple: Tuple) {
         tuple.expect::<Ack>();
-        *self.acks.borrow_mut() += 1;
+        *self.acks.lock() += 1;
     }
 }
 
@@ -128,14 +128,14 @@ impl Operator for AckCollector {
 /// PLAQUE program launched from `controller`; resolves once every host
 /// acknowledged. Returns the number of acknowledgements.
 pub async fn distribute_config(
-    core: &Rc<CoreCtx>,
+    core: &Arc<CoreCtx>,
     store: &ConfigStore,
     controller: HostId,
     key: impl Into<String>,
     value: impl Into<String>,
 ) -> u32 {
     let hosts: Vec<HostId> = core.fabric.topology().hosts().collect();
-    let acks = Rc::new(RefCell::new(0u32));
+    let acks = Arc::new(Lock::new(0u32));
     let msg = ConfigMsg {
         key: key.into(),
         value: value.into(),
@@ -160,10 +160,10 @@ pub async fn distribute_config(
         })
     };
     let collector = {
-        let acks = Rc::clone(&acks);
+        let acks = Arc::clone(&acks);
         g.node("collect", vec![controller], move |_| {
             Box::new(AckCollector {
-                acks: Rc::clone(&acks),
+                acks: Arc::clone(&acks),
             })
         })
     };
@@ -171,7 +171,7 @@ pub async fn distribute_config(
     assert_eq!(g.edge(appliers, collector), ack_edge);
     let graph = g.build().expect("housekeeping graph is valid");
     core.plaque.launch(&graph, controller).await_done().await;
-    let n = *acks.borrow();
+    let n = *acks.lock();
     n
 }
 
@@ -187,7 +187,7 @@ impl Operator for HealthProbe {
 }
 
 struct HealthReporter {
-    core: Rc<CoreCtx>,
+    core: Arc<CoreCtx>,
     report_edge: EdgeId,
 }
 
@@ -213,23 +213,23 @@ impl Operator for HealthReporter {
 }
 
 struct HealthCollector {
-    reports: Rc<RefCell<BTreeMap<HostId, HostHealth>>>,
+    reports: Arc<Lock<BTreeMap<HostId, HostHealth>>>,
 }
 
 impl Operator for HealthCollector {
     fn on_tuple(&mut self, _ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, tuple: Tuple) {
         let h = tuple.expect::<HostHealth>().clone();
-        self.reports.borrow_mut().insert(h.host, h);
+        self.reports.lock().insert(h.host, h);
     }
 }
 
 /// Gathers a health report from every host via a PLAQUE program.
 pub async fn collect_health(
-    core: &Rc<CoreCtx>,
+    core: &Arc<CoreCtx>,
     controller: HostId,
 ) -> BTreeMap<HostId, HostHealth> {
     let hosts: Vec<HostId> = core.fabric.topology().hosts().collect();
-    let reports = Rc::new(RefCell::new(BTreeMap::new()));
+    let reports = Arc::new(Lock::new(BTreeMap::new()));
     let probe_edge = EdgeId(0);
     let report_edge = EdgeId(1);
     let mut g = GraphBuilder::new("health-monitor");
@@ -237,19 +237,19 @@ pub async fn collect_health(
         Box::new(HealthProbe { out: probe_edge })
     });
     let reporters = {
-        let core = Rc::clone(core);
+        let core = Arc::clone(core);
         g.node("report", hosts.clone(), move |_| {
             Box::new(HealthReporter {
-                core: Rc::clone(&core),
+                core: Arc::clone(&core),
                 report_edge,
             })
         })
     };
     let collector = {
-        let reports = Rc::clone(&reports);
+        let reports = Arc::clone(&reports);
         g.node("collect", vec![controller], move |_| {
             Box::new(HealthCollector {
-                reports: Rc::clone(&reports),
+                reports: Arc::clone(&reports),
             })
         })
     };
@@ -257,7 +257,7 @@ pub async fn collect_health(
     assert_eq!(g.edge(reporters, collector), report_edge);
     let graph = g.build().expect("housekeeping graph is valid");
     core.plaque.launch(&graph, controller).await_done().await;
-    let out = reports.borrow().clone();
+    let out = reports.lock().clone();
     out
 }
 
@@ -272,13 +272,13 @@ pub type HostNotices = Vec<(RunId, String)>;
 /// died and why, as seen by each host's client agent.
 #[derive(Clone, Default)]
 pub struct ErrorLog {
-    inner: Rc<RefCell<BTreeMap<HostId, HostNotices>>>,
+    inner: Arc<Lock<BTreeMap<HostId, HostNotices>>>,
 }
 
 impl std::fmt::Debug for ErrorLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ErrorLog")
-            .field("hosts", &self.inner.borrow().len())
+            .field("hosts", &self.inner.lock().len())
             .finish()
     }
 }
@@ -291,20 +291,20 @@ impl ErrorLog {
 
     /// Failure notices delivered to `host`, in delivery order.
     pub fn notices(&self, host: HostId) -> HostNotices {
-        self.inner.borrow().get(&host).cloned().unwrap_or_default()
+        self.inner.lock().get(&host).cloned().unwrap_or_default()
     }
 
     /// True if `host` has been told that `run` failed.
     pub fn knows_about(&self, host: HostId, run: RunId) -> bool {
         self.inner
-            .borrow()
+            .lock()
             .get(&host)
             .is_some_and(|v| v.iter().any(|(r, _)| *r == run))
     }
 
     fn record(&self, host: HostId, run: RunId, reason: String) {
         self.inner
-            .borrow_mut()
+            .lock()
             .entry(host)
             .or_default()
             .push((run, reason));
@@ -322,7 +322,7 @@ struct NoticeBroadcaster<T> {
     msg: NoticeMsg<T>,
 }
 
-impl<T: Clone + 'static> Operator for NoticeBroadcaster<T> {
+impl<T: Clone + Send + Sync + 'static> Operator for NoticeBroadcaster<T> {
     fn on_all_inputs_complete(&mut self, ctx: &mut ShardCtx<'_>) {
         let bytes = 32 + 24 * self.msg.notices.len() as u64;
         ctx.broadcast(self.out, Tuple::new(self.msg.clone(), bytes));
@@ -331,14 +331,14 @@ impl<T: Clone + 'static> Operator for NoticeBroadcaster<T> {
 }
 
 /// How a host applies one received notice to its local log.
-type ApplyNotice<T> = Rc<dyn Fn(HostId, &T)>;
+type ApplyNotice<T> = Arc<dyn Fn(HostId, &T) + Send + Sync>;
 
 struct NoticeApplier<T> {
     apply: ApplyNotice<T>,
     ack_edge: EdgeId,
 }
 
-impl<T: Clone + 'static> Operator for NoticeApplier<T> {
+impl<T: Clone + Send + Sync + 'static> Operator for NoticeApplier<T> {
     fn on_tuple(&mut self, ctx: &mut ShardCtx<'_>, _edge: EdgeId, _src: u32, tuple: Tuple) {
         let msg = tuple.expect::<NoticeMsg<T>>();
         for notice in &msg.notices {
@@ -351,13 +351,13 @@ impl<T: Clone + 'static> Operator for NoticeApplier<T> {
 /// The shared broadcast/apply/ack fan-out shape behind error and heal
 /// delivery: one controller shard broadcasts the notices, every host
 /// applies them through `apply`, acknowledgements gather back.
-fn notice_delivery_graph<T: Clone + 'static>(
+fn notice_delivery_graph<T: Clone + Send + Sync + 'static>(
     name: &str,
     controller: HostId,
     hosts: Vec<HostId>,
     notices: Vec<T>,
     apply: ApplyNotice<T>,
-    acks: &Rc<RefCell<u32>>,
+    acks: &Arc<Lock<u32>>,
 ) -> pathways_plaque::Graph {
     let bcast_edge = EdgeId(0);
     let ack_edge = EdgeId(1);
@@ -371,15 +371,15 @@ fn notice_delivery_graph<T: Clone + 'static>(
     });
     let appliers = g.node("apply", hosts, move |_| {
         Box::new(NoticeApplier {
-            apply: Rc::clone(&apply),
+            apply: Arc::clone(&apply),
             ack_edge,
         })
     });
     let collector = {
-        let acks = Rc::clone(acks);
+        let acks = Arc::clone(acks);
         g.node("collect", vec![controller], move |_| {
             Box::new(AckCollector {
-                acks: Rc::clone(&acks),
+                acks: Arc::clone(&acks),
             })
         })
     };
@@ -393,7 +393,7 @@ fn error_delivery_graph(
     hosts: Vec<HostId>,
     log: &ErrorLog,
     failures: Vec<(RunId, String)>,
-    acks: &Rc<RefCell<u32>>,
+    acks: &Arc<Lock<u32>>,
 ) -> pathways_plaque::Graph {
     let log = log.clone();
     notice_delivery_graph(
@@ -401,7 +401,7 @@ fn error_delivery_graph(
         controller,
         hosts,
         failures,
-        Rc::new(move |host, (run, reason): &(RunId, String)| {
+        Arc::new(move |host, (run, reason): &(RunId, String)| {
             log.record(host, *run, reason.clone());
         }),
         acks,
@@ -410,7 +410,11 @@ fn error_delivery_graph(
 
 /// Hosts that can still participate in housekeeping from `controller`'s
 /// point of view: alive, and with an unsevered link to the controller.
-fn reachable_hosts(core: &Rc<CoreCtx>, failures: &FailureState, controller: HostId) -> Vec<HostId> {
+fn reachable_hosts(
+    core: &Arc<CoreCtx>,
+    failures: &FailureState,
+    controller: HostId,
+) -> Vec<HostId> {
     core.fabric
         .topology()
         .hosts()
@@ -421,18 +425,18 @@ fn reachable_hosts(core: &Rc<CoreCtx>, failures: &FailureState, controller: Host
 /// Builds the delivery program against the hosts currently reachable
 /// from the lowest live host; `None` if no host is left alive.
 fn prepare_error_delivery(
-    core: &Rc<CoreCtx>,
+    core: &Arc<CoreCtx>,
     failures: &FailureState,
     log: &ErrorLog,
     notices: &[(RunId, String)],
-) -> Option<(pathways_plaque::Graph, HostId, Rc<RefCell<u32>>)> {
+) -> Option<(pathways_plaque::Graph, HostId, Arc<Lock<u32>>)> {
     let controller = core
         .fabric
         .topology()
         .hosts()
         .find(|h| !failures.host_dead(*h))?;
     let hosts = reachable_hosts(core, failures, controller);
-    let acks = Rc::new(RefCell::new(0u32));
+    let acks = Arc::new(Lock::new(0u32));
     let graph = error_delivery_graph(controller, hosts, log, notices.to_vec(), &acks);
     Some((graph, controller, acks))
 }
@@ -450,7 +454,7 @@ fn prepare_error_delivery(
 /// reason. Reserve this awaited form for quiescent-fault settings
 /// (tests, post-mortem reporting).
 pub async fn deliver_errors(
-    core: &Rc<CoreCtx>,
+    core: &Arc<CoreCtx>,
     failures: &FailureState,
     log: &ErrorLog,
     notices: &[(RunId, String)],
@@ -460,7 +464,7 @@ pub async fn deliver_errors(
         return 0;
     };
     core.plaque.launch(&graph, controller).await_done().await;
-    let n = *acks.borrow();
+    let n = *acks.lock();
     n
 }
 
@@ -469,7 +473,7 @@ pub async fn deliver_errors(
 /// awaited, so a second fault landing mid-delivery cannot wedge the
 /// injector (shards lost to the newer fault simply never ack).
 pub(crate) fn spawn_error_delivery(
-    core: &Rc<CoreCtx>,
+    core: &Arc<CoreCtx>,
     failures: &FailureState,
     log: &ErrorLog,
     notices: &[(RunId, String)],
@@ -493,13 +497,13 @@ pub type HealNotices = Vec<(SliceId, String)>;
 /// are stale and re-lower on their next submit.
 #[derive(Clone, Default)]
 pub struct HealLog {
-    inner: Rc<RefCell<BTreeMap<HostId, HealNotices>>>,
+    inner: Arc<Lock<BTreeMap<HostId, HealNotices>>>,
 }
 
 impl std::fmt::Debug for HealLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HealLog")
-            .field("hosts", &self.inner.borrow().len())
+            .field("hosts", &self.inner.lock().len())
             .finish()
     }
 }
@@ -512,20 +516,20 @@ impl HealLog {
 
     /// Heal notices delivered to `host`, in delivery order.
     pub fn notices(&self, host: HostId) -> HealNotices {
-        self.inner.borrow().get(&host).cloned().unwrap_or_default()
+        self.inner.lock().get(&host).cloned().unwrap_or_default()
     }
 
     /// True if `host` has been told that `slice` was remapped.
     pub fn knows_about(&self, host: HostId, slice: SliceId) -> bool {
         self.inner
-            .borrow()
+            .lock()
             .get(&host)
             .is_some_and(|v| v.iter().any(|(s, _)| *s == slice))
     }
 
     fn record(&self, host: HostId, slice: SliceId, detail: String) {
         self.inner
-            .borrow_mut()
+            .lock()
             .entry(host)
             .or_default()
             .push((slice, detail));
@@ -537,7 +541,7 @@ impl HealLog {
 /// remapped slices off dead hardware. Mirrors `spawn_error_delivery`:
 /// not awaited, so an overlapping fault cannot wedge the injector.
 pub(crate) fn spawn_heal_delivery(
-    core: &Rc<CoreCtx>,
+    core: &Arc<CoreCtx>,
     failures: &FailureState,
     log: &HealLog,
     notices: &[(SliceId, String)],
@@ -551,14 +555,14 @@ pub(crate) fn spawn_heal_delivery(
         return;
     };
     let hosts = reachable_hosts(core, failures, controller);
-    let acks = Rc::new(RefCell::new(0u32));
+    let acks = Arc::new(Lock::new(0u32));
     let log = log.clone();
     let graph = notice_delivery_graph(
         "heal-delivery",
         controller,
         hosts,
         notices.to_vec(),
-        Rc::new(move |host, (slice, detail): &(SliceId, String)| {
+        Arc::new(move |host, (slice, detail): &(SliceId, String)| {
             log.record(host, *slice, detail.clone());
         }),
         &acks,
@@ -587,7 +591,7 @@ mod tests {
         let mut sim = Sim::new(0);
         let rt = runtime(&sim, 4);
         let store = ConfigStore::new();
-        let core = Rc::clone(rt.core());
+        let core = Arc::clone(rt.core());
         let store2 = store.clone();
         let job = sim.spawn("hk", async move {
             distribute_config(&core, &store2, HostId(0), "sched/policy", "fifo").await
@@ -616,7 +620,7 @@ mod tests {
         );
         let program = b.build().unwrap();
         let prepared = client.prepare(&program);
-        let core = Rc::clone(rt.core());
+        let core = Arc::clone(rt.core());
         let job = sim.spawn("flow", async move {
             client.run(&prepared).await;
             collect_health(&core, HostId(0)).await
@@ -639,7 +643,7 @@ mod tests {
         // Kill host 3 through the injector so both the fabric and the
         // failure registry know about it.
         rt.faults().inject(&FaultSpec::Host(HostId(3)));
-        let core = Rc::clone(rt.core());
+        let core = Arc::clone(rt.core());
         let failures = rt.faults().state().clone();
         let log = ErrorLog::new();
         let notices = vec![(RunId(9), "dev3 failed".to_string())];
@@ -683,7 +687,7 @@ mod tests {
             }
         });
         let store = ConfigStore::new();
-        let core = Rc::clone(rt.core());
+        let core = Arc::clone(rt.core());
         let store2 = store.clone();
         let h = sim.handle();
         let hk = sim.spawn("hk", async move {

@@ -15,9 +15,8 @@
 //! reports [`StoreError`](crate::StoreError) instead of aborting, and
 //! the drop-side release of a reclaimed object is a no-op.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::DeviceId;
 use pathways_sim::sync::Event;
@@ -35,10 +34,10 @@ pub struct ObjectRef {
     id: ObjectId,
     bytes_per_shard: u64,
     /// One producing device per shard (lowering-time snapshot).
-    devices: Rc<Vec<DeviceId>>,
+    devices: Arc<Vec<DeviceId>>,
     /// One readiness event per shard, fired when the producing kernel
     /// finishes that shard.
-    ready: Rc<Vec<Event>>,
+    ready: Arc<Vec<Event>>,
     store: ObjectStore,
 }
 
@@ -65,8 +64,8 @@ impl ObjectRef {
         ObjectRef {
             id,
             bytes_per_shard,
-            devices: Rc::new(devices),
-            ready: Rc::new(ready),
+            devices: Arc::new(devices),
+            ready: Arc::new(ready),
             store,
         }
     }
@@ -173,8 +172,8 @@ impl Clone for ObjectRef {
         ObjectRef {
             id: self.id,
             bytes_per_shard: self.bytes_per_shard,
-            devices: Rc::clone(&self.devices),
-            ready: Rc::clone(&self.ready),
+            devices: Arc::clone(&self.devices),
+            ready: Arc::clone(&self.ready),
             store: self.store.clone(),
         }
     }
@@ -191,14 +190,14 @@ impl Drop for ObjectRef {
 /// have transfers to drive. The last shard removes the binding.
 pub(crate) struct InputBinding {
     pub objref: ObjectRef,
-    pub remaining: Cell<u32>,
+    pub remaining: std::sync::atomic::AtomicU32,
 }
 
 impl InputBinding {
     pub(crate) fn new(objref: ObjectRef, shards: u32) -> Self {
         InputBinding {
             objref,
-            remaining: Cell::new(shards),
+            remaining: std::sync::atomic::AtomicU32::new(shards),
         }
     }
 }

@@ -24,7 +24,7 @@
 
 use pathways_sim::hash::FxHashMap;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::{ClientId, DeviceId, HostId, IslandId};
 use pathways_plaque::{EdgeId as PEdge, Emitter, Graph, GraphBuilder, Operator, ShardCtx, Tuple};
@@ -130,7 +130,7 @@ impl ProgInfo {
 
 /// A lowered program, ready to run repeatedly.
 pub struct PreparedProgram {
-    pub(crate) info: Rc<ProgInfo>,
+    pub(crate) info: Arc<ProgInfo>,
     pub(crate) graph: Graph,
     pub(crate) submits: BTreeMap<IslandId, Vec<CompSubmit>>,
     pub(crate) est_cost: SimDuration,
@@ -142,7 +142,7 @@ pub struct PreparedProgram {
     /// Cache of the re-lowered form minted when this preparation went
     /// stale, so a long-lived prepared program pays the re-lowering
     /// cost once per remap rather than once per submit.
-    pub(crate) relowered: std::cell::RefCell<Option<std::rc::Rc<PreparedProgram>>>,
+    pub(crate) relowered: pathways_sim::Lock<Option<std::sync::Arc<PreparedProgram>>>,
 }
 
 impl std::fmt::Debug for PreparedProgram {
@@ -163,7 +163,7 @@ impl PreparedProgram {
     }
 
     /// The lowered program structures.
-    pub fn info(&self) -> &Rc<ProgInfo> {
+    pub fn info(&self) -> &Arc<ProgInfo> {
         &self.info
     }
 
@@ -195,13 +195,13 @@ impl PreparedProgram {
 /// Panics if any computation's slice spans islands (collectives require
 /// one island; the resource manager never produces such slices).
 pub fn prepare(
-    core: &Rc<CoreCtx>,
+    core: &Arc<CoreCtx>,
     client: ClientId,
     client_host: HostId,
     label: &str,
     program: &Program,
 ) -> PreparedProgram {
-    let topo = Rc::clone(core.fabric.topology());
+    let topo = Arc::clone(core.fabric.topology());
     let n_comps = program.computations().len();
 
     let shards: Vec<u32> = program.computations().iter().map(|c| c.shards()).collect();
@@ -234,7 +234,7 @@ pub fn prepare(
         .map(|(i, c)| (*c, PEdge((2 * n_edges + i) as u32)))
         .collect();
 
-    let info = Rc::new(ProgInfo {
+    let info = Arc::new(ProgInfo {
         program: program.clone(),
         client,
         label: label.to_string(),
@@ -251,8 +251,8 @@ pub fn prepare(
     let mut pnodes = Vec::with_capacity(n_comps);
     for c in 0..n_comps {
         let comp = CompId(c as u32);
-        let core = Rc::clone(core);
-        let info_f = Rc::clone(&info);
+        let core = Arc::clone(core);
+        let info_f = Arc::clone(&info);
         let is_input = program.computations()[c].is_input();
         let node = g.node(
             program.computations()[c].name().to_string(),
@@ -260,15 +260,15 @@ pub fn prepare(
             move |shard| -> Box<dyn Operator> {
                 if is_input {
                     Box::new(InputOperator::new(
-                        Rc::clone(&core),
-                        Rc::clone(&info_f),
+                        Arc::clone(&core),
+                        Arc::clone(&info_f),
                         comp,
                         shard,
                     ))
                 } else {
                     Box::new(CompOperator::new(
-                        Rc::clone(&core),
-                        Rc::clone(&info_f),
+                        Arc::clone(&core),
+                        Arc::clone(&info_f),
                         comp,
                         shard,
                     ))
@@ -371,7 +371,7 @@ pub fn prepare(
         submits,
         est_cost,
         slice_gens,
-        relowered: std::cell::RefCell::new(None),
+        relowered: pathways_sim::Lock::new(None),
     }
 }
 
@@ -395,15 +395,15 @@ struct OpState {
 }
 
 pub(crate) struct CompOperator {
-    core: Rc<CoreCtx>,
-    info: Rc<ProgInfo>,
+    core: Arc<CoreCtx>,
+    info: Arc<ProgInfo>,
     comp: CompId,
     shard: u32,
     state: Option<OpState>,
 }
 
 impl CompOperator {
-    pub(crate) fn new(core: Rc<CoreCtx>, info: Rc<ProgInfo>, comp: CompId, shard: u32) -> Self {
+    pub(crate) fn new(core: Arc<CoreCtx>, info: Arc<ProgInfo>, comp: CompId, shard: u32) -> Self {
         CompOperator {
             core,
             info,
@@ -435,7 +435,7 @@ impl Operator for CompOperator {
             input_events.push(slot.event().clone());
             self.core
                 .input_slots
-                .borrow_mut()
+                .lock()
                 .insert((run, self.comp, self.shard, ii), slot);
             futures_needed += feeders;
             fwd_in.insert(info.fwd_edges[e], ii);
@@ -473,8 +473,8 @@ impl Operator for CompOperator {
 
         // Spawn the shard driver.
         let emitter = ctx.emitter();
-        let core = Rc::clone(&self.core);
-        let info = Rc::clone(&self.info);
+        let core = Arc::clone(&self.core);
+        let info = Arc::clone(&self.info);
         let comp = self.comp;
         let shard = self.shard;
         let addr_events_task: Vec<((usize, u32), Event)> = {
@@ -556,8 +556,8 @@ impl Operator for CompOperator {
 /// a clean completion instead of wedging.
 #[allow(clippy::too_many_arguments)]
 async fn drive_shard(
-    core: Rc<CoreCtx>,
-    info: Rc<ProgInfo>,
+    core: Arc<CoreCtx>,
+    info: Arc<ProgInfo>,
     comp: CompId,
     shard: u32,
     run: pathways_plaque::RunId,
@@ -625,7 +625,7 @@ async fn drive_shard(
     join_all(transfers).await;
     // Release this shard's input-slot registrations.
     {
-        let mut slots = core.input_slots.borrow_mut();
+        let mut slots = core.input_slots.lock();
         for ii in 0..in_edges.len() {
             slots.remove(&(run, comp, shard, ii));
         }
@@ -685,8 +685,8 @@ enum TransferMode {
 /// critical path.
 #[allow(clippy::too_many_arguments)]
 fn spawn_output_transfers(
-    core: &Rc<CoreCtx>,
-    info: &Rc<ProgInfo>,
+    core: &Arc<CoreCtx>,
+    info: &Arc<ProgInfo>,
     comp: CompId,
     shard: u32,
     run: pathways_plaque::RunId,
@@ -714,8 +714,8 @@ fn spawn_output_transfers(
             let gate = gate.clone();
             let mode = mode.clone();
             let dst_dev = info.devices[dst_comp.index()][d as usize];
-            let core = Rc::clone(core);
-            let info2 = Rc::clone(info);
+            let core = Arc::clone(core);
+            let info2 = Arc::clone(info);
             let emitter = emitter.clone();
             // The address arrives as a dataflow tuple from the consumer
             // host — which a fault may have silenced (dead NIC, severed
@@ -768,10 +768,7 @@ fn spawn_output_transfers(
                     if move_data {
                         core.move_bytes(src, dst_dev, bytes).await;
                     }
-                    if let Some(slot) = core
-                        .input_slots
-                        .borrow()
-                        .get(&(run, dst_comp, d, dst_in_idx))
+                    if let Some(slot) = core.input_slots.lock().get(&(run, dst_comp, d, dst_in_idx))
                     {
                         slot.deliver();
                     }
@@ -825,8 +822,8 @@ async fn event_or_cancel(event: &Event, cancel: Option<&Event>) {
 /// host. A virtual producer: it speaks the producer half of the Figure 4
 /// handshake for a buffer that another program is (or will be) writing.
 pub(crate) struct InputOperator {
-    core: Rc<CoreCtx>,
-    info: Rc<ProgInfo>,
+    core: Arc<CoreCtx>,
+    info: Arc<ProgInfo>,
     comp: CompId,
     shard: u32,
     /// plaque backward edge → local out-edge index.
@@ -836,7 +833,7 @@ pub(crate) struct InputOperator {
 }
 
 impl InputOperator {
-    pub(crate) fn new(core: Rc<CoreCtx>, info: Rc<ProgInfo>, comp: CompId, shard: u32) -> Self {
+    pub(crate) fn new(core: Arc<CoreCtx>, info: Arc<ProgInfo>, comp: CompId, shard: u32) -> Self {
         InputOperator {
             core,
             info,
@@ -851,7 +848,7 @@ impl InputOperator {
 impl Operator for InputOperator {
     fn on_start(&mut self, ctx: &mut ShardCtx<'_>) {
         let run = ctx.run();
-        let info = Rc::clone(&self.info);
+        let info = Arc::clone(&self.info);
         let out_edges = info.program.out_edges(self.comp);
         for (oi, &e) in out_edges.iter().enumerate() {
             self.back_in.insert(info.back_edges[e], oi);
@@ -877,7 +874,7 @@ impl Operator for InputOperator {
         let binding = self
             .core
             .bindings
-            .borrow()
+            .lock()
             .get(&(run, self.comp))
             .cloned()
             .unwrap_or_else(|| panic!("no ObjectRef bound for {run} input {}", self.comp));
@@ -895,7 +892,7 @@ impl Operator for InputOperator {
         ctx.handle().spawn(
             format!("input-{run}-{comp}-{shard}"),
             drive_input_shard(
-                Rc::clone(&self.core),
+                Arc::clone(&self.core),
                 info,
                 comp,
                 shard,
@@ -937,13 +934,13 @@ impl Operator for InputOperator {
 /// through its input future.
 #[allow(clippy::too_many_arguments)]
 async fn drive_input_shard(
-    core: Rc<CoreCtx>,
-    info: Rc<ProgInfo>,
+    core: Arc<CoreCtx>,
+    info: Arc<ProgInfo>,
     comp: CompId,
     shard: u32,
     run: pathways_plaque::RunId,
     emitter: Emitter,
-    binding: Rc<InputBinding>,
+    binding: Arc<InputBinding>,
     addr_events: Vec<((usize, u32), Event)>,
 ) {
     // Gate every transfer on the producer's per-shard readiness event —
@@ -969,10 +966,12 @@ async fn drive_input_shard(
     join_all(transfers).await;
     // Last shard of this input drops the binding, releasing its
     // ObjectRef clone (and with it, possibly, the object).
-    let left = binding.remaining.get() - 1;
-    binding.remaining.set(left);
+    let left = binding
+        .remaining
+        .fetch_sub(1, std::sync::atomic::Ordering::AcqRel)
+        - 1;
     if left == 0 {
-        core.bindings.borrow_mut().remove(&(run, comp));
+        core.bindings.lock().remove(&(run, comp));
     }
     emitter.halt();
 }

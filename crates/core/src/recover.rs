@@ -28,9 +28,9 @@
 //! of a consuming run never observes the loss at all — the acceptance
 //! bar of this PR.
 
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::{Rc, Weak};
+use std::sync::{Arc, Weak};
 
 use pathways_net::{DeviceId, FxHashMap, HostId};
 
@@ -80,7 +80,7 @@ pub struct RecoveryStats {
 /// object is dropped from the walk's doomed set (no error recorded, no
 /// cascade) and a recovery task is spawned to rebuild it.
 pub(crate) struct RecoveryManager {
-    core: Rc<CoreCtx>,
+    core: Arc<CoreCtx>,
     cfg: TierConfig,
     /// Back-reference for the terminal path: an abandoned recovery must
     /// cascade the failure to consumers exactly as the injector would
@@ -88,32 +88,32 @@ pub(crate) struct RecoveryManager {
     injector: Weak<FaultInjector>,
     /// Recovery attempts per object, against
     /// [`TierConfig::max_recovery_attempts`].
-    attempts: RefCell<FxHashMap<ObjectId, u32>>,
-    stats: RefCell<RecoveryStats>,
+    attempts: Lock<FxHashMap<ObjectId, u32>>,
+    stats: Lock<RecoveryStats>,
 }
 
 impl fmt::Debug for RecoveryManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RecoveryManager")
-            .field("stats", &*self.stats.borrow())
+            .field("stats", &*self.stats.lock())
             .finish()
     }
 }
 
 impl RecoveryManager {
-    pub(crate) fn new(core: Rc<CoreCtx>, cfg: TierConfig, injector: Weak<FaultInjector>) -> Self {
+    pub(crate) fn new(core: Arc<CoreCtx>, cfg: TierConfig, injector: Weak<FaultInjector>) -> Self {
         RecoveryManager {
             core,
             cfg,
             injector,
-            attempts: RefCell::new(FxHashMap::default()),
-            stats: RefCell::new(RecoveryStats::default()),
+            attempts: Lock::new(FxHashMap::default()),
+            stats: Lock::new(RecoveryStats::default()),
         }
     }
 
     /// Outcome counters so far.
     pub(crate) fn stats(&self) -> RecoveryStats {
-        *self.stats.borrow()
+        *self.stats.lock()
     }
 
     /// Tries to absorb the loss of `id`'s HBM shards on dead `device`.
@@ -121,7 +121,7 @@ impl RecoveryManager {
     /// be failed or cascaded; false means the loss is terminal and the
     /// caller proceeds with `fail_object`.
     pub(crate) fn absorb_device_loss(
-        self: &Rc<Self>,
+        self: &Arc<Self>,
         id: ObjectId,
         device: DeviceId,
         reason: FailureReason,
@@ -149,7 +149,7 @@ impl RecoveryManager {
     /// `host`. Same contract as
     /// [`RecoveryManager::absorb_device_loss`].
     pub(crate) fn absorb_dram_loss(
-        self: &Rc<Self>,
+        self: &Arc<Self>,
         id: ObjectId,
         host: HostId,
         reason: FailureReason,
@@ -176,7 +176,7 @@ impl RecoveryManager {
     /// front (partial output is swept by the recompute commit); the
     /// object recovers by lineage re-submission (a checkpoint can only
     /// exist for a *completed* production, i.e. an earlier incarnation).
-    pub(crate) fn absorb_run_loss(self: &Rc<Self>, id: ObjectId, reason: FailureReason) -> bool {
+    pub(crate) fn absorb_run_loss(self: &Arc<Self>, id: ObjectId, reason: FailureReason) -> bool {
         let store = &self.core.store;
         if store.recovering(id).is_some() {
             return true;
@@ -200,21 +200,21 @@ impl RecoveryManager {
         if !self.core.store.recoverable(id) {
             return false;
         }
-        if self.attempts.borrow().get(&id).copied().unwrap_or(0) >= self.cfg.max_recovery_attempts {
-            self.stats.borrow_mut().abandoned += 1;
+        if self.attempts.lock().get(&id).copied().unwrap_or(0) >= self.cfg.max_recovery_attempts {
+            self.stats.lock().abandoned += 1;
             return false;
         }
         true
     }
 
     fn note_attempt(&self, id: ObjectId) {
-        *self.attempts.borrow_mut().entry(id).or_insert(0) += 1;
+        *self.attempts.lock().entry(id).or_insert(0) += 1;
     }
 
     /// First live (host, device) pair in id order — where checkpoint
     /// restores stage their data. Deterministic by construction.
     fn restore_target(&self) -> Option<(DeviceId, HostId)> {
-        let topo = Rc::clone(self.core.fabric.topology());
+        let topo = Arc::clone(self.core.fabric.topology());
         let failures = &self.core.failures;
         let mut hosts: Vec<HostId> = topo.hosts().collect();
         hosts.sort();
@@ -236,14 +236,14 @@ impl RecoveryManager {
     /// Spawns the asynchronous recovery of `id`. The task runs after the
     /// injector's synchronous walk returns — in particular after slice
     /// healing — so lineage re-submissions re-lower onto healed devices.
-    fn spawn_recovery(self: &Rc<Self>, id: ObjectId, reason: FailureReason) {
-        let this = Rc::clone(self);
+    fn spawn_recovery(self: &Arc<Self>, id: ObjectId, reason: FailureReason) {
+        let this = Arc::clone(self);
         self.core.handle.spawn(format!("recover-{id}"), async move {
             this.recover(id, reason).await;
         });
     }
 
-    async fn recover(self: Rc<Self>, id: ObjectId, reason: FailureReason) {
+    async fn recover(self: Arc<Self>, id: ObjectId, reason: FailureReason) {
         let h = self.core.handle.clone();
         let store = self.core.store.clone();
         let t0 = h.now();
@@ -255,7 +255,7 @@ impl RecoveryManager {
                 h.sleep(self.cfg.disk_time(total)).await;
                 if store.complete_restore(id, device, host) {
                     h.trace_span("tiers", format!("restore {id}"), t0, h.now());
-                    self.stats.borrow_mut().restored += 1;
+                    self.stats.lock().restored += 1;
                     return;
                 }
                 if !store.contains(id) {
@@ -283,7 +283,7 @@ impl RecoveryManager {
                             // Stage the fresh output into DRAM under the
                             // original id (one HBM->DRAM copy).
                             h.sleep(self.cfg.hbm_dram_time(out.total_bytes())).await;
-                            let topo = Rc::clone(self.core.fabric.topology());
+                            let topo = Arc::clone(self.core.fabric.topology());
                             let shards: Vec<(u32, u64, DeviceId, HostId)> = out
                                 .devices()
                                 .iter()
@@ -294,7 +294,7 @@ impl RecoveryManager {
                                 .collect();
                             if store.complete_recompute(id, &shards) {
                                 h.trace_span("tiers", format!("recompute {id}"), t0, h.now());
-                                self.stats.borrow_mut().recomputed += 1;
+                                self.stats.lock().recomputed += 1;
                                 drop(result); // releases the recompute copy
                                 return;
                             }
@@ -310,7 +310,7 @@ impl RecoveryManager {
         if !store.contains(id) {
             return;
         }
-        self.stats.borrow_mut().abandoned += 1;
+        self.stats.lock().abandoned += 1;
         store.fail_object(id, reason);
         if let Some(inj) = self.injector.upgrade() {
             inj.cascade_failure(&[id]);

@@ -32,10 +32,10 @@
 //! mapping is strictly worse than a fresh placement, compacting load
 //! back onto the least-loaded attached devices.
 
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::{ClientId, DeviceId, IslandId, Topology};
 
@@ -152,15 +152,15 @@ struct MappingState {
 #[derive(Clone)]
 pub struct VirtualSlice {
     id: SliceId,
-    state: Rc<RefCell<MappingState>>,
+    state: Arc<Lock<MappingState>>,
 }
 
 impl fmt::Debug for VirtualSlice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("VirtualSlice")
             .field("id", &self.id)
-            .field("devices", &self.state.borrow().devices.len())
-            .field("generation", &self.state.borrow().generation)
+            .field("devices", &self.state.lock().devices.len())
+            .field("generation", &self.state.lock().generation)
             .finish()
     }
 }
@@ -169,7 +169,7 @@ impl VirtualSlice {
     fn new(id: SliceId, devices: Vec<DeviceId>) -> Self {
         VirtualSlice {
             id,
-            state: Rc::new(RefCell::new(MappingState {
+            state: Arc::new(Lock::new(MappingState {
                 devices,
                 generation: 0,
             })),
@@ -183,7 +183,7 @@ impl VirtualSlice {
 
     /// Number of virtual devices.
     pub fn len(&self) -> usize {
-        self.state.borrow().devices.len()
+        self.state.lock().devices.len()
     }
 
     /// True if the slice has no devices.
@@ -193,7 +193,7 @@ impl VirtualSlice {
 
     /// Current physical device for each virtual device.
     pub fn physical_devices(&self) -> Vec<DeviceId> {
-        self.state.borrow().devices.clone()
+        self.state.lock().devices.clone()
     }
 
     /// The mapping generation: starts at 0 and is bumped by every
@@ -203,7 +203,7 @@ impl VirtualSlice {
     /// generation differs — [`Client::submit_with`](crate::Client)
     /// re-lowers automatically.
     pub fn generation(&self) -> u64 {
-        self.state.borrow().generation
+        self.state.lock().generation
     }
 
     /// Test-only constructor with a fixed mapping.
@@ -216,7 +216,7 @@ impl VirtualSlice {
 struct Allocation {
     owner: ClientId,
     request: SliceRequest,
-    state: Rc<RefCell<MappingState>>,
+    state: Arc<Lock<MappingState>>,
 }
 
 /// Outcome of one [`ResourceManager::try_replace`] transaction.
@@ -270,28 +270,28 @@ impl HealEvent {
 /// (`charge`/`uncharge`/`detach_device`/`attach_device`), and the
 /// `prop_resource` suite checks them against a naive linear-scan model.
 pub struct ResourceManager {
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     /// Attached devices per island (placement candidates).
-    attached: RefCell<BTreeMap<IslandId, BTreeSet<DeviceId>>>,
+    attached: Lock<BTreeMap<IslandId, BTreeSet<DeviceId>>>,
     /// Use-count ledger covering every device of the topology, attached
     /// or not: `counts[d]` == live slices currently mapping `d`.
-    use_counts: RefCell<BTreeMap<DeviceId, u32>>,
-    slices: RefCell<BTreeMap<SliceId, Allocation>>,
-    next_slice: RefCell<u64>,
+    use_counts: Lock<BTreeMap<DeviceId, u32>>,
+    slices: Lock<BTreeMap<SliceId, Allocation>>,
+    next_slice: Lock<u64>,
     /// Sum of attached devices' use-counts, per island.
-    island_load: RefCell<BTreeMap<IslandId, u64>>,
+    island_load: Lock<BTreeMap<IslandId, u64>>,
     /// Attached devices of each island in `(use-count, id)` order.
-    by_load: RefCell<BTreeMap<IslandId, BTreeSet<(u32, DeviceId)>>>,
+    by_load: Lock<BTreeMap<IslandId, BTreeSet<(u32, DeviceId)>>>,
     /// Live slices mapping each device, with multiplicity (a remap may
     /// map the same physical device more than once).
-    dev_slices: RefCell<BTreeMap<DeviceId, BTreeMap<SliceId, u32>>>,
+    dev_slices: Lock<BTreeMap<DeviceId, BTreeMap<SliceId, u32>>>,
 }
 
 impl fmt::Debug for ResourceManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ResourceManager")
-            .field("islands", &self.attached.borrow().len())
-            .field("live_slices", &self.slices.borrow().len())
+            .field("islands", &self.attached.lock().len())
+            .field("live_slices", &self.slices.lock().len())
             .field("total_load", &self.total_load())
             .finish()
     }
@@ -299,7 +299,7 @@ impl fmt::Debug for ResourceManager {
 
 impl ResourceManager {
     /// Creates a manager with every device of `topo` attached.
-    pub fn new(topo: Rc<Topology>) -> Self {
+    pub fn new(topo: Arc<Topology>) -> Self {
         let mut attached = BTreeMap::new();
         let mut use_counts = BTreeMap::new();
         let mut island_load = BTreeMap::new();
@@ -315,35 +315,31 @@ impl ResourceManager {
         }
         ResourceManager {
             topo,
-            attached: RefCell::new(attached),
-            use_counts: RefCell::new(use_counts),
-            slices: RefCell::new(BTreeMap::new()),
-            next_slice: RefCell::new(0),
-            island_load: RefCell::new(island_load),
-            by_load: RefCell::new(by_load),
-            dev_slices: RefCell::new(BTreeMap::new()),
+            attached: Lock::new(attached),
+            use_counts: Lock::new(use_counts),
+            slices: Lock::named("core.rm.slices", BTreeMap::new()),
+            next_slice: Lock::new(0),
+            island_load: Lock::new(island_load),
+            by_load: Lock::new(by_load),
+            dev_slices: Lock::named("core.rm.slices", BTreeMap::new()),
         }
     }
 
     /// The cluster topology.
-    pub fn topology(&self) -> &Rc<Topology> {
+    pub fn topology(&self) -> &Arc<Topology> {
         &self.topo
     }
 
     /// Total attached devices.
     pub fn attached_devices(&self) -> u32 {
-        self.attached
-            .borrow()
-            .values()
-            .map(|m| m.len() as u32)
-            .sum()
+        self.attached.lock().values().map(|m| m.len() as u32).sum()
     }
 
     /// True if `device` is currently attached (a placement candidate).
     pub fn is_attached(&self, device: DeviceId) -> bool {
         let island = self.topo.island_of_device(device);
         self.attached
-            .borrow()
+            .lock()
             .get(&island)
             .is_some_and(|m| m.contains(&device))
     }
@@ -355,16 +351,16 @@ impl ResourceManager {
     /// moving them off.
     pub fn detach_device(&self, device: DeviceId) {
         let island = self.topo.island_of_device(device);
-        if let Some(m) = self.attached.borrow_mut().get_mut(&island) {
+        if let Some(m) = self.attached.lock().get_mut(&island) {
             if m.remove(&device) {
-                let count = self.use_counts.borrow()[&device];
+                let count = self.use_counts.lock()[&device];
                 *self
                     .island_load
-                    .borrow_mut()
+                    .lock()
                     .get_mut(&island)
                     .expect("island indexed") -= u64::from(count);
                 self.by_load
-                    .borrow_mut()
+                    .lock()
                     .get_mut(&island)
                     .expect("island indexed")
                     .remove(&(count, device));
@@ -383,15 +379,15 @@ impl ResourceManager {
         let island = self.topo.island_of_device(device);
         if self
             .attached
-            .borrow_mut()
+            .lock()
             .entry(island)
             .or_default()
             .insert(device)
         {
-            let count = self.use_counts.borrow()[&device];
-            *self.island_load.borrow_mut().entry(island).or_insert(0) += u64::from(count);
+            let count = self.use_counts.lock()[&device];
+            *self.island_load.lock().entry(island).or_insert(0) += u64::from(count);
             self.by_load
-                .borrow_mut()
+                .lock()
                 .entry(island)
                 .or_default()
                 .insert((count, device));
@@ -418,24 +414,24 @@ impl ResourceManager {
         request: SliceRequest,
     ) -> Result<VirtualSlice, ResourceError> {
         let chosen = {
-            let attached = self.attached.borrow();
-            let counts = self.use_counts.borrow();
+            let attached = self.attached.lock();
+            let counts = self.use_counts.lock();
             self.place(&request, &attached, &counts, &[])?
         };
         let id = {
-            let mut next = self.next_slice.borrow_mut();
+            let mut next = self.next_slice.lock();
             let id = SliceId(*next);
             *next += 1;
             id
         };
         self.charge(id, &chosen);
         let slice = VirtualSlice::new(id, chosen);
-        self.slices.borrow_mut().insert(
+        self.slices.lock().insert(
             id,
             Allocation {
                 owner: client,
                 request,
-                state: Rc::clone(&slice.state),
+                state: Arc::clone(&slice.state),
             },
         );
         Ok(slice)
@@ -447,8 +443,8 @@ impl ResourceManager {
     }
 
     fn release_id(&self, id: SliceId) {
-        if let Some(alloc) = self.slices.borrow_mut().remove(&id) {
-            let devices = alloc.state.borrow().devices.clone();
+        if let Some(alloc) = self.slices.lock().remove(&id) {
+            let devices = alloc.state.lock().devices.clone();
             self.uncharge(id, &devices);
         }
     }
@@ -457,7 +453,7 @@ impl ResourceManager {
     pub fn release_client(&self, client: ClientId) {
         let ids: Vec<SliceId> = self
             .slices
-            .borrow()
+            .lock()
             .iter()
             .filter(|(_, a)| a.owner == client)
             .map(|(id, _)| *id)
@@ -487,8 +483,8 @@ impl ResourceManager {
         );
         // Only live (tracked) slices are charged in the ledger; test
         // slices built with `for_tests` are not.
-        if self.slices.borrow().contains_key(&slice.id()) {
-            let old = slice.state.borrow().devices.clone();
+        if self.slices.lock().contains_key(&slice.id()) {
+            let old = slice.state.lock().devices.clone();
             self.uncharge(slice.id(), &old);
             self.adopt_mapping(slice.id(), &slice.state, new_devices);
         } else {
@@ -501,13 +497,13 @@ impl ResourceManager {
     /// bumps the generation so lowered programs go stale. The single
     /// place where a mapping change and the ledger meet — `remap`,
     /// `heal` and `rebalance` all move slices through here.
-    fn adopt_mapping(&self, id: SliceId, state: &Rc<RefCell<MappingState>>, new: Vec<DeviceId>) {
+    fn adopt_mapping(&self, id: SliceId, state: &Arc<Lock<MappingState>>, new: Vec<DeviceId>) {
         self.charge(id, &new);
         Self::set_mapping(state, new);
     }
 
-    fn set_mapping(state: &Rc<RefCell<MappingState>>, new: Vec<DeviceId>) {
-        let mut st = state.borrow_mut();
+    fn set_mapping(state: &Arc<Lock<MappingState>>, new: Vec<DeviceId>) {
+        let mut st = state.lock();
         st.devices = new;
         st.generation += 1;
     }
@@ -524,22 +520,22 @@ impl ResourceManager {
     fn try_replace(
         &self,
         id: SliceId,
-        state: &Rc<RefCell<MappingState>>,
+        state: &Arc<Lock<MappingState>>,
         request: &SliceRequest,
         excluded_islands: &[IslandId],
         accept: impl FnOnce(&[DeviceId], &[DeviceId], &BTreeMap<DeviceId, u32>) -> bool,
     ) -> Replace {
-        let from = state.borrow().devices.clone();
+        let from = state.lock().devices.clone();
         self.uncharge(id, &from);
         let placed = {
-            let attached = self.attached.borrow();
-            let counts = self.use_counts.borrow();
+            let attached = self.attached.lock();
+            let counts = self.use_counts.lock();
             self.place(request, &attached, &counts, excluded_islands)
         };
         match placed {
             Ok(to) => {
                 let accepted = {
-                    let counts = self.use_counts.borrow();
+                    let counts = self.use_counts.lock();
                     accept(&from, &to, &counts)
                 };
                 if accepted {
@@ -577,7 +573,7 @@ impl ResourceManager {
         // dead hardware; no scan over the live-slice table. The BTreeSet
         // union preserves heal's deterministic id order.
         let victims: Vec<SliceId> = {
-            let dev_slices = self.dev_slices.borrow();
+            let dev_slices = self.dev_slices.lock();
             let mut ids = BTreeSet::new();
             for d in dead {
                 if let Some(owners) = dev_slices.get(d) {
@@ -589,11 +585,11 @@ impl ResourceManager {
         let mut events = Vec::new();
         for id in victims {
             let (owner, request, state) = {
-                let slices = self.slices.borrow();
+                let slices = self.slices.lock();
                 let a = &slices[&id];
-                (a.owner, a.request, Rc::clone(&a.state))
+                (a.owner, a.request, Arc::clone(&a.state))
             };
-            let from = state.borrow().devices.clone();
+            let from = state.lock().devices.clone();
             let to = match self.try_replace(id, &state, &request, excluded_islands, |_, _, _| true)
             {
                 Replace::Moved(to) => Ok(to),
@@ -619,13 +615,13 @@ impl ResourceManager {
     /// Call at a safe point (between runs): moved slices bump their
     /// generation, so affected programs re-lower on their next submit.
     pub fn rebalance(&self) -> usize {
-        let ids: Vec<SliceId> = self.slices.borrow().keys().copied().collect();
+        let ids: Vec<SliceId> = self.slices.lock().keys().copied().collect();
         let mut moved = 0;
         for id in ids {
             let (request, state) = {
-                let slices = self.slices.borrow();
+                let slices = self.slices.lock();
                 let a = &slices[&id];
-                (a.request, Rc::clone(&a.state))
+                (a.request, Arc::clone(&a.state))
             };
             let outcome = self.try_replace(id, &state, &request, &[], |from, to, counts| {
                 if Self::same_devices(to, from) {
@@ -654,22 +650,18 @@ impl ResourceManager {
     /// Current use-count of a device (how many live slices map to it,
     /// whether or not the device is attached).
     pub fn device_load(&self, device: DeviceId) -> u32 {
-        self.use_counts.borrow().get(&device).copied().unwrap_or(0)
+        self.use_counts.lock().get(&device).copied().unwrap_or(0)
     }
 
     /// Sum of all device use-counts. Zero exactly when no live slice
     /// exists — the drain invariant chaos tests assert.
     pub fn total_load(&self) -> u64 {
-        self.use_counts
-            .borrow()
-            .values()
-            .map(|c| u64::from(*c))
-            .sum()
+        self.use_counts.lock().values().map(|c| u64::from(*c)).sum()
     }
 
     /// Number of live (unreleased) slices.
     pub fn live_slice_count(&self) -> usize {
-        self.slices.borrow().len()
+        self.slices.lock().len()
     }
 
     /// Asserts that every incremental index (`island_load`, `by_load`,
@@ -678,23 +670,18 @@ impl ResourceManager {
     /// resource-manager property tests; panics on any drift.
     #[doc(hidden)]
     pub fn assert_indexes_consistent(&self) {
-        let counts = self.use_counts.borrow();
-        let attached = self.attached.borrow();
-        let slices = self.slices.borrow();
+        let counts = self.use_counts.lock();
+        let attached = self.attached.lock();
+        let slices = self.slices.lock();
 
         // island_load / by_load: recompute from attached devices' counts.
         for (island, devs) in attached.iter() {
             let want_load: u64 = devs.iter().map(|d| u64::from(counts[d])).sum();
-            let got_load = self.island_load.borrow().get(island).copied().unwrap_or(0);
+            let got_load = self.island_load.lock().get(island).copied().unwrap_or(0);
             assert_eq!(got_load, want_load, "island_load drift on {island}");
             let want_order: BTreeSet<(u32, DeviceId)> =
                 devs.iter().map(|d| (counts[d], *d)).collect();
-            let got_order = self
-                .by_load
-                .borrow()
-                .get(island)
-                .cloned()
-                .unwrap_or_default();
+            let got_order = self.by_load.lock().get(island).cloned().unwrap_or_default();
             assert_eq!(got_order, want_order, "by_load drift on {island}");
         }
 
@@ -702,23 +689,23 @@ impl ResourceManager {
         // live slices' current mappings.
         let mut want: BTreeMap<DeviceId, BTreeMap<SliceId, u32>> = BTreeMap::new();
         for (id, alloc) in slices.iter() {
-            for d in &alloc.state.borrow().devices {
+            for d in &alloc.state.lock().devices {
                 *want.entry(*d).or_default().entry(*id).or_insert(0) += 1;
             }
         }
         assert_eq!(
-            *self.dev_slices.borrow(),
+            *self.dev_slices.lock(),
             want,
             "dev_slices reverse index drift"
         );
     }
 
     fn charge(&self, slice: SliceId, devs: &[DeviceId]) {
-        let mut counts = self.use_counts.borrow_mut();
-        let attached = self.attached.borrow();
-        let mut island_load = self.island_load.borrow_mut();
-        let mut by_load = self.by_load.borrow_mut();
-        let mut dev_slices = self.dev_slices.borrow_mut();
+        let mut counts = self.use_counts.lock();
+        let attached = self.attached.lock();
+        let mut island_load = self.island_load.lock();
+        let mut by_load = self.by_load.lock();
+        let mut dev_slices = self.dev_slices.lock();
         for d in devs {
             let c = counts.get_mut(d).expect("device is in the topology");
             let old = *c;
@@ -735,11 +722,11 @@ impl ResourceManager {
     }
 
     fn uncharge(&self, slice: SliceId, devs: &[DeviceId]) {
-        let mut counts = self.use_counts.borrow_mut();
-        let attached = self.attached.borrow();
-        let mut island_load = self.island_load.borrow_mut();
-        let mut by_load = self.by_load.borrow_mut();
-        let mut dev_slices = self.dev_slices.borrow_mut();
+        let mut counts = self.use_counts.lock();
+        let attached = self.attached.lock();
+        let mut island_load = self.island_load.lock();
+        let mut by_load = self.by_load.lock();
+        let mut dev_slices = self.dev_slices.lock();
         for d in devs {
             let c = counts.get_mut(d).expect("device is in the topology");
             // A hard invariant in every profile: saturating here would
@@ -798,7 +785,7 @@ impl ResourceManager {
         // broken by id for determinism). Loads come from the maintained
         // per-island index — O(candidates), not O(devices).
         let mut ranked: Vec<(u64, IslandId)> = {
-            let island_load = self.island_load.borrow();
+            let island_load = self.island_load.lock();
             candidates
                 .into_iter()
                 .filter(|i| attached[i].len() as u32 >= request.devices)
@@ -862,7 +849,7 @@ impl ResourceManager {
             // Least-used devices first; ties broken by id — read
             // straight off the maintained `(use-count, id)` order, no
             // per-allocation sort.
-            let by_load = self.by_load.borrow();
+            let by_load = self.by_load.lock();
             let order = by_load.get(&island).expect("island indexed");
             debug_assert_eq!(order.len(), devs.len(), "by_load index drift");
             Some(order.iter().take(w).map(|(_, d)| *d).collect())
@@ -876,7 +863,7 @@ mod tests {
     use pathways_net::ClusterSpec;
 
     fn rm(spec: ClusterSpec) -> ResourceManager {
-        ResourceManager::new(Rc::new(spec.build()))
+        ResourceManager::new(Arc::new(spec.build()))
     }
 
     #[test]

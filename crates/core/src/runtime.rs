@@ -1,16 +1,16 @@
 //! Assembly of the full Pathways backend over a simulated cluster.
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::{CollectiveRendezvous, DeviceConfig, DeviceHandle};
 use pathways_net::{
     ClientId, ClusterSpec, DeviceId, Fabric, HostId, NetworkParams, Router, Topology,
 };
 use pathways_plaque::PlaqueRuntime;
-use pathways_sim::{FaultPlan, Sim};
+use pathways_sim::{Executor, ExecutorRef, FaultPlan};
 
 use crate::client::Client;
 use crate::config::PathwaysConfig;
@@ -25,11 +25,11 @@ use crate::store::ObjectStore;
 /// object store, coordination substrate and resource manager, all
 /// running as tasks on one simulation.
 pub struct PathwaysRuntime {
-    core: Rc<CoreCtx>,
-    rm: Rc<ResourceManager>,
+    core: Arc<CoreCtx>,
+    rm: Arc<ResourceManager>,
     schedulers: FxHashMap<pathways_net::IslandId, SchedulerHandle>,
-    injector: Rc<FaultInjector>,
-    next_client: RefCell<u32>,
+    injector: Arc<FaultInjector>,
+    next_client: Lock<u32>,
 }
 
 impl fmt::Debug for PathwaysRuntime {
@@ -42,11 +42,35 @@ impl fmt::Debug for PathwaysRuntime {
 }
 
 impl PathwaysRuntime {
-    /// Builds the backend on `sim` for the given cluster.
-    pub fn new(sim: &Sim, spec: ClusterSpec, net: NetworkParams, cfg: PathwaysConfig) -> Self {
-        let handle = sim.handle();
-        let topo = Rc::new(spec.build());
-        let fabric = Fabric::new(handle.clone(), Rc::clone(&topo), net);
+    /// Builds an executor from `cfg.executor` and the backend on top of
+    /// it. Convenience for the common case where the caller does not
+    /// need to share the executor with other components before the
+    /// runtime exists.
+    pub fn launch(
+        seed: u64,
+        spec: ClusterSpec,
+        net: NetworkParams,
+        cfg: PathwaysConfig,
+    ) -> (Executor, Self) {
+        let exec = Executor::new(cfg.executor, seed);
+        let rt = Self::new(&exec, spec, net, cfg);
+        (exec, rt)
+    }
+
+    /// Builds the backend on `exec` for the given cluster. `exec` is
+    /// anything that exposes a [`SimHandle`](pathways_sim::SimHandle) —
+    /// a [`Sim`](pathways_sim::Sim), a
+    /// [`ThreadedExecutor`](pathways_sim::ThreadedExecutor), or the
+    /// backend-erased [`Executor`].
+    pub fn new(
+        exec: &impl ExecutorRef,
+        spec: ClusterSpec,
+        net: NetworkParams,
+        cfg: PathwaysConfig,
+    ) -> Self {
+        let handle = exec.executor_handle();
+        let topo = Arc::new(spec.build());
+        let fabric = Fabric::new(handle.clone(), Arc::clone(&topo), net);
 
         // Devices, with one collective rendezvous per island.
         let mut devices: FxHashMap<DeviceId, DeviceHandle> = FxHashMap::default();
@@ -66,10 +90,10 @@ impl PathwaysRuntime {
                 );
             }
         }
-        let devices = Rc::new(devices);
+        let devices = Arc::new(devices);
 
         let store = match &cfg.tiers {
-            Some(tc) => ObjectStore::with_tiers(handle.clone(), Rc::clone(&topo), tc.clone()),
+            Some(tc) => ObjectStore::with_tiers(handle.clone(), Arc::clone(&topo), tc.clone()),
             None => ObjectStore::new(),
         };
         let sched_router: Router<crate::sched::CtrlMsg> = Router::new(fabric.clone());
@@ -88,7 +112,7 @@ impl PathwaysRuntime {
                 shared.clone(),
                 fabric.clone(),
                 store.clone(),
-                Rc::clone(&devices),
+                Arc::clone(&devices),
                 plaque.clone(),
                 failures.clone(),
                 cfg.dispatch,
@@ -118,7 +142,7 @@ impl PathwaysRuntime {
             );
             schedulers.insert(island, sh);
         }
-        let core = Rc::new(CoreCtx {
+        let core = Arc::new(CoreCtx {
             handle: handle.clone(),
             fabric,
             store,
@@ -128,15 +152,15 @@ impl PathwaysRuntime {
             devices,
             executors,
             sched_hosts,
-            bindings: RefCell::new(FxHashMap::default()),
-            input_slots: RefCell::new(FxHashMap::default()),
+            bindings: Lock::named("core.bindings", FxHashMap::default()),
+            input_slots: Lock::named("core.input_slots", FxHashMap::default()),
             failures,
             cfg,
         });
-        let rm = Rc::new(ResourceManager::new(Rc::clone(&topo)));
-        let injector = Rc::new(FaultInjector::new(
-            Rc::clone(&core),
-            Rc::clone(&rm),
+        let rm = Arc::new(ResourceManager::new(Arc::clone(&topo)));
+        let injector = Arc::new(FaultInjector::new(
+            Arc::clone(&core),
+            Arc::clone(&rm),
             core.failures.clone(),
         ));
         if core.cfg.tiers.as_ref().is_some_and(|t| t.recovery) {
@@ -147,23 +171,23 @@ impl PathwaysRuntime {
             rm,
             schedulers,
             injector,
-            next_client: RefCell::new(0),
+            next_client: Lock::new(0),
         }
     }
 
     /// The shared context (for advanced integrations and tests).
-    pub fn core(&self) -> &Rc<CoreCtx> {
+    pub fn core(&self) -> &Arc<CoreCtx> {
         &self.core
     }
 
     /// The resource manager.
-    pub fn resource_manager(&self) -> &Rc<ResourceManager> {
+    pub fn resource_manager(&self) -> &Arc<ResourceManager> {
         &self.rm
     }
 
     /// The topology.
-    pub fn topology(&self) -> Rc<Topology> {
-        Rc::clone(self.core.fabric.topology())
+    pub fn topology(&self) -> Arc<Topology> {
+        Arc::clone(self.core.fabric.topology())
     }
 
     /// Per-island scheduler handles.
@@ -174,20 +198,26 @@ impl PathwaysRuntime {
     /// Creates a client on `host` with an auto-generated label.
     pub fn client(&self, host: HostId) -> Client {
         let id = {
-            let mut n = self.next_client.borrow_mut();
+            let mut n = self.next_client.lock();
             let id = ClientId(*n);
             *n += 1;
             id
         };
         let label = label_for(id);
-        Client::new(id, label, host, Rc::clone(&self.core), Rc::clone(&self.rm))
+        Client::new(
+            id,
+            label,
+            host,
+            Arc::clone(&self.core),
+            Arc::clone(&self.rm),
+        )
     }
 
     /// Creates a client with an explicit trace label (Figure 9 uses
     /// single letters).
     pub fn client_labeled(&self, host: HostId, label: impl Into<String>) -> Client {
         let id = {
-            let mut n = self.next_client.borrow_mut();
+            let mut n = self.next_client.lock();
             let id = ClientId(*n);
             *n += 1;
             id
@@ -196,14 +226,14 @@ impl PathwaysRuntime {
             id,
             label.into(),
             host,
-            Rc::clone(&self.core),
-            Rc::clone(&self.rm),
+            Arc::clone(&self.core),
+            Arc::clone(&self.rm),
         )
     }
 
     /// The fault injector: apply [`FaultSpec`]s immediately or inspect
     /// the failure registry, housekeeping error log, and heal log.
-    pub fn faults(&self) -> &Rc<FaultInjector> {
+    pub fn faults(&self) -> &Arc<FaultInjector> {
         &self.injector
     }
 

@@ -20,10 +20,10 @@
 pub mod policy;
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::GangTag;
 use pathways_net::{ClientId, CollectiveKind, DeviceId, HostId, IslandId, Router};
@@ -72,7 +72,7 @@ pub enum SchedPolicy {
         /// name compare equal).
         name: &'static str,
         /// Builds a fresh policy instance for one island scheduler.
-        factory: Rc<dyn Fn() -> Box<dyn SchedPolicyImpl>>,
+        factory: Arc<dyn Fn() -> Box<dyn SchedPolicyImpl> + Send + Sync>,
     },
 }
 
@@ -89,11 +89,11 @@ impl SchedPolicy {
     /// Wraps an out-of-tree policy constructor.
     pub fn custom(
         name: &'static str,
-        factory: impl Fn() -> Box<dyn SchedPolicyImpl> + 'static,
+        factory: impl Fn() -> Box<dyn SchedPolicyImpl> + Send + Sync + 'static,
     ) -> Self {
         SchedPolicy::Custom {
             name,
-            factory: Rc::new(factory),
+            factory: Arc::new(factory),
         }
     }
 
@@ -389,7 +389,7 @@ impl SchedulerState {
 pub struct SchedulerHandle {
     /// Host the scheduler runs on.
     pub host: HostId,
-    state: Rc<RefCell<SchedulerState>>,
+    state: Arc<Lock<SchedulerState>>,
 }
 
 impl fmt::Debug for SchedulerHandle {
@@ -403,17 +403,17 @@ impl fmt::Debug for SchedulerHandle {
 impl SchedulerHandle {
     /// Programs granted so far.
     pub fn granted_programs(&self) -> u64 {
-        self.state.borrow().granted_programs()
+        self.state.lock().granted_programs()
     }
 
     /// When `run`'s submission arrived at this island's scheduler.
     pub fn arrival_time(&self, run: RunId) -> Option<SimTime> {
-        self.state.borrow().arrival_time(run)
+        self.state.lock().arrival_time(run)
     }
 
     /// Name of the policy engine driving this island.
     pub fn policy_name(&self) -> &'static str {
-        self.state.borrow().policy_name()
+        self.state.lock().policy_name()
     }
 }
 
@@ -439,8 +439,11 @@ pub fn spawn_scheduler(
     batch_grants: bool,
     failures: FailureState,
 ) -> SchedulerHandle {
-    let state = Rc::new(RefCell::new(SchedulerState::new(island, policy.build())));
-    let state_task = Rc::clone(&state);
+    let state = Arc::new(Lock::named(
+        "core.sched.state",
+        SchedulerState::new(island, policy.build()),
+    ));
+    let state_task = Arc::clone(&state);
     let mut inbox = inbox_router.register(host);
     let h = handle.clone();
     let token = IdleToken::new();
@@ -459,7 +462,7 @@ pub fn spawn_scheduler(
             token_task.set_busy();
             match env.msg {
                 CtrlMsg::Submit(submit) => {
-                    state_task.borrow_mut().push(submit, h.now());
+                    state_task.lock().push(submit, h.now());
                 }
                 CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
             }
@@ -483,12 +486,12 @@ pub fn spawn_scheduler(
                     .await;
                     while let Ok(env) = inbox.try_recv() {
                         match env.msg {
-                            CtrlMsg::Submit(s) => state_task.borrow_mut().push(s, h.now()),
+                            CtrlMsg::Submit(s) => state_task.lock().push(s, h.now()),
                             CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
                         }
                     }
                 }
-                let next = state_task.borrow_mut().pop();
+                let next = state_task.lock().pop();
                 let Some(submit) = next else { break };
                 // Eviction: a run failed by the fault injector (its
                 // devices died, its client died, its island partitioned)
@@ -504,7 +507,7 @@ pub fn spawn_scheduler(
                 // decision sleep so proportional share sees them.
                 while let Ok(env) = inbox.try_recv() {
                     match env.msg {
-                        CtrlMsg::Submit(s) => state_task.borrow_mut().push(s, h.now()),
+                        CtrlMsg::Submit(s) => state_task.lock().push(s, h.now()),
                         CtrlMsg::Grants(_) => panic!("scheduler received a grant"),
                     }
                 }
@@ -518,7 +521,7 @@ pub fn spawn_scheduler(
                 // program's computations in topological order.
                 let mut per_host: BTreeMap<HostId, Vec<GrantMsg>> = BTreeMap::new();
                 {
-                    let mut st = state_task.borrow_mut();
+                    let mut st = state_task.lock();
                     st.granted_programs += 1;
                     for comp in &submit.comps {
                         let tag = st.alloc_tag();

@@ -56,7 +56,7 @@ pub struct QueuedProgram<'a> {
 /// Implementations are per-island and single-threaded; the scheduler
 /// calls the three hooks in a strict arrival → pick → grant order, so
 /// internal accounting needs no synchronization.
-pub trait SchedPolicyImpl {
+pub trait SchedPolicyImpl: Send {
     /// Human-readable policy name (used in `Debug` output and traces).
     fn name(&self) -> &'static str;
 

@@ -47,9 +47,9 @@
 //! store contributes the `recovering` entry state that consumers
 //! transparently wait through.
 
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_device::{DeviceHandle, HbmLease};
 use pathways_net::{ClientId, DeviceId, FxHashMap, HostId, IslandId, Topology};
@@ -262,7 +262,7 @@ struct ObjectEntry {
     checkpoint: Option<Checkpoint>,
     /// How to recompute the object: the producing program and its bound
     /// inputs (which the record retains). Sink objects only.
-    lineage: Option<Rc<LineageRecord>>,
+    lineage: Option<Arc<LineageRecord>>,
 }
 
 impl ObjectEntry {
@@ -311,7 +311,7 @@ pub struct TierStats {
 struct TierState {
     cfg: TierConfig,
     handle: SimHandle,
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     /// LRU clock: bumped on every shard store/read.
     clock: u64,
     /// DRAM byte ledger per host (recomputable from the object table;
@@ -417,16 +417,26 @@ impl StoreInner {
 /// One instance is shared by all host executors in the simulation (each
 /// host only ever touches shards of its local devices; the shared map
 /// models the per-host stores plus the client's logical handle table).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ObjectStore {
-    inner: Rc<RefCell<StoreInner>>,
+    inner: Arc<Lock<StoreInner>>,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore {
+            // Named: the store is the controller's most shared structure
+            // and the first suspect in any threaded contention profile.
+            inner: Arc::new(Lock::named("core.store", StoreInner::default())),
+        }
+    }
 }
 
 impl fmt::Debug for ObjectStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ObjectStore")
-            .field("objects", &self.inner.borrow().objects.len())
-            .field("tiered", &self.inner.borrow().tier.is_some())
+            .field("objects", &self.inner.lock().objects.len())
+            .field("tiered", &self.inner.lock().tier.is_some())
             .finish()
     }
 }
@@ -442,9 +452,9 @@ impl ObjectStore {
     /// least-recently-used ready shards to host DRAM (cascading to disk
     /// under DRAM pressure), and completed lineage-bearing objects are
     /// periodically checkpointed to disk on the timer wheel.
-    pub fn with_tiers(handle: SimHandle, topo: Rc<Topology>, cfg: TierConfig) -> Self {
+    pub fn with_tiers(handle: SimHandle, topo: Arc<Topology>, cfg: TierConfig) -> Self {
         let store = Self::default();
-        store.inner.borrow_mut().tier = Some(TierState {
+        store.inner.lock().tier = Some(TierState {
             cfg,
             handle,
             topo,
@@ -460,7 +470,7 @@ impl ObjectStore {
     /// Registers an object owned by `owner` with refcount 1. Idempotent
     /// per object: shards are added with [`ObjectStore::put_shard`].
     pub fn create(&self, id: ObjectId, owner: ClientId) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         inner.objects.entry(id).or_insert_with(|| {
             inner.by_owner.entry(owner).or_default().push(id);
@@ -479,7 +489,7 @@ impl ObjectStore {
     /// returns the shard events — so a second independent handle must
     /// [`retain`](ObjectStore::retain) explicitly.
     pub fn declare(&self, id: ObjectId, owner: ClientId, shards: u32) -> Vec<Event> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let entry = inner.objects.entry(id).or_insert_with(|| {
             inner.by_owner.entry(owner).or_default().push(id);
@@ -513,7 +523,7 @@ impl ObjectStore {
         bytes: u64,
     ) -> Event {
         {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock();
             match inner.objects.get(&id) {
                 None => return Event::new(),
                 // A failed object's output is discarded: its events are
@@ -530,7 +540,7 @@ impl ObjectStore {
         // allocation can stall; both happen outside the store borrow.
         self.ensure_room(device, bytes).await;
         let lease = device.hbm().allocate(bytes).await;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let Some(entry) = inner.objects.get_mut(&id) else {
             // Released while we waited on back-pressure: discard.
@@ -582,7 +592,7 @@ impl ObjectStore {
     /// Late marks on released objects are ignored — the consumer is gone.
     pub fn mark_ready(&self, id: ObjectId, shard: u32) {
         let schedule_checkpoint = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock();
             let Some(entry) = inner.objects.get(&id) else {
                 return;
             };
@@ -603,7 +613,7 @@ impl ObjectStore {
     /// stored shard) is present.
     pub fn shard_ready(&self, id: ObjectId, shard: u32) -> Option<Event> {
         self.inner
-            .borrow()
+            .lock()
             .objects
             .get(&id)
             .and_then(|e| e.ready.get(&shard).cloned())
@@ -617,7 +627,7 @@ impl ObjectStore {
     /// an `ObjectRef` clone racing a client-failure GC. Callers that can
     /// tolerate the race (handle duplication) treat this as a no-op.
     pub fn retain(&self, id: ObjectId) -> Result<(), StoreError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         match inner.objects.get_mut(&id) {
             Some(entry) => {
                 entry.refcount += 1;
@@ -634,7 +644,7 @@ impl ObjectStore {
         // The entry's lineage record (if any) holds ObjectRefs whose own
         // drops re-enter the store; it must outlive the borrow.
         let _deferred = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock();
             let Some(entry) = inner.objects.get_mut(&id) else {
                 return;
             };
@@ -665,7 +675,7 @@ impl ObjectStore {
         // Lineage records drop after the borrow ends (their ObjectRefs
         // re-enter the store); leases and events keep the seed ordering.
         let deferred: Vec<ObjectEntry> = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock();
             let mut doomed: Vec<ObjectId> = inner
                 .by_owner
                 .get(&client)
@@ -703,7 +713,7 @@ impl ObjectStore {
     /// and only calls this when recovery is impossible or exhausted.
     pub fn fail_object(&self, id: ObjectId, reason: FailureReason) -> bool {
         let _deferred = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock();
             let inner = &mut *inner;
             let (shards, checkpoint, lineage) = {
                 let Some(entry) = inner.objects.get_mut(&id) else {
@@ -743,7 +753,7 @@ impl ObjectStore {
     /// store while someone still holds a handle to it was reclaimed by a
     /// failure-GC; that is reported as [`FailureReason::OwnerGone`].
     pub fn object_error(&self, id: ObjectId) -> Option<ObjectError> {
-        match self.inner.borrow().objects.get(&id) {
+        match self.inner.lock().objects.get(&id) {
             Some(entry) => entry.error,
             None => Some(ObjectError::ProducerFailed {
                 object: id,
@@ -754,12 +764,12 @@ impl ObjectStore {
 
     /// True if the store still holds an entry for `id`.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.inner.borrow().objects.contains_key(&id)
+        self.inner.lock().objects.contains_key(&id)
     }
 
     /// The owner of `id`, if it is still in the store.
     pub fn owner_of(&self, id: ObjectId) -> Option<ClientId> {
-        self.inner.borrow().objects.get(&id).map(|e| e.owner)
+        self.inner.lock().objects.get(&id).map(|e| e.owner)
     }
 
     /// Ids of all objects with a live HBM shard on `device`, ascending
@@ -772,7 +782,7 @@ impl ObjectStore {
         // determinism sort.
         let mut ids: Vec<ObjectId> = self
             .inner
-            .borrow()
+            .lock()
             .by_device
             .get(&device)
             .map(|objs| objs.to_vec())
@@ -787,7 +797,7 @@ impl ObjectStore {
     pub(crate) fn objects_with_dram_on(&self, host: HostId) -> Vec<ObjectId> {
         let mut ids: Vec<ObjectId> = self
             .inner
-            .borrow()
+            .lock()
             .by_dram_host
             .get(&host)
             .map(|objs| objs.to_vec())
@@ -812,7 +822,7 @@ impl ObjectStore {
     pub fn objects_owned_by(&self, client: ClientId) -> Vec<ObjectId> {
         let mut owned: Vec<ObjectId> = self
             .inner
-            .borrow()
+            .lock()
             .by_owner
             .get(&client)
             .map(|owned| owned.to_vec())
@@ -823,18 +833,18 @@ impl ObjectStore {
 
     /// Number of live logical objects.
     pub fn len(&self) -> usize {
-        self.inner.borrow().objects.len()
+        self.inner.lock().objects.len()
     }
 
     /// True if the store holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().objects.is_empty()
+        self.inner.lock().objects.is_empty()
     }
 
     /// Total bytes held across all shards of `id` (every tier).
     pub fn object_bytes(&self, id: ObjectId) -> u64 {
         self.inner
-            .borrow()
+            .lock()
             .objects
             .get(&id)
             .map(|e| e.shards.values().map(|s| s.bytes).sum())
@@ -847,12 +857,12 @@ impl ObjectStore {
 
     /// The tier config, sim handle and topology, if this store is
     /// tiered.
-    fn tier_env(&self) -> Option<(SimHandle, Rc<Topology>, TierConfig)> {
+    fn tier_env(&self) -> Option<(SimHandle, Arc<Topology>, TierConfig)> {
         self.inner
-            .borrow()
+            .lock()
             .tier
             .as_ref()
-            .map(|ts| (ts.handle.clone(), Rc::clone(&ts.topo), ts.cfg.clone()))
+            .map(|ts| (ts.handle.clone(), Arc::clone(&ts.topo), ts.cfg.clone()))
     }
 
     /// True if this store records lineage and recovers lost objects
@@ -860,7 +870,7 @@ impl ObjectStore {
     /// registration so untiered runs keep seed-identical refcounts.
     pub fn lineage_enabled(&self) -> bool {
         self.inner
-            .borrow()
+            .lock()
             .tier
             .as_ref()
             .is_some_and(|ts| ts.cfg.recovery)
@@ -884,7 +894,7 @@ impl ObjectStore {
             // LRU victim among ready HBM shards on this device; ties
             // break on (object, shard) so replay is order-independent.
             let victim = {
-                let inner = self.inner.borrow();
+                let inner = self.inner.lock();
                 let mut best: Option<(u64, ObjectId, u32, u64)> = None;
                 if let Some(ids) = inner.by_device.get(&d) {
                     for &oid in ids {
@@ -913,7 +923,7 @@ impl ObjectStore {
             // Revalidate after the staging copy: the shard may have been
             // freed, failed, or spilled by a concurrent caller.
             let (committed, lease) = {
-                let mut inner = self.inner.borrow_mut();
+                let mut inner = self.inner.lock();
                 let inner = &mut *inner;
                 let mut lease = None;
                 let mut ok = false;
@@ -964,7 +974,7 @@ impl ObjectStore {
         };
         loop {
             let victim = {
-                let inner = self.inner.borrow();
+                let inner = self.inner.lock();
                 let Some(ts) = inner.tier.as_ref() else {
                     return;
                 };
@@ -995,7 +1005,7 @@ impl ObjectStore {
             let t0 = handle.now();
             handle.sleep(cfg.disk_time(vbytes)).await;
             let committed = {
-                let mut inner = self.inner.borrow_mut();
+                let mut inner = self.inner.lock();
                 let inner = &mut *inner;
                 let mut ok = false;
                 if let Some(entry) = inner.objects.get_mut(&vid) {
@@ -1045,7 +1055,7 @@ impl ObjectStore {
         id: ObjectId,
         shard: u32,
     ) -> Option<(DeviceId, pathways_sim::SimDuration)> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let ts = inner.tier.as_mut()?;
         let entry = inner.objects.get_mut(&id)?;
@@ -1066,7 +1076,7 @@ impl ObjectStore {
     /// (shards back, no error) or fails terminally (error recorded).
     pub fn recovering(&self, id: ObjectId) -> Option<Event> {
         self.inner
-            .borrow()
+            .lock()
             .objects
             .get(&id)
             .and_then(|e| e.recovering.clone())
@@ -1108,7 +1118,7 @@ impl ObjectStore {
     /// Bytes a checkpoint of `id` would copy, if it is (still) a
     /// candidate.
     fn checkpoint_candidate(&self, id: ObjectId) -> Option<u64> {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         let entry = inner.objects.get(&id)?;
         if !entry.checkpoint_candidate() {
             return None;
@@ -1121,7 +1131,7 @@ impl ObjectStore {
     /// time; the object may have failed, been released, or been
     /// checkpointed by a racing task meanwhile).
     fn commit_checkpoint(&self, id: ObjectId) -> Option<u64> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let entry = inner.objects.get_mut(&id)?;
         if !entry.checkpoint_candidate() {
@@ -1142,7 +1152,7 @@ impl ObjectStore {
     /// True if `id` currently has a disk checkpoint.
     pub fn has_checkpoint(&self, id: ObjectId) -> bool {
         self.inner
-            .borrow()
+            .lock()
             .objects
             .get(&id)
             .is_some_and(|e| e.checkpoint.is_some())
@@ -1154,8 +1164,8 @@ impl ObjectStore {
 
     /// Records how to recompute `id` (first writer wins; repeat submits
     /// of an already-declared sink keep the original lineage).
-    pub(crate) fn set_lineage(&self, id: ObjectId, lineage: Rc<LineageRecord>) {
-        if let Some(entry) = self.inner.borrow_mut().objects.get_mut(&id) {
+    pub(crate) fn set_lineage(&self, id: ObjectId, lineage: Arc<LineageRecord>) {
+        if let Some(entry) = self.inner.lock().objects.get_mut(&id) {
             if entry.lineage.is_none() {
                 entry.lineage = Some(lineage);
             }
@@ -1163,9 +1173,9 @@ impl ObjectStore {
     }
 
     /// The lineage record of `id`, if one was registered.
-    pub(crate) fn lineage_of(&self, id: ObjectId) -> Option<Rc<LineageRecord>> {
+    pub(crate) fn lineage_of(&self, id: ObjectId) -> Option<Arc<LineageRecord>> {
         self.inner
-            .borrow()
+            .lock()
             .objects
             .get(&id)
             .and_then(|e| e.lineage.clone())
@@ -1176,7 +1186,7 @@ impl ObjectStore {
     /// error-free.
     pub(crate) fn recoverable(&self, id: ObjectId) -> bool {
         let (ckpt, lineage) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock();
             let Some(entry) = inner.objects.get(&id) else {
                 return false;
             };
@@ -1194,7 +1204,7 @@ impl ObjectStore {
     /// object is gone, failed, or already recovering (the first recovery
     /// owns the window).
     pub(crate) fn begin_recovery(&self, id: ObjectId) -> Option<Event> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let entry = inner.objects.get_mut(&id)?;
         if entry.error.is_some() || entry.recovering.is_some() {
             return None;
@@ -1208,7 +1218,7 @@ impl ObjectStore {
     /// hardware) *without* failing the object — the recovery-absorb
     /// path. Returns the bytes dropped.
     pub(crate) fn drop_shards_on_device(&self, id: ObjectId, device: DeviceId) -> u64 {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let taken: Vec<StoredShard> = {
             let Some(entry) = inner.objects.get_mut(&id) else {
@@ -1235,7 +1245,7 @@ impl ObjectStore {
     /// Drops the DRAM shards of `id` spilled to `host` (lost with the
     /// host) without failing the object. Returns the bytes dropped.
     pub(crate) fn drop_dram_on_host(&self, id: ObjectId, host: HostId) -> u64 {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let taken: Vec<StoredShard> = {
             let Some(entry) = inner.objects.get_mut(&id) else {
@@ -1262,7 +1272,7 @@ impl ObjectStore {
     /// Bytes a checkpoint restore of `id` would copy off disk, if the
     /// entry is alive, unfailed, and checkpointed.
     pub(crate) fn checkpoint_restore_size(&self, id: ObjectId) -> Option<u64> {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         let entry = inner.objects.get(&id)?;
         if entry.error.is_some() {
             return None;
@@ -1277,7 +1287,7 @@ impl ObjectStore {
     /// false if the entry is gone or terminally failed (the window, if
     /// any, is closed regardless).
     pub(crate) fn complete_restore(&self, id: ObjectId, device: DeviceId, host: HostId) -> bool {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let Some(entry) = inner.objects.get_mut(&id) else {
             return false;
@@ -1345,7 +1355,7 @@ impl ObjectStore {
         id: ObjectId,
         shards: &[(u32, u64, DeviceId, HostId)],
     ) -> bool {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let old: Vec<StoredShard> = {
             let Some(entry) = inner.objects.get_mut(&id) else {
@@ -1414,7 +1424,7 @@ impl ObjectStore {
     /// Monotonic tier-transition counters (all zero on untiered stores).
     pub fn tier_stats(&self) -> TierStats {
         self.inner
-            .borrow()
+            .lock()
             .tier
             .as_ref()
             .map(|ts| ts.stats)
@@ -1424,7 +1434,7 @@ impl ObjectStore {
     /// Every tier transition so far, in event order.
     pub fn spill_events(&self) -> Vec<SpillEvent> {
         self.inner
-            .borrow()
+            .lock()
             .tier
             .as_ref()
             .map(|ts| ts.log.clone())
@@ -1434,7 +1444,7 @@ impl ObjectStore {
     /// Total bytes currently in host DRAM across all hosts.
     pub fn dram_used(&self) -> u64 {
         self.inner
-            .borrow()
+            .lock()
             .tier
             .as_ref()
             .map(|ts| ts.dram_used.values().sum())
@@ -1444,7 +1454,7 @@ impl ObjectStore {
     /// Total bytes currently on disk (demoted shards + checkpoints).
     pub fn disk_used(&self) -> u64 {
         self.inner
-            .borrow()
+            .lock()
             .tier
             .as_ref()
             .map(|ts| ts.disk_used)
@@ -1454,7 +1464,7 @@ impl ObjectStore {
     /// The tier shard `shard` of `id` currently lives in.
     pub fn shard_tier(&self, id: ObjectId, shard: u32) -> Option<Tier> {
         self.inner
-            .borrow()
+            .lock()
             .objects
             .get(&id)
             .and_then(|e| e.shards.get(&shard))
@@ -1467,7 +1477,7 @@ impl ObjectStore {
     /// means a tier transition charged and uncharged asymmetrically —
     /// the accounting-drift class of bug this PR makes un-maskable.
     pub fn tiers_conserved(&self) -> bool {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         let Some(ts) = inner.tier.as_ref() else {
             return true;
         };
@@ -1524,7 +1534,7 @@ mod tests {
     }
 
     fn tiered(sim: &Sim, cfg: TierConfig) -> ObjectStore {
-        let topo = Rc::new(ClusterSpec::single_island(2, 4).build());
+        let topo = Arc::new(ClusterSpec::single_island(2, 4).build());
         ObjectStore::with_tiers(sim.handle(), topo, cfg)
     }
 

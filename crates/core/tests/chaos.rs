@@ -14,8 +14,8 @@
 //! Plus the determinism guarantee: the same seed and fault schedule
 //! reproduce a bit-identical event trace.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use pathways_sim::Lock;
+use std::sync::Arc;
 
 use pathways_core::chaos::{run_chaos, ChaosSpec};
 use pathways_core::{
@@ -23,7 +23,15 @@ use pathways_core::{
     PathwaysRuntime, SliceRequest,
 };
 use pathways_net::{ClusterSpec, DeviceId, HostId, IslandId, NetworkParams};
-use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
+use pathways_sim::{Backend, ExecutorKind, FaultPlan, Sim, SimDuration, SimTime};
+
+/// True when `PATHWAYS_EXECUTOR` selects the threaded backend; the
+/// bit-identical-replay tests are skipped there (real threads do not
+/// promise a reproducible interleaving — the invariant tests above
+/// still run on both backends).
+fn threaded_backend() -> bool {
+    ExecutorKind::from_env().backend() == Backend::Threaded
+}
 
 fn two_island_rt(sim: &Sim) -> PathwaysRuntime {
     PathwaysRuntime::new(
@@ -50,7 +58,7 @@ fn scripted_device_failure_fails_three_program_chain() {
     // Client on the surviving island's host so its agent outlives the
     // fault.
     let client = rt.client(HostId(2));
-    let core = Rc::clone(rt.core());
+    let core = Arc::clone(rt.core());
 
     let job = sim.spawn("client", async move {
         let slice0 = client
@@ -254,8 +262,8 @@ fn fail_client_between_submit_and_first_grant_unblocks_consumers() {
     let producer = rt.client(HostId(0));
     let producer_id = producer.id();
     let consumer = rt.client(HostId(1));
-    let consumer_result = Rc::new(RefCell::new(None));
-    let consumer_result2 = Rc::clone(&consumer_result);
+    let consumer_result = Arc::new(Lock::new(None));
+    let consumer_result2 = Arc::clone(&consumer_result);
     let job = sim.spawn("clients", async move {
         let slice = producer.virtual_slice(SliceRequest::devices(8)).unwrap();
         let mut b = producer.trace("prod");
@@ -285,7 +293,8 @@ fn fail_client_between_submit_and_first_grant_unblocks_consumers() {
         // the failure lands now, before the first grant.
         prod_run.finish().await;
         cons_run.finish().await;
-        *consumer_result2.borrow_mut() = Some(out.ready().await);
+        let ready = out.ready().await;
+        *consumer_result2.lock() = Some(ready);
         true
     });
     // Submissions take ~50us of client overhead; the first grant cannot
@@ -296,7 +305,7 @@ fn fail_client_between_submit_and_first_grant_unblocks_consumers() {
     let outcome = sim.run();
     assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
     assert_eq!(job.try_take(), Some(true));
-    match consumer_result.borrow().as_ref().unwrap() {
+    match consumer_result.lock().as_ref().unwrap() {
         Err(err) => assert!(
             matches!(
                 err.reason(),
@@ -325,8 +334,8 @@ fn device_kill_heals_slice_and_next_submit_succeeds() {
         let rt = two_island_rt(&sim); // 2 islands x 8 devices
         rt.install_fault_plan(FaultPlan::new().at(t(300), FaultSpec::Device(DeviceId(1))));
         let client = rt.client(HostId(2)); // lives on the surviving island
-        let rm = Rc::clone(rt.resource_manager());
-        let rm2 = Rc::clone(&rm);
+        let rm = Arc::clone(rt.resource_manager());
+        let rm2 = Arc::clone(&rm);
 
         let job = sim.spawn("client", async move {
             let slice = client
@@ -426,8 +435,8 @@ fn host_kill_heals_all_touched_slices_in_one_pass() {
                                   // Host 1 holds devices 4-7; host 0 keeps the island-0 scheduler.
     rt.install_fault_plan(FaultPlan::new().at(t(200), FaultSpec::Host(HostId(1))));
     let client = rt.client(HostId(2));
-    let rm = Rc::clone(rt.resource_manager());
-    let rm2 = Rc::clone(&rm);
+    let rm = Arc::clone(rt.resource_manager());
+    let rm2 = Arc::clone(&rm);
     let job = sim.spawn("client", async move {
         // Two 2-device slices placed across island 0; at least one
         // touches host 1's devices after load balancing spreads them.
@@ -512,15 +521,23 @@ fn chaos_matrix_upholds_invariants() {
             report.faults
         );
         // Healing invariants: every heal-epoch resubmission resolves
-        // (one per allocated slice: programs + the guaranteed spare),
-        // and the spare island's resubmission always succeeds.
-        let spec = ChaosSpec::seeded(seed);
+        // (one per allocated slice), and the spare island's
+        // resubmission always succeeds. Deterministically every program
+        // launches before the first fault; threaded, a fault can race
+        // setup and skip a program, so only the launched count is exact.
         assert_eq!(
             report.healed_ok + report.healed_err,
-            spec.programs + 1,
+            report.launched,
             "seed {seed}: heal-epoch resubmission wedged (faults {:?})",
             report.faults
         );
+        if !threaded_backend() {
+            assert_eq!(
+                report.launched,
+                ChaosSpec::seeded(seed).programs + 1,
+                "seed {seed}: allocation failed without faults in flight"
+            );
+        }
         assert!(
             report.spare_healed,
             "seed {seed}: spare island's resubmission failed (faults {:?})",
@@ -579,12 +596,18 @@ fn tiered_chaos_matrix_upholds_invariants() {
             "seed {seed}: tier byte ledgers drifted (faults {:?})",
             report.faults
         );
-        let spec = ChaosSpec::seeded_tiered(seed);
         assert_eq!(
             report.healed_ok + report.healed_err,
-            spec.programs + 1,
+            report.launched,
             "seed {seed}: heal-epoch resubmission wedged"
         );
+        if !threaded_backend() {
+            assert_eq!(
+                report.launched,
+                ChaosSpec::seeded_tiered(seed).programs + 1,
+                "seed {seed}: allocation failed without faults in flight"
+            );
+        }
         assert!(report.spare_healed, "seed {seed}: spare heal failed");
         assert!(report.survivor_kernels > 0, "seed {seed}: spare stalled");
         assert_eq!(report.rm_residual_load, 0, "seed {seed}: rm ledger drift");
@@ -601,6 +624,10 @@ fn tiered_chaos_matrix_upholds_invariants() {
 /// and recovery scheduling are all on the deterministic wheel.
 #[test]
 fn tiered_chaos_runs_are_bit_identical_for_equal_seeds() {
+    if threaded_backend() {
+        eprintln!("skipping: replay is only bit-identical on the deterministic backend");
+        return;
+    }
     for seed in [3, 0xD15EA5E] {
         let a = run_chaos(&ChaosSpec::seeded_tiered(seed));
         let b = run_chaos(&ChaosSpec::seeded_tiered(seed));
@@ -623,6 +650,10 @@ fn tiered_chaos_runs_are_bit_identical_for_equal_seeds() {
 /// schedule included (it is stamped on the `faults` trace track).
 #[test]
 fn chaos_runs_are_bit_identical_for_equal_seeds() {
+    if threaded_backend() {
+        eprintln!("skipping: replay is only bit-identical on the deterministic backend");
+        return;
+    }
     for seed in [3, 0xD15EA5E] {
         let a = run_chaos(&ChaosSpec::seeded(seed));
         let b = run_chaos(&ChaosSpec::seeded(seed));

@@ -2,7 +2,7 @@
 //! and dynamic device attach/detach — the cluster-management features
 //! §4.1/§4.6 attribute to the single-controller design.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_core::{FnSpec, PathwaysConfig, PathwaysRuntime, SliceRequest};
 use pathways_net::{ClusterSpec, DeviceId, HostId, NetworkParams};
@@ -127,7 +127,7 @@ fn hbm_freed_by_gc_unblocks_backpressured_tenant() {
 fn detached_devices_are_avoided_by_new_slices() {
     let sim = Sim::new(0);
     let rt = rt(&sim, 2);
-    let rm = Rc::clone(rt.resource_manager());
+    let rm = Arc::clone(rt.resource_manager());
     for d in 0..8 {
         rm.detach_device(DeviceId(d));
     }

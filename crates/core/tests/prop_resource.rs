@@ -22,7 +22,7 @@
 //! panics on any drift.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -66,8 +66,8 @@ proptest! {
         islands in 1u32..3,
         ops in schedule(),
     ) {
-        let topo = Rc::new(ClusterSpec::islands_of(islands, 1, 8).build());
-        let rm = ResourceManager::new(Rc::clone(&topo));
+        let topo = Arc::new(ClusterSpec::islands_of(islands, 1, 8).build());
+        let rm = ResourceManager::new(Arc::clone(&topo));
         let n_devices = islands * 8;
         let client = ClientId(0);
         let mut live: Vec<VirtualSlice> = Vec::new();

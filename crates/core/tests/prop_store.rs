@@ -62,7 +62,7 @@ proptest! {
         );
         let client = rt.client(HostId(0));
         let n_devices = hosts * 8;
-        let core = std::rc::Rc::clone(rt.core());
+        let core = std::sync::Arc::clone(rt.core());
         let progs2 = progs.clone();
         let job = sim.spawn("client", async move {
             let mut kept: Vec<Run> = Vec::new();
@@ -157,7 +157,7 @@ proptest! {
         }
         rt.install_fault_plan(plan);
         let client = rt.client(HostId(0));
-        let core = std::rc::Rc::clone(rt.core());
+        let core = std::sync::Arc::clone(rt.core());
         let progs2 = progs.clone();
         let job = sim.spawn("client", async move {
             let mut kept: Vec<Run> = Vec::new();
@@ -267,7 +267,7 @@ proptest! {
         }
         rt.install_fault_plan(plan);
         let client = rt.client(HostId(0));
-        let core = std::rc::Rc::clone(rt.core());
+        let core = std::sync::Arc::clone(rt.core());
         let progs2 = progs.clone();
         let job = sim.spawn("client", async move {
             let mut kept: Vec<Run> = Vec::new();

@@ -6,8 +6,8 @@
 //! reaches the client. With recovery disabled, the seed semantics are
 //! unchanged (the error surfaces).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use pathways_sim::Lock;
+use std::sync::Arc;
 
 use pathways_core::{
     FaultSpec, FnSpec, InputSpec, ObjectError, PathwaysConfig, PathwaysRuntime, SliceRequest,
@@ -58,8 +58,8 @@ fn kill_and_consume(
     rt.install_fault_plan(FaultPlan::new().at(t(1500), FaultSpec::Device(DeviceId(1))));
     // Client on island 1's host: its agent outlives the island-0 fault.
     let client = rt.client(HostId(2));
-    let results = Rc::new(RefCell::new(None));
-    let results2 = Rc::clone(&results);
+    let results = Arc::new(Lock::new(None));
+    let results2 = Arc::clone(&results);
     sim.spawn("client", async move {
         let h = client.handle().clone();
         let slice = client
@@ -98,11 +98,11 @@ fn kill_and_consume(
         // Re-check the producer's handle after everything settled: no
         // ProducerFailed may ever have surfaced on it.
         let producer_result = out.ready().await;
-        *results2.borrow_mut() = Some((producer_result, consumer_result));
+        *results2.lock() = Some((producer_result, consumer_result));
     });
     let outcome = sim.run();
     assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
-    let (producer_result, consumer_result) = results.borrow_mut().take().unwrap();
+    let (producer_result, consumer_result) = results.lock().take().unwrap();
     // Refcounts drained and tier ledgers conserved after recovery.
     let store = &rt.core().store;
     assert!(store.is_empty(), "store leaked {}", store.len());
@@ -199,8 +199,8 @@ fn in_flight_production_loss_recomputes_and_unblocks_consumer() {
     // Mid-flight of a 2ms producer kernel.
     rt.install_fault_plan(FaultPlan::new().at(t(500), FaultSpec::Device(DeviceId(2))));
     let client = rt.client(HostId(2));
-    let results = Rc::new(RefCell::new(None));
-    let results2 = Rc::clone(&results);
+    let results = Arc::new(Lock::new(None));
+    let results2 = Arc::clone(&results);
     sim.spawn("client", async move {
         let slice = client
             .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
@@ -231,11 +231,12 @@ fn in_flight_production_loss_recomputes_and_unblocks_consumer() {
         let cout = crun.object_ref(c).unwrap();
         run.finish().await;
         crun.finish().await;
-        *results2.borrow_mut() = Some((out.ready().await, cout.ready().await));
+        let pair = (out.ready().await, cout.ready().await);
+        *results2.lock() = Some(pair);
     });
     let outcome = sim.run();
     assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
-    let (producer, consumer) = results.borrow_mut().take().unwrap();
+    let (producer, consumer) = results.lock().take().unwrap();
     assert_eq!(
         producer,
         Ok(()),
@@ -272,9 +273,9 @@ fn recovery_attempts_are_bounded() {
     // healed replacement hardware later; the budget (1) is spent, so the
     // second loss is terminal.
     let client = rt.client(HostId(2));
-    let core = Rc::clone(rt.core());
-    let results = Rc::new(RefCell::new(None));
-    let results2 = Rc::clone(&results);
+    let core = Arc::clone(rt.core());
+    let results = Arc::new(Lock::new(None));
+    let results2 = Arc::clone(&results);
     sim.spawn("client", async move {
         let h = client.handle().clone();
         let slice = client
@@ -292,11 +293,12 @@ fn recovery_attempts_are_bounded() {
         h.sleep_until(t(10_000)).await;
         let after_first = out.ready().await;
         h.sleep_until(t(20_000)).await;
-        *results2.borrow_mut() = Some((after_first, out.ready().await));
+        let after_second = out.ready().await;
+        *results2.lock() = Some((after_first, after_second));
     });
     // The recomputed copy lands in island-0 host DRAM; a second wave of
     // *host* kills loses it again with the attempt budget already spent.
-    let faults = Rc::clone(rt.faults());
+    let faults = Arc::clone(rt.faults());
     let h = sim.handle();
     h.clone().spawn("killer", async move {
         h.sleep_until(t(1500)).await;
@@ -307,7 +309,7 @@ fn recovery_attempts_are_bounded() {
     });
     let outcome = sim.run();
     assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
-    let (after_first, after_second) = results.borrow_mut().take().unwrap();
+    let (after_first, after_second) = results.lock().take().unwrap();
     assert_eq!(after_first, Ok(()), "first loss recovers");
     assert!(
         matches!(after_second, Err(ObjectError::ProducerFailed { .. })),

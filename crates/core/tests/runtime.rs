@@ -327,7 +327,7 @@ fn abandoned_run_discards_outputs_without_leaks() {
         &slice,
     );
     let prepared = client.prepare(&b.build().unwrap());
-    let core = std::rc::Rc::clone(rt.core());
+    let core = std::sync::Arc::clone(rt.core());
     sim.spawn("client", async move {
         let run = client.submit(&prepared).await;
         drop(run);
@@ -447,7 +447,7 @@ fn weighted_fair_divides_device_time() {
             &slice,
         );
         let program = b.build().unwrap();
-        let prepared = std::rc::Rc::new(client.prepare(&program));
+        let prepared = std::sync::Arc::new(client.prepare(&program));
         // Keep 12 submissions genuinely concurrent (submit, then finish
         // in a spawned task): WFQ shares device time among *backlogged*
         // clients, so the scheduler must actually see a backlog.
@@ -527,7 +527,7 @@ fn failed_client_objects_are_garbage_collected() {
     );
     let program = b.build().unwrap();
     let prepared = client.prepare(&program);
-    let core = std::rc::Rc::clone(rt.core());
+    let core = std::sync::Arc::clone(rt.core());
     let job = sim.spawn("client", async move {
         let result = client.run(&prepared).await;
         // "Fail" while holding the result: leak it.

@@ -13,10 +13,10 @@
 //! The device records a trace span per kernel and per-program busy time,
 //! which the multi-tenancy experiments (Figures 8, 9, 11) read back.
 
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::DeviceId;
 use pathways_sim::channel::{self, OneshotReceiver, OneshotSender, Sender};
@@ -118,7 +118,7 @@ pub struct DeviceHandle {
     id: DeviceId,
     tx: Sender<EnqueuedKernel>,
     hbm: HbmPool,
-    stats: Rc<RefCell<DeviceStats>>,
+    stats: Arc<Lock<DeviceStats>>,
     fault: FaultSignal,
     rendezvous: CollectiveRendezvous,
 }
@@ -145,8 +145,8 @@ impl DeviceHandle {
     ) -> DeviceHandle {
         let (tx, mut rx) = channel::channel::<EnqueuedKernel>();
         let hbm = HbmPool::new(config.hbm_capacity);
-        let stats = Rc::new(RefCell::new(DeviceStats::default()));
-        let stats_task = Rc::clone(&stats);
+        let stats = Arc::new(Lock::new(DeviceStats::default()));
+        let stats_task = Arc::clone(&stats);
         let handle = sim.clone();
         let fault = FaultSignal::new();
         let fault_task = fault.clone();
@@ -203,7 +203,7 @@ impl DeviceHandle {
                 let finished = handle.now();
                 let busy = job.kernel.min_duration();
                 {
-                    let mut st = stats_task.borrow_mut();
+                    let mut st = stats_task.lock();
                     st.kernels += 1;
                     st.busy += busy;
                     *st.busy_by_program.entry(job.program.clone()).or_default() += busy;
@@ -304,7 +304,7 @@ impl DeviceHandle {
 
     /// Snapshot of the device's statistics.
     pub fn stats(&self) -> DeviceStats {
-        self.stats.borrow().clone()
+        self.stats.lock().clone()
     }
 }
 

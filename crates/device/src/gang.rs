@@ -22,10 +22,10 @@
 //! with an *empty* member list opt out of failure detection (legacy
 //! call sites and tests that never inject faults).
 
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::{DeviceId, FxHashMap, FxHashSet};
 use pathways_sim::channel::{self, OneshotSender};
@@ -120,12 +120,12 @@ impl RzState {
 #[derive(Clone)]
 pub struct CollectiveRendezvous {
     handle: SimHandle,
-    state: Rc<RefCell<RzState>>,
+    state: Arc<Lock<RzState>>,
 }
 
 impl fmt::Debug for CollectiveRendezvous {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.state.borrow();
+        let st = self.state.lock();
         f.debug_struct("CollectiveRendezvous")
             .field("pending", &st.pending.len())
             .field("dead", &st.dead.len())
@@ -138,21 +138,24 @@ impl CollectiveRendezvous {
     pub fn new(handle: SimHandle) -> Self {
         CollectiveRendezvous {
             handle,
-            state: Rc::new(RefCell::new(RzState {
-                pending: FxHashMap::default(),
-                by_member: FxHashMap::default(),
-                by_owner: FxHashMap::default(),
-                dead: FxHashSet::default(),
-                failed_owners: FxHashSet::default(),
-                poisoned: FxHashMap::default(),
-            })),
+            state: Arc::new(Lock::named(
+                "device.rendezvous",
+                RzState {
+                    pending: FxHashMap::default(),
+                    by_member: FxHashMap::default(),
+                    by_owner: FxHashMap::default(),
+                    dead: FxHashSet::default(),
+                    failed_owners: FxHashSet::default(),
+                    poisoned: FxHashMap::default(),
+                },
+            )),
         }
     }
 
     /// Number of collectives with at least one arrived participant that
     /// have not yet released (useful for deadlock diagnosis).
     pub fn in_flight(&self) -> usize {
-        self.state.borrow().pending.len()
+        self.state.lock().pending.len()
     }
 
     /// Declares `device` dead: gangs whose declared membership includes
@@ -161,7 +164,7 @@ impl CollectiveRendezvous {
     /// whose member list contains a dead device fail up front.
     pub fn mark_dead(&self, device: DeviceId) {
         let doomed_waiters = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock();
             if !st.dead.insert(device) {
                 return;
             }
@@ -194,7 +197,7 @@ impl CollectiveRendezvous {
 
     /// True if `device` has been marked dead on this rendezvous.
     pub fn is_dead(&self, device: DeviceId) -> bool {
-        self.state.borrow().dead.contains(&device)
+        self.state.lock().dead.contains(&device)
     }
 
     /// Declares run `owner` failed: its pending gangs abort now, and
@@ -207,7 +210,7 @@ impl CollectiveRendezvous {
             return;
         }
         let doomed_waiters = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock();
             if !st.failed_owners.insert(owner) {
                 return;
             }
@@ -262,7 +265,7 @@ impl CollectiveRendezvous {
         // wait for the releaser. The state borrow ends with this block,
         // before any await.
         let outcome = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock();
             if let Some(&dead) = st.poisoned.get(&tag) {
                 return Err(GangAborted { tag, dead });
             }

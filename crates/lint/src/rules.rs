@@ -25,6 +25,12 @@
 //! - [`PANIC_PATH`][]: `unwrap` / `expect` / `panic!` in non-test code
 //!   of the runtime crates, audited against the checked-in allowlist
 //!   (`crates/lint/panic_allowlist.txt`).
+//! - [`RAW_THREAD`][]: `thread::spawn` / `thread::Builder` and
+//!   `std::sync::{Mutex,RwLock,Condvar}` anywhere outside the sim
+//!   crate's executor module — every OS thread and blocking primitive
+//!   must flow through the `Executor` trait so the deterministic
+//!   backend stays the single source of scheduling truth (and so the
+//!   threaded backend's watchdog sees every task).
 //!
 //! All rules are lexical (token-sequence) analyses: no type
 //! resolution, no macro expansion. That trades a small class of
@@ -40,9 +46,16 @@ pub const NONDET_CONTAINER: &str = "nondet-container";
 pub const WALL_CLOCK: &str = "wall-clock";
 pub const LOCK_ACROSS_AWAIT: &str = "lock-across-await";
 pub const PANIC_PATH: &str = "panic-path";
+pub const RAW_THREAD: &str = "raw-thread";
 
 /// Every rule id, for suppression validation.
-pub const ALL_RULES: [&str; 4] = [NONDET_CONTAINER, WALL_CLOCK, LOCK_ACROSS_AWAIT, PANIC_PATH];
+pub const ALL_RULES: [&str; 5] = [
+    NONDET_CONTAINER,
+    WALL_CLOCK,
+    LOCK_ACROSS_AWAIT,
+    PANIC_PATH,
+    RAW_THREAD,
+];
 
 /// Crates whose state is visible to the simulator: nondeterministic
 /// containers there can leak into traces, schedules and figures.
@@ -53,9 +66,19 @@ pub const SIM_VISIBLE_CRATES: [&str; 6] = ["sim", "net", "device", "plaque", "co
 pub const PANIC_AUDIT_CRATES: [&str; 6] = SIM_VISIBLE_CRATES;
 
 /// Files exempt from [`WALL_CLOCK`]: the bench crate's wall-time
-/// measurement module is the one place wall-clock readings are the
-/// point (sim-time/wall-time ratio reporting).
-pub const WALL_CLOCK_EXEMPT: [&str; 1] = ["crates/bench/src/scale.rs"];
+/// measurement modules are the one place wall-clock readings are the
+/// point (sim-time/wall-time ratio and dispatch-throughput reporting),
+/// and the threaded executor backend drives real monotonic timers.
+pub const WALL_CLOCK_EXEMPT: [&str; 3] = [
+    "crates/bench/src/scale.rs",
+    "crates/bench/src/dispatch.rs",
+    "crates/sim/src/exec/threaded.rs",
+];
+
+/// Path prefix exempt from [`RAW_THREAD`]: the executor module is the
+/// one place OS threads and blocking primitives are allowed — that is
+/// where they are wrapped behind the `Executor` trait.
+pub const RAW_THREAD_EXEMPT_PREFIX: &str = "crates/sim/src/exec/";
 
 /// Where a file sits within its crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +126,9 @@ pub fn check(ctx: &FileCtx, lexed: &Lexed, scopes: &ScopeMap) -> Vec<RawViolatio
     lock_across_await(toks, scopes, &mut out);
     if ctx.kind == FileKind::Src && PANIC_AUDIT_CRATES.contains(&ctx.crate_name) {
         panic_path(ctx, toks, scopes, &mut out);
+    }
+    if !ctx.rel_path.starts_with(RAW_THREAD_EXEMPT_PREFIX) {
+        raw_thread(toks, scopes, &mut out);
     }
     out
 }
@@ -416,6 +442,14 @@ fn lock_across_await(toks: &[Token], scopes: &ScopeMap, out: &mut Vec<RawViolati
                 }
                 stmt_lock = Some((t.line, t.text.clone(), j));
             }
+            // A block boundary ends any statement: tail expressions
+            // carry no `;`, so their temporaries (and pending `let`s)
+            // die here. (A closure body inside the same statement also
+            // clears this — an accepted lexical false negative.)
+            TokenKind::Punct('}') => {
+                stmt_lock = None;
+                stmt_let = None;
+            }
             TokenKind::Punct(';') => {
                 if let Some((line, method, close_idx)) = stmt_lock.take() {
                     // A `let` binds the guard itself only when the lock
@@ -491,5 +525,95 @@ fn panic_path(ctx: &FileCtx, toks: &[Token], scopes: &ScopeMap, out: &mut Vec<Ra
             });
         }
         i += 1;
+    }
+}
+
+// ---------------------------------------------------------------- rule 5
+
+/// `std::sync` types whose blocking semantics bypass the executor.
+/// (`Arc`, atomics, `OnceLock`, `mpsc` stay legal — they don't block a
+/// worker or spawn threads.)
+const RAW_SYNC_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// Flags OS-thread spawns and blocking `std::sync` primitives outside
+/// the executor module. Test code (`#[cfg(test)]` mods, `#[test]` fns)
+/// is skipped: stress tests may legitimately race real threads against
+/// the runtime.
+fn raw_thread(toks: &[Token], scopes: &ScopeMap, out: &mut Vec<RawViolation>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if scopes.in_test[i] {
+            i += 1;
+            continue;
+        }
+        // `std :: sync :: Mutex` (or `{…}` use-group containing one).
+        if seg(toks, i, "std") && seg(toks, i + 2, "sync") {
+            flag_sync_names(toks, i + 4, out);
+        }
+        // `thread :: spawn` / `thread :: Builder`, with the same
+        // std-prefix logic as the wall-clock sleep check: bare `thread`
+        // or `std::thread`, but not `other_crate::thread::spawn`.
+        if seg(toks, i, "thread") {
+            if let Some(t) = toks
+                .get(i + 2)
+                .filter(|t| t.is_ident("spawn") || t.is_ident("Builder"))
+            {
+                let prev_sep = i >= 1 && toks[i - 1].kind == TokenKind::PathSep;
+                let std_prefix = i >= 2 && prev_sep && toks[i - 2].is_ident("std");
+                if !prev_sep || std_prefix {
+                    violation(
+                        out,
+                        RAW_THREAD,
+                        t.line,
+                        format!(
+                            "thread::{} spawns an OS thread the executor cannot see; spawn \
+                             through the `Executor` trait (crates/sim/src/exec/) so scheduling, \
+                             shutdown and the watchdog cover it",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Flags a banned `std::sync` type at `toks[i]`, or inside a `{…}`
+/// use-group starting there.
+fn flag_sync_names(toks: &[Token], i: usize, out: &mut Vec<RawViolation>) {
+    let flag = |t: &Token, out: &mut Vec<RawViolation>| {
+        violation(
+            out,
+            RAW_THREAD,
+            t.line,
+            format!(
+                "std::sync::{} blocks the calling OS thread behind the executor's back; use \
+                 pathways_sim::lock::Lock (or channels) so contention is profiled and the \
+                 deterministic backend stays serializable",
+                t.text
+            ),
+        );
+    };
+    match toks.get(i) {
+        Some(t) if t.kind == TokenKind::Ident && RAW_SYNC_TYPES.contains(&t.text.as_str()) => {
+            flag(t, out)
+        }
+        Some(t) if t.is_punct('{') => {
+            let mut j = i + 1;
+            let mut level = 1usize;
+            while j < toks.len() && level > 0 {
+                match &toks[j].kind {
+                    TokenKind::Punct('{') => level += 1,
+                    TokenKind::Punct('}') => level -= 1,
+                    TokenKind::Ident if RAW_SYNC_TYPES.contains(&toks[j].text.as_str()) => {
+                        flag(&toks[j], out)
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        _ => {}
     }
 }

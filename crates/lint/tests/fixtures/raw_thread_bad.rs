@@ -1,0 +1,21 @@
+//! Fixture: every raw-thread shape must fire.
+
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar, RwLock};
+
+fn spawn_detached() {
+    std::thread::spawn(|| {});
+}
+
+fn spawn_named() {
+    let _ = std::thread::Builder::new().name("rogue".into());
+}
+
+fn spawn_bare() {
+    use std::thread;
+    thread::spawn(|| {});
+}
+
+fn qualified_state() -> std::sync::Mutex<u32> {
+    std::sync::Mutex::new(0)
+}

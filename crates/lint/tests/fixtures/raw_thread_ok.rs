@@ -1,0 +1,28 @@
+//! Fixture: non-blocking `std::sync` items, executor-mediated spawns
+//! and test-scoped threads are all fine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn executor_spawn(exec: &crate::ExecutorRef) {
+    exec.spawn(async {});
+}
+
+fn other_crates_thread_module() {
+    // A `thread` path segment under a non-std crate is not std::thread.
+    rayon::thread::spawn_handler();
+}
+
+fn counters(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stress_may_race_real_threads() {
+        let t = std::thread::spawn(|| {});
+        let _m = std::sync::Mutex::new(0u32);
+        t.join().unwrap();
+    }
+}

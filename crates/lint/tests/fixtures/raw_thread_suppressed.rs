@@ -1,0 +1,9 @@
+//! Fixture: suppressed raw-thread uses must not fire.
+
+// pathlint: allow(raw-thread) — FFI callback thread owned by the shim
+use std::sync::Condvar;
+
+fn helper() {
+    // pathlint: allow(raw-thread) — bridging a blocking C API
+    std::thread::spawn(|| {});
+}

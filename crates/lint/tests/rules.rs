@@ -6,7 +6,9 @@
 //! linted under a synthetic [`FileCtx`] placing it in a sim-visible
 //! crate's `src/`, the strictest scope.
 
-use pathways_lint::rules::{LOCK_ACROSS_AWAIT, NONDET_CONTAINER, PANIC_PATH, WALL_CLOCK};
+use pathways_lint::rules::{
+    LOCK_ACROSS_AWAIT, NONDET_CONTAINER, PANIC_PATH, RAW_THREAD, WALL_CLOCK,
+};
 use pathways_lint::{lint_source, Allowlist, FileCtx, FileKind, Status, Violation};
 
 /// Lints a fixture as if it were `crates/core/src/<name>` (sim-visible
@@ -158,6 +160,65 @@ fn panic_path_honors_suppression_and_allowlist() {
             .count(),
         1
     );
+}
+
+// ------------------------------------------------------------ raw-thread
+
+#[test]
+fn raw_thread_fires_on_every_shape() {
+    let vs = lint_fixture("raw_thread_bad.rs", &Allowlist::default());
+    let hits = errors(&vs, RAW_THREAD);
+    // use Mutex, use-group Condvar + RwLock, std::thread::spawn,
+    // std::thread::Builder, bare thread::spawn, qualified Mutex return
+    // type, qualified Mutex::new call.
+    assert_eq!(hits.len(), 8, "{hits:#?}");
+    assert!(hits.iter().any(|v| v.message.contains("Condvar")));
+    assert!(hits.iter().any(|v| v.message.contains("thread::spawn")));
+    assert!(hits.iter().any(|v| v.message.contains("thread::Builder")));
+}
+
+#[test]
+fn raw_thread_spares_nonblocking_sync_and_test_code() {
+    let vs = lint_fixture("raw_thread_ok.rs", &Allowlist::default());
+    assert!(errors(&vs, RAW_THREAD).is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn raw_thread_suppression_silences() {
+    let vs = lint_fixture("raw_thread_suppressed.rs", &Allowlist::default());
+    assert!(errors(&vs, RAW_THREAD).is_empty(), "{vs:#?}");
+    assert_eq!(
+        vs.iter()
+            .filter(|v| v.rule == RAW_THREAD && v.status == Status::Suppressed)
+            .count(),
+        2,
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn raw_thread_exempts_the_executor_module() {
+    let src = "use std::sync::{Condvar, Mutex};\nfn w() { std::thread::spawn(|| {}); }";
+    for rel in [
+        "crates/sim/src/exec/threaded.rs",
+        "crates/sim/src/exec/mod.rs",
+    ] {
+        let ctx = FileCtx {
+            rel_path: rel,
+            crate_name: "sim",
+            kind: FileKind::Src,
+        };
+        let vs = lint_source(&ctx, src, &Allowlist::default()).violations;
+        assert!(vs.iter().all(|v| v.rule != RAW_THREAD), "{rel}: {vs:#?}");
+    }
+    // The same source anywhere else fires.
+    let ctx = FileCtx {
+        rel_path: "crates/core/src/runtime.rs",
+        crate_name: "core",
+        kind: FileKind::Src,
+    };
+    let vs = lint_source(&ctx, src, &Allowlist::default()).violations;
+    assert_eq!(errors(&vs, RAW_THREAD).len(), 3, "{vs:#?}");
 }
 
 #[test]

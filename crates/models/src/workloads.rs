@@ -528,7 +528,7 @@ mod tests {
         let init = client.prepare(&chain.init);
         let step = client.prepare(&chain.step);
         let tokens = setup.global_batch_tokens;
-        let core = std::rc::Rc::clone(rt.core());
+        let core = std::sync::Arc::clone(rt.core());
         let job = sim.spawn("c", async move {
             measure_tokens_per_sec_chained(&client, &init, &step, &chain, tokens, 3).await
         });
@@ -562,7 +562,7 @@ mod tests {
         let init = client.prepare(&chain.init);
         let step = client.prepare(&chain.step);
         let tokens = setup.global_batch_tokens;
-        let core = std::rc::Rc::clone(rt.core());
+        let core = std::sync::Arc::clone(rt.core());
         let job = sim.spawn("c", async move {
             measure_tokens_per_sec_chained(&client, &init, &step, &chain, tokens, 2).await
         });

@@ -9,9 +9,9 @@
 //! serialize), and one ICI egress port per device.
 
 use pathways_sim::hash::FxHashSet;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_sim::{SimDuration, SimHandle};
 
@@ -22,7 +22,7 @@ use crate::params::NetworkParams;
 use crate::topology::Topology;
 
 struct FabricInner {
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     params: NetworkParams,
     handle: SimHandle,
     dcn_nics: Vec<FifoLink>,
@@ -31,7 +31,7 @@ struct FabricInner {
     /// Failed hosts and severed host pairs (fault injection). Messages
     /// whose delivery crosses a dead endpoint or a severed pair are
     /// dropped at delivery time — exactly what a crashed NIC does.
-    faults: RefCell<FabricFaults>,
+    faults: Lock<FabricFaults>,
 }
 
 #[derive(Default)]
@@ -52,7 +52,7 @@ fn pair_key(a: HostId, b: HostId) -> (HostId, HostId) {
 /// Handle to the cluster's communication resources.
 #[derive(Clone)]
 pub struct Fabric {
-    inner: Rc<FabricInner>,
+    inner: Arc<FabricInner>,
 }
 
 impl fmt::Debug for Fabric {
@@ -66,7 +66,7 @@ impl fmt::Debug for Fabric {
 
 impl Fabric {
     /// Builds the fabric for `topo` with the given parameters.
-    pub fn new(handle: SimHandle, topo: Rc<Topology>, params: NetworkParams) -> Self {
+    pub fn new(handle: SimHandle, topo: Arc<Topology>, params: NetworkParams) -> Self {
         let dcn_nics = (0..topo.num_hosts())
             .map(|_| {
                 FifoLink::new(
@@ -95,14 +95,14 @@ impl Fabric {
             })
             .collect();
         Fabric {
-            inner: Rc::new(FabricInner {
+            inner: Arc::new(FabricInner {
                 topo,
                 params,
                 handle,
                 dcn_nics,
                 pcie,
                 ici_egress,
-                faults: RefCell::new(FabricFaults::default()),
+                faults: Lock::named("net.fabric.faults", FabricFaults::default()),
             }),
         }
     }
@@ -117,25 +117,21 @@ impl Fabric {
     /// injector) rather than calling this directly, or messages will be
     /// dropped without anyone being told why.
     pub fn fail_host(&self, host: HostId) {
-        self.inner.faults.borrow_mut().dead_hosts.insert(host);
+        self.inner.faults.lock().dead_hosts.insert(host);
     }
 
     /// Severs the DCN link between `a` and `b` in both directions. Same
     /// caveat as [`Fabric::fail_host`]: wire-level only; inject through
     /// the runtime's fault layer so error propagation stays in sync.
     pub fn sever_link(&self, a: HostId, b: HostId) {
-        self.inner
-            .faults
-            .borrow_mut()
-            .severed
-            .insert(pair_key(a, b));
+        self.inner.faults.lock().severed.insert(pair_key(a, b));
     }
 
     /// True if DCN traffic can still flow between `src` and `dst`: both
     /// endpoints alive and the pair not severed. Loopback from a live
     /// host is always up.
     pub fn link_up(&self, src: HostId, dst: HostId) -> bool {
-        let faults = self.inner.faults.borrow();
+        let faults = self.inner.faults.lock();
         if faults.dead_hosts.contains(&src) || faults.dead_hosts.contains(&dst) {
             return false;
         }
@@ -144,11 +140,11 @@ impl Fabric {
 
     /// True if `host`'s NIC has been failed.
     pub fn host_failed(&self, host: HostId) -> bool {
-        self.inner.faults.borrow().dead_hosts.contains(&host)
+        self.inner.faults.lock().dead_hosts.contains(&host)
     }
 
     /// The topology this fabric connects.
-    pub fn topology(&self) -> &Rc<Topology> {
+    pub fn topology(&self) -> &Arc<Topology> {
         &self.inner.topo
     }
 
@@ -284,7 +280,7 @@ mod tests {
     fn fabric(sim: &Sim, spec: ClusterSpec) -> Fabric {
         Fabric::new(
             sim.handle(),
-            Rc::new(spec.build()),
+            Arc::new(spec.build()),
             NetworkParams::tpu_cluster(),
         )
     }

@@ -15,12 +15,12 @@
 //! ## Example
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use pathways_net::{ClusterSpec, Fabric, HostId, NetworkParams};
 //! use pathways_sim::Sim;
 //!
 //! let mut sim = Sim::new(0);
-//! let topo = Rc::new(ClusterSpec::config_b(4).build());
+//! let topo = Arc::new(ClusterSpec::config_b(4).build());
 //! let fabric = Fabric::new(sim.handle(), topo, NetworkParams::tpu_cluster());
 //! sim.spawn("xfer", async move {
 //!     fabric.dcn_send(HostId(0), HostId(3), 1 << 20).await;

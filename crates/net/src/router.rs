@@ -6,9 +6,9 @@
 //! control planes are built on.
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_sim::channel::{self, Receiver, Sender};
 
@@ -26,18 +26,18 @@ pub struct Envelope<M> {
 
 struct RouterInner<M> {
     fabric: Fabric,
-    inboxes: RefCell<FxHashMap<HostId, Sender<Envelope<M>>>>,
+    inboxes: Lock<FxHashMap<HostId, Sender<Envelope<M>>>>,
 }
 
 /// Typed DCN message router. Cheaply cloneable.
 pub struct Router<M> {
-    inner: Rc<RouterInner<M>>,
+    inner: Arc<RouterInner<M>>,
 }
 
 impl<M> Clone for Router<M> {
     fn clone(&self) -> Self {
         Router {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
@@ -45,18 +45,18 @@ impl<M> Clone for Router<M> {
 impl<M> fmt::Debug for Router<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Router")
-            .field("registered", &self.inner.inboxes.borrow().len())
+            .field("registered", &self.inner.inboxes.lock().len())
             .finish()
     }
 }
 
-impl<M: 'static> Router<M> {
+impl<M: Send + 'static> Router<M> {
     /// Creates a router over `fabric`.
     pub fn new(fabric: Fabric) -> Self {
         Router {
-            inner: Rc::new(RouterInner {
+            inner: Arc::new(RouterInner {
                 fabric,
-                inboxes: RefCell::new(FxHashMap::default()),
+                inboxes: Lock::new(FxHashMap::default()),
             }),
         }
     }
@@ -68,7 +68,7 @@ impl<M: 'static> Router<M> {
     /// Panics if the host is already registered.
     pub fn register(&self, host: HostId) -> Receiver<Envelope<M>> {
         let (tx, rx) = channel::channel();
-        let prev = self.inner.inboxes.borrow_mut().insert(host, tx);
+        let prev = self.inner.inboxes.lock().insert(host, tx);
         assert!(prev.is_none(), "{host} registered twice");
         rx
     }
@@ -83,10 +83,10 @@ impl<M: 'static> Router<M> {
     /// Panics if `dst` was never registered.
     pub fn send(&self, src: HostId, dst: HostId, msg: M, bytes: u64) {
         assert!(
-            self.inner.inboxes.borrow().contains_key(&dst),
+            self.inner.inboxes.lock().contains_key(&dst),
             "send to unregistered {dst}"
         );
-        let inner = Rc::clone(&self.inner);
+        let inner = Arc::clone(&self.inner);
         let handle = self.inner.fabric.handle().clone();
         handle
             .clone()
@@ -99,7 +99,7 @@ impl<M: 'static> Router<M> {
                 }
                 let tx = inner
                     .inboxes
-                    .borrow()
+                    .lock()
                     .get(&dst)
                     .expect("inbox disappeared")
                     .clone();
@@ -120,12 +120,12 @@ mod tests {
     use crate::params::NetworkParams;
     use crate::topology::ClusterSpec;
     use pathways_sim::{Sim, SimDuration};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn setup(sim: &Sim) -> Router<String> {
         let fabric = Fabric::new(
             sim.handle(),
-            Rc::new(ClusterSpec::config_b(4).build()),
+            Arc::new(ClusterSpec::config_b(4).build()),
             NetworkParams::tpu_cluster(),
         );
         Router::new(fabric)

@@ -10,7 +10,7 @@
 //! Constructors for all three are provided.
 
 use pathways_sim::hash::{FxHashMap, FxHashSet};
-use std::cell::RefCell;
+use pathways_sim::Lock;
 
 use serde::{Deserialize, Serialize};
 
@@ -131,7 +131,7 @@ pub struct Topology {
     /// connectivity never changes. Bounded (cleared when full), since
     /// the resource manager probes many distinct windows at 10k-device
     /// scale.
-    submesh_cache: RefCell<FxHashMap<Box<[u32]>, bool>>,
+    submesh_cache: Lock<FxHashMap<Box<[u32]>, bool>>,
 }
 
 impl Topology {
@@ -178,7 +178,7 @@ impl Topology {
             num_devices: device_cursor,
             device_island,
             host_island,
-            submesh_cache: RefCell::new(FxHashMap::default()),
+            submesh_cache: Lock::new(FxHashMap::default()),
         }
     }
 
@@ -354,7 +354,7 @@ impl Topology {
             return false;
         }
         let key: Box<[u32]> = devs.iter().map(|d| d.0).collect();
-        if let Some(&hit) = self.submesh_cache.borrow().get(&key) {
+        if let Some(&hit) = self.submesh_cache.lock().get(&key) {
             return hit;
         }
         // BFS over torus coordinates with O(1) 4-neighbor lookups:
@@ -384,7 +384,7 @@ impl Topology {
             }
         }
         let connected = seen.len() == set.len();
-        let mut cache = self.submesh_cache.borrow_mut();
+        let mut cache = self.submesh_cache.lock();
         if cache.len() >= 1 << 16 {
             cache.clear();
         }

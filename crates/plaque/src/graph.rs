@@ -12,7 +12,7 @@
 //! as shard counts grow.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::HostId;
 
@@ -39,7 +39,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// Factory producing the operator instance for one shard of a node.
-pub type OperatorFactory = Rc<dyn Fn(u32) -> Box<dyn Operator>>;
+pub type OperatorFactory = Arc<dyn Fn(u32) -> Box<dyn Operator> + Send + Sync>;
 
 pub(crate) struct NodeInfo {
     pub name: String,
@@ -152,7 +152,7 @@ impl GraphBuilder {
         &mut self,
         name: impl Into<String>,
         placement: Vec<HostId>,
-        factory: impl Fn(u32) -> Box<dyn Operator> + 'static,
+        factory: impl Fn(u32) -> Box<dyn Operator> + Send + Sync + 'static,
     ) -> NodeId {
         let name = name.into();
         if placement.is_empty() && self.error.is_none() {
@@ -162,7 +162,7 @@ impl GraphBuilder {
         self.nodes.push(NodeInfo {
             name,
             placement,
-            factory: Rc::new(factory),
+            factory: Arc::new(factory),
             in_edges: Vec::new(),
             out_edges: Vec::new(),
         });
@@ -216,7 +216,7 @@ impl GraphBuilder {
             return Err(e);
         }
         Ok(Graph {
-            inner: Rc::new(GraphInner {
+            inner: Arc::new(GraphInner {
                 name: self.name,
                 nodes: self.nodes,
                 edges: self.edges,
@@ -234,7 +234,7 @@ pub(crate) struct GraphInner {
 /// An immutable, cheaply-cloneable sharded dataflow graph.
 #[derive(Clone)]
 pub struct Graph {
-    pub(crate) inner: Rc<GraphInner>,
+    pub(crate) inner: Arc<GraphInner>,
 }
 
 impl fmt::Debug for Graph {

@@ -20,7 +20,7 @@
 //! ## Example: sharded map-reduce in 4 logical nodes
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use pathways_net::{ClusterSpec, Fabric, HostId, NetworkParams};
 //! use pathways_plaque::{GraphBuilder, NullOperator, PlaqueRuntime};
 //! use pathways_sim::Sim;
@@ -28,7 +28,7 @@
 //! let mut sim = Sim::new(0);
 //! let fabric = Fabric::new(
 //!     sim.handle(),
-//!     Rc::new(ClusterSpec::config_b(4).build()),
+//!     Arc::new(ClusterSpec::config_b(4).build()),
 //!     NetworkParams::tpu_cluster(),
 //! );
 //! let runtime = PlaqueRuntime::new(fabric);

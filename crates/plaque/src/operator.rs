@@ -9,9 +9,9 @@
 //! latency" requirement).
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::HostId;
 use pathways_sim::{SimHandle, SimTime};
@@ -31,7 +31,7 @@ pub(crate) const DONE_BYTES: u64 = 16;
 /// they need. The default [`Operator::on_all_inputs_complete`] halts the
 /// shard; operators that keep emitting from spawned tasks must override
 /// it and call [`Emitter::halt`] themselves when finished.
-pub trait Operator {
+pub trait Operator: Send {
     /// Called once when the shard starts (before any input).
     fn on_start(&mut self, ctx: &mut ShardCtx<'_>) {
         let _ = ctx;
@@ -181,14 +181,14 @@ impl ShardCore {
 /// Context handed to operator callbacks. Sends are buffered and coalesced
 /// per destination host when the callback round finishes.
 pub struct ShardCtx<'a> {
-    pub(crate) core: &'a Rc<RefCell<ShardCore>>,
+    pub(crate) core: &'a Arc<Lock<ShardCore>>,
     pub(crate) shared: &'a RuntimeShared,
     pub(crate) egress: &'a mut Vec<(HostId, PlaqueMsg, u64)>,
 }
 
 impl fmt::Debug for ShardCtx<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let core = self.core.borrow();
+        let core = self.core.lock();
         f.debug_struct("ShardCtx")
             .field("node", &core.node)
             .field("shard", &core.shard)
@@ -199,22 +199,22 @@ impl fmt::Debug for ShardCtx<'_> {
 impl ShardCtx<'_> {
     /// This shard's index within its node.
     pub fn shard(&self) -> u32 {
-        self.core.borrow().shard
+        self.core.lock().shard
     }
 
     /// The program run this shard belongs to.
     pub fn run(&self) -> RunId {
-        self.core.borrow().run
+        self.core.lock().run
     }
 
     /// The host this shard runs on.
     pub fn host(&self) -> HostId {
-        self.core.borrow().host
+        self.core.lock().host
     }
 
     /// Number of destination shards on `edge`.
     pub fn dst_shards(&self, edge: EdgeId) -> u32 {
-        let core = self.core.borrow();
+        let core = self.core.lock();
         let (_, dst) = core.graph.edge_endpoints(edge);
         core.graph.shards(dst)
     }
@@ -237,7 +237,7 @@ impl ShardCtx<'_> {
     /// Panics if `edge` is not an out-edge of this node, the destination
     /// shard is out of range, or the edge was already punctuated.
     pub fn send(&mut self, edge: EdgeId, dst_shard: u32, tuple: Tuple) {
-        let mut core = self.core.borrow_mut();
+        let mut core = self.core.lock();
         let host = core.record_send(edge, dst_shard);
         let bytes = tuple.bytes() + DATA_OVERHEAD_BYTES;
         self.egress.push((
@@ -263,28 +263,28 @@ impl ShardCtx<'_> {
     /// Declares this shard finished emitting on `edge`; punctuations are
     /// sent so destinations can complete their progress tracking.
     pub fn done(&mut self, edge: EdgeId) {
-        let msgs = self.core.borrow_mut().punctuate(edge);
+        let msgs = self.core.lock().punctuate(edge);
         self.egress.extend(msgs);
     }
 
     /// Halts the shard: punctuates any open out-edges and releases the
     /// shard's slot in the run's completion tracking.
     pub fn halt(&mut self) {
-        let msgs = self.core.borrow_mut().halt();
+        let msgs = self.core.lock().halt();
         self.egress.extend(msgs);
         self.shared.finalize_shard(self.core);
     }
 
     /// True once [`ShardCtx::halt`] (or [`Emitter::halt`]) has run.
     pub fn is_halted(&self) -> bool {
-        self.core.borrow().halted
+        self.core.lock().halted
     }
 
     /// Returns a cloneable emitter for asynchronous, low-latency sends
     /// from spawned tasks.
     pub fn emitter(&self) -> Emitter {
         Emitter {
-            core: Rc::clone(self.core),
+            core: Arc::clone(self.core),
             shared: self.shared.clone(),
         }
     }
@@ -296,13 +296,13 @@ impl ShardCtx<'_> {
 /// rather than batched.
 #[derive(Clone)]
 pub struct Emitter {
-    core: Rc<RefCell<ShardCore>>,
+    core: Arc<Lock<ShardCore>>,
     shared: RuntimeShared,
 }
 
 impl fmt::Debug for Emitter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let core = self.core.borrow();
+        let core = self.core.lock();
         f.debug_struct("Emitter")
             .field("node", &core.node)
             .field("shard", &core.shard)
@@ -313,12 +313,12 @@ impl fmt::Debug for Emitter {
 impl Emitter {
     /// This shard's index.
     pub fn shard(&self) -> u32 {
-        self.core.borrow().shard
+        self.core.lock().shard
     }
 
     /// The program run this shard belongs to.
     pub fn run(&self) -> RunId {
-        self.core.borrow().run
+        self.core.lock().run
     }
 
     /// Sends a tuple immediately.
@@ -328,7 +328,7 @@ impl Emitter {
     /// Same conditions as [`ShardCtx::send`].
     pub fn send(&self, edge: EdgeId, dst_shard: u32, tuple: Tuple) {
         let (src_host, msg, bytes) = {
-            let mut core = self.core.borrow_mut();
+            let mut core = self.core.lock();
             let host = core.record_send(edge, dst_shard);
             let bytes = tuple.bytes() + DATA_OVERHEAD_BYTES;
             (
@@ -354,7 +354,7 @@ impl Emitter {
     /// Punctuates `edge` immediately.
     pub fn done(&self, edge: EdgeId) {
         let (src_host, msgs) = {
-            let mut core = self.core.borrow_mut();
+            let mut core = self.core.lock();
             (core.host, core.punctuate(edge))
         };
         self.shared.route_from_async(src_host, msgs);
@@ -363,7 +363,7 @@ impl Emitter {
     /// Halts the shard (see [`ShardCtx::halt`]).
     pub fn halt(&self) {
         let (src_host, msgs) = {
-            let mut core = self.core.borrow_mut();
+            let mut core = self.core.lock();
             (core.host, core.halt())
         };
         self.shared.route_from_async(src_host, msgs);

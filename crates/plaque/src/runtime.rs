@@ -9,10 +9,10 @@
 //! [`Emitter`](crate::Emitter) sends bypass the batcher (low latency).
 
 use pathways_sim::hash::FxHashMap;
-use std::cell::RefCell;
+use pathways_sim::Lock;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pathways_net::{Fabric, HostId, Router};
 use pathways_sim::channel::{self, OneshotReceiver};
@@ -79,7 +79,7 @@ pub enum PlaqueMsg {
 
 struct Slot {
     op: Box<dyn Operator>,
-    core: Rc<RefCell<ShardCore>>,
+    core: Arc<Lock<ShardCore>>,
     trackers: FxHashMap<EdgeId, ProgressTracker>,
     started: bool,
     pending: Vec<PlaqueMsg>,
@@ -87,7 +87,7 @@ struct Slot {
 }
 
 type ShardKey = (RunId, NodeId, u32);
-type ShardMap = Rc<RefCell<FxHashMap<ShardKey, Rc<RefCell<Slot>>>>>;
+type ShardMap = Arc<Lock<FxHashMap<ShardKey, Arc<Lock<Slot>>>>>;
 
 struct RunEntry {
     remaining: u32,
@@ -103,25 +103,25 @@ type EgressBuffer = Vec<(HostId, PlaqueMsg, u64)>;
 pub struct RuntimeShared {
     pub(crate) handle: SimHandle,
     router: Router<Vec<PlaqueMsg>>,
-    runs: Rc<RefCell<FxHashMap<RunId, RunEntry>>>,
+    runs: Arc<Lock<FxHashMap<RunId, RunEntry>>>,
     /// Per-host shard tables (shared with the workers) so completed
     /// shards can be reclaimed as soon as they finalize — long-running
     /// benchmarks launch thousands of runs and must not accumulate
     /// dead slots.
-    workers: Rc<RefCell<FxHashMap<HostId, ShardMap>>>,
+    workers: Arc<Lock<FxHashMap<HostId, ShardMap>>>,
     /// Per-source-host egress buffers for the asynchronous (emitter)
     /// path: messages emitted within the same virtual instant coalesce
     /// into one NIC message per destination host. This adds no virtual
     /// latency (the flush runs after one executor micro-step) and is
     /// what keeps punctuation storms from O(M x N) sharded edges off
     /// the NICs — §4.3's batching requirement.
-    async_egress: Rc<RefCell<FxHashMap<HostId, EgressBuffer>>>,
+    async_egress: Arc<Lock<FxHashMap<HostId, EgressBuffer>>>,
 }
 
 impl fmt::Debug for RuntimeShared {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RuntimeShared")
-            .field("live_runs", &self.runs.borrow().len())
+            .field("live_runs", &self.runs.lock().len())
             .finish()
     }
 }
@@ -147,7 +147,7 @@ impl RuntimeShared {
         if msgs.is_empty() {
             return;
         }
-        let mut egress = self.async_egress.borrow_mut();
+        let mut egress = self.async_egress.lock();
         let entry = egress.entry(src).or_default();
         let need_flush = entry.is_empty();
         entry.extend(msgs);
@@ -158,11 +158,7 @@ impl RuntimeShared {
                 .clone()
                 .spawn(format!("plaque-flush-{src}"), async move {
                     shared.handle.yield_now().await;
-                    let msgs = shared
-                        .async_egress
-                        .borrow_mut()
-                        .remove(&src)
-                        .unwrap_or_default();
+                    let msgs = shared.async_egress.lock().remove(&src).unwrap_or_default();
                     shared.route_from(src, msgs);
                 });
         }
@@ -170,9 +166,9 @@ impl RuntimeShared {
 
     /// Marks a shard complete in its run's tracking and reclaims its
     /// slot (idempotent).
-    pub(crate) fn finalize_shard(&self, core: &Rc<RefCell<ShardCore>>) {
+    pub(crate) fn finalize_shard(&self, core: &Arc<Lock<ShardCore>>) {
         let (run, node, shard, host) = {
-            let mut core = core.borrow_mut();
+            let mut core = core.lock();
             if core.finalized {
                 return;
             }
@@ -180,10 +176,10 @@ impl RuntimeShared {
             (core.run, core.node, core.shard, core.host)
         };
         // Reclaim the slot: late messages to it are dropped by dispatch.
-        if let Some(map) = self.workers.borrow().get(&host) {
-            map.borrow_mut().remove(&(run, node, shard));
+        if let Some(map) = self.workers.lock().get(&host) {
+            map.lock().remove(&(run, node, shard));
         }
-        let mut runs = self.runs.borrow_mut();
+        let mut runs = self.runs.lock();
         let entry = runs.get_mut(&run).expect("run entry missing");
         entry.remaining -= 1;
         if entry.remaining == 0 {
@@ -199,14 +195,14 @@ impl RuntimeShared {
 #[derive(Clone)]
 pub struct PlaqueRuntime {
     shared: RuntimeShared,
-    workers: Rc<RefCell<FxHashMap<HostId, ShardMap>>>,
-    next_run: Rc<RefCell<u64>>,
+    workers: Arc<Lock<FxHashMap<HostId, ShardMap>>>,
+    next_run: Arc<Lock<u64>>,
 }
 
 impl fmt::Debug for PlaqueRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PlaqueRuntime")
-            .field("workers", &self.workers.borrow().len())
+            .field("workers", &self.workers.lock().len())
             .finish()
     }
 }
@@ -243,31 +239,31 @@ impl PlaqueRuntime {
     /// Creates a runtime over `fabric`.
     pub fn new(fabric: Fabric) -> Self {
         let handle = fabric.handle().clone();
-        let workers: Rc<RefCell<FxHashMap<HostId, ShardMap>>> =
-            Rc::new(RefCell::new(FxHashMap::default()));
+        let workers: Arc<Lock<FxHashMap<HostId, ShardMap>>> =
+            Arc::new(Lock::new(FxHashMap::default()));
         PlaqueRuntime {
             shared: RuntimeShared {
                 handle,
                 router: Router::new(fabric),
-                runs: Rc::new(RefCell::new(FxHashMap::default())),
-                workers: Rc::clone(&workers),
-                async_egress: Rc::new(RefCell::new(FxHashMap::default())),
+                runs: Arc::new(Lock::named("plaque.runs", FxHashMap::default())),
+                workers: Arc::clone(&workers),
+                async_egress: Arc::new(Lock::new(FxHashMap::default())),
             },
             workers,
-            next_run: Rc::new(RefCell::new(0)),
+            next_run: Arc::new(Lock::new(0)),
         }
     }
 
     /// Ensures a worker task is running on `host`; returns its shard map.
     fn ensure_worker(&self, host: HostId) -> ShardMap {
-        if let Some(map) = self.workers.borrow().get(&host) {
-            return Rc::clone(map);
+        if let Some(map) = self.workers.lock().get(&host) {
+            return Arc::clone(map);
         }
-        let map: ShardMap = Rc::new(RefCell::new(FxHashMap::default()));
-        self.workers.borrow_mut().insert(host, Rc::clone(&map));
+        let map: ShardMap = Arc::new(Lock::named("plaque.shard_map", FxHashMap::default()));
+        self.workers.lock().insert(host, Arc::clone(&map));
         let mut inbox = self.shared.router.register(host);
         let shared = self.shared.clone();
-        let map_task = Rc::clone(&map);
+        let map_task = Arc::clone(&map);
         let token = IdleToken::new();
         let token_task = token.clone();
         self.shared
@@ -318,9 +314,9 @@ impl PlaqueRuntime {
             }
         };
         let slot_rc = {
-            let map = map.borrow();
+            let map = map.lock();
             match map.get(&key) {
-                Some(s) => Rc::clone(s),
+                Some(s) => Arc::clone(s),
                 // The shard already halted and its slot was reclaimed;
                 // late punctuations are dropped.
                 None => return,
@@ -329,10 +325,10 @@ impl PlaqueRuntime {
         match msg {
             PlaqueMsg::Start { .. } => {
                 {
-                    let mut slot = slot_rc.borrow_mut();
+                    let mut slot = slot_rc.lock();
                     assert!(!slot.started, "shard started twice");
                     slot.started = true;
-                    let core = Rc::clone(&slot.core);
+                    let core = Arc::clone(&slot.core);
                     let mut ctx = ShardCtx {
                         core: &core,
                         shared,
@@ -341,15 +337,15 @@ impl PlaqueRuntime {
                     slot.op.on_start(&mut ctx);
                 }
                 // Replay messages that raced ahead of Start.
-                let pending = std::mem::take(&mut slot_rc.borrow_mut().pending);
+                let pending = std::mem::take(&mut slot_rc.lock().pending);
                 for m in pending {
                     Self::deliver(shared, &slot_rc, m, egress);
                 }
                 Self::check_inputs_complete(shared, &slot_rc, egress);
             }
             data_or_done => {
-                if !slot_rc.borrow().started {
-                    slot_rc.borrow_mut().pending.push(data_or_done);
+                if !slot_rc.lock().started {
+                    slot_rc.lock().pending.push(data_or_done);
                     return;
                 }
                 Self::deliver(shared, &slot_rc, data_or_done, egress);
@@ -361,28 +357,28 @@ impl PlaqueRuntime {
     /// Destination node of `edge`, resolved from any slot of the run on
     /// this host (all slots of a run share the graph).
     fn dst_node_of(map: &ShardMap, run: RunId, edge: EdgeId) -> Option<NodeId> {
-        let map = map.borrow();
+        let map = map.lock();
         let slot = map
             .iter()
             .find(|((r, _, _), _)| *r == run)
-            .map(|(_, s)| Rc::clone(s))?;
-        let core = slot.borrow();
-        let graph = core.core.borrow().graph.clone();
+            .map(|(_, s)| Arc::clone(s))?;
+        let core = slot.lock();
+        let graph = core.core.lock().graph.clone();
         let (_, dst) = graph.edge_endpoints(edge);
         Some(dst)
     }
 
     fn deliver(
         shared: &RuntimeShared,
-        slot_rc: &Rc<RefCell<Slot>>,
+        slot_rc: &Arc<Lock<Slot>>,
         msg: PlaqueMsg,
         egress: &mut Vec<(HostId, PlaqueMsg, u64)>,
     ) {
-        let mut slot = slot_rc.borrow_mut();
-        if slot.core.borrow().halted {
+        let mut slot = slot_rc.lock();
+        if slot.core.lock().halted {
             return; // late messages to an already-halted shard
         }
-        let core = Rc::clone(&slot.core);
+        let core = Arc::clone(&slot.core);
         match msg {
             PlaqueMsg::Data {
                 edge,
@@ -444,16 +440,16 @@ impl PlaqueRuntime {
 
     fn check_inputs_complete(
         shared: &RuntimeShared,
-        slot_rc: &Rc<RefCell<Slot>>,
+        slot_rc: &Arc<Lock<Slot>>,
         egress: &mut Vec<(HostId, PlaqueMsg, u64)>,
     ) {
-        let mut slot = slot_rc.borrow_mut();
-        if slot.inputs_complete_fired || slot.core.borrow().halted {
+        let mut slot = slot_rc.lock();
+        if slot.inputs_complete_fired || slot.core.lock().halted {
             return;
         }
         if slot.trackers.values().all(|t| t.is_complete()) {
             slot.inputs_complete_fired = true;
-            let core = Rc::clone(&slot.core);
+            let core = Arc::clone(&slot.core);
             let mut ctx = ShardCtx {
                 core: &core,
                 shared,
@@ -492,8 +488,8 @@ impl PlaqueRuntime {
     /// Panics if the shard was not installed on `host`.
     pub fn start_local(&self, host: HostId, run: RunId, node: NodeId, shard: u32) {
         let map = {
-            let workers = self.workers.borrow();
-            Rc::clone(
+            let workers = self.workers.lock();
+            Arc::clone(
                 workers
                     .get(&host)
                     .unwrap_or_else(|| panic!("start_local on {host} with no plaque worker")),
@@ -513,14 +509,14 @@ impl PlaqueRuntime {
 
     fn launch_inner(&self, graph: &Graph, client_host: HostId, send_starts: bool) -> RunHandle {
         let run = {
-            let mut next = self.next_run.borrow_mut();
+            let mut next = self.next_run.lock();
             let id = RunId(*next);
             *next += 1;
             id
         };
         let total_shards: u32 = graph.nodes().map(|n| graph.shards(n)).sum();
         let (done_tx, done_rx) = channel::oneshot();
-        self.shared.runs.borrow_mut().insert(
+        self.shared.runs.lock().insert(
             run,
             RunEntry {
                 remaining: total_shards,
@@ -533,7 +529,7 @@ impl PlaqueRuntime {
             for (shard, &host) in graph.placement(node).iter().enumerate() {
                 let shard = shard as u32;
                 let map = self.ensure_worker(host);
-                let core = Rc::new(RefCell::new(ShardCore::new(
+                let core = Arc::new(Lock::new(ShardCore::new(
                     run,
                     node,
                     shard,
@@ -544,11 +540,11 @@ impl PlaqueRuntime {
                 for &e in graph.in_edges(node) {
                     trackers.insert(e, ProgressTracker::new(graph.expected_srcs(e, shard)));
                 }
-                let factory = Rc::clone(&graph.inner.nodes[node.index()].factory);
+                let factory = Arc::clone(&graph.inner.nodes[node.index()].factory);
                 let op = factory(shard);
-                let prev = map.borrow_mut().insert(
+                let prev = map.lock().insert(
                     (run, node, shard),
-                    Rc::new(RefCell::new(Slot {
+                    Arc::new(Lock::new(Slot {
                         op,
                         core,
                         trackers,
@@ -578,19 +574,19 @@ impl PlaqueRuntime {
 
     /// Number of runs still executing.
     pub fn live_runs(&self) -> usize {
-        self.shared.runs.borrow().len()
+        self.shared.runs.lock().len()
     }
 
     /// True while `run` has shards that have not halted.
     pub fn is_live(&self, run: RunId) -> bool {
-        self.shared.runs.borrow().contains_key(&run)
+        self.shared.runs.lock().contains_key(&run)
     }
 
     /// Allocates a fresh [`RunId`] without installing anything — used for
     /// runs that fail before launch (their output objects still need
     /// unique identities for error delivery).
     pub fn reserve_run_id(&self) -> RunId {
-        let mut next = self.next_run.borrow_mut();
+        let mut next = self.next_run.lock();
         let id = RunId(*next);
         *next += 1;
         id
@@ -608,10 +604,10 @@ impl PlaqueRuntime {
     pub fn force_start_run(&self, run: RunId) {
         let mut targets: Vec<(HostId, NodeId, u32)> = Vec::new();
         {
-            let workers = self.workers.borrow();
+            let workers = self.workers.lock();
             for (&host, map) in workers.iter() {
-                for ((r, node, shard), slot) in map.borrow().iter() {
-                    if *r == run && !slot.borrow().started {
+                for ((r, node, shard), slot) in map.lock().iter() {
+                    if *r == run && !slot.lock().started {
                         targets.push((host, *node, *shard));
                     }
                 }

@@ -7,10 +7,10 @@
 
 use std::any::Any;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An immutable, cheaply-cloneable payload.
-pub type Payload = Rc<dyn Any>;
+pub type Payload = Arc<dyn Any + Send + Sync>;
 
 /// One data tuple.
 #[derive(Clone)]
@@ -27,15 +27,15 @@ impl fmt::Debug for Tuple {
 
 impl Tuple {
     /// Wraps `value` as a tuple of simulated wire size `bytes`.
-    pub fn new<T: 'static>(value: T, bytes: u64) -> Self {
+    pub fn new<T: Send + Sync + 'static>(value: T, bytes: u64) -> Self {
         Tuple {
-            payload: Rc::new(value),
+            payload: Arc::new(value),
             bytes,
         }
     }
 
     /// A zero-byte control tuple.
-    pub fn control<T: 'static>(value: T) -> Self {
+    pub fn control<T: Send + Sync + 'static>(value: T) -> Self {
         Self::new(value, 0)
     }
 
@@ -90,6 +90,6 @@ mod tests {
     fn clone_shares_payload() {
         let t = Tuple::new(String::from("x"), 1);
         let u = t.clone();
-        assert!(Rc::ptr_eq(t.payload(), u.payload()));
+        assert!(Arc::ptr_eq(t.payload(), u.payload()));
     }
 }

@@ -1,8 +1,8 @@
 //! Integration tests: sharded dataflow programs running over the
 //! simulated DCN.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use pathways_sim::Lock;
+use std::sync::Arc;
 
 use pathways_net::{ClusterSpec, Fabric, HostId, NetworkParams};
 use pathways_plaque::{
@@ -13,7 +13,7 @@ use pathways_sim::{Sim, SimDuration};
 fn make_runtime(sim: &Sim, hosts: u32) -> PlaqueRuntime {
     let fabric = Fabric::new(
         sim.handle(),
-        Rc::new(ClusterSpec::config_b(hosts).build()),
+        Arc::new(ClusterSpec::config_b(hosts).build()),
         NetworkParams::tpu_cluster(),
     );
     PlaqueRuntime::new(fabric)
@@ -38,12 +38,12 @@ impl Operator for Source {
 
 /// Sink operator: records received values into a shared vec.
 struct Sink {
-    got: Rc<RefCell<Vec<u32>>>,
+    got: Arc<Lock<Vec<u32>>>,
 }
 
 impl Operator for Sink {
     fn on_tuple(&mut self, _ctx: &mut ShardCtx<'_>, _edge: EdgeId, _src: u32, tuple: Tuple) {
-        self.got.borrow_mut().push(*tuple.expect::<u32>());
+        self.got.lock().push(*tuple.expect::<u32>());
     }
 }
 
@@ -51,14 +51,14 @@ impl Operator for Sink {
 fn tuples_flow_from_source_to_sharded_sink() {
     let mut sim = Sim::new(0);
     let rt = make_runtime(&sim, 4);
-    let got = Rc::new(RefCell::new(Vec::new()));
+    let got = Arc::new(Lock::new(Vec::new()));
     let mut g = GraphBuilder::new("flow");
     let src = g.node("src", vec![HostId(0)], |_| Box::new(NullOperator));
     let dst = g.node("dst", vec![HostId(1), HostId(2)], {
-        let got = Rc::clone(&got);
+        let got = Arc::clone(&got);
         move |_| {
             Box::new(Sink {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             })
         }
     });
@@ -69,10 +69,10 @@ fn tuples_flow_from_source_to_sharded_sink() {
         Box::new(Source { edge: e, count: 10 })
     });
     let _dst = g2.node("dst", vec![HostId(1), HostId(2)], {
-        let got = Rc::clone(&got);
+        let got = Arc::clone(&got);
         move |_| {
             Box::new(Sink {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             })
         }
     });
@@ -82,7 +82,7 @@ fn tuples_flow_from_source_to_sharded_sink() {
     let run = rt.launch(&graph, HostId(0));
     sim.spawn("client", async move { run.await_done().await });
     sim.run_to_quiescence();
-    let mut vals = got.borrow().clone();
+    let mut vals = got.lock().clone();
     vals.sort_unstable();
     assert_eq!(vals, (0..10).collect::<Vec<u32>>());
 }
@@ -116,12 +116,12 @@ impl Operator for Scatter {
 }
 
 struct Gather {
-    got: Rc<RefCell<Vec<u32>>>,
+    got: Arc<Lock<Vec<u32>>>,
 }
 
 impl Operator for Gather {
     fn on_tuple(&mut self, _ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, tuple: Tuple) {
-        self.got.borrow_mut().push(*tuple.expect::<u32>());
+        self.got.lock().push(*tuple.expect::<u32>());
     }
 }
 
@@ -130,7 +130,7 @@ fn chained_sharded_computation_produces_n_parallel_flows() {
     const N: u32 = 8;
     let mut sim = Sim::new(0);
     let rt = make_runtime(&sim, 16);
-    let got = Rc::new(RefCell::new(Vec::new()));
+    let got = Arc::new(Lock::new(Vec::new()));
 
     let hosts_a: Vec<HostId> = (0..N).map(HostId).collect();
     let hosts_b: Vec<HostId> = (N..2 * N).map(HostId).collect();
@@ -156,10 +156,10 @@ fn chained_sharded_computation_produces_n_parallel_flows() {
         Box::new(Forward { out: e_res })
     });
     let result = g.node("Result", vec![HostId(0)], {
-        let got = Rc::clone(&got);
+        let got = Arc::clone(&got);
         move |_| {
             Box::new(Gather {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             })
         }
     });
@@ -176,7 +176,7 @@ fn chained_sharded_computation_produces_n_parallel_flows() {
     sim.spawn("client", async move { run.await_done().await });
     sim.run_to_quiescence();
 
-    let mut vals = got.borrow().clone();
+    let mut vals = got.lock().clone();
     vals.sort_unstable();
     let want: Vec<u32> = (0..N).map(|d| d * 100 + 2).collect();
     assert_eq!(vals, want);
@@ -199,7 +199,7 @@ fn sparse_exchange_completes_all_shards() {
     }
     let mut sim = Sim::new(0);
     let rt = make_runtime(&sim, 17);
-    let got = Rc::new(RefCell::new(Vec::new()));
+    let got = Arc::new(Lock::new(Vec::new()));
     let mut g = GraphBuilder::new("sparse");
     let src = g.node("src", vec![HostId(16)], |_| Box::new(NullOperator));
     let dst = g.node("dst", (0..N).map(HostId).collect::<Vec<_>>(), |_| {
@@ -211,10 +211,10 @@ fn sparse_exchange_completes_all_shards() {
         Box::new(SparseSource { out: e })
     });
     let dst = g.node("dst", (0..N).map(HostId).collect::<Vec<_>>(), {
-        let got = Rc::clone(&got);
+        let got = Arc::clone(&got);
         move |_| {
             Box::new(Gather {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             })
         }
     });
@@ -224,7 +224,7 @@ fn sparse_exchange_completes_all_shards() {
     let client = sim.spawn("client", async move { run.await_done().await });
     sim.run_to_quiescence();
     assert!(client.is_finished());
-    assert_eq!(*got.borrow(), vec![99]);
+    assert_eq!(*got.lock(), vec![99]);
 }
 
 /// Two launches of the same graph run concurrently without interference
@@ -233,7 +233,7 @@ fn sparse_exchange_completes_all_shards() {
 fn concurrent_runs_are_isolated() {
     let mut sim = Sim::new(0);
     let rt = make_runtime(&sim, 4);
-    let got = Rc::new(RefCell::new(Vec::new()));
+    let got = Arc::new(Lock::new(Vec::new()));
     let mut g = GraphBuilder::new("t");
     let src = g.node("src", vec![HostId(0)], |_| Box::new(NullOperator));
     let dst = g.node("dst", vec![HostId(1)], |_| Box::new(NullOperator));
@@ -243,10 +243,10 @@ fn concurrent_runs_are_isolated() {
         Box::new(Source { edge: e, count: 5 })
     });
     let dst = g.node("dst", vec![HostId(1)], {
-        let got = Rc::clone(&got);
+        let got = Arc::clone(&got);
         move |_| {
             Box::new(Gather {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             })
         }
     });
@@ -260,7 +260,7 @@ fn concurrent_runs_are_isolated() {
     sim.spawn("c2", async move { r2.await_done().await });
     sim.run_to_quiescence();
     assert_eq!(rt.live_runs(), 0);
-    let mut vals = got.borrow().clone();
+    let mut vals = got.lock().clone();
     vals.sort_unstable();
     assert_eq!(vals, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
 }
@@ -287,7 +287,7 @@ fn async_emitter_sends_after_spawned_work() {
     }
     let mut sim = Sim::new(0);
     let rt = make_runtime(&sim, 4);
-    let got = Rc::new(RefCell::new(Vec::new()));
+    let got = Arc::new(Lock::new(Vec::new()));
     let mut g = GraphBuilder::new("a");
     let src = g.node("src", vec![HostId(0)], |_| Box::new(NullOperator));
     let dst = g.node("dst", vec![HostId(1)], |_| Box::new(NullOperator));
@@ -297,10 +297,10 @@ fn async_emitter_sends_after_spawned_work() {
         Box::new(AsyncSource { out: e })
     });
     let dst = g.node("dst", vec![HostId(1)], {
-        let got = Rc::clone(&got);
+        let got = Arc::clone(&got);
         move |_| {
             Box::new(Gather {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             })
         }
     });
@@ -309,7 +309,7 @@ fn async_emitter_sends_after_spawned_work() {
     let run = rt.launch(&graph, HostId(0));
     sim.spawn("client", async move { run.await_done().await });
     let end = sim.run_to_quiescence();
-    assert_eq!(*got.borrow(), vec![7]);
+    assert_eq!(*got.lock(), vec![7]);
     // The emission waited for the 1ms of simulated work.
     assert!(end >= pathways_sim::SimTime::ZERO + SimDuration::from_millis(1));
 }

@@ -2,8 +2,8 @@
 //! fan-out patterns complete, tuples are conserved, and sparse
 //! destinations terminate.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use pathways_sim::Lock;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -31,12 +31,12 @@ impl Operator for PatternSource {
 }
 
 struct CountingSink {
-    got: Rc<RefCell<u64>>,
+    got: Arc<Lock<u64>>,
 }
 
 impl Operator for CountingSink {
     fn on_tuple(&mut self, _c: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, t: Tuple) {
-        *self.got.borrow_mut() += t.expect::<u64>();
+        *self.got.lock() += t.expect::<u64>();
     }
 }
 
@@ -59,11 +59,11 @@ proptest! {
         let mut sim = Sim::new(0);
         let fabric = Fabric::new(
             sim.handle(),
-            Rc::new(ClusterSpec::config_b(hosts).build()),
+            Arc::new(ClusterSpec::config_b(hosts).build()),
             NetworkParams::tpu_cluster(),
         );
         let rt = PlaqueRuntime::new(fabric);
-        let got = Rc::new(RefCell::new(0u64));
+        let got = Arc::new(Lock::new(0u64));
         // Normalize: one plan entry per source shard, dsts in range.
         let plans: Vec<Vec<(u32, u8)>> = (0..src_shards)
             .map(|s| {
@@ -92,10 +92,10 @@ proptest! {
             })
         });
         let dst = {
-            let got = Rc::clone(&got);
+            let got = Arc::clone(&got);
             g.node("dst", dst_place, move |_| {
                 Box::new(CountingSink {
-                    got: Rc::clone(&got),
+                    got: Arc::clone(&got),
                 })
             })
         };
@@ -106,7 +106,7 @@ proptest! {
         let outcome = sim.run();
         prop_assert!(outcome.is_quiescent(), "stuck: {:?}", outcome);
         prop_assert!(client.is_finished());
-        prop_assert_eq!(*got.borrow(), expected);
+        prop_assert_eq!(*got.lock(), expected);
     }
 
     /// Graph size is O(nodes + edges) regardless of shard counts.
@@ -132,14 +132,14 @@ proptest! {
         let mut sim = Sim::new(0);
         let fabric = Fabric::new(
             sim.handle(),
-            Rc::new(ClusterSpec::config_b(hosts).build()),
+            Arc::new(ClusterSpec::config_b(hosts).build()),
             NetworkParams::tpu_cluster(),
         );
         let rt = PlaqueRuntime::new(fabric);
         let mut sums = Vec::new();
         for (i, n) in counts.iter().enumerate() {
-            let got = Rc::new(RefCell::new(0u64));
-            sums.push((Rc::clone(&got), *n as u64));
+            let got = Arc::new(Lock::new(0u64));
+            sums.push((Arc::clone(&got), *n as u64));
             let out = EdgeId(0);
             let n = *n;
             let mut g = GraphBuilder::new(format!("g{i}"));
@@ -150,10 +150,10 @@ proptest! {
                 })
             });
             let dst = {
-                let got = Rc::clone(&got);
+                let got = Arc::clone(&got);
                 g.node("dst", vec![HostId((i as u32 + 1) % hosts)], move |_| {
                     Box::new(CountingSink {
-                        got: Rc::clone(&got),
+                        got: Arc::clone(&got),
                     })
                 })
             };
@@ -164,7 +164,7 @@ proptest! {
         }
         prop_assert!(sim.run().is_quiescent());
         for (got, want) in sums {
-            prop_assert_eq!(*got.borrow(), want);
+            prop_assert_eq!(*got.lock(), want);
         }
     }
 }

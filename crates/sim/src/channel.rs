@@ -1,16 +1,20 @@
 //! Unbounded MPSC and oneshot channels for simulation tasks.
 //!
-//! These mirror the tokio channel APIs but are single-threaded and
-//! deterministic: messages are delivered in send order and receivers are
-//! woken through the executor's FIFO ready queue.
+//! These mirror the tokio channel APIs and run on both executor
+//! backends: under the deterministic backend messages are delivered in
+//! send order and receivers are woken through the executor's FIFO ready
+//! queue; under the threaded backend the same types are `Send`-safe and
+//! wakes are issued after the channel lock is released so a woken task
+//! can start on another worker immediately.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
 
 /// Error returned by [`Sender::send`] when the receiver was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,34 +57,39 @@ struct ChanInner<T> {
 
 /// Sending half of an unbounded channel. Cloneable.
 pub struct Sender<T> {
-    inner: Rc<RefCell<ChanInner<T>>>,
+    inner: Arc<Mutex<ChanInner<T>>>,
 }
 
 impl<T> fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Sender")
-            .field("queued", &self.inner.borrow().queue.len())
+            .field("queued", &self.inner.lock().queue.len())
             .finish()
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.inner.borrow_mut().senders += 1;
+        self.inner.lock().senders += 1;
         Sender {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut inner = self.inner.borrow_mut();
-        inner.senders -= 1;
-        if inner.senders == 0 {
-            if let Some(w) = inner.recv_waker.take() {
-                w.wake();
+        let waker = {
+            let mut inner = self.inner.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                inner.recv_waker.take()
+            } else {
+                None
             }
+        };
+        if let Some(w) = waker {
+            w.wake();
         }
     }
 }
@@ -92,12 +101,15 @@ impl<T> Sender<T> {
     ///
     /// Returns the message back if the receiver was dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut inner = self.inner.borrow_mut();
-        if !inner.receiver_alive {
-            return Err(SendError(value));
-        }
-        inner.queue.push_back(value);
-        if let Some(w) = inner.recv_waker.take() {
+        let waker = {
+            let mut inner = self.inner.lock();
+            if !inner.receiver_alive {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            inner.recv_waker.take()
+        };
+        if let Some(w) = waker {
             w.wake();
         }
         Ok(())
@@ -105,26 +117,26 @@ impl<T> Sender<T> {
 
     /// Returns true if the receiving half is still alive.
     pub fn is_open(&self) -> bool {
-        self.inner.borrow().receiver_alive
+        self.inner.lock().receiver_alive
     }
 }
 
 /// Receiving half of an unbounded channel.
 pub struct Receiver<T> {
-    inner: Rc<RefCell<ChanInner<T>>>,
+    inner: Arc<Mutex<ChanInner<T>>>,
 }
 
 impl<T> fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Receiver")
-            .field("queued", &self.inner.borrow().queue.len())
+            .field("queued", &self.inner.lock().queue.len())
             .finish()
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.inner.borrow_mut().receiver_alive = false;
+        self.inner.lock().receiver_alive = false;
     }
 }
 
@@ -142,7 +154,7 @@ impl<T> Receiver<T> {
     /// [`TryRecvError::Empty`] if no message is queued,
     /// [`TryRecvError::Disconnected`] if the channel is closed and empty.
     pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         match inner.queue.pop_front() {
             Some(v) => Ok(v),
             None if inner.senders == 0 => Err(TryRecvError::Disconnected),
@@ -152,7 +164,7 @@ impl<T> Receiver<T> {
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.inner.borrow().queue.len()
+        self.inner.lock().queue.len()
     }
 
     /// Returns true if no messages are queued.
@@ -176,7 +188,7 @@ impl<T> Future for Recv<'_, T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
-        let mut inner = self.receiver.inner.borrow_mut();
+        let mut inner = self.receiver.inner.lock();
         match inner.queue.pop_front() {
             Some(v) => Poll::Ready(Some(v)),
             None if inner.senders == 0 => Poll::Ready(None),
@@ -205,7 +217,7 @@ impl<T> Future for Recv<'_, T> {
 /// assert_eq!(consumer.try_take().unwrap(), Some(7));
 /// ```
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-    let inner = Rc::new(RefCell::new(ChanInner {
+    let inner = Arc::new(Mutex::new(ChanInner {
         queue: VecDeque::new(),
         recv_waker: None,
         senders: 1,
@@ -213,7 +225,7 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     }));
     (
         Sender {
-            inner: Rc::clone(&inner),
+            inner: Arc::clone(&inner),
         },
         Receiver { inner },
     )
@@ -232,7 +244,7 @@ struct OneshotInner<T> {
 
 /// Sending half of a oneshot channel.
 pub struct OneshotSender<T> {
-    inner: Rc<RefCell<OneshotInner<T>>>,
+    inner: Arc<Mutex<OneshotInner<T>>>,
 }
 
 impl<T> fmt::Debug for OneshotSender<T> {
@@ -244,7 +256,7 @@ impl<T> fmt::Debug for OneshotSender<T> {
 /// Receiving half of a oneshot channel; a future yielding
 /// `Result<T, RecvError>`.
 pub struct OneshotReceiver<T> {
-    inner: Rc<RefCell<OneshotInner<T>>>,
+    inner: Arc<Mutex<OneshotInner<T>>>,
 }
 
 impl<T> fmt::Debug for OneshotReceiver<T> {
@@ -272,12 +284,15 @@ impl<T> OneshotSender<T> {
     ///
     /// Returns the value back if the receiver was dropped.
     pub fn send(self, value: T) -> Result<(), T> {
-        let mut inner = self.inner.borrow_mut();
-        if !inner.receiver_alive {
-            return Err(value);
-        }
-        inner.value = Some(value);
-        if let Some(w) = inner.waker.take() {
+        let waker = {
+            let mut inner = self.inner.lock();
+            if !inner.receiver_alive {
+                return Err(value);
+            }
+            inner.value = Some(value);
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
             w.wake();
         }
         Ok(())
@@ -286,9 +301,12 @@ impl<T> OneshotSender<T> {
 
 impl<T> Drop for OneshotSender<T> {
     fn drop(&mut self) {
-        let mut inner = self.inner.borrow_mut();
-        inner.sender_alive = false;
-        if let Some(w) = inner.waker.take() {
+        let waker = {
+            let mut inner = self.inner.lock();
+            inner.sender_alive = false;
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
             w.wake();
         }
     }
@@ -296,7 +314,7 @@ impl<T> Drop for OneshotSender<T> {
 
 impl<T> Drop for OneshotReceiver<T> {
     fn drop(&mut self) {
-        self.inner.borrow_mut().receiver_alive = false;
+        self.inner.lock().receiver_alive = false;
     }
 }
 
@@ -304,7 +322,7 @@ impl<T> Future for OneshotReceiver<T> {
     type Output = Result<T, RecvError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         if let Some(v) = inner.value.take() {
             Poll::Ready(Ok(v))
         } else if !inner.sender_alive {
@@ -333,7 +351,7 @@ impl<T> Future for OneshotReceiver<T> {
 /// assert_eq!(r.try_take().unwrap(), Ok("done"));
 /// ```
 pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
-    let inner = Rc::new(RefCell::new(OneshotInner {
+    let inner = Arc::new(Mutex::new(OneshotInner {
         value: None,
         waker: None,
         sender_alive: true,
@@ -341,7 +359,7 @@ pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
     }));
     (
         OneshotSender {
-            inner: Rc::clone(&inner),
+            inner: Arc::clone(&inner),
         },
         OneshotReceiver { inner },
     )
@@ -350,7 +368,7 @@ pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::Sim;
+    use crate::exec::Sim;
     use crate::time::SimDuration;
 
     #[test]

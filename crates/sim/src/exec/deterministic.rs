@@ -1,0 +1,525 @@
+//! The deterministic virtual-time backend.
+//!
+//! A [`Sim`] owns a set of tasks and a virtual clock. Tasks are ordinary
+//! Rust futures that sleep on virtual timers via
+//! [`SimHandle::sleep`](super::SimHandle::sleep) and communicate through
+//! the channels in [`crate::channel`] and the primitives in
+//! [`crate::sync`]. Everything runs on the calling thread; futures are
+//! `Send` only so the identical code also runs on the threaded backend.
+//!
+//! Execution is deterministic: the ready queue is FIFO, timers fire in
+//! `(deadline, registration order)`, and the only randomness available
+//! to tasks is the seeded RNG in
+//! [`SimHandle::rng_u64`](super::SimHandle::rng_u64). Running the same
+//! program twice produces identical traces, which is what makes the
+//! paper's trace figures (Figure 9/10/12) exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use pathways_sim::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new(42);
+//! let h = sim.handle();
+//! let task = sim.spawn("worker", async move {
+//!     h.sleep(SimDuration::from_micros(10)).await;
+//!     h.now()
+//! });
+//! let outcome = sim.run();
+//! assert!(outcome.is_quiescent());
+//! assert_eq!(task.try_take().unwrap().as_nanos(), 10_000);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::hash::FxHashMap;
+use crate::time::SimTime;
+use crate::trace::TraceLog;
+use crate::wheel::TimerWheel;
+
+use super::{
+    Backend, ExecutorBackend, ExecutorRef, IdleToken, JoinHandle, RunOutcome, SimHandle,
+    TaskFuture, TaskId,
+};
+
+/// Queue of task ids woken and awaiting a poll.
+///
+/// Kept outside the main state mutex so wakers never contend with (or
+/// re-enter) a locked executor: `wake` only ever touches this queue.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+struct TaskEntry {
+    name: String,
+    future: TaskFuture,
+    idle: Option<IdleToken>,
+}
+
+struct DetState {
+    now: SimTime,
+    timers: TimerWheel<Waker>,
+    tasks: FxHashMap<TaskId, TaskEntry>,
+    next_task: u64,
+    next_seq: u64,
+    rng: StdRng,
+    trace: TraceLog,
+    /// Total number of task polls performed (for introspection/benches).
+    polls: u64,
+}
+
+impl DetState {
+    fn register_timer(&mut self, deadline: SimTime, waker: Waker) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.timers.insert(deadline, seq, waker);
+    }
+}
+
+/// Shared core: the backend object handles point at.
+struct DetCore {
+    state: Mutex<DetState>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl ExecutorBackend for DetCore {
+    fn backend(&self) -> Backend {
+        Backend::Deterministic
+    }
+
+    fn now(&self) -> SimTime {
+        self.state.lock().now
+    }
+
+    fn spawn_task(&self, name: String, idle: Option<IdleToken>, future: TaskFuture) -> TaskId {
+        let id = {
+            let mut st = self.state.lock();
+            let id = TaskId(st.next_task);
+            st.next_task += 1;
+            st.tasks.insert(id, TaskEntry { name, future, idle });
+            id
+        };
+        self.ready.push(id);
+        id
+    }
+
+    fn abort_task(&self, id: TaskId) {
+        self.state.lock().tasks.remove(&id);
+    }
+
+    fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        self.state.lock().register_timer(deadline, waker);
+    }
+
+    fn rng_u64(&self) -> u64 {
+        self.state.lock().rng.random()
+    }
+
+    fn rng_range(&self, bound: u64) -> u64 {
+        self.state.lock().rng.random_range(0..bound)
+    }
+
+    fn with_trace_log(&self, f: &mut dyn FnMut(&mut TraceLog)) {
+        f(&mut self.state.lock().trace)
+    }
+
+    fn poll_count(&self) -> u64 {
+        self.state.lock().polls
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// See the module documentation for an overview and example.
+pub struct Sim {
+    core: Arc<DetCore>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.core.state.lock();
+        f.debug_struct("Sim")
+            .field("now", &st.now)
+            .field("live_tasks", &st.tasks.len())
+            .field("pending_timers", &st.timers.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Arc::new(DetCore {
+                state: Mutex::new(DetState {
+                    now: SimTime::ZERO,
+                    timers: TimerWheel::new(),
+                    tasks: FxHashMap::default(),
+                    next_task: 0,
+                    next_seq: 0,
+                    rng: StdRng::seed_from_u64(seed),
+                    trace: TraceLog::new(),
+                    polls: 0,
+                }),
+                ready: Arc::new(ReadyQueue::default()),
+            }),
+        }
+    }
+
+    /// Returns a cloneable handle for use inside tasks.
+    pub fn handle(&self) -> SimHandle {
+        let weak: Weak<DetCore> = Arc::downgrade(&self.core);
+        SimHandle::from_backend(weak)
+    }
+
+    /// Spawns a task and returns a handle to its eventual output.
+    ///
+    /// The `name` is used in deadlock reports and traces.
+    pub fn spawn<T: Send + 'static>(
+        &self,
+        name: impl Into<String>,
+        future: impl Future<Output = T> + Send + 'static,
+    ) -> JoinHandle<T> {
+        self.handle().spawn(name, future)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.state.lock().now
+    }
+
+    /// Number of task polls performed so far.
+    pub fn poll_count(&self) -> u64 {
+        self.core.state.lock().polls
+    }
+
+    /// Takes the accumulated trace events, leaving the log empty.
+    pub fn take_trace(&self) -> TraceLog {
+        std::mem::take(&mut self.core.state.lock().trace)
+    }
+
+    /// Runs until every task completes or no further progress is possible.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until_time(SimTime::MAX)
+    }
+
+    /// Runs until quiescence, deadlock, or the clock reaching `limit`
+    /// (whichever comes first). Timers beyond `limit` are left pending.
+    pub fn run_until_time(&mut self, limit: SimTime) -> RunOutcome {
+        // One waker buffer for the whole run: `pop_batch_into` refills
+        // it in place, so advancing time allocates nothing.
+        let mut wakers = Vec::new();
+        loop {
+            // Drain the ready queue in FIFO order.
+            while let Some(id) = self.core.ready.pop() {
+                self.poll_task(id);
+            }
+            // Advance virtual time to the next deadline, taking *every*
+            // timer that shares it in one batch pop (one wheel operation
+            // per simulated instant instead of one heap pop per timer).
+            let fired = {
+                let mut st = self.core.state.lock();
+                match st.timers.pop_batch_into(limit, &mut wakers) {
+                    Some(deadline) => {
+                        debug_assert!(deadline >= st.now, "timer in the past");
+                        st.now = deadline.max(st.now);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !fired {
+                break;
+            }
+            // Wake each timer and drain the ready queue before the
+            // next waker fires — the exact interleaving of the old
+            // pop-per-timer loop. Nothing can join this batch
+            // mid-drain: `Sleep` never registers a timer at
+            // `deadline == now`.
+            for waker in wakers.drain(..) {
+                waker.wake();
+                while let Some(id) = self.core.ready.pop() {
+                    self.poll_task(id);
+                }
+            }
+        }
+        let st = self.core.state.lock();
+        if st.tasks.is_empty() || !st.timers.is_empty() {
+            // All done, or stopped by the time limit with timers pending.
+            RunOutcome::Quiescent { time: st.now }
+        } else {
+            let mut stuck: Vec<String> = st
+                .tasks
+                .values()
+                .filter(|t| !t.idle.as_ref().is_some_and(IdleToken::is_idle))
+                .map(|t| t.name.clone())
+                .collect();
+            stuck.sort();
+            if stuck.is_empty() {
+                // Only parked service tasks remain: quiescent.
+                RunOutcome::Quiescent { time: st.now }
+            } else {
+                RunOutcome::Deadlock {
+                    time: st.now,
+                    stuck_tasks: stuck,
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation and panics with the stuck-task list if it
+    /// deadlocks. Convenient in tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks.
+    pub fn run_to_quiescence(&mut self) -> SimTime {
+        match self.run() {
+            RunOutcome::Quiescent { time } => time,
+            RunOutcome::Deadlock { time, stuck_tasks } => {
+                panic!("simulation deadlocked at {time} with stuck tasks: {stuck_tasks:?}")
+            }
+        }
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        // Remove the task so the state lock is released while polling;
+        // the polled future may spawn tasks or register timers.
+        let entry = self.core.state.lock().tasks.remove(&id);
+        let Some(mut entry) = entry else {
+            return; // already completed; stale wake
+        };
+        self.core.state.lock().polls += 1;
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.core.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match entry.future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.core.state.lock().tasks.insert(id, entry);
+            }
+        }
+    }
+}
+
+impl ExecutorRef for Sim {
+    fn executor_handle(&self) -> SimHandle {
+        self.handle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::join_all;
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn empty_sim_is_quiescent_at_zero() {
+        let mut sim = Sim::new(0);
+        let outcome = sim.run();
+        assert_eq!(
+            outcome,
+            RunOutcome::Quiescent {
+                time: SimTime::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn("sleeper", async move {
+            h.sleep(SimDuration::from_millis(5)).await;
+        });
+        let t = sim.run_to_quiescence();
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn sleeps_compose_sequentially() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let jh = sim.spawn("seq", async move {
+            h.sleep(SimDuration::from_micros(3)).await;
+            let mid = h.now();
+            h.sleep(SimDuration::from_micros(4)).await;
+            (mid, h.now())
+        });
+        sim.run_to_quiescence();
+        let (mid, end) = jh.try_take().unwrap();
+        assert_eq!(mid.as_nanos(), 3_000);
+        assert_eq!(end.as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn concurrent_tasks_interleave_by_deadline() {
+        let mut sim = Sim::new(0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (name, delay) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let h = sim.handle();
+            let order = Arc::clone(&order);
+            sim.spawn(name, async move {
+                h.sleep(SimDuration::from_micros(delay)).await;
+                order.lock().push(name);
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*order.lock(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn join_handle_returns_output() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let inner = sim.spawn("inner", async move {
+            h.sleep(SimDuration::from_micros(1)).await;
+            41
+        });
+        let outer = sim.spawn("outer", async move { inner.await + 1 });
+        sim.run_to_quiescence();
+        assert_eq!(outer.try_take(), Some(42));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reports_task_names() {
+        let mut sim = Sim::new(0);
+        let (_tx, mut rx) = crate::channel::channel::<u32>();
+        sim.spawn("waiter", async move {
+            // _tx is never used to send and never dropped before run, so
+            // this blocks forever.
+            let _ = rx.recv().await;
+        });
+        match sim.run() {
+            RunOutcome::Deadlock { stuck_tasks, .. } => {
+                assert_eq!(stuck_tasks, vec!["waiter".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_removes_task() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let flag = Arc::new(Mutex::new(false));
+        let flag2 = Arc::clone(&flag);
+        let jh = sim.spawn("doomed", async move {
+            h.sleep(SimDuration::from_secs(1)).await;
+            *flag2.lock() = true;
+        });
+        jh.abort();
+        let outcome = sim.run();
+        assert!(outcome.is_quiescent());
+        assert!(!*flag.lock());
+        assert!(!jh.is_finished());
+    }
+
+    #[test]
+    fn run_until_time_stops_early() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn("late", async move {
+            h.sleep(SimDuration::from_secs(10)).await;
+        });
+        let out = sim.run_until_time(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(out.is_quiescent());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        // Resuming without a limit finishes the task.
+        assert!(sim.run().is_quiescent());
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn yield_now_round_robins_ready_tasks() {
+        let mut sim = Sim::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for name in ["x", "y"] {
+            let h = sim.handle();
+            let log = Arc::clone(&log);
+            sim.spawn(name, async move {
+                for i in 0..2 {
+                    log.lock().push(format!("{name}{i}"));
+                    h.yield_now().await;
+                }
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*log.lock(), vec!["x0", "y0", "x1", "y1"]);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let draw = |seed| {
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            (h.rng_u64(), h.rng_range(100))
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7).0, draw(8).0);
+    }
+
+    #[test]
+    fn join_all_collects_in_order() {
+        let mut sim = Sim::new(0);
+        let mut handles = Vec::new();
+        for i in 0..5u64 {
+            let h = sim.handle();
+            handles.push(sim.spawn(format!("t{i}"), async move {
+                // Later tasks finish earlier; join_all must preserve order.
+                h.sleep(SimDuration::from_micros(10 - i)).await;
+                i
+            }));
+        }
+        let joined = sim.spawn("join", async move { join_all(handles).await });
+        sim.run_to_quiescence();
+        assert_eq!(joined.try_take().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_duration_sleep_completes_without_time_advance() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn("zero", async move {
+            h.sleep(SimDuration::ZERO).await;
+        });
+        assert_eq!(sim.run_to_quiescence(), SimTime::ZERO);
+    }
+}

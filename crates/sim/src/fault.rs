@@ -19,28 +19,29 @@
 //!
 //! ```
 //! use pathways_sim::{FaultPlan, Sim, SimDuration, SimTime};
-//! use std::cell::RefCell;
-//! use std::rc::Rc;
+//! use parking_lot::Mutex;
+//! use std::sync::Arc;
 //!
 //! let mut sim = Sim::new(0);
-//! let hits: Rc<RefCell<Vec<(u64, &str)>>> = Rc::default();
-//! let hits2 = Rc::clone(&hits);
+//! let hits: Arc<Mutex<Vec<(u64, &str)>>> = Arc::default();
+//! let hits2 = Arc::clone(&hits);
 //! FaultPlan::new()
 //!     .at(SimTime::from_nanos(2_000), "kill-b")
 //!     .at(SimTime::from_nanos(1_000), "kill-a")
 //!     .spawn(&sim.handle(), move |at, fault| {
-//!         hits2.borrow_mut().push((at.as_nanos(), fault));
+//!         hits2.lock().push((at.as_nanos(), fault));
 //!     });
 //! sim.run_to_quiescence();
 //! // Entries fire in virtual-time order regardless of insertion order.
-//! assert_eq!(*hits.borrow(), vec![(1_000, "kill-a"), (2_000, "kill-b")]);
+//! assert_eq!(*hits.lock(), vec![(1_000, "kill-a"), (2_000, "kill-b")]);
 //! ```
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use crate::executor::{JoinHandle, SimHandle};
+use parking_lot::Mutex;
+
+use crate::exec::{JoinHandle, SimHandle};
 use crate::time::SimTime;
 
 /// When and why a [`FaultSignal`] fired.
@@ -56,13 +57,13 @@ pub struct FaultStamp {
 /// forever. Cloneable; all clones observe the same state.
 #[derive(Clone, Default)]
 pub struct FaultSignal {
-    inner: Rc<RefCell<Option<FaultStamp>>>,
+    inner: Arc<Mutex<Option<FaultStamp>>>,
 }
 
 impl fmt::Debug for FaultSignal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FaultSignal")
-            .field("fired", &self.inner.borrow().as_ref().map(|s| s.at))
+            .field("fired", &self.inner.lock().as_ref().map(|s| s.at))
             .finish()
     }
 }
@@ -75,7 +76,7 @@ impl FaultSignal {
 
     /// Fires the signal. Idempotent: the first stamp wins.
     pub fn fire(&self, at: SimTime, reason: impl Into<String>) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         if inner.is_none() {
             *inner = Some(FaultStamp {
                 at,
@@ -86,12 +87,12 @@ impl FaultSignal {
 
     /// True once the signal has fired.
     pub fn is_failed(&self) -> bool {
-        self.inner.borrow().is_some()
+        self.inner.lock().is_some()
     }
 
     /// The stamp of the fault, if fired.
     pub fn stamp(&self) -> Option<FaultStamp> {
-        self.inner.borrow().clone()
+        self.inner.lock().clone()
     }
 }
 
@@ -119,7 +120,7 @@ impl<F> Default for FaultPlan<F> {
     }
 }
 
-impl<F: 'static> FaultPlan<F> {
+impl<F: Send + 'static> FaultPlan<F> {
     /// An empty plan.
     pub fn new() -> Self {
         Self::default()
@@ -158,7 +159,7 @@ impl<F: 'static> FaultPlan<F> {
     pub fn spawn(
         mut self,
         handle: &SimHandle,
-        mut apply: impl FnMut(SimTime, F) + 'static,
+        mut apply: impl FnMut(SimTime, F) + Send + 'static,
     ) -> JoinHandle<()> {
         // Stable sort: same-instant faults apply in insertion order.
         self.entries.sort_by_key(|(t, _)| *t);
@@ -175,7 +176,7 @@ impl<F: 'static> FaultPlan<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::Sim;
+    use crate::exec::Sim;
     use crate::time::SimDuration;
 
     #[test]
@@ -195,8 +196,8 @@ mod tests {
     #[test]
     fn plan_applies_in_time_order_with_stable_ties() {
         let mut sim = Sim::new(0);
-        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::default();
-        let log2 = Rc::clone(&log);
+        let log: Arc<Mutex<Vec<(u64, u32)>>> = Arc::default();
+        let log2 = Arc::clone(&log);
         let t = |us: u64| SimTime::ZERO + SimDuration::from_micros(us);
         FaultPlan::new()
             .at(t(3), 30u32)
@@ -204,10 +205,10 @@ mod tests {
             .at(t(3), 31)
             .at(t(2), 20)
             .spawn(&sim.handle(), move |at, f| {
-                log2.borrow_mut().push((at.as_nanos() / 1_000, f));
+                log2.lock().push((at.as_nanos() / 1_000, f));
             });
         sim.run_to_quiescence();
-        assert_eq!(*log.borrow(), vec![(1, 10), (2, 20), (3, 30), (3, 31)]);
+        assert_eq!(*log.lock(), vec![(1, 10), (2, 20), (3, 30), (3, 31)]);
     }
 
     #[test]

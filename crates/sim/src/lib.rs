@@ -36,18 +36,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod channel;
-mod executor;
+pub mod exec;
 pub mod fault;
 pub mod hash;
+pub mod lock;
 pub mod sync;
 mod time;
 pub mod trace;
 mod wheel;
 
-pub use executor::{
-    join_all, IdleToken, JoinHandle, RunOutcome, Sim, SimHandle, Sleep, TaskId, YieldNow,
+pub use exec::{
+    join_all, Backend, Executor, ExecutorBackend, ExecutorKind, ExecutorRef, IdleToken, JoinHandle,
+    RunOutcome, Sim, SimHandle, Sleep, TaskId, ThreadedExecutor, YieldNow,
 };
 pub use fault::{FaultPlan, FaultSignal, FaultStamp};
 pub use hash::{FxHashMap, FxHashSet};
+pub use lock::{contention_profile, reset_contention_profile, Lock, LockGuard, LockProfile};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLog, TraceSpan};

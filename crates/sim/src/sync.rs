@@ -1,15 +1,18 @@
 //! Synchronization primitives for simulation tasks.
 //!
-//! All primitives are deterministic and FIFO-fair: waiters are released in
-//! the order they first polled.
+//! All primitives are FIFO-fair — waiters are released in the order they
+//! first polled — and run on both executor backends: deterministic under
+//! the virtual-time backend, `Send`-safe (wakes issued after internal
+//! locks are released) under the threaded one.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
 
 /// A counting semaphore with FIFO-fair acquisition.
 ///
@@ -37,13 +40,13 @@ use std::task::{Context, Poll, Waker};
 /// ```
 #[derive(Clone)]
 pub struct Semaphore {
-    inner: Rc<RefCell<SemInner>>,
+    inner: Arc<Mutex<SemInner>>,
 }
 
 struct SemInner {
     permits: u64,
     // (amount requested, state shared with the waiting future)
-    waiters: VecDeque<Rc<RefCell<WaitState>>>,
+    waiters: VecDeque<Arc<Mutex<WaitState>>>,
 }
 
 struct WaitState {
@@ -55,7 +58,7 @@ struct WaitState {
 
 impl fmt::Debug for Semaphore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         f.debug_struct("Semaphore")
             .field("permits", &inner.permits)
             .field("waiters", &inner.waiters.len())
@@ -67,7 +70,7 @@ impl Semaphore {
     /// Creates a semaphore holding `permits` permits.
     pub fn new(permits: u64) -> Self {
         Semaphore {
-            inner: Rc::new(RefCell::new(SemInner {
+            inner: Arc::new(Mutex::new(SemInner {
                 permits,
                 waiters: VecDeque::new(),
             })),
@@ -76,12 +79,12 @@ impl Semaphore {
 
     /// Currently available permits.
     pub fn available(&self) -> u64 {
-        self.inner.borrow().permits
+        self.inner.lock().permits
     }
 
     /// Number of queued waiters.
     pub fn waiters(&self) -> usize {
-        self.inner.borrow().waiters.len()
+        self.inner.lock().waiters.len()
     }
 
     /// Acquires `amount` permits, waiting FIFO-fairly if unavailable.
@@ -97,7 +100,7 @@ impl Semaphore {
 
     /// Attempts to acquire permits without waiting.
     pub fn try_acquire(&self, amount: u64) -> Option<Permit> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock();
         // Respect FIFO fairness: cannot jump the queue.
         if inner.waiters.is_empty() && inner.permits >= amount {
             inner.permits -= amount;
@@ -114,7 +117,7 @@ impl Semaphore {
     /// an island at runtime).
     pub fn add_permits(&self, amount: u64) {
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock();
             inner.permits += amount;
         }
         self.grant_waiters();
@@ -123,19 +126,19 @@ impl Semaphore {
     fn grant_waiters(&self) {
         loop {
             let waker = {
-                let mut inner = self.inner.borrow_mut();
+                let mut inner = self.inner.lock();
                 // Drop cancelled waiters at the head.
-                while matches!(inner.waiters.front(), Some(w) if w.borrow().cancelled) {
+                while matches!(inner.waiters.front(), Some(w) if w.lock().cancelled) {
                     inner.waiters.pop_front();
                 }
                 let front = match inner.waiters.pop_front() {
                     Some(w) => w,
                     None => return,
                 };
-                let amount = front.borrow().amount;
+                let amount = front.lock().amount;
                 if inner.permits >= amount {
                     inner.permits -= amount;
-                    let mut st = front.borrow_mut();
+                    let mut st = front.lock();
                     st.granted = true;
                     st.waker.take()
                 } else {
@@ -155,7 +158,7 @@ impl Semaphore {
 pub struct Acquire {
     sem: Semaphore,
     amount: u64,
-    state: Option<Rc<RefCell<WaitState>>>,
+    state: Option<Arc<Mutex<WaitState>>>,
 }
 
 impl fmt::Debug for Acquire {
@@ -173,8 +176,8 @@ impl Future for Acquire {
         if self.state.is_none() {
             // First poll: either take permits immediately (if nobody is
             // queued ahead) or join the FIFO queue.
-            let inner_rc = Rc::clone(&self.sem.inner);
-            let mut inner = inner_rc.borrow_mut();
+            let inner_rc = Arc::clone(&self.sem.inner);
+            let mut inner = inner_rc.lock();
             if inner.waiters.is_empty() && inner.permits >= self.amount {
                 inner.permits -= self.amount;
                 return Poll::Ready(Permit {
@@ -182,18 +185,18 @@ impl Future for Acquire {
                     amount: self.amount,
                 });
             }
-            let state = Rc::new(RefCell::new(WaitState {
+            let state = Arc::new(Mutex::new(WaitState {
                 amount: self.amount,
                 granted: false,
                 cancelled: false,
                 waker: Some(cx.waker().clone()),
             }));
-            inner.waiters.push_back(Rc::clone(&state));
+            inner.waiters.push_back(Arc::clone(&state));
             self.state = Some(state);
             return Poll::Pending;
         }
-        let state = self.state.as_ref().expect("state set above");
-        let mut st = state.borrow_mut();
+        let state = Arc::clone(self.state.as_ref().expect("state set above"));
+        let mut st = state.lock();
         if st.granted {
             st.granted = false; // permit ownership moves into the Permit
             drop(st);
@@ -213,11 +216,11 @@ impl Future for Acquire {
 impl Drop for Acquire {
     fn drop(&mut self) {
         if let Some(state) = self.state.take() {
-            let mut st = state.borrow_mut();
+            let mut st = state.lock();
             if st.granted {
                 // Permits were granted but never observed; return them.
                 drop(st);
-                self.sem.inner.borrow_mut().permits += self.amount;
+                self.sem.inner.lock().permits += self.amount;
                 self.sem.grant_waiters();
             } else {
                 st.cancelled = true;
@@ -252,7 +255,7 @@ impl Permit {
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        self.sem.inner.borrow_mut().permits += self.amount;
+        self.sem.inner.lock().permits += self.amount;
         self.sem.grant_waiters();
     }
 }
@@ -264,14 +267,14 @@ impl Drop for Permit {
 /// Wakes one or all waiting tasks; a minimal condition-variable analogue.
 #[derive(Clone, Default)]
 pub struct Notify {
-    inner: Rc<RefCell<NotifyInner>>,
+    inner: Arc<Mutex<NotifyInner>>,
 }
 
 #[derive(Default)]
 struct NotifyInner {
     // Pending notifications that arrived while nobody was waiting.
     stored: usize,
-    waiters: VecDeque<Rc<RefCell<NotifyWait>>>,
+    waiters: VecDeque<Arc<Mutex<NotifyWait>>>,
 }
 
 struct NotifyWait {
@@ -281,7 +284,7 @@ struct NotifyWait {
 
 impl fmt::Debug for Notify {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         f.debug_struct("Notify")
             .field("stored", &inner.stored)
             .field("waiters", &inner.waiters.len())
@@ -298,9 +301,9 @@ impl Notify {
     /// Wakes the oldest waiter, or stores the notification if none.
     pub fn notify_one(&self) {
         let waker = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock();
             if let Some(w) = inner.waiters.pop_front() {
-                let mut st = w.borrow_mut();
+                let mut st = w.lock();
                 st.notified = true;
                 st.waker.take()
             } else {
@@ -316,12 +319,12 @@ impl Notify {
     /// Wakes every currently-registered waiter (does not store).
     pub fn notify_waiters(&self) {
         let wakers: Vec<_> = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock();
             inner
                 .waiters
                 .drain(..)
                 .filter_map(|w| {
-                    let mut st = w.borrow_mut();
+                    let mut st = w.lock();
                     st.notified = true;
                     st.waker.take()
                 })
@@ -344,7 +347,7 @@ impl Notify {
 /// Future returned by [`Notify::notified`].
 pub struct Notified {
     notify: Notify,
-    state: Option<Rc<RefCell<NotifyWait>>>,
+    state: Option<Arc<Mutex<NotifyWait>>>,
 }
 
 impl fmt::Debug for Notified {
@@ -358,22 +361,22 @@ impl Future for Notified {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.state.is_none() {
-            let inner_rc = Rc::clone(&self.notify.inner);
-            let mut inner = inner_rc.borrow_mut();
+            let inner_rc = Arc::clone(&self.notify.inner);
+            let mut inner = inner_rc.lock();
             if inner.stored > 0 {
                 inner.stored -= 1;
                 return Poll::Ready(());
             }
-            let st = Rc::new(RefCell::new(NotifyWait {
+            let st = Arc::new(Mutex::new(NotifyWait {
                 notified: false,
                 waker: Some(cx.waker().clone()),
             }));
-            inner.waiters.push_back(Rc::clone(&st));
+            inner.waiters.push_back(Arc::clone(&st));
             self.state = Some(st);
             return Poll::Pending;
         }
-        let st_rc = self.state.as_ref().expect("state set above");
-        let mut st = st_rc.borrow_mut();
+        let st_rc = Arc::clone(self.state.as_ref().expect("state set above"));
+        let mut st = st_rc.lock();
         if st.notified {
             Poll::Ready(())
         } else {
@@ -394,7 +397,7 @@ impl Future for Notified {
 /// the paper's sense: many consumers, one producer).
 #[derive(Clone, Default)]
 pub struct Event {
-    inner: Rc<RefCell<EventInner>>,
+    inner: Arc<Mutex<EventInner>>,
 }
 
 #[derive(Default)]
@@ -406,7 +409,7 @@ struct EventInner {
 impl fmt::Debug for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Event")
-            .field("set", &self.inner.borrow().set)
+            .field("set", &self.inner.lock().set)
             .finish()
     }
 }
@@ -420,7 +423,7 @@ impl Event {
     /// Fires the event, waking all waiters. Idempotent.
     pub fn set(&self) {
         let wakers = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock();
             if inner.set {
                 return;
             }
@@ -434,7 +437,7 @@ impl Event {
 
     /// True if the event has fired.
     pub fn is_set(&self) -> bool {
-        self.inner.borrow().set
+        self.inner.lock().set
     }
 
     /// Waits for the event to fire (immediately ready if it already has).
@@ -455,7 +458,7 @@ impl Future for EventWait {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        let mut inner = self.event.inner.borrow_mut();
+        let mut inner = self.event.inner.lock();
         if inner.set {
             Poll::Ready(())
         } else {
@@ -475,7 +478,7 @@ impl Future for EventWait {
 /// participants must arrive before any proceeds.
 #[derive(Clone)]
 pub struct Barrier {
-    inner: Rc<RefCell<BarrierInner>>,
+    inner: Arc<Mutex<BarrierInner>>,
 }
 
 struct BarrierInner {
@@ -487,7 +490,7 @@ struct BarrierInner {
 
 impl fmt::Debug for Barrier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock();
         f.debug_struct("Barrier")
             .field("n", &inner.n)
             .field("arrived", &inner.arrived)
@@ -504,7 +507,7 @@ impl Barrier {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier participant count must be positive");
         Barrier {
-            inner: Rc::new(RefCell::new(BarrierInner {
+            inner: Arc::new(Mutex::new(BarrierInner {
                 n,
                 arrived: 0,
                 generation: 0,
@@ -541,8 +544,8 @@ impl Future for BarrierWait {
     type Output = bool;
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
-        let inner_rc = Rc::clone(&self.barrier.inner);
-        let mut inner = inner_rc.borrow_mut();
+        let inner_rc = Arc::clone(&self.barrier.inner);
+        let mut inner = inner_rc.lock();
         match self.arrived_gen {
             None => {
                 let gen = inner.generation;
@@ -577,9 +580,9 @@ impl Future for BarrierWait {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::Sim;
+    use crate::exec::Sim;
     use crate::time::SimDuration;
-    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
     fn semaphore_serializes_critical_sections() {
@@ -601,7 +604,7 @@ mod tests {
     fn semaphore_is_fifo_fair_for_large_requests() {
         let mut sim = Sim::new(0);
         let sem = Semaphore::new(4);
-        let order = Rc::new(RefCell::new(Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
         let h0 = sim.handle();
         // Hold all 4 permits briefly.
         let sem_a = sem.clone();
@@ -614,22 +617,22 @@ mod tests {
         // must NOT overtake the large one.
         let h = sim.handle();
         let sem_b = sem.clone();
-        let order_b = Rc::clone(&order);
+        let order_b = Arc::clone(&order);
         sim.spawn("large", async move {
             h.sleep(SimDuration::from_micros(1)).await;
             let _p = sem_b.acquire(3).await;
-            order_b.borrow_mut().push("large");
+            order_b.lock().push("large");
         });
         let h = sim.handle();
         let sem_c = sem.clone();
-        let order_c = Rc::clone(&order);
+        let order_c = Arc::clone(&order);
         sim.spawn("small", async move {
             h.sleep(SimDuration::from_micros(2)).await;
             let _p = sem_c.acquire(1).await;
-            order_c.borrow_mut().push("small");
+            order_c.lock().push("small");
         });
         sim.run_to_quiescence();
-        assert_eq!(*order.borrow(), vec!["large", "small"]);
+        assert_eq!(*order.lock(), vec!["large", "small"]);
     }
 
     #[test]
@@ -690,13 +693,13 @@ mod tests {
     fn notify_waiters_wakes_all_registered() {
         let mut sim = Sim::new(0);
         let n = Notify::new();
-        let count = Rc::new(Cell::new(0));
+        let count = Arc::new(AtomicU32::new(0));
         for i in 0..3 {
             let n = n.clone();
-            let count = Rc::clone(&count);
+            let count = Arc::clone(&count);
             sim.spawn(format!("w{i}"), async move {
                 n.notified().await;
-                count.set(count.get() + 1);
+                count.fetch_add(1, Ordering::SeqCst);
             });
         }
         let n2 = n.clone();
@@ -706,23 +709,23 @@ mod tests {
             n2.notify_waiters();
         });
         sim.run_to_quiescence();
-        assert_eq!(count.get(), 3);
+        assert_eq!(count.load(Ordering::SeqCst), 3);
     }
 
     #[test]
     fn barrier_releases_all_at_once_with_single_leader() {
         let mut sim = Sim::new(0);
         let barrier = Barrier::new(3);
-        let leaders = Rc::new(Cell::new(0));
+        let leaders = Arc::new(AtomicU32::new(0));
         let mut handles = Vec::new();
         for i in 0..3u64 {
             let b = barrier.clone();
             let h = sim.handle();
-            let leaders = Rc::clone(&leaders);
+            let leaders = Arc::clone(&leaders);
             handles.push(sim.spawn(format!("p{i}"), async move {
                 h.sleep(SimDuration::from_micros(i * 10)).await;
                 if b.wait().await {
-                    leaders.set(leaders.get() + 1);
+                    leaders.fetch_add(1, Ordering::SeqCst);
                 }
                 h.now()
             }));
@@ -732,7 +735,7 @@ mod tests {
         for h in &handles {
             assert_eq!(h.try_take().unwrap().as_nanos(), 20_000);
         }
-        assert_eq!(leaders.get(), 1);
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -756,13 +759,13 @@ mod tests {
     fn event_wakes_all_waiters_and_stays_set() {
         let mut sim = Sim::new(0);
         let ev = Event::new();
-        let count = Rc::new(Cell::new(0));
+        let count = Arc::new(AtomicU32::new(0));
         for i in 0..3 {
             let ev = ev.clone();
-            let count = Rc::clone(&count);
+            let count = Arc::clone(&count);
             sim.spawn(format!("w{i}"), async move {
                 ev.wait().await;
-                count.set(count.get() + 1);
+                count.fetch_add(1, Ordering::SeqCst);
             });
         }
         let ev2 = ev.clone();
@@ -773,7 +776,7 @@ mod tests {
             ev2.set(); // idempotent
         });
         sim.run_to_quiescence();
-        assert_eq!(count.get(), 3);
+        assert_eq!(count.load(Ordering::SeqCst), 3);
         assert!(ev.is_set());
         // Late waiter resolves immediately.
         let mut sim2 = Sim::new(0);
@@ -801,8 +804,8 @@ mod tests {
             unreachable!("aborted before acquiring");
         });
         let h3 = sim.handle();
-        let doom_ref = Rc::new(doomed);
-        let doom2 = Rc::clone(&doom_ref);
+        let doom_ref = Arc::new(doomed);
+        let doom2 = Arc::clone(&doom_ref);
         sim.spawn("killer", async move {
             h3.sleep(SimDuration::from_micros(5)).await;
             doom2.abort();

@@ -12,8 +12,8 @@
 //!
 //! Run with: `cargo run --release --example moe_routing`
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use pathways_sim::Lock;
+use std::sync::Arc;
 
 use pathways::net::{ClusterSpec, Fabric, HostId, NetworkParams};
 use pathways::plaque::{EdgeId, GraphBuilder, Operator, PlaqueRuntime, ShardCtx, Tuple};
@@ -67,14 +67,14 @@ impl Operator for RouterOp {
 
 struct ExpertOp {
     to_combine: EdgeId,
-    processed: Rc<RefCell<Vec<u32>>>,
+    processed: Arc<Lock<Vec<u32>>>,
 }
 
 impl Operator for ExpertOp {
     fn on_tuple(&mut self, ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, tuple: Tuple) {
         let token = *tuple.expect::<TokenGroup>();
         let expert = ctx.shard();
-        self.processed.borrow_mut()[expert as usize] += 1;
+        self.processed.lock()[expert as usize] += 1;
         // "Expert FFN": transform the value; spawn nothing — the point
         // here is the routing topology, not device occupancy.
         let out = ExpertOutput {
@@ -87,14 +87,12 @@ impl Operator for ExpertOp {
 }
 
 struct CombineOp {
-    outputs: Rc<RefCell<Vec<ExpertOutput>>>,
+    outputs: Arc<Lock<Vec<ExpertOutput>>>,
 }
 
 impl Operator for CombineOp {
     fn on_tuple(&mut self, _ctx: &mut ShardCtx<'_>, _e: EdgeId, _s: u32, tuple: Tuple) {
-        self.outputs
-            .borrow_mut()
-            .push(*tuple.expect::<ExpertOutput>());
+        self.outputs.lock().push(*tuple.expect::<ExpertOutput>());
     }
 }
 
@@ -102,13 +100,13 @@ fn main() {
     let mut sim = Sim::new(0);
     let fabric = Fabric::new(
         sim.handle(),
-        Rc::new(ClusterSpec::config_b(2).build()),
+        Arc::new(ClusterSpec::config_b(2).build()),
         NetworkParams::tpu_cluster(),
     );
     let runtime = PlaqueRuntime::new(fabric);
 
-    let processed = Rc::new(RefCell::new(vec![0u32; EXPERTS as usize]));
-    let outputs = Rc::new(RefCell::new(Vec::new()));
+    let processed = Arc::new(Lock::new(vec![0u32; EXPERTS as usize]));
+    let outputs = Arc::new(Lock::new(Vec::new()));
 
     // Edges are created in declaration order: router->experts = 0,
     // experts->combine = 1.
@@ -119,21 +117,21 @@ fn main() {
         Box::new(RouterOp { to_experts })
     });
     let experts = {
-        let processed = Rc::clone(&processed);
+        let processed = Arc::clone(&processed);
         // Experts spread across both hosts: routing crosses the DCN.
         let placement: Vec<HostId> = (0..EXPERTS).map(|e| HostId(e % 2)).collect();
         g.node("experts", placement, move |_| {
             Box::new(ExpertOp {
                 to_combine,
-                processed: Rc::clone(&processed),
+                processed: Arc::clone(&processed),
             })
         })
     };
     let combine = {
-        let outputs = Rc::clone(&outputs);
+        let outputs = Arc::clone(&outputs);
         g.node("combine", vec![HostId(0)], move |_| {
             Box::new(CombineOp {
-                outputs: Rc::clone(&outputs),
+                outputs: Arc::clone(&outputs),
             })
         })
     };
@@ -153,10 +151,10 @@ fn main() {
     let end = sim.run_to_quiescence();
     assert!(job.is_finished());
 
-    let outputs = outputs.borrow();
+    let outputs = outputs.lock();
     println!("routed {TOKENS} token groups in {end} of simulated time");
     println!("tokens per expert (data-dependent, learned gating):");
-    for (e, n) in processed.borrow().iter().enumerate() {
+    for (e, n) in processed.lock().iter().enumerate() {
         println!("  expert {e}: {n:>3} tokens  {}", "#".repeat(*n as usize));
     }
     assert_eq!(outputs.len(), TOKENS as usize);
@@ -169,7 +167,7 @@ fn main() {
     // Pause to appreciate what did NOT happen: experts that received
     // few (or no) tokens never needed a dense all-to-all — punctuation
     // counts closed their edges.
-    let min = processed.borrow().iter().copied().min().unwrap();
-    let max = processed.borrow().iter().copied().max().unwrap();
+    let min = processed.lock().iter().copied().min().unwrap();
+    let max = processed.lock().iter().copied().max().unwrap();
     println!("load imbalance (min/max tokens per expert): {min}/{max}");
 }

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example multi_tenant`
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pathways::core::{FnSpec, PathwaysConfig, PathwaysRuntime, SchedPolicy, SliceRequest};
 use pathways::net::{ClientId, ClusterSpec, HostId, NetworkParams};
@@ -38,7 +38,7 @@ fn run_policy(title: &str, policy: SchedPolicy) {
         },
     );
 
-    let completed: Vec<Rc<Cell<u64>>> = (0..4).map(|_| Rc::new(Cell::new(0))).collect();
+    let completed: Vec<Arc<AtomicU64>> = (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
     for (i, label) in ["A", "B", "C", "D"].iter().enumerate() {
         let client = rt.client_labeled(HostId(0), *label);
         let slice = client.virtual_slice(SliceRequest::devices(8)).unwrap();
@@ -48,19 +48,19 @@ fn run_policy(title: &str, policy: SchedPolicy) {
             &slice,
         );
         let program = b.build().unwrap();
-        let prepared = Rc::new(client.prepare(&program));
+        let prepared = Arc::new(client.prepare(&program));
         let window = Semaphore::new(12);
         let h = sim.handle();
-        let counter = Rc::clone(&completed[i]);
+        let counter = Arc::clone(&completed[i]);
         sim.spawn(format!("stream-{label}"), async move {
             loop {
                 let permit = window.acquire(1).await;
                 let pending = client.submit(&prepared).await;
-                let counter = Rc::clone(&counter);
+                let counter = Arc::clone(&counter);
                 h.spawn("run", async move {
                     let _p = permit;
                     pending.finish().await;
-                    counter.set(counter.get() + 1);
+                    counter.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
@@ -77,7 +77,11 @@ fn run_policy(title: &str, policy: SchedPolicy) {
     println!("device-0 utilization: {:.0}%", util * 100.0);
     println!("programs completed per client:");
     for (i, label) in ["A", "B", "C", "D"].iter().enumerate() {
-        println!("  {label} (weight {}): {}", 1 << i, completed[i].get());
+        println!(
+            "  {label} (weight {}): {}",
+            1 << i,
+            completed[i].load(Ordering::Relaxed)
+        );
     }
     println!();
 }

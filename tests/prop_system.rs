@@ -64,7 +64,7 @@ proptest! {
         // Compact representation: plaque nodes = comps + Result.
         let (nodes, _) = prepared.graph_size();
         prop_assert_eq!(nodes, layers.len() + 1);
-        let core = std::rc::Rc::clone(rt.core());
+        let core = std::sync::Arc::clone(rt.core());
         let job = sim.spawn("client", async move {
             let r = client.run(&prepared).await;
             r.objects().len()
