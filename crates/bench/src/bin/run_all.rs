@@ -17,7 +17,7 @@ use pathways_bench::micro::{
 use pathways_bench::perf::{BenchReport, ClusterShape};
 use pathways_bench::pipeline::pipeline_throughput;
 use pathways_bench::tenancy::tenancy_trace;
-use pathways_bench::tier::{recovery_latency, spill_throughput};
+use pathways_bench::tier::{chain_recovery, recovery_latency, spill_throughput};
 use pathways_bench::training::{
     pathways_pipeline_tokens_per_sec, pathways_spmd_tokens_per_sec, table1_point, table2_setup,
     two_island_scaling,
@@ -288,12 +288,22 @@ fn main() {
             ckpt.recovery, lineage.recovery
         ),
     );
+    let chain = chain_recovery();
+    verdict(
+        "fig_tier chain recovery dedupes the shared upstream",
+        chain.recomputed == 3 && chain.upstream_recomputes == 1,
+        format!(
+            "chain of 3 back in {} with {} upstream recompute(s)",
+            chain.recovery, chain.upstream_recomputes
+        ),
+    );
     BenchReport::new("fig_tier_quick", small_island(2, 2, 4))
         .metric("spill_steps_per_sec_roomy", roomy.steps_per_sec)
         .metric("spill_steps_per_sec_tight", tight.steps_per_sec)
         .metric("spill_count_tight", tight.spills as f64)
         .metric("recovery_ms_lineage", lineage.recovery.as_secs_f64() * 1e3)
         .metric("recovery_ms_ckpt_10ms", ckpt.recovery.as_secs_f64() * 1e3)
+        .metric("chain_recovery_ms", chain.recovery.as_secs_f64() * 1e3)
         .write_or_warn();
 
     println!("\nFull-size runs: see the individual fig*/table* binaries.");

@@ -31,7 +31,7 @@ use crate::ops::{prepare, PreparedProgram};
 use crate::program::{CompId, Program};
 use crate::resource::{ResourceError, ResourceManager, SliceRequest, VirtualSlice};
 use crate::sched::{ctrl_msg_bytes, CtrlMsg, SubmitMsg};
-use crate::store::{FailureReason, ObjectId};
+use crate::storage::{FailureReason, ObjectId};
 
 /// Errors from submitting a prepared program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -468,7 +468,7 @@ impl Client {
         // loss can recompute it by re-submission. The record's ObjectRef
         // clones retain the inputs for as long as the outputs live.
         if self.core.store.lineage_enabled() {
-            let record = Arc::new(crate::recover::LineageRecord {
+            let record = Arc::new(crate::storage::LineageRecord {
                 client: self.clone(),
                 program: info.program.clone(),
                 bindings: bindings.to_vec(),

@@ -3,7 +3,7 @@
 use pathways_sim::{ExecutorKind, SimDuration};
 
 use crate::sched::SchedPolicy;
-use crate::tier::TierConfig;
+use crate::storage::TierConfig;
 
 /// Host-side dispatch strategy (§4.5, Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

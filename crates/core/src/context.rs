@@ -18,7 +18,7 @@ use crate::fault::FailureState;
 use crate::objref::InputBinding;
 use crate::program::CompId;
 use crate::sched::CtrlMsg;
-use crate::store::ObjectStore;
+use crate::storage::ObjectStore;
 
 /// Key of one consumer input: `(run, consumer comp, consumer shard,
 /// local in-edge index)`.

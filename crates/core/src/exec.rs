@@ -27,7 +27,7 @@ use crate::config::DispatchMode;
 use crate::fault::FailureState;
 use crate::program::CompId;
 use crate::sched::CtrlMsg;
-use crate::store::{ObjectId, ObjectStore};
+use crate::storage::{ObjectId, ObjectStore};
 
 /// Key identifying one computation shard of one run.
 pub type ShardKey = (RunId, CompId, u32);
@@ -225,8 +225,16 @@ pub fn spawn_executor(
                     for ev in &reg.input_events {
                         let (tx, rx) = channel::oneshot();
                         let ev = ev.clone();
+                        // Raced against the run's failure: a run failed
+                        // mid-enqueue may have had its input slots swept
+                        // by the aborting shard driver before this
+                        // adapter started waiting, so nothing would ever
+                        // deliver the event. The unblock matches poison
+                        // semantics — the kernel drains, the run's typed
+                        // error is what consumers observe.
+                        let cancel = failures.failed_event(grant.run);
                         h.spawn("input-adapter", async move {
-                            ev.wait().await;
+                            crate::ops::event_or_cancel(&ev, cancel.as_ref()).await;
                             let _ = tx.send(());
                         });
                         inputs_ready.push(rx);

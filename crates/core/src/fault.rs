@@ -49,9 +49,9 @@ use pathways_sim::{FaultPlan, SimHandle};
 
 use crate::context::CoreCtx;
 use crate::housekeeping::{spawn_error_delivery, spawn_heal_delivery, ErrorLog, HealLog};
-use crate::recover::{RecoveryManager, RecoveryStats};
 use crate::resource::{HealEvent, ResourceManager};
-use crate::store::{FailureReason, ObjectId};
+use crate::storage::{FailureReason, ObjectId};
+use crate::storage::{RecoveryManager, RecoveryStats};
 
 /// One scripted fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -313,6 +313,19 @@ impl FaultInjector {
         self.heal_dead_hardware(&newly_dead);
         self.purge_completed();
         self.deliver(newly_failed);
+        // After healing, so lineage re-submissions re-lower onto healed
+        // slices. Everything this fault absorbed recovers as one batch
+        // (chain recovery over the lineage DAG).
+        self.launch_recoveries();
+    }
+
+    /// Launches a chain-recovery task for everything the walk that just
+    /// finished absorbed (no-op when recovery is disabled or nothing was
+    /// absorbed).
+    fn launch_recoveries(&self) {
+        if let Some(r) = self.recovery.lock().clone() {
+            r.launch_pending();
+        }
     }
 
     /// Elastic slice healing (§4.1 closed-loop): remap every live slice
@@ -383,6 +396,7 @@ impl FaultInjector {
         self.rm.release_client(client);
         self.purge_completed();
         self.deliver(newly_failed);
+        self.launch_recoveries();
         freed
     }
 
@@ -440,6 +454,8 @@ impl FaultInjector {
             }
         }
         self.core.fabric.fail_host(h);
+        // Placement policies must stop targeting the host's DRAM.
+        self.core.store.set_host_down(h);
         let reason = FailureReason::Host(h);
         // The host's devices die with it.
         for d in self.core.fabric.topology().devices_of_host(h) {
@@ -616,6 +632,8 @@ impl FaultInjector {
         self.cascade_objects(objects, &mut newly_failed);
         self.purge_completed();
         self.deliver(newly_failed);
+        // The cascade's fail_run walk may itself absorb in-flight sinks.
+        self.launch_recoveries();
     }
 
     /// Fails every run bound (as a consumer) to any of `objects`.

@@ -111,12 +111,10 @@ pub mod housekeeping;
 mod objref;
 mod ops;
 mod program;
-mod recover;
 mod resource;
 mod runtime;
 pub mod sched;
-mod store;
-mod tier;
+mod storage;
 
 #[allow(deprecated)]
 pub use client::PendingRun;
@@ -132,7 +130,6 @@ pub use program::{
     CompId, Computation, DataEdge, FnSpec, InputSpec, Program, ProgramBuilder, ProgramError,
     ShardMapping,
 };
-pub use recover::RecoveryStats;
 pub use resource::{
     HealEvent, ResourceError, ResourceManager, SliceId, SliceRequest, VirtualSlice,
 };
@@ -141,7 +138,7 @@ pub use sched::policy::{
     FifoPolicy, PriorityPolicy, QueuedProgram, SchedPolicyImpl, StridePolicy, WfqPolicy,
 };
 pub use sched::{SchedPolicy, SchedulerHandle};
-pub use store::{
-    FailureReason, ObjectError, ObjectId, ObjectStore, StoreError, StoredShard, TierStats,
+pub use storage::{
+    FailureReason, ObjectError, ObjectId, ObjectStore, PlacementPolicy, RecoveryStats,
+    SegmentStats, SpillEvent, StoreError, StoredShard, Tier, TierConfig, TierStats,
 };
-pub use tier::{SpillEvent, Tier, TierConfig};

@@ -22,7 +22,7 @@ use pathways_net::DeviceId;
 use pathways_sim::sync::Event;
 
 use crate::program::CompId;
-use crate::store::{ObjectError, ObjectId, ObjectStore};
+use crate::storage::{ObjectError, ObjectId, ObjectStore};
 
 /// A future on a (sharded) object in the object store.
 ///

@@ -36,7 +36,7 @@ use crate::exec::CompRegistration;
 use crate::objref::InputBinding;
 use crate::program::{CompId, Program, ShardMapping};
 use crate::sched::CompSubmit;
-use crate::store::ObjectId;
+use crate::storage::ObjectId;
 
 /// Control-tuple payloads on forward edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -786,7 +786,7 @@ fn spawn_output_transfers(
 
 /// Resolves when `event` fires — or, if `cancel` is provided, when the
 /// cancel event fires first.
-async fn event_or_cancel(event: &Event, cancel: Option<&Event>) {
+pub(crate) async fn event_or_cancel(event: &Event, cancel: Option<&Event>) {
     struct Either {
         a: pathways_sim::sync::EventWait,
         b: Option<pathways_sim::sync::EventWait>,

@@ -19,7 +19,7 @@ use crate::exec::{spawn_executor, ExecutorShared};
 use crate::fault::{FailureState, FaultInjector, FaultSpec};
 use crate::resource::ResourceManager;
 use crate::sched::{scheduler_hosts, spawn_scheduler, SchedulerHandle};
-use crate::store::ObjectStore;
+use crate::storage::ObjectStore;
 
 /// A fully-assembled Pathways backend: devices, executors, schedulers,
 /// object store, coordination substrate and resource manager, all

@@ -646,6 +646,151 @@ fn tiered_chaos_runs_are_bit_identical_for_equal_seeds() {
     }
 }
 
+/// One scripted chain-loss run for the storage engine's DAG-chain
+/// recovery: upstream producer `A` feeds `B` and `C` on the same
+/// island-0 slice (all refs retained, lineage-only — no checkpoints),
+/// a device kill at 300ms loses a shard of all three at once, and a
+/// post-kill consumer on island 1 binds both downstream objects.
+/// Returns the event trace, the trace-counted number of times `A` was
+/// recomputed, and the recovery counters.
+fn chain_loss_run(
+    seed: u64,
+) -> (
+    pathways_sim::trace::TraceLog,
+    u64,
+    pathways_core::RecoveryStats,
+) {
+    use pathways_core::TierConfig;
+    let mut sim = Sim::new(seed);
+    let rt = PathwaysRuntime::new(
+        &sim,
+        ClusterSpec::islands_of(2, 2, 4),
+        NetworkParams::tpu_cluster(),
+        PathwaysConfig {
+            tiers: Some(TierConfig {
+                checkpoint_interval: None,
+                ..TierConfig::default()
+            }),
+            ..PathwaysConfig::default()
+        },
+    );
+    rt.install_fault_plan(FaultPlan::new().at(t(300_000), FaultSpec::Device(DeviceId(1))));
+    let client = rt.client(HostId(2));
+    let core = Arc::clone(rt.core());
+    let job = sim.spawn("client", async move {
+        let h = client.handle().clone();
+        // One slice for the whole chain: every object shards over the
+        // same 4 devices, so the kill loses a shard of each.
+        let slice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(0)))
+            .unwrap();
+        let mut b = client.trace("upstream");
+        let ka = b.computation(
+            FnSpec::compute_only("a", SimDuration::from_millis(1)).with_output_bytes(1 << 12),
+            &slice,
+        );
+        let arun = client.submit(&client.prepare(&b.build().unwrap())).await;
+        let out_a = arun.object_ref(ka).unwrap();
+        arun.finish().await;
+        assert_eq!(out_a.ready().await, Ok(()), "upstream must succeed");
+        let a_id = out_a.id();
+
+        let mut downstream = Vec::new();
+        for name in ["left", "right"] {
+            let mut b = client.trace(name);
+            let x = b.input(InputSpec::new("a", out_a.shards()));
+            let k = b.computation(
+                FnSpec::compute_only(name, SimDuration::from_micros(500))
+                    .with_output_bytes(1 << 12),
+                &slice,
+            );
+            b.reshard_edge(x, k, 1 << 12);
+            let run = client
+                .submit_with(&client.prepare(&b.build().unwrap()), &[(x, out_a.clone())])
+                .await
+                .unwrap();
+            let out = run.object_ref(k).unwrap();
+            run.finish().await;
+            assert_eq!(out.ready().await, Ok(()), "downstream must succeed");
+            downstream.push(out);
+        }
+        let out_c = downstream.pop().unwrap();
+        let out_b = downstream.pop().unwrap();
+
+        h.sleep_until(t(300_100)).await;
+        // Consumer on island 1: it must not share device queues with
+        // the recompute re-lowered onto healed island-0 devices.
+        let dslice = client
+            .virtual_slice(SliceRequest::devices(4).in_island(IslandId(1)))
+            .unwrap();
+        let mut b = client.trace("consumer");
+        let xb = b.input(InputSpec::new("b", out_b.shards()));
+        let xc = b.input(InputSpec::new("c", out_c.shards()));
+        let d = b.computation(
+            FnSpec::compute_only("consume", SimDuration::from_micros(100)),
+            &dslice,
+        );
+        b.reshard_edge(xb, d, 1 << 12);
+        b.reshard_edge(xc, d, 1 << 12);
+        let drun = client
+            .submit_with(
+                &client.prepare(&b.build().unwrap()),
+                &[(xb, out_b), (xc, out_c)],
+            )
+            .await
+            .unwrap();
+        let dout = drun.object_ref(d).unwrap();
+        drun.finish().await;
+        assert_eq!(dout.ready().await, Ok(()), "chain must recover");
+        a_id
+    });
+    let outcome = sim.run();
+    assert!(outcome.is_quiescent(), "wedged: {outcome:?}");
+    let a_id = job.try_take().unwrap();
+    assert!(core.store.is_empty(), "store leaked {}", core.store.len());
+    let stats = rt.faults().recovery_stats();
+    let trace = sim.take_trace();
+    let label = format!("recompute {a_id}");
+    let upstream = trace
+        .spans()
+        .iter()
+        .filter(|s| s.track == "tiers" && s.label == label)
+        .count() as u64;
+    (trace, upstream, stats)
+}
+
+/// Storage-engine satellite: losing a whole object *chain* to one
+/// device kill recomputes the shared upstream producer exactly once —
+/// the recovery manager dedupes it out of both downstream lineages and
+/// rebuilds the batch in topological order. The invariant holds on
+/// both executor backends; the bit-identical replay of the trace is
+/// asserted on the deterministic one.
+#[test]
+fn scripted_chain_loss_recomputes_shared_upstream_once() {
+    let (trace_a, upstream, stats) = chain_loss_run(11);
+    assert_eq!(
+        upstream, 1,
+        "shared upstream must be recomputed exactly once"
+    );
+    assert_eq!(
+        stats.restored + stats.recomputed,
+        3,
+        "the whole 3-object chain recovers: {stats:?}"
+    );
+    assert_eq!(stats.abandoned, 0, "nothing goes terminal: {stats:?}");
+    if threaded_backend() {
+        eprintln!("skipping replay check: only bit-identical on the deterministic backend");
+        return;
+    }
+    let (trace_b, upstream_b, stats_b) = chain_loss_run(11);
+    assert_eq!(upstream_b, 1);
+    assert_eq!(stats, stats_b, "recovery must replay");
+    assert_eq!(
+        trace_a, trace_b,
+        "chain recovery must replay bit-identically"
+    );
+}
+
 /// The same seed reproduces a bit-identical event trace — fault
 /// schedule included (it is stamped on the `faults` trace track).
 #[test]

@@ -47,6 +47,107 @@ fn tiered_cfg() -> PathwaysConfig {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
+    /// Storage-engine satellite: a random train of single-shard dirty
+    /// marks and forced delta-checkpoint commits, under a random
+    /// keep-last-K GC policy and segments small enough that the base
+    /// epoch seals one. Whatever the train, (a) the restore set always
+    /// covers the whole object — GC never reclaims an epoch holding
+    /// the newest durable copy of a shard, so base + deltas restore
+    /// the same bytes a full checkpoint would; (b) the chain never
+    /// holds more epochs than were committed; and (c) dropping the
+    /// last ref drains every epoch's disk extent to zero with the tier
+    /// ledgers conserved.
+    #[test]
+    fn delta_checkpoint_chains_stay_restorable_and_drain(
+        train in proptest::collection::vec(0u32..4, 1..12),
+        keep in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        const SHARD: u64 = 4 << 10;
+        let mut sim = Sim::new(seed);
+        let rt = PathwaysRuntime::new(
+            &sim,
+            ClusterSpec::config_b(1),
+            NetworkParams::tpu_cluster(),
+            PathwaysConfig {
+                tiers: Some(TierConfig {
+                    // Epochs are driven explicitly; the base epoch
+                    // (4 x 4 KiB) exactly fills and seals one segment.
+                    checkpoint_interval: None,
+                    checkpoint_keep: keep,
+                    disk_segment_bytes: 16 << 10,
+                    ..TierConfig::default()
+                }),
+                ..PathwaysConfig::default()
+            },
+        );
+        let client = rt.client(HostId(0));
+        let core = std::sync::Arc::clone(rt.core());
+        let store = core.store.clone();
+        let train2 = train.clone();
+        let committed_bound = train.len() + 1;
+        let job = sim.spawn("client", async move {
+            let slice = client.virtual_slice(SliceRequest::devices(4)).unwrap();
+            let mut b = client.trace("state");
+            let k = b.computation(
+                FnSpec::compute_only("k", SimDuration::from_micros(100))
+                    .with_output_bytes(SHARD),
+                &slice,
+            );
+            let run = client.submit(&client.prepare(&b.build().unwrap())).await;
+            let out = run.object_ref(k).unwrap();
+            run.finish().await;
+            assert_eq!(out.ready().await, Ok(()), "producer never fails here");
+            let id = out.id();
+            assert!(store.checkpoint_now(id).is_some(), "base epoch commits");
+            for s in train2 {
+                assert!(store.dirty_shard(id, s), "object is live");
+                assert!(store.checkpoint_now(id).is_some(), "delta commits");
+            }
+            let restorable = store.checkpoint_restorable_bytes(id);
+            let epochs = store.checkpoint_epochs(id);
+            let live = store.disk_used();
+            drop(out);
+            (restorable, epochs, live)
+        });
+        let outcome = sim.run();
+        prop_assert!(outcome.is_quiescent(), "wedged: {:?}", outcome);
+        let (restorable, epochs, live) = job.try_take().expect("client finished");
+        prop_assert_eq!(
+            restorable,
+            Some(4 * SHARD),
+            "restore set must always cover the whole object (train {:?}, keep {})",
+            train,
+            keep
+        );
+        prop_assert!(
+            epochs >= 1 && epochs <= committed_bound,
+            "chain holds {} epochs after {} commits",
+            epochs,
+            committed_bound
+        );
+        prop_assert!(
+            live >= 4 * SHARD,
+            "live disk bytes ({live}) must cover the restore set"
+        );
+        prop_assert_eq!(
+            core.store.disk_used(), 0,
+            "epoch extents leaked after the last ref dropped (train {:?}, keep {})",
+            &train, keep
+        );
+        prop_assert!(
+            core.store.is_empty(),
+            "store leaked {} objects",
+            core.store.len()
+        );
+        prop_assert!(
+            core.store.tiers_conserved(),
+            "tier byte ledgers drifted (train {:?}, keep {})",
+            &train,
+            keep
+        );
+    }
+
     #[test]
     fn refcounts_balance_across_random_chained_schedules(
         hosts in 1u32..3,
